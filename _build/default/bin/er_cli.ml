@@ -1,0 +1,144 @@
+(* Command-line front end for the ER reproduction.
+
+     er_cli list                    list corpus bugs
+     er_cli reproduce <bug>         run the iterative algorithm on one bug
+     er_cli show <bug>              print a bug's EIR program
+     er_cli parse <file.eir>        parse and validate a textual EIR file
+     er_cli run <file.eir> k=v,...  run a textual EIR program concretely *)
+
+open Cmdliner
+
+let find_spec name =
+  match Er_corpus.Registry.find_any name with
+  | Some s -> Ok s
+  | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown bug %s (try: er_cli list)" name))
+
+let bug_conv =
+  Arg.conv
+    ( (fun s -> find_spec s),
+      fun ppf (s : Er_corpus.Bug.spec) -> Fmt.string ppf s.Er_corpus.Bug.name )
+
+let spec_arg =
+  Arg.(required & pos 0 (some bug_conv) None & info [] ~docv:"BUG")
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-22s %-24s %-28s %s\n" "id" "models" "bug type" "MT";
+    List.iter
+      (fun (s : Er_corpus.Bug.spec) ->
+         Printf.printf "%-22s %-24s %-28s %s\n" s.Er_corpus.Bug.name
+           s.Er_corpus.Bug.models s.Er_corpus.Bug.bug_type
+           (if s.Er_corpus.Bug.multithreaded then "Y" else "N"))
+      Er_corpus.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bug corpus")
+    Term.(const run $ const ())
+
+let reproduce_cmd =
+  let run spec verbose =
+    let r =
+      Er_core.Driver.reconstruct ~config:spec.Er_corpus.Bug.config
+        ~base_prog:spec.Er_corpus.Bug.program
+        ~workload:spec.Er_corpus.Bug.failing_workload ()
+    in
+    List.iter
+      (fun (it : Er_core.Driver.iteration) ->
+         Printf.printf "occurrence %d: %s (solver calls %d, graph %d nodes)\n"
+           it.Er_core.Driver.occurrence
+           (match it.Er_core.Driver.outcome with
+            | `Complete -> "complete"
+            | `Stalled why -> "stalled — " ^ why
+            | `Diverged why -> "diverged — " ^ why)
+           it.Er_core.Driver.solver_calls it.Er_core.Driver.graph_nodes)
+      r.Er_core.Driver.iterations;
+    (match r.Er_core.Driver.status with
+     | Er_core.Driver.Reproduced { testcase; verified; _ } ->
+         Printf.printf "reproduced after %d failure occurrence(s)\n"
+           r.Er_core.Driver.occurrences;
+         if verbose then
+           Printf.printf "test case:\n%s\n"
+             (Fmt.str "%a" Er_core.Testcase.pp testcase);
+         (match verified with
+          | Some v ->
+              Printf.printf "verified: same failure %b, same control flow %b\n"
+                v.Er_core.Verify.same_failure
+                v.Er_core.Verify.same_control_flow
+          | None -> ())
+     | Er_core.Driver.Gave_up m -> Printf.printf "gave up: %s\n" m);
+    ()
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  Cmd.v (Cmd.info "reproduce" ~doc:"Reconstruct one corpus failure")
+    Term.(const run $ spec_arg $ verbose)
+
+let show_cmd =
+  let run spec =
+    print_string (Er_ir.Pretty.program_to_string spec.Er_corpus.Bug.program)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a bug's EIR program")
+    Term.(const run $ spec_arg)
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let parse_cmd =
+  let run file =
+    match Er_ir.Parser.parse_file file with
+    | Ok p ->
+        Printf.printf "parsed OK: %d globals, %d functions\n"
+          (List.length p.Er_ir.Types.globals)
+          (List.length p.Er_ir.Types.funcs)
+    | Error e -> Printf.printf "parse error: %s\n" e
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and validate a textual EIR file")
+    Term.(const run $ file_arg)
+
+let run_cmd =
+  let inputs_arg =
+    Arg.(value & opt (some string) None & info [ "inputs" ] ~docv:"STREAM=v1:v2,...")
+  in
+  let run file inputs_str =
+    match Er_ir.Parser.parse_file file with
+    | Error e -> Printf.printf "parse error: %s\n" e
+    | Ok p ->
+        let inputs =
+          match inputs_str with
+          | None -> Er_vm.Inputs.make []
+          | Some s ->
+              let streams =
+                String.split_on_char ',' s
+                |> List.filter_map (fun part ->
+                    match String.split_on_char '=' part with
+                    | [ name; vals ] ->
+                        Some
+                          ( name,
+                            String.split_on_char ':' vals
+                            |> List.filter_map Int64.of_string_opt )
+                    | _ -> None)
+              in
+              Er_vm.Inputs.make streams
+        in
+        let r = Er_vm.Interp.run (Er_ir.Prog.of_program p) inputs in
+        (match r.Er_vm.Interp.outcome with
+         | Er_vm.Interp.Finished v ->
+             Printf.printf "finished%s after %d instructions\n"
+               (match v with Some v -> Printf.sprintf " (ret %Ld)" v | None -> "")
+               r.Er_vm.Interp.instr_count
+         | Er_vm.Interp.Failed f ->
+             Printf.printf "FAILED after %d instructions: %s\n"
+               r.Er_vm.Interp.instr_count (Er_vm.Failure.to_string f));
+        List.iteri
+          (fun i v -> Printf.printf "output[%d] = %Ld\n" i v)
+          r.Er_vm.Interp.outputs
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a textual EIR program concretely")
+    Term.(const run $ file_arg $ inputs_arg)
+
+let () =
+  let info =
+    Cmd.info "er_cli" ~version:"1.0"
+      ~doc:"Execution Reconstruction (PLDI 2021) — OCaml reproduction"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; reproduce_cmd; show_cmd; parse_cmd; run_cmd ]))

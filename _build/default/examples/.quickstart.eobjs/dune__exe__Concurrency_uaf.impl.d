@@ -1,0 +1,1 @@
+examples/concurrency_uaf.ml: Er_core Er_corpus Er_ir Er_vm Fmt List Printf

@@ -1,0 +1,1 @@
+examples/failure_localization.ml: Er_core Er_corpus Er_invariants Er_ir Fmt List Printf

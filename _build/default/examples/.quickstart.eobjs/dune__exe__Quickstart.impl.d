@@ -1,0 +1,1 @@
+examples/quickstart.ml: Er_core Er_corpus Er_ir Fmt List Printf

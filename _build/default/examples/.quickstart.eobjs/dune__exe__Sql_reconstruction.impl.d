@@ -1,0 +1,1 @@
+examples/sql_reconstruction.ml: Er_core Er_corpus Er_vm Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/baselines/random_select.ml: Array Er_core Er_ir Er_select Er_smt Er_symex Er_trace Er_vm Hashtbl List

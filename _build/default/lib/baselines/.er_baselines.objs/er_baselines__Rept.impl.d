@@ -1,0 +1,1 @@
+lib/baselines/rept.ml: Array Er_ir Er_vm Hashtbl Int64 List

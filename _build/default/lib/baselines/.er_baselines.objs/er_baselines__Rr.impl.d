@@ -1,0 +1,1 @@
+lib/baselines/rr.ml: Er_vm Hashtbl List String

@@ -1,0 +1,75 @@
+(* A full record/replay baseline in the style of Mozilla rr.
+
+   rr-class systems persist every program input and enough state to
+   deterministically re-execute: our recorder copies every input value,
+   every scheduling decision, and keeps an undo log of memory writes (the
+   checkpointing work that dominates rr's overhead on write-heavy code).
+   The recorder's cost is incurred inside the same interpreter hot loop
+   that ER's PT encoder runs in, so the Fig. 6 comparison measures the
+   two recording disciplines against identical baseline work. *)
+
+type log = {
+  mutable inputs : (string * int64) list;
+  mutable schedule : (int * int) list;
+  mutable undo : (int * int * int64) list;    (* obj, index, old value *)
+  mutable events : int;
+  mutable bytes : int;
+}
+
+let create () = { inputs = []; schedule = []; undo = []; events = 0; bytes = 0 }
+
+let hooks log =
+  {
+    Er_vm.Interp.no_hooks with
+    Er_vm.Interp.on_input =
+      Some
+        (fun ~stream ~value ->
+           log.inputs <- (stream, value) :: log.inputs;
+           log.events <- log.events + 1;
+           log.bytes <- log.bytes + 8 + String.length stream);
+    on_switch =
+      Some
+        (fun ~tid ~clock ->
+           log.schedule <- (tid, clock) :: log.schedule;
+           log.events <- log.events + 1;
+           log.bytes <- log.bytes + 12);
+    on_store =
+      Some
+        (fun ~obj ~index ~old_value ~new_value ->
+           ignore new_value;
+           log.undo <- (obj, index, old_value) :: log.undo;
+           log.events <- log.events + 1;
+           log.bytes <- log.bytes + 20);
+  }
+
+(* Record a run; returns the run result and the log. *)
+let record ?(sched_seed = 0) prog inputs =
+  let log = create () in
+  let config =
+    { Er_vm.Interp.default_config with sched_seed; hooks = hooks log }
+  in
+  let r = Er_vm.Interp.run ~config prog inputs in
+  (r, log)
+
+(* Replay: re-execute with the logged inputs and the same seed; rr-level
+   fidelity means the outcome and instruction counts match exactly. *)
+let replay ?(sched_seed = 0) prog (log : log) =
+  let by_stream : (string, int64 list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s, v) ->
+       let l =
+         match Hashtbl.find_opt by_stream s with
+         | Some l -> l
+         | None ->
+             let l = ref [] in
+             Hashtbl.add by_stream s l;
+             l
+       in
+       l := v :: !l)
+    log.inputs;
+  let streams =
+    Hashtbl.fold (fun s l acc -> (s, !l) :: acc) by_stream []
+  in
+  let inputs = Er_vm.Inputs.make streams in
+  let config = { Er_vm.Interp.default_config with sched_seed } in
+  Er_vm.Interp.run ~config prog inputs

@@ -1,0 +1,1 @@
+lib/corpus/bash_108885.ml: Bug Char Er_ir Er_vm Int64 List String

@@ -1,0 +1,1 @@
+lib/corpus/bug.ml: Er_core Er_ir Er_symex Er_vm

@@ -1,0 +1,1 @@
+lib/corpus/coreutils_od.ml: Bug Er_ir Er_vm Int64 List

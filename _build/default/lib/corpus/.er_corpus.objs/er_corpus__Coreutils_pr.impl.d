@@ -1,0 +1,1 @@
+lib/corpus/coreutils_pr.ml: Bug Er_ir Er_vm Fun Int64 List

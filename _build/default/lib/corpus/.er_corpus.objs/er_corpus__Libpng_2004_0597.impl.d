@@ -1,0 +1,1 @@
+lib/corpus/libpng_2004_0597.ml: Bug Er_ir Er_vm Fun Int64 List

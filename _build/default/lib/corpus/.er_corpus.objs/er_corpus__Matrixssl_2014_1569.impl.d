@@ -1,0 +1,1 @@
+lib/corpus/matrixssl_2014_1569.ml: Bug Er_ir Er_vm Fun Int64 List

@@ -1,0 +1,1 @@
+lib/corpus/memcached_2019_11596.ml: Bug Er_ir Er_vm Fun Int64 List

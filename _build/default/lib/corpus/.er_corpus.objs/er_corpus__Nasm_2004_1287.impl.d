@@ -1,0 +1,1 @@
+lib/corpus/nasm_2004_1287.ml: Bug Er_ir Er_vm Fun Int64 List

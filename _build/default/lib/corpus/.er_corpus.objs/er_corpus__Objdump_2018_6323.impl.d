@@ -1,0 +1,1 @@
+lib/corpus/objdump_2018_6323.ml: Bug Er_ir Er_vm Fun Int64 List

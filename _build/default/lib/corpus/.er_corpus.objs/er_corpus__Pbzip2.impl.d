@@ -1,0 +1,1 @@
+lib/corpus/pbzip2.ml: Bug Er_ir Er_vm Int64 List

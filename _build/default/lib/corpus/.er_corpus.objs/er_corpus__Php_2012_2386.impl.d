@@ -1,0 +1,1 @@
+lib/corpus/php_2012_2386.ml: Bug Er_ir Er_vm Int64 List

@@ -1,0 +1,1 @@
+lib/corpus/php_74194.ml: Bug Er_ir Er_vm Fun Int64 List

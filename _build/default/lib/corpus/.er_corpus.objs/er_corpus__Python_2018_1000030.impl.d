@@ -1,0 +1,1 @@
+lib/corpus/python_2018_1000030.ml: Bug Er_ir Er_vm Int64 List

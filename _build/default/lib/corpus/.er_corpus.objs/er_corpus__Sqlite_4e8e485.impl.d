@@ -1,0 +1,1 @@
+lib/corpus/sqlite_4e8e485.ml: Bug Er_ir Er_vm Int64 List

@@ -1,0 +1,1 @@
+lib/corpus/sqlite_787fa71.ml: Bug Er_ir Er_vm Fun Int64 List

@@ -1,0 +1,1 @@
+lib/corpus/sqlite_7be932d.ml: Bug Er_ir Er_vm Fun Int64 List

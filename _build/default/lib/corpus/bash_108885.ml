@@ -1,0 +1,94 @@
+(* Models Bash-108885: a 4-byte script triggers a NULL pointer dereference
+   and segfault in the word expander: a dollar-quote sequence at the start
+   of a word is processed before any word structure has been allocated, and
+   the expander dereferences the null current-word pointer.
+
+   Control flow alone pins this failure; ER reproduces it from a single
+   occurrence, matching the paper's #Occur = 1 for Bash-108885. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let program : program =
+  let t = B.create () in
+  (* expand(cur_word, ch, quoted): the buggy translation path *)
+  B.func t ~name:"expand_dollar"
+    ~params:[ ("word", Ptr); ("next_ch", I8) ] ~ret:I32
+    (fun fb ->
+       let is_quote = B.eq fb I8 (B.reg "next_ch") (B.i8 (Char.code '"')) in
+       B.condbr fb is_quote "translate" "plain";
+       B.block fb "translate";
+       (* locale translation reads the current word's length field without
+          a null check — the bug *)
+       let lenp = B.gep fb (B.reg "word") (B.i32 0) in
+       let len = B.load fb I64 lenp in
+       let l32 = B.trunc fb ~from_ty:I64 ~to_ty:I32 len in
+       B.ret fb (Some l32);
+       B.block fb "plain";
+       B.ret fb (Some (B.i32 0)));
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let n = B.input fb I32 "script" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      let cur = B.alloca fb I64 (B.i32 1) in   (* current word (packed ptr) *)
+      B.store fb I32 (B.i32 0) i;
+      B.store fb I64 (B.imm64 0L I64) cur;     (* no word yet: null *)
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv n in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let ch = B.input fb I8 "script" in
+      let is_dollar = B.eq fb I8 ch (B.i8 (Char.code '$')) in
+      B.condbr fb is_dollar "dollar" "letter";
+      B.block fb "dollar";
+      let nxt = B.input fb I8 "script" in
+      let wp = B.load fb I64 cur in
+      let wptr = B.cast fb Inttoptr ~from_ty:I64 ~to_ty:Ptr wp in
+      B.call_void fb "expand_dollar" [ wptr; nxt ];
+      let iv2 = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv2 (B.i32 2)) i;
+      B.br fb "loop";
+      B.block fb "letter";
+      (* an ordinary character starts a word if none is open *)
+      let wp = B.load fb I64 cur in
+      let none = B.eq fb I64 wp (B.imm64 0L I64) in
+      B.condbr fb none "open_word" "have_word";
+      B.block fb "open_word";
+      let w = B.alloc fb I64 (B.i32 2) in
+      let wi = B.cast fb Ptrtoint ~from_ty:Ptr ~to_ty:I64 w in
+      B.store fb I64 wi cur;
+      B.store fb I64 (B.imm64 1L I64) w;
+      B.br fb "have_word";
+      B.block fb "have_word";
+      let iv3 = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv3 (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+let codes s = List.map (fun c -> Int64.of_int (Char.code c)) (List.init (String.length s) (String.get s))
+
+(* The 4-byte crashing script: dollar, double-quote, a, b — the
+   dollar-quote pair arrives before any word exists. *)
+let failing_workload ~occurrence =
+  (Er_vm.Inputs.make [ ("script", 4L :: codes "$\"ab") ], occurrence)
+
+(* Performance workload: a quicksort-sized ordinary script (words first). *)
+let perf_inputs () =
+  let body = String.concat "" (List.init 400 (fun i ->
+      if i mod 7 = 3 then "x$\"" else "abc")) in
+  Er_vm.Inputs.make [ ("script", Int64.of_int (String.length body) :: codes body) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "bash-108885";
+    models = "Bash-108885";
+    bug_type = "NULL pointer dereference";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:600_000 ~gate_budget:240_000 ();
+  }

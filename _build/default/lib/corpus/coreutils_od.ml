@@ -1,0 +1,93 @@
+(* The coreutils od bug used by the MIMIC case study (section 5.4): od's
+   offset accounting goes wrong for a particular block-size/format
+   combination, producing wrong output offsets.  The miniature dumps
+   words from input with a running offset; the buggy path adds the
+   format width instead of the block size, and an internal consistency
+   assertion (offset == words * block) eventually fires. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let program : program =
+  let t = B.create () in
+  (* dump one block; returns the new offset *)
+  B.func t ~name:"dump_block"
+    ~params:[ ("offset", I32); ("block", I32); ("fmt", I32) ] ~ret:I32
+    (fun fb ->
+       let j = B.alloca fb I32 (B.i32 1) in
+       B.store fb I32 (B.i32 0) j;
+       B.br fb "loop";
+       B.block fb "loop";
+       let jv = B.load fb I32 j in
+       let more = B.ult fb I32 jv (B.reg "block") in
+       B.condbr fb more "word" "advance";
+       B.block fb "word";
+       let w = B.input fb I8 "file" in
+       let w32 = B.zext fb ~from_ty:I8 ~to_ty:I32 w in
+       B.output fb (B.add fb I32 (B.reg "offset") w32);
+       B.store fb I32 (B.add fb I32 jv (B.i32 1)) j;
+       B.br fb "loop";
+       B.block fb "advance";
+       (* bug: wide formats advance by the format width, not the block *)
+       let wide = B.ugt fb I32 (B.reg "fmt") (B.i32 4) in
+       B.condbr fb wide "wide_adv" "norm_adv";
+       B.block fb "wide_adv";
+       B.ret fb (Some (B.add fb I32 (B.reg "offset") (B.reg "fmt")));
+       B.block fb "norm_adv";
+       B.ret fb (Some (B.add fb I32 (B.reg "offset") (B.reg "block"))));
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let block = B.input fb I32 "file" in
+      let fmt = B.input fb I32 "file" in
+      let nblocks = B.input fb I32 "file" in
+      let off = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) off;
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv nblocks in
+      B.condbr fb more "body" "check";
+      B.block fb "body";
+      let cur = B.load fb I32 off in
+      let next = B.call fb "dump_block" [ cur; block; fmt ] in
+      B.store fb I32 next off;
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "check";
+      let final_ = B.load fb I32 off in
+      let expected = B.mul fb I32 nblocks block in
+      let okv = B.eq fb I32 final_ expected in
+      B.assert_ fb okv "od offset accounting";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* Wide format (8) with block 6: the offset drifts, the assert fires. *)
+let failing_workload ~occurrence =
+  let bytes = List.init 18 (fun i -> Int64.of_int ((i + occurrence) mod 200)) in
+  (Er_vm.Inputs.make [ ("file", (6L :: 8L :: 3L :: bytes)) ], occurrence)
+
+(* Passing runs for invariant inference (narrow formats). *)
+let passing_inputs k =
+  let block = Int64.of_int (4 + (k mod 3)) in
+  let n = 3 + (k mod 3) in
+  let bytes =
+    List.init (Int64.to_int block * n) (fun i -> Int64.of_int ((i * 5 + k) mod 200))
+  in
+  Er_vm.Inputs.make
+    [ ("file", (block :: Int64.of_int (1 + (k mod 4)) :: Int64.of_int n :: bytes)) ]
+
+let perf_inputs () = passing_inputs 0
+
+let spec : Bug.spec =
+  {
+    Bug.name = "coreutils-od";
+    models = "MIMIC od case study";
+    bug_type = "wrong output / assertion";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:100_000 ~gate_budget:40_000 ();
+  }

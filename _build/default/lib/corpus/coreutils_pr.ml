@@ -1,0 +1,98 @@
+(* The coreutils pr bug used by the MIMIC case study (section 5.4): pr's
+   column balancing miscounts lines when the last page is short, leaving
+   a column width of zero that corrupts the layout.  The miniature
+   paginates line lengths into columns; the buggy rounding drops a line
+   on short pages and a layout assertion fires. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let program : program =
+  let t = B.create () in
+  (* lines per column for one page; the buggy rounding *)
+  B.func t ~name:"balance" ~params:[ ("lines", I32); ("cols", I32) ] ~ret:I32
+    (fun fb ->
+       (* correct: ceil(lines/cols); bug: floor for short last pages *)
+       let short = B.ult fb I32 (B.reg "lines") (B.i32 4) in
+       B.condbr fb short "floor" "ceil";
+       B.block fb "floor";
+       B.ret fb (Some (B.udiv fb I32 (B.reg "lines") (B.reg "cols")));
+       B.block fb "ceil";
+       let sum = B.add fb I32 (B.reg "lines")
+           (B.sub fb I32 (B.reg "cols") (B.i32 1)) in
+       B.ret fb (Some (B.udiv fb I32 sum (B.reg "cols"))));
+  B.func t ~name:"emit_page" ~params:[ ("lines", I32); ("cols", I32) ]
+    (fun fb ->
+       let per = B.call fb "balance" [ B.reg "lines"; B.reg "cols" ] in
+       (* emit placed lines *)
+       let placed = B.mul fb I32 per (B.reg "cols") in
+       let i = B.alloca fb I32 (B.i32 1) in
+       B.store fb I32 (B.i32 0) i;
+       B.br fb "loop";
+       B.block fb "loop";
+       let iv = B.load fb I32 i in
+       let more = B.ult fb I32 iv (B.reg "lines") in
+       B.condbr fb more "line" "check";
+       B.block fb "line";
+       let len = B.input fb I8 "text" in
+       B.output fb (B.zext fb ~from_ty:I8 ~to_ty:I32 len);
+       B.store fb I32 (B.add fb I32 iv (B.i32 1)) i;
+       B.br fb "loop";
+       B.block fb "check";
+       (* every line must land in some column *)
+       let fits = B.uge fb I32 placed (B.reg "lines") in
+       B.assert_ fb fits "pr column layout places every line";
+       B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let cols = B.input fb I32 "text" in
+      let npages = B.input fb I32 "text" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv npages in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let lines = B.input fb I32 "text" in
+      B.call_void fb "emit_page" [ lines; cols ];
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* A short last page (3 lines in 2 columns) triggers the floor rounding:
+   per = 1, placed = 2 < 3 lines. *)
+let failing_workload ~occurrence =
+  let page1 = List.init 8 (fun i -> Int64.of_int (10 + ((i + occurrence) mod 60))) in
+  let page2 = List.init 3 (fun i -> Int64.of_int (20 + i)) in
+  ( Er_vm.Inputs.make
+      [ ("text", (2L :: 2L :: 8L :: page1) @ (3L :: page2)) ],
+    occurrence )
+
+let passing_inputs k =
+  let cols = Int64.of_int (2 + (k mod 2)) in
+  let pages = 2 in
+  let page j =
+    let lines = 4 + ((k + j) mod 4) in
+    Int64.of_int lines
+    :: List.init lines (fun i -> Int64.of_int (10 + ((i * 3 + k) mod 60)))
+  in
+  Er_vm.Inputs.make
+    [ ("text", cols :: Int64.of_int pages :: List.concat_map page (List.init pages Fun.id)) ]
+
+let perf_inputs () = passing_inputs 0
+
+let spec : Bug.spec =
+  {
+    Bug.name = "coreutils-pr";
+    models = "MIMIC pr case study";
+    bug_type = "wrong output / assertion";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:200_000 ~gate_budget:80_000 ();
+  }

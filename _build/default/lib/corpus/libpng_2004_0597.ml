@@ -1,0 +1,93 @@
+(* Models libpng-2004-0597 (CVE-2004-0597): stack/global buffer overflow
+   reading a PNG tRNS/PLTE chunk — the chunk length is validated against
+   the wrong bound, and the copy loop then writes past the palette.
+
+   The control flow alone pins the failure (the overflowing store has a
+   concrete loop index), so ER reproduces this one from a single
+   occurrence, matching the paper's #Occur = 1 for Libpng-2004-0597. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let palette_size = 256
+
+let program : program =
+  let t = B.create () in
+  B.global t ~name:"palette" ~ty:I8 ~size:palette_size ();
+  B.func t ~name:"read_chunk" ~params:[] ~ret:I32 (fun fb ->
+      let length = B.input fb I32 "png" in
+      let kind = B.input fb I32 "png" in
+      (* bug: the guard checks against the maximum *chunk* size, not the
+         palette size *)
+      let ok = B.ule fb I32 length (B.i32 1024) in
+      B.condbr fb ok "copy" "reject";
+      B.block fb "reject";
+      B.ret fb (Some (B.i32 0));
+      B.block fb "copy";
+      let is_plte = B.eq fb I32 kind (B.i32 0x504C5445) in
+      B.condbr fb is_plte "copy_loop_init" "skip";
+      B.block fb "skip";
+      B.ret fb (Some (B.i32 0));
+      B.block fb "copy_loop_init";
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv length in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let byte = B.input fb I8 "png" in
+      let p = B.gep fb (B.glob "palette") iv in
+      B.store fb I8 byte p;              (* OOB once iv reaches 256 *)
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret fb (Some (B.i32 1)));
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let nchunks = B.input fb I32 "png" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv nchunks in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      B.call_void fb "read_chunk" [];
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+let plte = 0x504C5445L
+
+let failing_workload ~occurrence =
+  (* one malicious chunk claiming 300 palette bytes *)
+  let body = List.init 300 (fun i -> Int64.of_int ((i + occurrence) land 0xFF)) in
+  (Er_vm.Inputs.make [ ("png", (1L :: 300L :: plte :: body)) ], occurrence)
+
+let perf_inputs () =
+  (* many well-formed chunks *)
+  let chunk k =
+    let len = 64 + (k mod 128) in
+    (Int64.of_int len :: plte :: List.init len (fun i -> Int64.of_int (i land 0xFF)))
+  in
+  let n = 40 in
+  Er_vm.Inputs.make
+    [ ("png", Int64.of_int n :: List.concat_map chunk (List.init n Fun.id)) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "libpng-2004-0597";
+    models = "Libpng-2004-0597";
+    bug_type = "buffer overflow";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:600_000 ~gate_budget:240_000 ();
+  }

@@ -1,0 +1,143 @@
+(* Models MatrixSSL-2014-1569: stack buffer overrun while verifying x.509
+   certificates — a DER subject name whose encoded length passes the
+   (wrong) sanity bound is copied into a fixed 32-cell stack buffer.
+
+   The certificate is first buffered, then walked with a cursor that
+   advances by the encoded TLV lengths; every [cert[pos]] read is a
+   symbolic-index load over the buffered bytes, so shepherded symbolic
+   execution meets deep read-over-write towers and needs several
+   occurrences of recorded cursor values, echoing the paper's 6. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let subject_cells = 32
+
+let program : program =
+  let t = B.create () in
+  B.func t ~name:"copy_subject"
+    ~params:[ ("cert", Ptr); ("pos", I32); ("len", I32) ]
+    (fun fb ->
+       let subject = B.alloca fb I8 (B.i32 subject_cells) in
+       let j = B.alloca fb I32 (B.i32 1) in
+       B.store fb I32 (B.i32 0) j;
+       B.br fb "loop";
+       B.block fb "loop";
+       let jv = B.load fb I32 j in
+       let more = B.ult fb I32 jv (B.reg "len") in
+       B.condbr fb more "body" "done";
+       B.block fb "body";
+       let src = B.gep fb (B.reg "cert") (B.add fb I32 (B.reg "pos") jv) in
+       let byte = B.load fb I8 src in
+       let dst = B.gep fb subject jv in
+       B.store fb I8 byte dst;                (* overruns at j = 32 *)
+       let jv' = B.load fb I32 j in
+       B.store fb I32 (B.add fb I32 jv' (B.i32 1)) j;
+       B.br fb "loop";
+       B.block fb "done";
+       B.ret_void fb);
+  B.func t ~name:"parse_cert" ~params:[ ("n", I32) ] (fun fb ->
+      let cert = B.alloc fb I8 (B.reg "n") in
+      (* buffer the certificate *)
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "fill";
+      B.block fb "fill";
+      let iv = B.load fb I32 i in
+      let morei = B.ult fb I32 iv (B.reg "n") in
+      B.condbr fb morei "fill_body" "walk_init";
+      B.block fb "fill_body";
+      let byte = B.input fb I8 "tls" in
+      B.store fb I8 byte (B.gep fb cert iv);
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "fill";
+      B.block fb "walk_init";
+      (* walk the TLV records *)
+      let posc = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) posc;
+      B.br fb "walk";
+      B.block fb "walk";
+      let pos = B.load fb I32 posc in
+      let hdr_end = B.add fb I32 pos (B.i32 2) in
+      let has_hdr = B.ule fb I32 hdr_end (B.reg "n") in
+      B.condbr fb has_hdr "record" "end";
+      B.block fb "record";
+      let tag = B.load fb I8 (B.gep fb cert pos) in
+      let len8 = B.load fb I8 (B.gep fb cert (B.add fb I32 pos (B.i32 1))) in
+      let len = B.zext fb ~from_ty:I8 ~to_ty:I32 len8 in
+      let is_subject = B.eq fb I8 tag (B.i8 0x06) in
+      B.condbr fb is_subject "subject" "advance";
+      B.block fb "subject";
+      (* the wrong bound: the scratch buffer actually holds 32 *)
+      let sane = B.ule fb I32 len (B.i32 64) in
+      B.condbr fb sane "copy" "advance";
+      B.block fb "copy";
+      B.call_void fb "copy_subject"
+        [ cert; B.add fb I32 pos (B.i32 2); len ];
+      B.br fb "advance";
+      B.block fb "advance";
+      let pos' = B.add fb I32 (B.add fb I32 pos (B.i32 2)) len in
+      B.store fb I32 pos' posc;
+      B.br fb "walk";
+      B.block fb "end";
+      B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let ncerts = B.input fb I32 "tls" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv ncerts in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let n = B.input fb I32 "tls" in
+      B.call_void fb "parse_cert" [ n ];
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* A certificate with two benign records, then a subject of length 40. *)
+let failing_workload ~occurrence =
+  let rec1 = [ 0x02L; 3L; 1L; 2L; 3L ] in
+  let rec2 = [ 0x03L; 2L; Int64.of_int (occurrence mod 250); 9L ] in
+  let subject =
+    0x06L :: 40L :: List.init 40 (fun i -> Int64.of_int ((i * 3 + occurrence) mod 256))
+  in
+  let cert = rec1 @ rec2 @ subject in
+  ( Er_vm.Inputs.make
+      [ ("tls", 1L :: Int64.of_int (List.length cert) :: cert) ],
+    occurrence * 17 )
+
+let perf_inputs () =
+  (* the official test: verify a chain of well-formed certificates *)
+  let cert _k =
+    let recs =
+      List.concat_map
+        (fun j ->
+           (0x02L :: 6L :: List.init 6 (fun i -> Int64.of_int ((i + j) mod 256))))
+        (List.init 6 Fun.id)
+    in
+    let subject = 0x06L :: 20L :: List.init 20 (fun i -> Int64.of_int (65 + (i mod 26))) in
+    let body = recs @ subject in
+    Int64.of_int (List.length body) :: body
+  in
+  let n = 60 in
+  Er_vm.Inputs.make
+    [ ("tls", Int64.of_int n :: List.concat_map cert (List.init n Fun.id)) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "matrixssl-2014-1569";
+    models = "Matrixssl-2014-1569";
+    bug_type = "stack buffer overrun";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:9_000 ~gate_budget:3_600 ();
+  }

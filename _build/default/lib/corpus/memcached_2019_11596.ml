@@ -1,0 +1,148 @@
+(* Models Memcached-2019-11596 (CVE-2019-11596): NULL pointer dereference
+   when the LRU crawler reclaims an item between a worker's liveness check
+   and its use of the item's data pointer.
+
+   Two threads share an item slot: the worker validates the flags field,
+   hashes the request key (the window), then dereferences the data
+   pointer; the crawler nulls the pointer first and only then clears the
+   flags.  The events are separated by hundreds of instructions, so the
+   coarse chunk timestamps of section 3.4 order them reliably. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let program : program =
+  let t = B.create () in
+  (* item: [0] = data ptr (packed), [1] = live flag *)
+  B.global t ~name:"item" ~ty:I64 ~size:2 ();
+  B.global t ~name:"hashtbl" ~ty:I32 ~size:64 ();
+  B.global t ~name:"shutdown" ~ty:I64 ~size:1 ();
+  (* the LRU crawler: waits its period, then reclaims the item the wrong
+     way around — data pointer first, flag second *)
+  B.func t ~name:"crawler" ~params:[ ("delay", I32) ] (fun fb ->
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "spin";
+      B.block fb "spin";
+      let stop = B.load fb I64 (B.gep fb (B.glob "shutdown") (B.i32 0)) in
+      let stopping = B.ne fb I64 stop (B.imm64 0L I64) in
+      B.condbr fb stopping "out" "tick";
+      B.block fb "out";
+      B.ret_void fb;
+      B.block fb "tick";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv (B.reg "delay") in
+      B.condbr fb more "spin_body" "reclaim";
+      B.block fb "spin_body";
+      B.store fb I32 (B.add fb I32 iv (B.i32 1)) i;
+      B.br fb "spin";
+      B.block fb "reclaim";
+      let dp = B.gep fb (B.glob "item") (B.i32 0) in
+      B.store fb I64 (B.imm64 0L I64) dp;
+      let fp = B.gep fb (B.glob "item") (B.i32 1) in
+      B.store fb I64 (B.imm64 0L I64) fp;
+      B.ret_void fb);
+  (* worker request: check the item is live, hash the key, then touch the
+     item's data *)
+  B.func t ~name:"handle_get" ~params:[ ("klen", I32) ] ~ret:I32 (fun fb ->
+      let fp = B.gep fb (B.glob "item") (B.i32 1) in
+      let live = B.load fb I64 fp in
+      let ok = B.ne fb I64 live (B.imm64 0L I64) in
+      B.condbr fb ok "hash" "miss";
+      B.block fb "miss";
+      (* consume the key bytes even on a miss *)
+      let j0 = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) j0;
+      B.br fb "drain";
+      B.block fb "drain";
+      let jv = B.load fb I32 j0 in
+      let more0 = B.ult fb I32 jv (B.reg "klen") in
+      B.condbr fb more0 "drain_body" "miss_done";
+      B.block fb "drain_body";
+      let _b = B.input fb I8 "net" in
+      B.store fb I32 (B.add fb I32 jv (B.i32 1)) j0;
+      B.br fb "drain";
+      B.block fb "miss_done";
+      B.ret fb (Some (B.i32 0));
+      B.block fb "hash";
+      (* the race window: hash the key into the probe table *)
+      let j = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) j;
+      B.br fb "hash_loop";
+      B.block fb "hash_loop";
+      let jv = B.load fb I32 j in
+      let more = B.ult fb I32 jv (B.reg "klen") in
+      B.condbr fb more "hash_body" "use";
+      B.block fb "hash_body";
+      let byte = B.input fb I8 "net" in
+      let b32 = B.zext fb ~from_ty:I8 ~to_ty:I32 byte in
+      let slot = B.and_ fb I32 (B.mul fb I32 b32 (B.i32 17)) (B.i32 63) in
+      let sp = B.gep fb (B.glob "hashtbl") slot in
+      let old = B.load fb I32 sp in
+      B.store fb I32 (B.add fb I32 old (B.i32 1)) sp;
+      B.store fb I32 (B.add fb I32 jv (B.i32 1)) j;
+      B.br fb "hash_loop";
+      B.block fb "use";
+      (* ... by now the crawler may have reclaimed the item *)
+      let dp = B.gep fb (B.glob "item") (B.i32 0) in
+      let di = B.load fb I64 dp in
+      let data = B.cast fb Inttoptr ~from_ty:I64 ~to_ty:Ptr di in
+      let v = B.load fb I64 data in          (* NULL deref on the race *)
+      let v32 = B.trunc fb ~from_ty:I64 ~to_ty:I32 v in
+      B.ret fb (Some v32));
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      (* populate the item *)
+      let data = B.alloc fb I64 (B.i32 4) in
+      B.store fb I64 (B.imm64 99L I64) data;
+      let di = B.cast fb Ptrtoint ~from_ty:Ptr ~to_ty:I64 data in
+      B.store fb I64 di (B.gep fb (B.glob "item") (B.i32 0));
+      B.store fb I64 (B.imm64 1L I64) (B.gep fb (B.glob "item") (B.i32 1));
+      let delay = B.input fb I32 "net" in
+      B.spawn fb "crawler" [ delay ];
+      (* serve requests *)
+      let nreq = B.input fb I32 "net" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv nreq in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let klen = B.input fb I32 "net" in
+      B.call_void fb "handle_get" [ klen ];
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.store fb I64 (B.imm64 1L I64)
+        (B.gep fb (B.glob "shutdown") (B.i32 0));
+      B.join fb;
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* Requests with long keys keep the worker inside the race window while
+   the crawler's delay expires. *)
+let failing_workload ~occurrence =
+  let key k = List.init 24 (fun i -> Int64.of_int ((i * 7 + k + occurrence) mod 120)) in
+  let reqs = List.concat_map (fun k -> 24L :: key k) (List.init 6 Fun.id) in
+  (Er_vm.Inputs.make [ ("net", (60L :: 6L :: reqs)) ], occurrence)
+
+(* memtier-like benchmark: crawler period far beyond the run. *)
+let perf_inputs () =
+  let key k = List.init 16 (fun i -> Int64.of_int ((i * 5 + k) mod 120)) in
+  let n = 150 in
+  let reqs = List.concat_map (fun k -> 16L :: key k) (List.init n Fun.id) in
+  Er_vm.Inputs.make [ ("net", (5_000_000L :: Int64.of_int n :: reqs)) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "memcached-2019-11596";
+    models = "Memcached-2019-11596";
+    bug_type = "NULL pointer dereference";
+    multithreaded = true;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:7_000 ~gate_budget:2_800 ();
+  }

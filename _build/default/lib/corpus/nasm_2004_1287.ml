@@ -1,0 +1,101 @@
+(* Models NASM-2004-1287 (CVE-2004-1287): stack buffer overrun in the
+   preprocessor's error() path — expanding a %-directive copies the
+   expansion into a fixed-size stack line buffer without checking that
+   the data-dependent expansion length fits.
+
+   Expansion offsets are sums of symbolic directive widths, so the copy
+   is a chain of symbolic-index stores into the stack object — a stack
+   sibling of the php-74194 pattern. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let line_buf_cells = 48
+
+let program : program =
+  let t = B.create () in
+  (* expand one directive into the line buffer at [pos]; returns new pos *)
+  B.func t ~name:"expand_directive"
+    ~params:[ ("buf", Ptr); ("pos", I32) ] ~ret:I32
+    (fun fb ->
+       let d = B.input fb I8 "asm" in
+       let p = B.gep fb (B.reg "buf") (B.reg "pos") in
+       B.store fb I8 (B.i8 37) p;                        (* '%' *)
+       (* expansion width: parameter count encoded in the directive byte *)
+       let width = B.and_ fb I8 (B.lshr fb I8 d (B.i8 3)) (B.i8 7) in
+       let w32 = B.zext fb ~from_ty:I8 ~to_ty:I32 width in
+       let pend = B.gep fb (B.reg "buf") (B.add fb I32 (B.reg "pos") w32) in
+       B.store fb I8 d pend;
+       let pos' = B.add fb I32 (B.reg "pos") (B.add fb I32 (B.i32 1) w32) in
+       B.ret fb (Some pos'));
+  B.func t ~name:"preprocess_line" ~params:[ ("ndir", I32) ] (fun fb ->
+      (* the fixed-size stack line buffer of the original bug *)
+      let buf = B.alloca fb I8 (B.i32 line_buf_cells) in
+      let posc = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) posc;
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv (B.reg "ndir") in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let pos = B.load fb I32 posc in
+      let pos' = B.call fb "expand_directive" [ buf; pos ] in
+      B.store fb I32 pos' posc;
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let nlines = B.input fb I32 "asm" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv nlines in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let ndir = B.input fb I32 "asm" in
+      B.call_void fb "preprocess_line" [ ndir ];
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* One line with enough wide directives to overrun the 48-cell buffer. *)
+let failing_workload ~occurrence =
+  let dirs =
+    List.init 8 (fun k ->
+        (* width field 7 -> advance 8 per directive *)
+        Int64.of_int (0b00111000 lor ((k + occurrence) mod 8)))
+  in
+  (Er_vm.Inputs.make [ ("asm", (1L :: 8L :: dirs)) ], occurrence * 11)
+
+let perf_inputs () =
+  (* assemble a large file: many lines of narrow directives *)
+  let line k =
+    let nd = 3 + (k mod 3) in
+    Int64.of_int nd
+    :: List.init nd (fun i -> Int64.of_int (0b00001000 lor ((i + k) mod 8)))
+  in
+  let n = 250 in
+  Er_vm.Inputs.make
+    [ ("asm", Int64.of_int n :: List.concat_map line (List.init n Fun.id)) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "nasm-2004-1287";
+    models = "Nasm-2004-1287";
+    bug_type = "stack buffer overrun";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:2_200 ~gate_budget:900 ();
+  }

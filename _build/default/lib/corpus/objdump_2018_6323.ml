@@ -1,0 +1,90 @@
+(* Models Objdump-2018-6323 (CVE-2018-6323): unsigned integer overflow in
+   the ELF attribute-section parser — a section offset plus an
+   attacker-controlled length wraps around 32 bits, the bounds guard
+   [offset + len <= size] passes, and the subsequent read indexes far
+   outside the section buffer.
+
+   The trace to the failure is short and nearly branch-determined, which
+   is why this is the corpus's fastest reconstruction (the paper reports
+   0.06 min of symbolic execution for this bug). *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let section_cells = 128
+
+let program : program =
+  let t = B.create () in
+  B.global t ~name:"section" ~ty:I8 ~size:section_cells ();
+  B.func t ~name:"parse_attrs" ~params:[] (fun fb ->
+      let posc = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) posc;
+      B.br fb "loop";
+      B.block fb "loop";
+      let pos = B.load fb I32 posc in
+      let more = B.ult fb I32 pos (B.i32 section_cells) in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let len = B.input fb I32 "elf" in
+      (* the buggy guard: pos + len wraps, the comparison passes *)
+      let end_ = B.add fb I32 pos len in
+      let fits = B.ule fb I32 end_ (B.i32 section_cells) in
+      B.condbr fb fits "read_attr" "reject";
+      B.block fb "reject";
+      B.ret_void fb;
+      B.block fb "read_attr";
+      (* read the attribute's final byte: index pos + len - 1 *)
+      let last = B.sub fb I32 end_ (B.i32 1) in
+      let p = B.gep fb (B.glob "section") last in
+      let v = B.load fb I8 p in
+      B.output fb v;
+      B.store fb I32 end_ posc;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let nsect = B.input fb I32 "elf" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv nsect in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      B.call_void fb "parse_attrs" [];
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* One benign attribute, then a length that wraps 32-bit arithmetic. *)
+let failing_workload ~occurrence =
+  let benign = Int64.of_int (8 + (occurrence mod 8)) in
+  let evil = Int64.sub 0x100000000L benign in
+  (Er_vm.Inputs.make [ ("elf", [ 1L; benign; evil ]) ], occurrence)
+
+let perf_inputs () =
+  (* disassemble a large binary: many sections of well-formed attributes *)
+  let n = 1600 in
+  let section k =
+    (* lengths that tile the 128-cell section exactly *)
+    ignore k;
+    [ 16L; 16L; 32L; 32L; 16L; 16L ]
+  in
+  Er_vm.Inputs.make
+    [ ("elf", Int64.of_int n :: List.concat_map section (List.init n Fun.id)) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "objdump-2018-6323";
+    models = "Objdump-2018-6323";
+    bug_type = "integer overflow";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:60_000 ~gate_budget:25_000 ();
+  }

@@ -1,0 +1,119 @@
+(* Models the pbzip2-0.9.4 use-after-free from the concurrency-bugs suite:
+   the main thread deletes the shared block FIFO as soon as it has queued
+   the last block, while a consumer thread is still draining it.
+
+   The producer (main) fills a heap FIFO and frees it after raising the
+   done flag; the consumer walks the queue compressing blocks (the
+   window).  Under racy schedules the consumer touches the freed FIFO —
+   a use-after-free crash at a load. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let fifo_cells = 34        (* [0]=head [1]=count, then 32 block slots *)
+
+let program : program =
+  let t = B.create () in
+  B.global t ~name:"queue" ~ty:I64 ~size:1 ();      (* packed FIFO pointer *)
+  B.global t ~name:"done_flag" ~ty:I64 ~size:1 ();
+  B.global t ~name:"crc" ~ty:I32 ~size:64 ();
+  B.func t ~name:"consumer" ~params:[] (fun fb ->
+      B.br fb "poll";
+      B.block fb "poll";
+      let qi = B.load fb I64 (B.gep fb (B.glob "queue") (B.i32 0)) in
+      let q = B.cast fb Inttoptr ~from_ty:I64 ~to_ty:Ptr qi in
+      let cnt = B.load fb I64 (B.gep fb q (B.i32 1)) in   (* UAF here *)
+      let have = B.ne fb I64 cnt (B.imm64 0L I64) in
+      B.condbr fb have "compress" "check_done";
+      B.block fb "check_done";
+      let d = B.load fb I64 (B.gep fb (B.glob "done_flag") (B.i32 0)) in
+      let stop = B.ne fb I64 d (B.imm64 0L I64) in
+      B.condbr fb stop "out" "poll";
+      B.block fb "out";
+      B.ret_void fb;
+      B.block fb "compress";
+      let h = B.load fb I64 (B.gep fb q (B.i32 0)) in
+      let h32 = B.trunc fb ~from_ty:I64 ~to_ty:I32 h in
+      let slotp = B.gep fb q (B.add fb I32 (B.i32 2) h32) in
+      let block = B.load fb I64 slotp in
+      (* "compress" the block: fold it into the crc table *)
+      let b32 = B.trunc fb ~from_ty:I64 ~to_ty:I32 block in
+      let ci = B.and_ fb I32 (B.mul fb I32 b32 (B.i32 29)) (B.i32 63) in
+      let cp = B.gep fb (B.glob "crc") ci in
+      let old = B.load fb I32 cp in
+      B.store fb I32 (B.add fb I32 old (B.i32 1)) cp;
+      (* pop *)
+      let h' = B.add fb I64 h (B.imm64 1L I64) in
+      B.store fb I64 h' (B.gep fb q (B.i32 0));
+      let cnt' = B.sub fb I64 cnt (B.imm64 1L I64) in
+      B.store fb I64 cnt' (B.gep fb q (B.i32 1));
+      B.br fb "poll");
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let fifo = B.alloc fb I64 (B.i32 fifo_cells) in
+      let fi = B.cast fb Ptrtoint ~from_ty:Ptr ~to_ty:I64 fifo in
+      B.store fb I64 fi (B.gep fb (B.glob "queue") (B.i32 0));
+      B.spawn fb "consumer" [];
+      (* produce the blocks *)
+      let nblocks = B.input fb I32 "tar" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "produce";
+      B.block fb "produce";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv nblocks in
+      B.condbr fb more "push" "finish";
+      B.block fb "push";
+      let blk = B.input fb I32 "tar" in
+      let blk64 = B.zext fb ~from_ty:I32 ~to_ty:I64 blk in
+      let tail = B.load fb I64 (B.gep fb fifo (B.i32 1)) in
+      let hd = B.load fb I64 (B.gep fb fifo (B.i32 0)) in
+      let pos = B.add fb I64 hd tail in
+      let p32 = B.trunc fb ~from_ty:I64 ~to_ty:I32 pos in
+      B.store fb I64 blk64 (B.gep fb fifo (B.add fb I32 (B.i32 2) p32));
+      B.store fb I64 (B.add fb I64 tail (B.imm64 1L I64))
+        (B.gep fb fifo (B.i32 1));
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "produce";
+      B.block fb "finish";
+      B.store fb I64 (B.imm64 1L I64) (B.gep fb (B.glob "done_flag") (B.i32 0));
+      (* teardown work (flushing the archive) before the delete; the bug
+         is that nothing waits for the consumer *)
+      let td = B.input fb I32 "tar" in
+      let d = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) d;
+      B.br fb "flush";
+      B.block fb "flush";
+      let dv = B.load fb I32 d in
+      let mored = B.ult fb I32 dv td in
+      B.condbr fb mored "flush_body" "teardown";
+      B.block fb "flush_body";
+      B.store fb I32 (B.add fb I32 dv (B.i32 1)) d;
+      B.br fb "flush";
+      B.block fb "teardown";
+      B.free fb fifo;
+      B.join fb;
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+let failing_workload ~occurrence =
+  let blocks = List.init 24 (fun i -> Int64.of_int ((i * 13 + occurrence) mod 4096)) in
+  (Er_vm.Inputs.make [ ("tar", (Int64.of_int 24 :: blocks) @ [ 0L ]) ], occurrence)
+
+(* compress a .tar: producer joins before freeing (the fixed pattern is
+   simulated by a block count the consumer drains before the free) *)
+let perf_inputs () =
+  let blocks = List.init 8 (fun i -> Int64.of_int (i * 7)) in
+  Er_vm.Inputs.make [ ("tar", (8L :: blocks) @ [ 4000L ]) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "pbzip2";
+    models = "Pbzip2 (use-after-free)";
+    bug_type = "use-after-free";
+    multithreaded = true;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:8_000 ~gate_budget:3_200 ();
+  }

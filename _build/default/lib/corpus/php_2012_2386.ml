@@ -1,0 +1,78 @@
+(* Models PHP-2012-2386 (CVE-2012-2386): integer overflow in the phar
+   extension's manifest parsing — an entry count multiplied by the entry
+   size wraps in a narrow integer, the undersized allocation is then
+   indexed by hash slots computed against the *logical* capacity, and an
+   insert writes past the real allocation.
+
+   The miniature is a hash-table loader: the element count arrives on the
+   wire, capacity = count * 8 computed in 16 bits (the overflow), and
+   inserts hash each key modulo the logical 32-bit capacity.  Symbolic
+   execution sees a chain of modulo-indexed writes — exactly the pattern
+   key data value selection targets. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let program : program =
+  let t = B.create () in
+  (* insert(table, cap_logical, key): store at key % cap_logical *)
+  B.func t ~name:"insert"
+    ~params:[ ("table", Ptr); ("cap", I32); ("key", I32) ]
+    (fun fb ->
+       let slot = B.urem fb I32 (B.reg "key") (B.reg "cap") in
+       let p = B.gep fb (B.reg "table") slot in
+       B.store fb I32 (B.reg "key") p;
+       B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let n = B.input fb I32 "manifest" in
+      (* logical capacity in 32 bits *)
+      let cap_logical = B.mul fb I32 n (B.i32 8) in
+      (* ... but the allocation size is computed in 16 bits (the bug) *)
+      let cap16 = B.trunc fb ~from_ty:I32 ~to_ty:I16 cap_logical in
+      let cap_alloc = B.zext fb ~from_ty:I16 ~to_ty:I32 cap16 in
+      let table = B.alloc fb I32 cap_alloc in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv n in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let key = B.input fb I32 "manifest" in
+      B.call_void fb "insert" [ table; cap_logical; key ];
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* Failing manifests: count 8200 makes the logical capacity 65600 but the
+   16-bit allocation only 64 cells; a handful of small keys insert fine,
+   then a key hashing past cell 64 smashes the heap.  Occurrences vary the
+   benign prefix, as distinct production requests would. *)
+let failing_workload ~occurrence =
+  let benign = List.init 4 (fun i -> Int64.of_int ((i + occurrence) mod 60)) in
+  let inputs =
+    Er_vm.Inputs.make
+      [ ("manifest", (8200L :: benign) @ [ 120L ]) ]
+  in
+  (inputs, occurrence * 7)
+
+(* Performance workload: well-formed manifests (capacity fits). *)
+let perf_inputs () =
+  let keys = List.init 3000 (fun i -> Int64.of_int ((i * 2654435761) land 0x3FFF)) in
+  Er_vm.Inputs.make [ ("manifest", 2048L :: keys) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "php-2012-2386";
+    models = "PHP-2012-2386";
+    bug_type = "integer overflow";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:40_000 ~gate_budget:16_000 ();
+  }

@@ -1,0 +1,184 @@
+(* Models PHP-74194: heap buffer overflow when serializing an ArrayObject.
+   The serializer dispatches per element type; every handler appends to a
+   shared output buffer and advances the write cursor by a *data-dependent*
+   amount (length digits, escape expansion, reference ids).  The buffer is
+   sized for the common case (2 bytes per input byte); a pathological
+   element mix advances the cursor faster and the store runs off the end.
+
+   This is the corpus's worst case for shepherded symbolic execution, as
+   in the paper (10 occurrences, longest symex time): the cursor is a
+   growing sum of shifted symbolic inputs, every append is a symbolic-index
+   write, and each stall only exposes the chain prefix reached so far, so
+   key data value selection discovers the handlers' cursor registers
+   progressively across occurrences. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+(* Each handler: (new_pos, out) <- handler(out, pos); returns new pos. *)
+let program : program =
+  let t = B.create () in
+  (* serialize an integer-ish element: writes value then advances by the
+     number of "digit" nibbles present (data-dependent, branch-free) *)
+  B.func t ~name:"ser_int" ~params:[ ("out", Ptr); ("pos", I32) ] ~ret:I32
+    (fun fb ->
+       let v = B.input fb I8 "req" in
+       let p = B.gep fb (B.reg "out") (B.reg "pos") in
+       B.store fb I8 v p;
+       let digits = B.lshr fb I8 v (B.i8 5) in        (* 0..7 *)
+       let d32 = B.zext fb ~from_ty:I8 ~to_ty:I32 digits in
+       let pos' = B.add fb I32 (B.reg "pos") (B.add fb I32 (B.i32 1) d32) in
+       B.ret fb (Some pos'));
+  (* serialize a string element: escape expansion — quote and backslash
+     bytes cost one extra output byte *)
+  B.func t ~name:"ser_str" ~params:[ ("out", Ptr); ("pos", I32) ] ~ret:I32
+    (fun fb ->
+       let v = B.input fb I8 "req" in
+       let p = B.gep fb (B.reg "out") (B.reg "pos") in
+       B.store fb I8 v p;
+       (* extra = 1 if byte >= 0xC0 (multi-byte continuation), else 0;
+          computed without branching, like a table lookup *)
+       let hi = B.lshr fb I8 v (B.i8 6) in
+       let extra = B.and_ fb I8 hi (B.i8 1) in
+       let sec = B.lshr fb I8 hi (B.i8 1) in
+       let extra2 = B.add fb I8 extra sec in
+       let e32 = B.zext fb ~from_ty:I8 ~to_ty:I32 extra2 in
+       let pe = B.gep fb (B.reg "out") (B.add fb I32 (B.reg "pos") e32) in
+       B.store fb I8 (B.i8 92) pe;
+       let pos' = B.add fb I32 (B.reg "pos") (B.add fb I32 (B.i32 1) e32) in
+       B.ret fb (Some pos'));
+  (* serialize a reference: writes a back-pointer tag whose width depends
+     on the reference id *)
+  B.func t ~name:"ser_ref" ~params:[ ("out", Ptr); ("pos", I32) ] ~ret:I32
+    (fun fb ->
+       let v = B.input fb I8 "req" in
+       let id = B.and_ fb I8 v (B.i8 0x3F) in
+       let p = B.gep fb (B.reg "out") (B.reg "pos") in
+       B.store fb I8 id p;
+       let wide = B.lshr fb I8 v (B.i8 4) in
+       let w32 = B.zext fb ~from_ty:I8 ~to_ty:I32 wide in
+       let p2 = B.gep fb (B.reg "out") (B.add fb I32 (B.reg "pos") w32) in
+       B.store fb I8 (B.i8 82) p2;
+       let pos' = B.add fb I32 (B.reg "pos") (B.add fb I32 (B.i32 1) w32) in
+       B.ret fb (Some pos'));
+  (* serialize a float-ish element: exponent digits advance the cursor *)
+  B.func t ~name:"ser_float" ~params:[ ("out", Ptr); ("pos", I32) ] ~ret:I32
+    (fun fb ->
+       let v = B.input fb I8 "req" in
+       let p = B.gep fb (B.reg "out") (B.reg "pos") in
+       B.store fb I8 v p;
+       let exp = B.and_ fb I8 (B.lshr fb I8 v (B.i8 3)) (B.i8 3) in
+       let e32 = B.zext fb ~from_ty:I8 ~to_ty:I32 exp in
+       let pm = B.gep fb (B.reg "out") (B.add fb I32 (B.reg "pos") e32) in
+       B.store fb I8 (B.i8 46) pm;
+       let pos' = B.add fb I32 (B.reg "pos") (B.add fb I32 (B.i32 1) e32) in
+       B.ret fb (Some pos'));
+  (* serialize a key: a mixing hash decides the emitted width *)
+  B.func t ~name:"ser_key" ~params:[ ("out", Ptr); ("pos", I32) ] ~ret:I32
+    (fun fb ->
+       let v = B.input fb I8 "req" in
+       let h1 = B.xor fb I8 v (B.lshr fb I8 v (B.i8 4)) in
+       let h2 = B.and_ fb I8 (B.mul fb I8 h1 (B.i8 3)) (B.i8 3) in
+       let p = B.gep fb (B.reg "out") (B.reg "pos") in
+       B.store fb I8 h1 p;
+       let w32 = B.zext fb ~from_ty:I8 ~to_ty:I32 h2 in
+       let pos' = B.add fb I32 (B.reg "pos") (B.add fb I32 (B.i32 1) w32) in
+       B.ret fb (Some pos'));
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let len = B.input fb I32 "req" in
+      (* the undersized "safe" estimate: 2 bytes per element plus slack *)
+      let cap = B.add fb I32 (B.mul fb I32 len (B.i32 2)) (B.i32 8) in
+      let out = B.alloc fb I8 cap in
+      let i = B.alloca fb I32 (B.i32 1) in
+      let posc = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.store fb I32 (B.i32 0) posc;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv len in
+      B.condbr fb more "dispatch" "done";
+      B.block fb "dispatch";
+      let tag = B.input fb I8 "req" in
+      let pos = B.load fb I32 posc in
+      let t0 = B.eq fb I8 tag (B.i8 0) in
+      B.condbr fb t0 "do_int" "not_int";
+      B.block fb "not_int";
+      let t1 = B.eq fb I8 tag (B.i8 1) in
+      B.condbr fb t1 "do_str" "not_str";
+      B.block fb "not_str";
+      let t2 = B.eq fb I8 tag (B.i8 2) in
+      B.condbr fb t2 "do_ref" "not_ref";
+      B.block fb "not_ref";
+      let t3 = B.eq fb I8 tag (B.i8 3) in
+      B.condbr fb t3 "do_float" "do_key";
+      B.block fb "do_float";
+      let p4 = B.call fb "ser_float" [ out; pos ] in
+      B.store fb I32 p4 posc;
+      B.br fb "next";
+      B.block fb "do_key";
+      let p5 = B.call fb "ser_key" [ out; pos ] in
+      B.store fb I32 p5 posc;
+      B.br fb "next";
+      B.block fb "do_int";
+      let p1 = B.call fb "ser_int" [ out; pos ] in
+      B.store fb I32 p1 posc;
+      B.br fb "next";
+      B.block fb "do_str";
+      let p2 = B.call fb "ser_str" [ out; pos ] in
+      B.store fb I32 p2 posc;
+      B.br fb "next";
+      B.block fb "do_ref";
+      let p3 = B.call fb "ser_ref" [ out; pos ] in
+      B.store fb I32 p3 posc;
+      B.br fb "next";
+      B.block fb "next";
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* A failing request: elements whose data-dependent advances average well
+   above 2 bytes each (ints with high nibbles, strings full of multibyte
+   continuations, wide references), so the cursor escapes the buffer.
+   Occurrences rotate the benign prefix. *)
+let failing_workload ~occurrence =
+  (* occurrences vary the don't-care low bits of each element so the
+     inputs differ run to run while the cursor advances — and therefore
+     the crash site — stay identical *)
+  let element k =
+    let low m = Int64.of_int ((k * 5 + occurrence) mod m) in
+    match k mod 5 with
+    | 0 -> [ 0L; Int64.logor 0x20L (low 32) ]   (* int, advance 1+1 *)
+    | 1 -> [ 1L; Int64.logor 0xC0L (low 64) ]   (* str, advance 1+2 *)
+    | 2 -> [ 2L; Int64.logor 0x30L (low 16) ]   (* ref, advance 1+3 *)
+    | 3 -> [ 3L; Int64.logor 0x18L (low 8) ]    (* float, advance 1+3 *)
+    | _ -> [ 4L; Int64.logor 0x55L (low 8) ]    (* key, advance 1+hash *)
+  in
+  let n = 30 in
+  let body = List.concat_map element (List.init n Fun.id) in
+  (Er_vm.Inputs.make [ ("req", Int64.of_int n :: body) ], occurrence * 13)
+
+(* Performance workload: tame elements (advance <= 2). *)
+let perf_inputs () =
+  let n = 1500 in
+  let body =
+    List.concat_map
+      (fun k -> [ Int64.of_int (k mod 5); Int64.of_int (k mod 24) ])
+      (List.init n Fun.id)
+  in
+  Er_vm.Inputs.make [ ("req", Int64.of_int n :: body) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "php-74194";
+    models = "PHP-74194";
+    bug_type = "heap buffer overflow";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:1_000 ~gate_budget:380 ();
+  }

@@ -1,0 +1,137 @@
+(* Models Python-2018-1000030 (CVE-2018-1000030): the 2.7 file object's
+   readahead buffer is not thread safe — a refill replaces the buffer
+   pointer and its length non-atomically, so a concurrent reader can pair
+   the new (smaller) buffer with the stale length and run off the end.
+
+   The miniature shares a (pointer, length) pair between the main thread,
+   which refills, and a reader thread, which snapshots the pair around a
+   parsing loop (the window).  The corrupted pair manifests as an
+   out-of-bounds read, the crash the Python bug report describes. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let program : program =
+  let t = B.create () in
+  (* file object: [0] = buffer (packed ptr), [1] = length *)
+  B.global t ~name:"fileobj" ~ty:I64 ~size:2 ();
+  B.global t ~name:"digest" ~ty:I32 ~size:32 ();
+  B.global t ~name:"rdone" ~ty:I64 ~size:1 ();
+  B.func t ~name:"reader" ~params:[ ("rounds", I32) ] (fun fb ->
+      let r = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) r;
+      B.br fb "round";
+      B.block fb "round";
+      let rv = B.load fb I32 r in
+      let more = B.ult fb I32 rv (B.reg "rounds") in
+      B.condbr fb more "snapshot" "done";
+      B.block fb "snapshot";
+      (* snapshot the pair — the racy read *)
+      let bi = B.load fb I64 (B.gep fb (B.glob "fileobj") (B.i32 0)) in
+      let len64 = B.load fb I64 (B.gep fb (B.glob "fileobj") (B.i32 1)) in
+      let len = B.trunc fb ~from_ty:I64 ~to_ty:I32 len64 in
+      (* the window: digest a request chunk *)
+      let j = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) j;
+      B.br fb "work";
+      B.block fb "work";
+      let jv = B.load fb I32 j in
+      let morew = B.ult fb I32 jv (B.i32 12) in
+      B.condbr fb morew "work_body" "consume";
+      B.block fb "work_body";
+      let byte = B.input fb I8 "file" in
+      let b32 = B.zext fb ~from_ty:I8 ~to_ty:I32 byte in
+      let slot = B.and_ fb I32 (B.mul fb I32 b32 (B.i32 13)) (B.i32 31) in
+      let sp = B.gep fb (B.glob "digest") slot in
+      let old = B.load fb I32 sp in
+      B.store fb I32 (B.add fb I32 old (B.i32 1)) sp;
+      B.store fb I32 (B.add fb I32 jv (B.i32 1)) j;
+      B.br fb "work";
+      B.block fb "consume";
+      (* read the buffer's last byte using the snapshotted length *)
+      let buf = B.cast fb Inttoptr ~from_ty:I64 ~to_ty:Ptr bi in
+      let last = B.sub fb I32 len (B.i32 1) in
+      let p = B.gep fb buf last in
+      let v = B.load fb I8 p in          (* OOB when the pair is torn *)
+      B.output fb v;
+      let rv' = B.load fb I32 r in
+      B.store fb I32 (B.add fb I32 rv' (B.i32 1)) r;
+      B.br fb "round";
+      B.block fb "done";
+      B.store fb I64 (B.imm64 1L I64) (B.gep fb (B.glob "rdone") (B.i32 0));
+      B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      (* initial 64-byte buffer *)
+      let a = B.alloc fb I8 (B.i32 64) in
+      B.store fb I8 (B.i8 7) (B.gep fb a (B.i32 63));
+      let ai = B.cast fb Ptrtoint ~from_ty:Ptr ~to_ty:I64 a in
+      B.store fb I64 ai (B.gep fb (B.glob "fileobj") (B.i32 0));
+      B.store fb I64 (B.imm64 64L I64) (B.gep fb (B.glob "fileobj") (B.i32 1));
+      let rounds = B.input fb I32 "file" in
+      B.spawn fb "reader" [ rounds ];
+      (* refill delay, then the non-atomic swap *)
+      let delay = B.input fb I32 "file" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "spin";
+      B.block fb "spin";
+      let rd = B.load fb I64 (B.gep fb (B.glob "rdone") (B.i32 0)) in
+      let finished = B.ne fb I64 rd (B.imm64 0L I64) in
+      B.condbr fb finished "no_refill" "tick";
+      B.block fb "no_refill";
+      B.join fb;
+      B.ret_void fb;
+      B.block fb "tick";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv delay in
+      B.condbr fb more "spin_body" "refill";
+      B.block fb "spin_body";
+      B.store fb I32 (B.add fb I32 iv (B.i32 1)) i;
+      B.br fb "spin";
+      B.block fb "refill";
+      let b = B.alloc fb I8 (B.i32 8) in
+      let biv = B.cast fb Ptrtoint ~from_ty:Ptr ~to_ty:I64 b in
+      (* bug: the pointer is published first ... *)
+      B.store fb I64 biv (B.gep fb (B.glob "fileobj") (B.i32 0));
+      (* ... then the remaining bytes are copied in ... *)
+      let c = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) c;
+      B.br fb "copy";
+      B.block fb "copy";
+      let cv = B.load fb I32 c in
+      let morec = B.ult fb I32 cv (B.i32 8) in
+      B.condbr fb morec "copy_body" "publish_len";
+      B.block fb "copy_body";
+      let byte = B.input fb I8 "file" in
+      B.store fb I8 byte (B.gep fb b cv);
+      B.store fb I32 (B.add fb I32 cv (B.i32 1)) c;
+      B.br fb "copy";
+      B.block fb "publish_len";
+      (* ... and the length only at the end of the refill *)
+      B.store fb I64 (B.imm64 8L I64) (B.gep fb (B.glob "fileobj") (B.i32 1));
+      B.join fb;
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+let failing_workload ~occurrence =
+  let chunks =
+    List.init 200 (fun i -> Int64.of_int ((i * 11 + occurrence) mod 128))
+  in
+  (Er_vm.Inputs.make [ ("file", (8L :: 40L :: chunks)) ], occurrence)
+
+(* PyPy-benchmark-like run: the refill happens after the readers finish. *)
+let perf_inputs () =
+  let chunks = List.init 3000 (fun i -> Int64.of_int ((i * 3) mod 128)) in
+  Er_vm.Inputs.make [ ("file", (180L :: 5_000_000L :: chunks)) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "python-2018-1000030";
+    models = "Python-2018-1000030";
+    bug_type = "shared data corruption";
+    multithreaded = true;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:6_000 ~gate_budget:2_400 ();
+  }

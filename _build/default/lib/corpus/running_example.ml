@@ -1,0 +1,115 @@
+(* The paper's running example (Fig. 3): chained symbolic writes into a
+   256-element array, aborting when V[V[d]] == x.  Reproduced verbatim in
+   EIR; with a small solver budget this walks through exactly the
+   iterations of section 3.3.4 — stall, record {x, c}, stall, record d,
+   reproduce. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let program : program =
+  let t = B.create () in
+  B.global t ~name:"V" ~ty:I32 ~size:256 ();
+  B.func t ~name:"foo"
+    ~params:[ ("a", I32); ("b", I32); ("c", I32); ("d", I32) ]
+    (fun fb ->
+       let a = B.reg "a" and b = B.reg "b" in
+       let c = B.reg "c" and d = B.reg "d" in
+       (* x = a + b *)
+       let x = B.add fb I32 a b in
+       (* if (x < 256 && c < 256 && d < 256) *)
+       let cx = B.ult fb I32 x (B.i32 256) in
+       B.condbr fb cx "check_c" "out";
+       B.block fb "check_c";
+       let cc = B.ult fb I32 c (B.i32 256) in
+       B.condbr fb cc "check_d" "out";
+       B.block fb "check_d";
+       let cd = B.ult fb I32 d (B.i32 256) in
+       B.condbr fb cd "body" "out";
+       B.block fb "body";
+       (* V[x] = 1 *)
+       let px = B.gep fb (B.glob "V") x in
+       B.store fb I32 (B.i32 1) px;
+       (* if (V[c] == 0) V[c] = 512 *)
+       let pc = B.gep fb (B.glob "V") c in
+       let vc = B.load fb I32 pc in
+       let z = B.eq fb I32 vc (B.i32 0) in
+       B.condbr fb z "set_c" "after_c";
+       B.block fb "set_c";
+       B.store fb I32 (B.i32 512) pc;
+       B.br fb "after_c";
+       B.block fb "after_c";
+       (* V[V[x]] = x *)
+       let vx = B.load fb I32 px in
+       let pvx = B.gep fb (B.glob "V") vx in
+       B.store fb I32 x pvx;
+       (* if (c < d) *)
+       let lt = B.ult fb I32 c d in
+       B.condbr fb lt "check_vd" "out";
+       B.block fb "check_vd";
+       (* if (V[V[d]] == x) abort *)
+       let pd = B.gep fb (B.glob "V") d in
+       let vd = B.load fb I32 pd in
+       let pvd = B.gep fb (B.glob "V") vd in
+       let vvd = B.load fb I32 pvd in
+       let hit = B.eq fb I32 vvd x in
+       B.condbr fb hit "boom" "out";
+       B.block fb "boom";
+       B.abort fb "V[V[d]] == x";
+       B.block fb "out";
+       B.ret_void fb);
+  (* main processes a stream of requests: a count, then four values per
+     request *)
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let n = B.input fb I32 "argv" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv n in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let a = B.input fb I32 "argv" in
+      let b = B.input fb I32 "argv" in
+      let c = B.input fb I32 "argv" in
+      let d = B.input fb I32 "argv" in
+      B.call_void fb "foo" [ a; b; c; d ];
+      let iv' = B.load fb I32 i in
+      let next = B.add fb I32 iv' (B.i32 1) in
+      B.store fb I32 next i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* Every occurrence of the failure arrives with the same crashing request;
+   the scheduler seed varies run to run (immaterial: single-threaded). *)
+let failing_workload ~occurrence =
+  (Er_vm.Inputs.make [ ("argv", [ 1L; 0L; 2L; 0L; 2L ]) ], occurrence)
+
+(* Performance workload: many non-crashing requests. *)
+let perf_inputs () =
+  let vals =
+    List.concat_map
+      (fun i ->
+         let i = Int64.of_int (i mod 200) in
+         (* c > d so the abort branch is never reachable *)
+         [ i; Int64.add i 1L; Int64.add i 5L; Int64.add i 2L ])
+      (List.init 500 Fun.id)
+  in
+  Er_vm.Inputs.make [ ("argv", Int64.of_int 500 :: vals) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "fig3";
+    models = "running example (Fig. 3)";
+    bug_type = "abort via chained symbolic writes";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    (* budget small enough that control-flow-only symex stalls on the
+       write chain, per the walkthrough in section 3.3 *)
+    config = Bug.config_with ~solver_budget:2_500 ~gate_budget:1_000 ();
+  }

@@ -1,0 +1,111 @@
+(* Models SQLite-4e8e485: crash on a query using an OR term in the WHERE
+   clause — the OR-optimizer builds an index-candidate entry per disjunct
+   but leaves the right-operand slot of a virtual term unset; the code
+   generator later dereferences it.
+
+   The term table is indexed by symbolically computed slots, giving the
+   moderate write chains behind the paper's 3 occurrences. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let program : program =
+  let t = B.create () in
+  (* term table: 2048 terms x 2 cells: [op, operand-ptr] *)
+  B.global t ~name:"terms" ~ty:I64 ~size:4096 ();
+  (* interned operand registry, indexed by a hash of the operator *)
+  B.global t ~name:"registry" ~ty:I64 ~size:64 ();
+  B.global t ~name:"nterm" ~ty:I32 ~size:1 ();
+  (* add a WHERE term parsed from the token stream *)
+  B.func t ~name:"add_term" ~params:[ ("op", I32) ] (fun fb ->
+      let np = B.gep fb (B.glob "nterm") (B.i32 0) in
+      let n = B.load fb I32 np in
+      let base = B.mul fb I32 n (B.i32 2) in
+      let op64 = B.zext fb ~from_ty:I32 ~to_ty:I64 (B.reg "op") in
+      B.store fb I64 op64 (B.gep fb (B.glob "terms") base);
+      (* ordinary comparison terms get an operand record *)
+      let is_or = B.eq fb I32 (B.reg "op") (B.i32 7) in
+      B.condbr fb is_or "virtual_term" "plain_term";
+      B.block fb "plain_term";
+      let operand = B.alloc fb I64 (B.i32 1) in
+      B.store fb I64 (B.imm64 42L I64) operand;
+      let oi = B.cast fb Ptrtoint ~from_ty:Ptr ~to_ty:I64 operand in
+      B.store fb I64 oi
+        (B.gep fb (B.glob "terms") (B.add fb I32 base (B.i32 1)));
+      (* intern the operand under the operator's hash *)
+      let h = B.and_ fb I32 (B.mul fb I32 (B.reg "op") (B.i32 37)) (B.i32 63) in
+      B.store fb I64 oi (B.gep fb (B.glob "registry") h);
+      B.br fb "bump";
+      B.block fb "virtual_term";
+      (* the bug: the OR path registers the term but never fills slot 1 *)
+      B.br fb "bump";
+      B.block fb "bump";
+      B.store fb I32 (B.add fb I32 n (B.i32 1)) np;
+      B.ret_void fb);
+  (* code generation pass: reads each term's operand *)
+  B.func t ~name:"codegen" ~params:[] (fun fb ->
+      let np = B.gep fb (B.glob "nterm") (B.i32 0) in
+      let n = B.load fb I32 np in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv n in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let base = B.mul fb I32 iv (B.i32 2) in
+      let op64 = B.load fb I64 (B.gep fb (B.glob "terms") base) in
+      let op32 = B.trunc fb ~from_ty:I64 ~to_ty:I32 op64 in
+      (* resolve the interned operand by re-hashing the operator *)
+      let h = B.and_ fb I32 (B.mul fb I32 op32 (B.i32 37)) (B.i32 63) in
+      let oi = B.load fb I64 (B.gep fb (B.glob "registry") h) in
+      let operand = B.cast fb Inttoptr ~from_ty:I64 ~to_ty:Ptr oi in
+      let v = B.load fb I64 operand in     (* null for the OR virtual term *)
+      B.output fb v;
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let ntok = B.input fb I32 "sql" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv ntok in
+      B.condbr fb more "body" "gen";
+      B.block fb "body";
+      let op = B.input fb I32 "sql" in
+      B.call_void fb "add_term" [ op ];
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "gen";
+      B.call_void fb "codegen" [];
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* WHERE a = 1 AND (b = 2 OR c = 3): ops 1, 1, then the OR term 7. *)
+let failing_workload ~occurrence =
+  let op1 = Int64.of_int (1 + (occurrence mod 4)) in
+  (Er_vm.Inputs.make [ ("sql", [ 3L; op1; 2L; 7L ]) ], occurrence * 9)
+
+let perf_inputs () =
+  (* official-fuzz-test-like stream: one large all-plain WHERE clause *)
+  Er_vm.Inputs.make
+    [ ("sql", 1800L :: List.init 1800 (fun k -> Int64.of_int (1 + (k mod 5)))) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "sqlite-4e8e485";
+    models = "SQLite-4e8e485";
+    bug_type = "NULL pointer dereference";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:4_000 ~gate_budget:1_600 ();
+  }

@@ -1,0 +1,94 @@
+(* Models SQLite-787fa71: assertion fault when a multi-use subquery is
+   implemented by a co-routine — the planner registers the subquery's
+   cursor once per use, but the co-routine path allocates its frame only
+   once, leaving the cursor table inconsistent with the open-frame count.
+
+   The miniature's planner reads a query description (a list of table
+   references, some marked as subquery uses), maintains a cursor table
+   indexed by a hash of the reference id, and asserts the data-structure
+   invariant the real SQLite asserts: every registered cursor has an open
+   frame. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let program : program =
+  let t = B.create () in
+  B.global t ~name:"cursors" ~ty:I32 ~size:32 ();      (* id -> refcount *)
+  B.global t ~name:"frames" ~ty:I32 ~size:2 ();        (* [0]=open frames [1]=registered *)
+  B.func t ~name:"register_cursor" ~params:[ ("id", I32); ("coroutine", I32) ]
+    (fun fb ->
+       let slot = B.and_ fb I32 (B.mul fb I32 (B.reg "id") (B.i32 7)) (B.i32 31) in
+       let cp = B.gep fb (B.glob "cursors") slot in
+       let old = B.load fb I32 cp in
+       B.store fb I32 (B.add fb I32 old (B.i32 1)) cp;
+       let rp = B.gep fb (B.glob "frames") (B.i32 1) in
+       let r = B.load fb I32 rp in
+       B.store fb I32 (B.add fb I32 r (B.i32 1)) rp;
+       (* a co-routine allocates its frame only on first use — the bug is
+          that *every* use registers a cursor *)
+       let first_use = B.eq fb I32 old (B.i32 0) in
+       let not_coroutine = B.eq fb I32 (B.reg "coroutine") (B.i32 0) in
+       let plain = B.or_ fb I1 not_coroutine first_use in
+       B.condbr fb plain "open_frame" "skip";
+       B.block fb "open_frame";
+       let fp = B.gep fb (B.glob "frames") (B.i32 0) in
+       let f = B.load fb I32 fp in
+       B.store fb I32 (B.add fb I32 f (B.i32 1)) fp;
+       B.br fb "skip";
+       B.block fb "skip";
+       B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let n = B.input fb I32 "sql" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv n in
+      B.condbr fb more "body" "check";
+      B.block fb "body";
+      let id = B.input fb I32 "sql" in
+      let coroutine = B.input fb I32 "sql" in
+      B.call_void fb "register_cursor" [ id; coroutine ];
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "check";
+      (* the invariant the real SQLite asserts *)
+      let fp = B.gep fb (B.glob "frames") (B.i32 0) in
+      let f = B.load fb I32 fp in
+      let rp = B.gep fb (B.glob "frames") (B.i32 1) in
+      let r = B.load fb I32 rp in
+      let consistent = B.eq fb I32 f r in
+      B.assert_ fb consistent "cursor table consistent with open frames";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* A query that uses the same co-routine subquery twice. *)
+let failing_workload ~occurrence =
+  let base = Int64.of_int (3 + (occurrence mod 5)) in
+  ( Er_vm.Inputs.make
+      [ ("sql", [ 3L; base; 0L; 11L; 1L; 11L; 1L ]) ],
+    occurrence * 5 )
+
+let perf_inputs () =
+  (* official-fuzz-test-like stream of single-use references *)
+  let refs =
+    List.concat_map
+      (fun k -> [ Int64.of_int (k * 3 + 1); 0L ])   (* plain, never co-routine *)
+      (List.init 600 Fun.id)
+  in
+  Er_vm.Inputs.make [ ("sql", 600L :: refs) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "sqlite-787fa71";
+    models = "SQLite-787fa71";
+    bug_type = "inconsistent data structure";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:2_500 ~gate_budget:950 ();
+  }

@@ -1,0 +1,136 @@
+(* Models SQLite-7be932d: adverse interaction between the CLI's .stats and
+   .eqp commands — enabling them in the wrong order leaves the statistics
+   object unallocated while the flag says it exists, and the next query
+   dereferences the null pointer.
+
+   The miniature is a command loop over a session struct; the query
+   runner hashes query bytes through a probe table, so the trace carries
+   a modest symbolic write chain before the failure. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+(* session layout: [0]=stats_on [1]=eqp_on [2]=stats_obj (packed ptr) *)
+let program : program =
+  let t = B.create () in
+  B.global t ~name:"session" ~ty:I64 ~size:3 ();
+  B.global t ~name:"probe" ~ty:I32 ~size:64 ();
+  B.func t ~name:"cmd_stats" ~params:[] (fun fb ->
+      let eqp_p = B.gep fb (B.glob "session") (B.i32 1) in
+      let eqp = B.load fb I64 eqp_p in
+      let on_p = B.gep fb (B.glob "session") (B.i32 0) in
+      B.store fb I64 (B.imm64 1L I64) on_p;
+      (* bug: when .eqp is already on, the allocation is skipped because
+         the explain printer "owns" the counters *)
+      let eqp_off = B.eq fb I64 eqp (B.imm64 0L I64) in
+      B.condbr fb eqp_off "alloc_counters" "skip";
+      B.block fb "alloc_counters";
+      let obj = B.alloc fb I64 (B.i32 4) in
+      let oi = B.cast fb Ptrtoint ~from_ty:Ptr ~to_ty:I64 obj in
+      let obj_p = B.gep fb (B.glob "session") (B.i32 2) in
+      B.store fb I64 oi obj_p;
+      B.br fb "skip";
+      B.block fb "skip";
+      B.ret_void fb);
+  B.func t ~name:"cmd_eqp" ~params:[] (fun fb ->
+      let eqp_p = B.gep fb (B.glob "session") (B.i32 1) in
+      B.store fb I64 (B.imm64 1L I64) eqp_p;
+      B.ret_void fb);
+  B.func t ~name:"run_query" ~params:[ ("qlen", I32) ] (fun fb ->
+      (* hash the query text through the probe table *)
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "hash_loop";
+      B.block fb "hash_loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv (B.reg "qlen") in
+      B.condbr fb more "hash_body" "after_hash";
+      B.block fb "hash_body";
+      let byte = B.input fb I8 "cli" in
+      let b32 = B.zext fb ~from_ty:I8 ~to_ty:I32 byte in
+      let slot = B.and_ fb I32 (B.mul fb I32 b32 (B.i32 31)) (B.i32 63) in
+      let sp = B.gep fb (B.glob "probe") slot in
+      let old = B.load fb I32 sp in
+      B.store fb I32 (B.add fb I32 old (B.i32 1)) sp;
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "hash_loop";
+      B.block fb "after_hash";
+      (* if stats are on, bump the per-query counter *)
+      let on_p = B.gep fb (B.glob "session") (B.i32 0) in
+      let on = B.load fb I64 on_p in
+      let stats_on = B.ne fb I64 on (B.imm64 0L I64) in
+      B.condbr fb stats_on "bump" "done";
+      B.block fb "bump";
+      let obj_p = B.gep fb (B.glob "session") (B.i32 2) in
+      let oi = B.load fb I64 obj_p in
+      let obj = B.cast fb Inttoptr ~from_ty:I64 ~to_ty:Ptr oi in
+      let c = B.load fb I64 obj in       (* null deref when never allocated *)
+      B.store fb I64 (B.add fb I64 c (B.imm64 1L I64)) obj;
+      B.br fb "done";
+      B.block fb "done";
+      B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let n = B.input fb I32 "cli" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv n in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let cmd = B.input fb I8 "cli" in
+      let is_stats = B.eq fb I8 cmd (B.i8 1) in
+      B.condbr fb is_stats "do_stats" "not_stats";
+      B.block fb "not_stats";
+      let is_eqp = B.eq fb I8 cmd (B.i8 2) in
+      B.condbr fb is_eqp "do_eqp" "do_query";
+      B.block fb "do_stats";
+      B.call_void fb "cmd_stats" [];
+      B.br fb "next";
+      B.block fb "do_eqp";
+      B.call_void fb "cmd_eqp" [];
+      B.br fb "next";
+      B.block fb "do_query";
+      let qlen = B.input fb I32 "cli" in
+      B.call_void fb "run_query" [ qlen ];
+      B.br fb "next";
+      B.block fb "next";
+      let iv' = B.load fb I32 i in
+      B.store fb I32 (B.add fb I32 iv' (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* .eqp before .stats, then any query crashes. *)
+let failing_workload ~occurrence =
+  let q = List.init 6 (fun i -> Int64.of_int (65 + ((i + occurrence) mod 20))) in
+  ( Er_vm.Inputs.make
+      [ ("cli", [ 3L; 2L; 1L; 0L; 6L ] @ q) ],
+    occurrence * 3 )
+
+let perf_inputs () =
+  (* official-fuzz-test-like stream: stats first, then many queries *)
+  let queries =
+    List.concat_map
+      (fun k ->
+         let len = 8 + (k mod 24) in
+         (0L :: Int64.of_int len
+          :: List.init len (fun i -> Int64.of_int (32 + ((i * 7 + k) mod 90)))))
+      (List.init 120 Fun.id)
+  in
+  Er_vm.Inputs.make [ ("cli", Int64.of_int 121 :: 1L :: queries) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "sqlite-7be932d";
+    models = "SQLite-7be932d";
+    bug_type = "NULL pointer dereference";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    config = Bug.config_with ~solver_budget:3_000 ~gate_budget:1_200 ();
+  }

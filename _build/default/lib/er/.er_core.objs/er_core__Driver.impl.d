@@ -1,0 +1,1 @@
+lib/er/driver.ml: Bytes Er_ir Er_select Er_symex Er_trace Er_vm List Option Printf Sys Testcase Verify

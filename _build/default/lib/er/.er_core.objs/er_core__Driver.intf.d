@@ -1,0 +1,1 @@
+lib/er/driver.mli: Er_ir Er_symex Er_vm Testcase Verify

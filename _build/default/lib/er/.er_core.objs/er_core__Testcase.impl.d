@@ -1,0 +1,1 @@
+lib/er/testcase.ml: Buffer Char Er_smt Er_symex Er_vm Fmt Hashtbl Int64 List Option Printf

@@ -1,0 +1,1 @@
+lib/er/verify.ml: Array Er_ir Er_vm List Printf Testcase

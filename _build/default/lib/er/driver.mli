@@ -1,0 +1,65 @@
+(** The iterative ER algorithm (paper Fig. 2, section 3.3.4) — the
+    library's main entry point.
+
+    Each iteration instruments the program with the accumulated recording
+    set, runs it "in production" under PT-like tracing until the tracked
+    failure reoccurs, ships the trace to shepherded symbolic execution,
+    and either extracts a verified test case or extends the recording set
+    via key data value selection.  When selection reaches a fixpoint
+    while symbolic execution still stalls, the deterministic solver
+    budget escalates — the paper's longer timeout for infrequent
+    failures. *)
+
+open Er_ir.Types
+
+type config = {
+  max_occurrences : int;           (** bound on production runs consumed *)
+  exec_config : Er_symex.Exec.config;
+  vm_config : Er_vm.Interp.config;
+  ring_bytes : int;                (** trace ring buffer size *)
+  verify : bool;                   (** re-execute the generated test case *)
+}
+
+val default_config : config
+
+type iteration = {
+  occurrence : int;
+  trace_bytes : int;
+  trace_packets : int;
+  ptwrites_recorded : int;
+  vm_instrs : int;
+  symex_steps : int;
+  symex_time : float;
+  solver_calls : int;
+  solver_cost : int;
+  outcome : [ `Complete | `Stalled of string | `Diverged of string ];
+  recording_set_size : int;
+  graph_nodes : int;
+  selection_time : float;
+}
+
+type status =
+  | Reproduced of {
+      testcase : Testcase.t;
+      verified : Verify.verdict option;
+      solution : Er_symex.Exec.solution;
+    }
+  | Gave_up of string
+
+type result = {
+  status : status;
+  iterations : iteration list;     (** one per analyzed failure occurrence *)
+  occurrences : int;               (** failure occurrences ER consumed *)
+  total_symex_time : float;
+  recording_points : point list;   (** final recording set, base coords *)
+  failure : Er_vm.Failure.t option;
+}
+
+(** A workload models the production traffic around the k-th occurrence
+    of the failure: the input streams and the scheduler seed of that run.
+    Occurrences may differ in inputs and interleavings; runs in which the
+    tracked failure does not fire are skipped, as in a real deployment. *)
+type workload = occurrence:int -> Er_vm.Inputs.t * int
+
+val reconstruct :
+  ?config:config -> base_prog:program -> workload:workload -> unit -> result

@@ -1,0 +1,45 @@
+(* Accuracy check: a generated test case must lead the program along the
+   same recorded control flow and reproduce the same failure (section 5.2,
+   "Accuracy of Reproduced Executions").  We re-execute the base program
+   concretely on the generated inputs and compare failure identity and the
+   full branch-outcome sequence. *)
+
+type verdict = {
+  ok : bool;
+  same_failure : bool;
+  same_control_flow : bool;
+  detail : string;
+}
+
+let collect_branches prog inputs ~sched_seed =
+  let branches = ref [] in
+  let hooks =
+    { Er_vm.Interp.no_hooks with
+      Er_vm.Interp.on_branch = Some (fun b -> branches := b :: !branches) }
+  in
+  let config = { Er_vm.Interp.default_config with sched_seed; hooks } in
+  let r = Er_vm.Interp.run ~config prog inputs in
+  (r, Array.of_list (List.rev !branches))
+
+let check ~(base_prog : Er_ir.Prog.t) ~(testcase : Testcase.t)
+    ~(expected_failure : Er_vm.Failure.t) ~(expected_branches : bool array)
+    ~(sched_seed : int) : verdict =
+  let inputs = Testcase.to_inputs testcase in
+  let r, branches = collect_branches base_prog inputs ~sched_seed in
+  match r.Er_vm.Interp.outcome with
+  | Er_vm.Interp.Finished _ ->
+      { ok = false; same_failure = false; same_control_flow = false;
+        detail = "test case did not fail" }
+  | Er_vm.Interp.Failed f ->
+      let same_failure = Er_vm.Failure.same_failure f expected_failure in
+      let same_control_flow = branches = expected_branches in
+      {
+        ok = same_failure && same_control_flow;
+        same_failure;
+        same_control_flow;
+        detail =
+          (if same_failure then "failure reproduced"
+           else
+             Printf.sprintf "different failure: %s"
+               (Er_vm.Failure.kind_to_string f.Er_vm.Failure.kind));
+      }

@@ -1,0 +1,1 @@
+lib/invariants/daikon.ml: Array Er_vm Fmt Hashtbl Int Int64 List Printf String

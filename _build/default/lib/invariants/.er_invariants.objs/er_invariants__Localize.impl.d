@@ -1,0 +1,1 @@
+lib/invariants/localize.ml: Daikon Er_ir Er_vm Fmt Hashtbl Int List Option String

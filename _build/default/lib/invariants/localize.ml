@@ -1,0 +1,44 @@
+(* MIMIC-style failure localization (section 5.4): infer likely invariants
+   from passing executions, replay a failing execution (here: the test
+   case ER reconstructed), and propose the functions whose invariants the
+   failure violates as root-cause candidates. *)
+
+type report = {
+  violations : Daikon.violation list;
+  (* functions ranked by total violated-invariant strength *)
+  ranked_functions : (string * int) list;
+}
+
+let func_of_where where =
+  match String.index_opt where ':' with
+  | Some i -> String.sub where 0 i
+  | None -> where
+
+let localize ~(prog : Er_ir.Prog.t)
+    ~(passing : Er_vm.Inputs.t list) ~(failing : Er_vm.Inputs.t) : report =
+  let obs = Daikon.observations () in
+  List.iter (fun inputs -> ignore (Daikon.observe_run prog inputs obs)) passing;
+  let invs = Daikon.infer obs in
+  let fobs = Daikon.observations () in
+  ignore (Daikon.observe_run prog failing fobs);
+  let violations = Daikon.check invs fobs in
+  let score : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (v : Daikon.violation) ->
+       let f = func_of_where v.Daikon.where in
+       Hashtbl.replace score f
+         (Daikon.strength v.Daikon.inv
+          + Option.value ~default:0 (Hashtbl.find_opt score f)))
+    violations;
+  let ranked_functions =
+    Hashtbl.fold (fun f s acc -> (f, s) :: acc) score []
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  { violations; ranked_functions }
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>ranked root-cause candidates:@,%a@,violations:@,%a@]"
+    (Fmt.list (fun ppf (f, s) -> Fmt.pf ppf "  %-20s score %d" f s))
+    r.ranked_functions
+    (Fmt.list (fun ppf v -> Fmt.pf ppf "  %a" Daikon.pp_violation v))
+    r.violations

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Char Int64 List Printf String Types Validate

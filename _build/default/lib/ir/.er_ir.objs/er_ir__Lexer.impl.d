@@ -1,0 +1,1 @@
+lib/ir/lexer.ml: Buffer Int64 Printf String

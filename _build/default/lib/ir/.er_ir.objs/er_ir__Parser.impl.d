@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Int64 Lexer List Printf String Types Validate

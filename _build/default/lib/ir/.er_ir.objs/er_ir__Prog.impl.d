@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Hashtbl List Printf Types

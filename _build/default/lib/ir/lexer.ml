@@ -1,0 +1,171 @@
+(* Hand-written lexer for the textual EIR syntax (see {!Pretty} for the
+   grammar by example).  Comments run from ';' or '#' to end of line. *)
+
+type token =
+  | Ident of string          (* foo, %t1 *)
+  | At_ident of string       (* @global *)
+  | Int of int64
+  | Str of string            (* "..." *)
+  | Colon | Comma | Equals | Arrow
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Eof
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable peeked : token list;   (* lookahead queue, at most two tokens *)
+}
+
+exception Error of string
+
+let create src = { src; pos = 0; line = 1; peeked = [] }
+
+let error lx fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" lx.line s))) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '%' || c = '.'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '-' || c = '!'
+
+let rec skip_ws lx =
+  if lx.pos < String.length lx.src then
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\r' -> lx.pos <- lx.pos + 1; skip_ws lx
+    | '\n' -> lx.pos <- lx.pos + 1; lx.line <- lx.line + 1; skip_ws lx
+    | ';' | '#' ->
+        while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+          lx.pos <- lx.pos + 1
+        done;
+        skip_ws lx
+    | _ -> ()
+
+let lex_token lx =
+  skip_ws lx;
+  if lx.pos >= String.length lx.src then Eof
+  else begin
+    let c = lx.src.[lx.pos] in
+    let advance n = lx.pos <- lx.pos + n in
+    match c with
+    | ':' -> advance 1; Colon
+    | ',' -> advance 1; Comma
+    | '=' -> advance 1; Equals
+    | '(' -> advance 1; Lparen
+    | ')' -> advance 1; Rparen
+    | '{' -> advance 1; Lbrace
+    | '}' -> advance 1; Rbrace
+    | '[' -> advance 1; Lbracket
+    | ']' -> advance 1; Rbracket
+    | '-' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '>' ->
+        advance 2; Arrow
+    | '@' ->
+        advance 1;
+        let start = lx.pos in
+        while lx.pos < String.length lx.src && is_ident_char lx.src.[lx.pos] do
+          advance 1
+        done;
+        if lx.pos = start then error lx "empty global name after '@'";
+        At_ident (String.sub lx.src start (lx.pos - start))
+    | '"' ->
+        advance 1;
+        let buf = Buffer.create 16 in
+        let rec go () =
+          if lx.pos >= String.length lx.src then error lx "unterminated string"
+          else
+            match lx.src.[lx.pos] with
+            | '"' -> advance 1
+            | '\\' when lx.pos + 1 < String.length lx.src ->
+                (match lx.src.[lx.pos + 1] with
+                 | 'n' -> Buffer.add_char buf '\n'
+                 | 't' -> Buffer.add_char buf '\t'
+                 | ch -> Buffer.add_char buf ch);
+                advance 2;
+                go ()
+            | ch ->
+                Buffer.add_char buf ch;
+                advance 1;
+                go ()
+        in
+        go ();
+        Str (Buffer.contents buf)
+    | '-' | '0' .. '9' ->
+        let start = lx.pos in
+        if c = '-' then advance 1;
+        (* hex or decimal *)
+        if
+          lx.pos + 1 < String.length lx.src
+          && lx.src.[lx.pos] = '0'
+          && (lx.src.[lx.pos + 1] = 'x' || lx.src.[lx.pos + 1] = 'X')
+        then begin
+          advance 2;
+          while
+            lx.pos < String.length lx.src
+            && (match lx.src.[lx.pos] with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+                | _ -> false)
+          do
+            advance 1
+          done
+        end
+        else
+          while
+            lx.pos < String.length lx.src
+            && lx.src.[lx.pos] >= '0'
+            && lx.src.[lx.pos] <= '9'
+          do
+            advance 1
+          done;
+        let text = String.sub lx.src start (lx.pos - start) in
+        (match Int64.of_string_opt text with
+         | Some v -> Int v
+         | None -> error lx "bad integer literal %s" text)
+    | c when is_ident_start c ->
+        let start = lx.pos in
+        while lx.pos < String.length lx.src && is_ident_char lx.src.[lx.pos] do
+          advance 1
+        done;
+        Ident (String.sub lx.src start (lx.pos - start))
+    | c -> error lx "unexpected character %c" c
+  end
+
+let peek lx =
+  match lx.peeked with
+  | t :: _ -> t
+  | [] ->
+      let t = lex_token lx in
+      lx.peeked <- [ t ];
+      t
+
+let peek2 lx =
+  match lx.peeked with
+  | _ :: t2 :: _ -> t2
+  | [ t1 ] ->
+      let t2 = lex_token lx in
+      lx.peeked <- [ t1; t2 ];
+      t2
+  | [] ->
+      let t1 = lex_token lx in
+      let t2 = lex_token lx in
+      lx.peeked <- [ t1; t2 ];
+      t2
+
+let next lx =
+  match lx.peeked with
+  | t :: rest ->
+      lx.peeked <- rest;
+      t
+  | [] -> lex_token lx
+
+let line lx = lx.line
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | At_ident s -> Printf.sprintf "@%s" s
+  | Int v -> Printf.sprintf "integer %Ld" v
+  | Str s -> Printf.sprintf "string %S" s
+  | Colon -> "':'" | Comma -> "','" | Equals -> "'='" | Arrow -> "'->'"
+  | Lparen -> "'('" | Rparen -> "')'" | Lbrace -> "'{'" | Rbrace -> "'}'"
+  | Lbracket -> "'['" | Rbracket -> "']'"
+  | Eof -> "end of input"

@@ -1,0 +1,354 @@
+(* Recursive-descent parser for textual EIR.  The concrete syntax is the
+   one produced by {!Pretty}; [parse_string] of a pretty-printed program
+   yields an equal program (tested by round-trip properties). *)
+
+open Types
+
+exception Error of string
+
+let fail lx fmt =
+  Printf.ksprintf
+    (fun s -> raise (Error (Printf.sprintf "line %d: %s" (Lexer.line lx) s)))
+    fmt
+
+let expect lx tok =
+  let t = Lexer.next lx in
+  if t <> tok then
+    fail lx "expected %s, found %s" (Lexer.token_to_string tok)
+      (Lexer.token_to_string t)
+
+let expect_ident lx =
+  match Lexer.next lx with
+  | Lexer.Ident s -> s
+  | t -> fail lx "expected identifier, found %s" (Lexer.token_to_string t)
+
+let expect_int lx =
+  match Lexer.next lx with
+  | Lexer.Int v -> v
+  | t -> fail lx "expected integer, found %s" (Lexer.token_to_string t)
+
+let expect_string lx =
+  match Lexer.next lx with
+  | Lexer.Str s -> s
+  | t -> fail lx "expected string, found %s" (Lexer.token_to_string t)
+
+let parse_ty lx =
+  let name = expect_ident lx in
+  match ty_of_name name with
+  | Some ty -> ty
+  | None -> fail lx "unknown type %s" name
+
+let normalize_imm ty v =
+  let w = width_of_ty ty in
+  if w = 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L w) 1L)
+
+let parse_value lx =
+  match Lexer.next lx with
+  | Lexer.Ident "null" -> Null
+  | Lexer.Ident r -> Reg r
+  | Lexer.At_ident g -> Global g
+  | Lexer.Int v ->
+      expect lx Lexer.Colon;
+      let ty = parse_ty lx in
+      Imm (normalize_imm ty v, ty)
+  | t -> fail lx "expected value, found %s" (Lexer.token_to_string t)
+
+let binop_of_name = function
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul
+  | "udiv" -> Some Udiv | "urem" -> Some Urem | "and" -> Some And
+  | "or" -> Some Or | "xor" -> Some Xor | "shl" -> Some Shl
+  | "lshr" -> Some Lshr | "ashr" -> Some Ashr
+  | _ -> None
+
+let cmpop_of_name = function
+  | "eq" -> Some Eq | "ne" -> Some Ne | "ult" -> Some Ult | "ule" -> Some Ule
+  | "ugt" -> Some Ugt | "uge" -> Some Uge | "slt" -> Some Slt
+  | "sle" -> Some Sle | "sgt" -> Some Sgt | "sge" -> Some Sge
+  | _ -> None
+
+let cast_of_name = function
+  | "zext" -> Some Zext | "sext" -> Some Sext | "trunc" -> Some Trunc
+  | "ptrtoint" -> Some Ptrtoint | "inttoptr" -> Some Inttoptr
+  | _ -> None
+
+let parse_args lx =
+  expect lx Lexer.Lparen;
+  if Lexer.peek lx = Lexer.Rparen then begin
+    ignore (Lexer.next lx);
+    []
+  end
+  else
+    let rec go acc =
+      let v = parse_value lx in
+      match Lexer.next lx with
+      | Lexer.Comma -> go (v :: acc)
+      | Lexer.Rparen -> List.rev (v :: acc)
+      | t -> fail lx "expected ',' or ')', found %s" (Lexer.token_to_string t)
+    in
+    go []
+
+(* Instruction with a destination: "<dst> = <op> ...". *)
+let parse_def lx dst =
+  let op = expect_ident lx in
+  match binop_of_name op with
+  | Some bop ->
+      let ty = parse_ty lx in
+      let a = parse_value lx in
+      expect lx Lexer.Comma;
+      let b = parse_value lx in
+      Bin { dst; op = bop; ty; a; b }
+  | None -> (
+      match cast_of_name op with
+      | Some kind ->
+          let from_ty = parse_ty lx in
+          let v = parse_value lx in
+          (match expect_ident lx with
+           | "to" -> ()
+           | other -> fail lx "expected 'to', found %s" other);
+          let to_ty = parse_ty lx in
+          Cast { dst; kind; to_ty; v; from_ty }
+      | None -> (
+          match op with
+          | "cmp" ->
+              let opname = expect_ident lx in
+              (match cmpop_of_name opname with
+               | None -> fail lx "unknown comparison %s" opname
+               | Some cop ->
+                   let ty = parse_ty lx in
+                   let a = parse_value lx in
+                   expect lx Lexer.Comma;
+                   let b = parse_value lx in
+                   Cmp { dst; op = cop; ty; a; b })
+          | "select" ->
+              let ty = parse_ty lx in
+              let cond = parse_value lx in
+              expect lx Lexer.Comma;
+              let if_true = parse_value lx in
+              expect lx Lexer.Comma;
+              let if_false = parse_value lx in
+              Select { dst; ty; cond; if_true; if_false }
+          | "load" ->
+              let ty = parse_ty lx in
+              expect lx Lexer.Comma;
+              let addr = parse_value lx in
+              Load { dst; ty; addr }
+          | "alloc" | "alloca" ->
+              let elt_ty = parse_ty lx in
+              expect lx Lexer.Comma;
+              let count = parse_value lx in
+              Alloc { dst; elt_ty; count; heap = String.equal op "alloc" }
+          | "gep" ->
+              let base = parse_value lx in
+              expect lx Lexer.Comma;
+              let idx = parse_value lx in
+              Gep { dst; base; idx }
+          | "call" ->
+              let func = expect_ident lx in
+              let args = parse_args lx in
+              Call { dst = Some dst; func; args }
+          | "input" ->
+              let ty = parse_ty lx in
+              expect lx Lexer.Comma;
+              let stream = expect_string lx in
+              Input { dst; ty; stream }
+          | other -> fail lx "unknown instruction %s" other))
+
+(* Instruction without a destination. *)
+let parse_effect lx op =
+  match op with
+  | "store" ->
+      let ty = parse_ty lx in
+      let v = parse_value lx in
+      expect lx Lexer.Comma;
+      let addr = parse_value lx in
+      Store { ty; v; addr }
+  | "free" -> Free { addr = parse_value lx }
+  | "call" ->
+      let func = expect_ident lx in
+      let args = parse_args lx in
+      Call { dst = None; func; args }
+  | "output" -> Output { v = parse_value lx }
+  | "ptwrite" -> Ptwrite { v = parse_value lx }
+  | "assert" ->
+      let cond = parse_value lx in
+      expect lx Lexer.Comma;
+      let msg = expect_string lx in
+      Assert { cond; msg }
+  | "spawn" ->
+      let func = expect_ident lx in
+      let args = parse_args lx in
+      Spawn { func; args }
+  | "join" -> Join
+  | "lock" -> Lock { addr = parse_value lx }
+  | "unlock" -> Unlock { addr = parse_value lx }
+  | other -> fail lx "unknown instruction %s" other
+
+let parse_terminator lx kw =
+  match kw with
+  | "br" ->
+      let first = parse_value lx in
+      if Lexer.peek lx = Lexer.Comma then begin
+        ignore (Lexer.next lx);
+        let if_true = expect_ident lx in
+        expect lx Lexer.Comma;
+        let if_false = expect_ident lx in
+        Cond_br { cond = first; if_true; if_false }
+      end
+      else begin
+        match first with
+        | Reg l -> Br l
+        | Imm _ | Global _ | Null ->
+            fail lx "unconditional branch target must be a label"
+      end
+  | "ret" -> (
+      (* "ret" with no value is followed by '}' or by the next "label:" *)
+      match Lexer.peek lx with
+      | Lexer.Rbrace -> Ret None
+      | Lexer.Ident _ when Lexer.peek2 lx = Lexer.Colon -> Ret None
+      | Lexer.Ident "null" ->
+          ignore (Lexer.next lx);
+          Ret (Some Null)
+      | Lexer.Ident _ | Lexer.At_ident _ | Lexer.Int _ ->
+          Ret (Some (parse_value lx))
+      | _ -> Ret None)
+  | "abort" -> Abort (expect_string lx)
+  | "unreachable" -> Unreachable
+  | _ -> assert false
+
+let is_terminator = function
+  | "br" | "ret" | "abort" | "unreachable" -> true
+  | _ -> false
+
+let parse_block lx =
+  let label = expect_ident lx in
+  expect lx Lexer.Colon;
+  let instrs = ref [] in
+  let rec go () =
+    match Lexer.peek lx with
+    | Lexer.Ident kw when is_terminator kw ->
+        ignore (Lexer.next lx);
+        parse_terminator lx kw
+    | Lexer.Ident name -> (
+        ignore (Lexer.next lx);
+        match Lexer.peek lx with
+        | Lexer.Equals ->
+            ignore (Lexer.next lx);
+            instrs := parse_def lx name :: !instrs;
+            go ()
+        | _ ->
+            instrs := parse_effect lx name :: !instrs;
+            go ())
+    | t ->
+        fail lx "expected instruction or terminator, found %s"
+          (Lexer.token_to_string t)
+  in
+  let term = go () in
+  { label; instrs = Array.of_list (List.rev !instrs); term }
+
+let parse_func lx =
+  let name = expect_ident lx in
+  expect lx Lexer.Lparen;
+  let params =
+    if Lexer.peek lx = Lexer.Rparen then begin
+      ignore (Lexer.next lx);
+      []
+    end
+    else
+      let rec go acc =
+        let r = expect_ident lx in
+        expect lx Lexer.Colon;
+        let ty = parse_ty lx in
+        match Lexer.next lx with
+        | Lexer.Comma -> go ((r, ty) :: acc)
+        | Lexer.Rparen -> List.rev ((r, ty) :: acc)
+        | t -> fail lx "expected ',' or ')', found %s" (Lexer.token_to_string t)
+      in
+      go []
+  in
+  let ret_ty =
+    if Lexer.peek lx = Lexer.Arrow then begin
+      ignore (Lexer.next lx);
+      Some (parse_ty lx)
+    end
+    else None
+  in
+  expect lx Lexer.Lbrace;
+  let blocks = ref [] in
+  let rec go () =
+    if Lexer.peek lx = Lexer.Rbrace then ignore (Lexer.next lx)
+    else begin
+      blocks := parse_block lx :: !blocks;
+      go ()
+    end
+  in
+  go ();
+  if !blocks = [] then fail lx "function %s has no blocks" name;
+  { fname = name; params; ret_ty; blocks = List.rev !blocks }
+
+let parse_global lx =
+  let name =
+    match Lexer.next lx with
+    | Lexer.At_ident g -> g
+    | t -> fail lx "expected @global, found %s" (Lexer.token_to_string t)
+  in
+  expect lx Lexer.Colon;
+  let ty = parse_ty lx in
+  expect lx Lexer.Lbracket;
+  let size = Int64.to_int (expect_int lx) in
+  expect lx Lexer.Rbracket;
+  let init =
+    if Lexer.peek lx = Lexer.Equals then begin
+      ignore (Lexer.next lx);
+      expect lx Lexer.Lbrace;
+      let rec go acc =
+        let v = expect_int lx in
+        match Lexer.next lx with
+        | Lexer.Comma -> go (v :: acc)
+        | Lexer.Rbrace -> List.rev (v :: acc)
+        | t -> fail lx "expected ',' or '}', found %s" (Lexer.token_to_string t)
+      in
+      Some (Array.of_list (go []))
+    end
+    else None
+  in
+  { gname = name; g_elt_ty = ty; g_size = size; g_init = init }
+
+let parse_program lx =
+  let globals = ref [] and funcs = ref [] and main = ref None in
+  let rec go () =
+    match Lexer.next lx with
+    | Lexer.Eof -> ()
+    | Lexer.Ident "global" ->
+        globals := parse_global lx :: !globals;
+        go ()
+    | Lexer.Ident "func" ->
+        funcs := parse_func lx :: !funcs;
+        go ()
+    | Lexer.Ident "main" ->
+        main := Some (expect_ident lx);
+        go ()
+    | t -> fail lx "expected 'global', 'func' or 'main', found %s"
+             (Lexer.token_to_string t)
+  in
+  go ();
+  match !main with
+  | None -> fail lx "missing 'main' declaration"
+  | Some m ->
+      { globals = List.rev !globals; funcs = List.rev !funcs; main = m }
+
+let parse_string src =
+  let lx = Lexer.create src in
+  match parse_program lx with
+  | p -> (
+      match Validate.check p with
+      | Ok () -> Ok p
+      | Error e -> Error e)
+  | exception Error e -> Error e
+  | exception Lexer.Error e -> Error e
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s

@@ -1,0 +1,70 @@
+(* Indexed view of a program: O(1) lookup of functions, blocks, globals and
+   program points, plus the static instruction counts the benchmarks report. *)
+
+open Types
+
+type t = {
+  program : program;
+  funcs : (string, func) Hashtbl.t;
+  blocks : (string * string, block) Hashtbl.t;  (* (func, label) *)
+  globals : (string, global) Hashtbl.t;
+}
+
+let of_program (program : program) : t =
+  let funcs = Hashtbl.create 16 in
+  let blocks = Hashtbl.create 64 in
+  let globals = Hashtbl.create 16 in
+  List.iter (fun f ->
+      Hashtbl.replace funcs f.fname f;
+      List.iter (fun b -> Hashtbl.replace blocks (f.fname, b.label) b) f.blocks)
+    program.funcs;
+  List.iter (fun g -> Hashtbl.replace globals g.gname g) program.globals;
+  { program; funcs; blocks; globals }
+
+let func t name =
+  match Hashtbl.find_opt t.funcs name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Prog.func: unknown function %s" name)
+
+let block t ~func ~label =
+  match Hashtbl.find_opt t.blocks (func, label) with
+  | Some b -> b
+  | None ->
+      invalid_arg (Printf.sprintf "Prog.block: unknown block %s:%s" func label)
+
+let global t name =
+  match Hashtbl.find_opt t.globals name with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Prog.global: unknown global %s" name)
+
+let entry t name = match (func t name).blocks with
+  | b :: _ -> b
+  | [] -> assert false
+
+let main t = func t t.program.main
+
+let instr_at t (p : point) =
+  let b = block t ~func:p.p_func ~label:p.p_block in
+  if p.p_index < 0 || p.p_index >= Array.length b.instrs then
+    invalid_arg (Printf.sprintf "Prog.instr_at: %s out of range" (point_to_string p));
+  b.instrs.(p.p_index)
+
+let static_instr_count t =
+  List.fold_left
+    (fun acc (f : func) ->
+       List.fold_left
+         (fun acc (b : block) -> acc + Array.length b.instrs + 1)
+         acc f.blocks)
+    0 t.program.funcs
+
+let iter_points t f =
+  List.iter
+    (fun fn ->
+       List.iter
+         (fun b ->
+            Array.iteri
+              (fun i instr ->
+                 f { p_func = fn.fname; p_block = b.label; p_index = i } instr)
+              b.instrs)
+         fn.blocks)
+    t.program.funcs

@@ -1,0 +1,85 @@
+(* Structural well-formedness of EIR programs: label and callee resolution,
+   duplicate detection, entry-point existence.  Run by the builder, the
+   parser, and before any interpretation. *)
+
+open Types
+
+let check (p : program) : (unit, string) result =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec first_error = function
+    | [] -> Ok ()
+    | Ok () :: rest -> first_error rest
+    | (Error _ as e) :: _ -> e
+  in
+  let dup_names names what =
+    let seen = Hashtbl.create 16 in
+    first_error
+      (List.map
+         (fun n ->
+            if Hashtbl.mem seen n then err "duplicate %s %s" what n
+            else begin
+              Hashtbl.add seen n ();
+              Ok ()
+            end)
+         names)
+  in
+  let fnames = List.map (fun f -> f.fname) p.funcs in
+  let gnames = List.map (fun g -> g.gname) p.globals in
+  let has_func n = List.mem n fnames in
+  let has_global n = List.mem n gnames in
+  let check_value f = function
+    | Global g when not (has_global g) -> err "%s: unknown global %s" f.fname g
+    | Reg _ | Imm _ | Global _ | Null -> Ok ()
+  in
+  let check_func f =
+    if f.blocks = [] then err "function %s has no blocks" f.fname
+    else begin
+      let labels = List.map (fun b -> b.label) f.blocks in
+      let has_label l = List.mem l labels in
+      let check_target l =
+        if has_label l then Ok ()
+        else err "%s: branch to unknown block %s" f.fname l
+      in
+      let check_instr i =
+        let callee_ok name =
+          if has_func name then Ok ()
+          else err "%s: call to unknown function %s" f.fname name
+        in
+        let vals = first_error (List.map (check_value f) (values_of_instr i)) in
+        match vals with
+        | Error _ as e -> e
+        | Ok () -> (
+            match i with
+            | Call { func = callee; _ } | Spawn { func = callee; _ } ->
+                callee_ok callee
+            | Bin _ | Cmp _ | Select _ | Cast _ | Load _ | Store _ | Alloc _
+            | Free _ | Gep _ | Input _ | Output _ | Ptwrite _ | Assert _
+            | Join | Lock _ | Unlock _ ->
+                Ok ())
+      in
+      let check_block b =
+        match first_error (List.map check_instr (Array.to_list b.instrs)) with
+        | Error _ as e -> e
+        | Ok () -> (
+            match b.term with
+            | Br l -> check_target l
+            | Cond_br { cond; if_true; if_false } -> (
+                match check_value f cond with
+                | Error _ as e -> e
+                | Ok () ->
+                    first_error [ check_target if_true; check_target if_false ])
+            | Ret (Some v) -> check_value f v
+            | Ret None | Abort _ | Unreachable -> Ok ())
+      in
+      first_error
+        (dup_names labels (Printf.sprintf "block in %s" f.fname)
+         :: List.map check_block f.blocks)
+    end
+  in
+  first_error
+    ([
+       dup_names fnames "function";
+       dup_names gnames "global";
+       (if has_func p.main then Ok () else err "main function %s not found" p.main);
+     ]
+     @ List.map check_func p.funcs)

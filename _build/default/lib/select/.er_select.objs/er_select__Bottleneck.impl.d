@@ -1,0 +1,1 @@
+lib/select/bottleneck.ml: Er_smt Er_symex Hashtbl Int List Option

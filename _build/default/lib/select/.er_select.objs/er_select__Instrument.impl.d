@@ -1,0 +1,1 @@
+lib/select/instrument.ml: Array Er_ir Hashtbl List Option

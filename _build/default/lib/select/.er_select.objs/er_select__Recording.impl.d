@@ -1,0 +1,1 @@
+lib/select/recording.ml: Er_ir Er_smt Er_symex Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/select/recording.mli: Er_ir Er_smt Er_symex Hashtbl

@@ -1,0 +1,88 @@
+(* Program instrumentation (section 3.3.3): insert a [ptwrite] of the
+   defined register immediately after each selected program point, the
+   EIR analogue of the paper's LLVM pass that plants x86 ptwrite
+   instructions.
+
+   Because insertion shifts instruction indices, [apply] also returns a
+   mapper from instrumented coordinates back to base-program coordinates;
+   the iterative driver keeps its accumulated recording set in base
+   coordinates across iterations. *)
+
+open Er_ir.Types
+
+type mapper = point -> point option
+(* [None] means the instrumented point is an inserted ptwrite itself. *)
+
+let apply (p : program) (points : point list) : program * mapper =
+  (* insertion indices per (func, block), deduplicated *)
+  let by_block : (string * string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun pt ->
+       let key = (pt.p_func, pt.p_block) in
+       let l =
+         match Hashtbl.find_opt by_block key with
+         | Some l -> l
+         | None ->
+             let l = ref [] in
+             Hashtbl.add by_block key l;
+             l
+       in
+       if not (List.mem pt.p_index !l) then l := pt.p_index :: !l)
+    points;
+  (* base index of each instrumented slot: Some orig | None for ptwrite *)
+  let back : (string * string, int option array) Hashtbl.t = Hashtbl.create 16 in
+  let instrument_block fname (b : block) =
+    let inserts =
+      match Hashtbl.find_opt by_block (fname, b.label) with
+      | Some l -> !l
+      | None -> []
+    in
+    let out = ref [] and origin = ref [] in
+    Array.iteri
+      (fun i instr ->
+         out := instr :: !out;
+         origin := Some i :: !origin;
+         if List.mem i inserts then
+           match def_of_instr instr with
+           | Some dst ->
+               out := Ptwrite { v = Reg dst } :: !out;
+               origin := None :: !origin
+           | None -> ())
+      b.instrs;
+    Hashtbl.replace back (fname, b.label) (Array.of_list (List.rev !origin));
+    { b with instrs = Array.of_list (List.rev !out) }
+  in
+  let funcs =
+    List.map
+      (fun f -> { f with blocks = List.map (instrument_block f.fname) f.blocks })
+      p.funcs
+  in
+  let mapper (pt : point) : point option =
+    match Hashtbl.find_opt back (pt.p_func, pt.p_block) with
+    | None -> Some pt
+    | Some origin ->
+        if pt.p_index >= Array.length origin then
+          (* terminator position: unchanged label, base index shifts by the
+             number of insertions *)
+          let inserted =
+            Array.fold_left
+              (fun n o -> if o = None then n + 1 else n)
+              0 origin
+          in
+          Some { pt with p_index = pt.p_index - inserted }
+        else
+          Option.map (fun i -> { pt with p_index = i }) origin.(pt.p_index)
+  in
+  ({ p with funcs }, mapper)
+
+(* Count of ptwrite instructions in a program (reporting). *)
+let ptwrite_count (p : program) =
+  List.fold_left
+    (fun acc f ->
+       List.fold_left
+         (fun acc (b : block) ->
+            Array.fold_left
+              (fun acc i -> match i with Ptwrite _ -> acc + 1 | _ -> acc)
+              acc b.instrs)
+         acc f.blocks)
+    0 p.funcs

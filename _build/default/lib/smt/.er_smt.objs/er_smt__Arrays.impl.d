@@ -1,0 +1,1 @@
+lib/smt/arrays.ml: Expr Hashtbl Int64 List Printf

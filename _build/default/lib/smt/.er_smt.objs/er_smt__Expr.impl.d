@@ -1,0 +1,1 @@
+lib/smt/expr.ml: Fmt Hashtbl Int64 List Printf Stdlib String Ty

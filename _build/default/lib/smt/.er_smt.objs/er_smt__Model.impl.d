@@ -1,0 +1,1 @@
+lib/smt/model.ml: Expr Fmt Hashtbl Int64 List Option String Ty

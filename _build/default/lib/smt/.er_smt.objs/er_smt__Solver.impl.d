@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Arrays Bitblast Expr Fmt List Model Sat

@@ -1,0 +1,1 @@
+lib/smt/ty.ml: Fmt Int64

@@ -1,0 +1,106 @@
+(* Array-theory elimination.
+
+   Reads over write chains are rewritten into ite towers
+   ([read (write a i v) j  ==>  ite (i = j) v (read a j)]), and reads from
+   base array variables are replaced by fresh bitvector variables related
+   by Ackermann congruence constraints
+   ([i_j = i_k  ==>  r_j = r_k] for every pair of reads of the same array).
+
+   This is the mechanism by which the two complexity sources identified by
+   the paper (length of symbolic write chains, size of the accessed
+   symbolic memory) translate into solver work: a read at the end of an
+   n-write chain becomes an n-deep ite tower, and m reads of one array
+   become m^2/2 congruence constraints. *)
+
+type read_witness = {
+  array : Expr.t;      (* the base array variable *)
+  index : Expr.t;      (* eliminated index expression *)
+  value : Expr.t;      (* the fresh bitvector variable standing for the read *)
+}
+
+type elim_result = {
+  assertions : Expr.t list;   (* array-free: original + congruence axioms *)
+  witnesses : read_witness list;
+}
+
+let fresh_read_counter = ref 0
+
+let fresh_read_var ~elt =
+  incr fresh_read_counter;
+  Expr.bv_var (Printf.sprintf "!read%d" !fresh_read_counter) ~width:elt
+
+let eliminate (assertions : Expr.t list) : elim_result =
+  let memo : (int, Expr.t) Hashtbl.t = Hashtbl.create 256 in
+  (* per base array variable: list of (index, read var), newest first *)
+  let base_reads : (int, (Expr.t * Expr.t) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let base_arrays : (int, Expr.t) Hashtbl.t = Hashtbl.create 16 in
+  let witnesses = ref [] in
+  let extra = ref [] in
+
+  (* Expand a read of [arr] at (already-eliminated) index [idx]. *)
+  let rec expand_read arr idx =
+    match Expr.node arr with
+    | Expr.Const_array d -> Expr.const ~width:(Expr.elt_width arr) d
+    | Expr.Write { arr = base; idx = widx; value } ->
+        let widx' = elim widx and value' = elim value in
+        (* constant/constant disequality skips the write entirely *)
+        (match Expr.to_const widx', Expr.to_const idx with
+         | Some a, Some b when not (Int64.equal a b) -> expand_read base idx
+         | Some a, Some b when Int64.equal a b -> value'
+         | _ -> Expr.ite (Expr.eq widx' idx) value' (expand_read base idx))
+    | Expr.Var _ ->
+        let key = Expr.id arr in
+        let reads =
+          match Hashtbl.find_opt base_reads key with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.add base_reads key r;
+              Hashtbl.add base_arrays key arr;
+              r
+        in
+        (* reuse an existing witness for a structurally equal index *)
+        (match List.find_opt (fun (i, _) -> Expr.equal i idx) !reads with
+         | Some (_, rv) -> rv
+         | None ->
+             let rv = fresh_read_var ~elt:(Expr.elt_width arr) in
+             (* congruence with every earlier read of the same array *)
+             List.iter
+               (fun (i', rv') ->
+                  extra :=
+                    Expr.implies (Expr.eq idx i') (Expr.eq rv rv') :: !extra)
+               !reads;
+             reads := (idx, rv) :: !reads;
+             witnesses := { array = arr; index = idx; value = rv } :: !witnesses;
+             rv)
+    | Expr.Ite (c, a, b) ->
+        (* push reads through array-valued ite *)
+        Expr.ite (elim c) (expand_read a idx) (expand_read b idx)
+    | Expr.Const _ | Expr.Unop _ | Expr.Binop _ | Expr.Cmp _ | Expr.Extract _
+    | Expr.Concat _ | Expr.Read _ ->
+        invalid_arg "Arrays.eliminate: ill-sorted array term"
+
+  and elim e =
+    match Hashtbl.find_opt memo (Expr.id e) with
+    | Some e' -> e'
+    | None ->
+        let e' =
+          match Expr.node e with
+          | Expr.Read { arr; idx } -> expand_read arr (elim idx)
+          | Expr.Const _ | Expr.Var _ | Expr.Const_array _ -> e
+          | Expr.Unop (op, a) -> Expr.unop op (elim a)
+          | Expr.Binop (op, a, b) -> Expr.binop op (elim a) (elim b)
+          | Expr.Cmp (op, a, b) -> Expr.cmp op (elim a) (elim b)
+          | Expr.Ite (c, a, b) -> Expr.ite (elim c) (elim a) (elim b)
+          | Expr.Extract { hi; lo; arg } -> Expr.extract ~hi ~lo (elim arg)
+          | Expr.Concat (a, b) -> Expr.concat (elim a) (elim b)
+          | Expr.Write { arr; idx; value } ->
+              Expr.write (elim arr) (elim idx) (elim value)
+        in
+        Hashtbl.add memo (Expr.id e) e';
+        e'
+  in
+  let out = List.map elim assertions in
+  { assertions = out @ !extra; witnesses = !witnesses }

@@ -1,0 +1,510 @@
+(* Hash-consed term DAG for the ER constraint language.
+
+   Every term is interned, so structural equality is physical equality and
+   each node has a unique small integer id.  Smart constructors perform
+   constant folding and the local rewrites that a solver front-end such as
+   STP would apply (read-over-write at equal/distinct constant indices,
+   neutral elements, ite collapsing, ...).  Ids are allocated from a global
+   counter; the whole library is single-threaded, as is the analysis
+   pipeline of the paper. *)
+
+type unop =
+  | Neg                              (* two's complement negation *)
+  | Lognot                           (* bitwise complement *)
+
+type binop =
+  | Add | Sub | Mul | Udiv | Urem
+  | And | Or | Xor
+  | Shl | Lshr | Ashr
+
+type cmpop = Eq | Ult | Ule | Slt | Sle
+
+type node =
+  | Const of int64                          (* value, truncated to width *)
+  | Var of string                           (* symbolic input *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | Ite of t * t * t
+  | Extract of { hi : int; lo : int; arg : t }
+  | Concat of t * t                         (* high-part, low-part *)
+  | Read of { arr : t; idx : t }
+  | Write of { arr : t; idx : t; value : t }
+  | Const_array of int64                    (* every element = default *)
+
+and t = { node : node; ty : Ty.t; id : int; hkey : int }
+
+let node e = e.node
+let ty e = e.ty
+let id e = e.id
+
+let width e = Ty.width e.ty
+
+let equal (a : t) (b : t) = a == b
+let compare (a : t) (b : t) = Stdlib.compare a.id b.id
+let hash (a : t) = a.hkey
+
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let hash_node ty n =
+  let ph = Hashtbl.hash in
+  let base =
+    match n with
+    | Const v -> ph (0, v)
+    | Var s -> ph (1, s)
+    | Unop (op, a) -> ph (2, op, a.id)
+    | Binop (op, a, b) -> ph (3, op, a.id, b.id)
+    | Cmp (op, a, b) -> ph (4, op, a.id, b.id)
+    | Ite (c, a, b) -> ph (5, c.id, a.id, b.id)
+    | Extract { hi; lo; arg } -> ph (6, hi, lo, arg.id)
+    | Concat (a, b) -> ph (7, a.id, b.id)
+    | Read { arr; idx } -> ph (8, arr.id, idx.id)
+    | Write { arr; idx; value } -> ph (9, arr.id, idx.id, value.id)
+    | Const_array v -> ph (10, v)
+  in
+  ph (base, ty)
+
+let node_equal na nb =
+  match na, nb with
+  | Const a, Const b -> Int64.equal a b
+  | Var a, Var b -> String.equal a b
+  | Unop (o1, a1), Unop (o2, a2) -> o1 = o2 && a1 == a2
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && a1 == a2 && b1 == b2
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> o1 = o2 && a1 == a2 && b1 == b2
+  | Ite (c1, a1, b1), Ite (c2, a2, b2) -> c1 == c2 && a1 == a2 && b1 == b2
+  | Extract e1, Extract e2 -> e1.hi = e2.hi && e1.lo = e2.lo && e1.arg == e2.arg
+  | Concat (a1, b1), Concat (a2, b2) -> a1 == a2 && b1 == b2
+  | Read r1, Read r2 -> r1.arr == r2.arr && r1.idx == r2.idx
+  | Write w1, Write w2 ->
+      w1.arr == w2.arr && w1.idx == w2.idx && w1.value == w2.value
+  | Const_array a, Const_array b -> Int64.equal a b
+  | ( ( Const _ | Var _ | Unop _ | Binop _ | Cmp _ | Ite _ | Extract _
+      | Concat _ | Read _ | Write _ | Const_array _ ),
+      _ ) ->
+      false
+
+module Key = struct
+  type nonrec t = t
+
+  let equal a b = node_equal a.node b.node && Ty.equal a.ty b.ty
+  let hash a = a.hkey
+end
+
+module Table = Hashtbl.Make (Key)
+
+let table : t Table.t = Table.create 65_536
+let next_id = ref 0
+
+let intern ty n =
+  let hkey = hash_node ty n in
+  let probe = { node = n; ty; id = -1; hkey } in
+  match Table.find_opt table probe with
+  | Some e -> e
+  | None ->
+      let e = { probe with id = !next_id } in
+      incr next_id;
+      Table.add table e e;
+      e
+
+(* Number of distinct terms ever created; used by the offline-overhead
+   experiment of section 5.3. *)
+let live_nodes () = !next_id
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let const ~width v = intern (Ty.bv width) (Const (Ty.truncate width v))
+let bool_ b = const ~width:1 (if b then 1L else 0L)
+let tru = bool_ true
+let fls = bool_ false
+
+let var name ty = intern ty (Var name)
+let bv_var name ~width = var name (Ty.bv width)
+let arr_var name ~idx ~elt = var name (Ty.arr ~idx ~elt)
+let const_array ~idx ~elt default =
+  intern (Ty.arr ~idx ~elt) (Const_array (Ty.truncate elt default))
+
+let is_const e = match e.node with Const _ -> true | _ -> false
+
+let to_const e = match e.node with Const v -> Some v | _ -> None
+
+let is_true e = match e.node with Const 1L when width e = 1 -> true | _ -> false
+let is_false e = match e.node with Const 0L when width e = 1 -> true | _ -> false
+
+let elt_width e =
+  match e.ty with
+  | Ty.Arr { elt; _ } -> elt
+  | Ty.Bv _ -> invalid_arg "Expr.elt_width: not an array"
+
+let idx_width e =
+  match e.ty with
+  | Ty.Arr { idx; _ } -> idx
+  | Ty.Bv _ -> invalid_arg "Expr.idx_width: not an array"
+
+(* --- concrete semantics of the operators (shared with Model.eval) --- *)
+
+let eval_unop op w a =
+  let open Int64 in
+  match op with
+  | Neg -> Ty.truncate w (neg a)
+  | Lognot -> Ty.truncate w (lognot a)
+
+let eval_binop op w a b =
+  let open Int64 in
+  match op with
+  | Add -> Ty.truncate w (add a b)
+  | Sub -> Ty.truncate w (sub a b)
+  | Mul -> Ty.truncate w (mul a b)
+  | Udiv -> if equal b 0L then Ty.mask w else Ty.truncate w (unsigned_div a b)
+  | Urem -> if equal b 0L then a else Ty.truncate w (unsigned_rem a b)
+  | And -> logand a b
+  | Or -> logor a b
+  | Xor -> logxor a b
+  | Shl ->
+      let s = to_int (Ty.truncate w b) in
+      if s >= w then 0L else Ty.truncate w (shift_left a s)
+  | Lshr ->
+      let s = to_int (Ty.truncate w b) in
+      if s >= w then 0L else shift_right_logical a s
+  | Ashr ->
+      let s = to_int (Ty.truncate w b) in
+      let sa = Ty.sign_extend w a in
+      if s >= 63 then Ty.truncate w (shift_right sa 63)
+      else Ty.truncate w (shift_right sa s)
+
+let eval_cmp op w a b =
+  let sa = Ty.sign_extend w a and sb = Ty.sign_extend w b in
+  match op with
+  | Eq -> Int64.equal a b
+  | Ult -> Int64.unsigned_compare a b < 0
+  | Ule -> Int64.unsigned_compare a b <= 0
+  | Slt -> Int64.compare sa sb < 0
+  | Sle -> Int64.compare sa sb <= 0
+
+(* --- bitvector operations with folding ------------------------------ *)
+
+let unop op a =
+  let w = width a in
+  match a.node with
+  | Const va -> const ~width:w (eval_unop op w va)
+  | _ -> intern a.ty (Unop (op, a))
+
+let check_same_width name a b =
+  if width a <> width b then
+    invalid_arg (Printf.sprintf "Expr.%s: width mismatch (%d vs %d)"
+                   name (width a) (width b))
+
+let rec binop op a b =
+  check_same_width "binop" a b;
+  let w = width a in
+  match a.node, b.node with
+  | Const va, Const vb -> const ~width:w (eval_binop op w va vb)
+  | _ -> (
+      match op with
+      | Add -> (
+          match a.node, b.node with
+          | Const 0L, _ -> b
+          | _, Const 0L -> a
+          (* (x + c1) + c2  ==>  x + (c1+c2): keeps address arithmetic flat *)
+          | Binop (Add, x, { node = Const c1; _ }), Const c2 ->
+              binop Add x (const ~width:w (Int64.add c1 c2))
+          | Const _, _ -> intern a.ty (Binop (Add, b, a))
+          | _ -> intern a.ty (Binop (Add, a, b)))
+      | Sub ->
+          if a == b then const ~width:w 0L
+          else if is_const_zero b then a
+          else intern a.ty (Binop (Sub, a, b))
+      | Mul -> (
+          match a.node, b.node with
+          | Const 0L, _ -> a
+          | _, Const 0L -> b
+          | Const 1L, _ -> b
+          | _, Const 1L -> a
+          | Const _, _ -> intern a.ty (Binop (Mul, b, a))
+          | _ -> intern a.ty (Binop (Mul, a, b)))
+      | And -> (
+          match a.node, b.node with
+          | Const 0L, _ -> a
+          | _, Const 0L -> b
+          | Const m, _ when Int64.equal m (Ty.mask w) -> b
+          | _, Const m when Int64.equal m (Ty.mask w) -> a
+          | _ when a == b -> a
+          | _ -> intern a.ty (Binop (And, a, b)))
+      | Or -> (
+          match a.node, b.node with
+          | Const 0L, _ -> b
+          | _, Const 0L -> a
+          | Const m, _ when Int64.equal m (Ty.mask w) -> a
+          | _, Const m when Int64.equal m (Ty.mask w) -> b
+          | _ when a == b -> a
+          | _ -> intern a.ty (Binop (Or, a, b)))
+      | Xor ->
+          if a == b then const ~width:w 0L
+          else if is_const_zero a then b
+          else if is_const_zero b then a
+          else intern a.ty (Binop (Xor, a, b))
+      | Shl | Lshr | Ashr ->
+          if is_const_zero b then a else intern a.ty (Binop (op, a, b))
+      | Udiv ->
+          (match b.node with
+           | Const 1L -> a
+           | _ -> intern a.ty (Binop (op, a, b)))
+      | Urem -> intern a.ty (Binop (op, a, b)))
+
+and is_const_zero e = match e.node with Const 0L -> true | _ -> false
+
+let add a b = binop Add a b
+let sub a b = binop Sub a b
+let mul a b = binop Mul a b
+let udiv a b = binop Udiv a b
+let urem a b = binop Urem a b
+let logand_ a b = binop And a b
+let logor_ a b = binop Or a b
+let logxor_ a b = binop Xor a b
+let shl a b = binop Shl a b
+let lshr a b = binop Lshr a b
+let ashr a b = binop Ashr a b
+let neg a = unop Neg a
+let lognot_ a = unop Lognot a
+
+let cmp op a b =
+  check_same_width "cmp" a b;
+  let w = width a in
+  match a.node, b.node with
+  | Const va, Const vb -> bool_ (eval_cmp op w va vb)
+  | _ ->
+      if a == b then
+        bool_ (match op with Eq | Ule | Sle -> true | Ult | Slt -> false)
+      else
+        (* orient equality by id so that [eq a b] and [eq b a] intern to the
+           same node *)
+        let a, b =
+          match op with Eq when a.id > b.id -> b, a | _ -> a, b
+        in
+        intern Ty.bool (Cmp (op, a, b))
+
+let eq a b = cmp Eq a b
+let ult a b = cmp Ult a b
+let ule a b = cmp Ule a b
+let slt a b = cmp Slt a b
+let sle a b = cmp Sle a b
+
+let not_ a =
+  if width a <> 1 then invalid_arg "Expr.not_: not a boolean";
+  match a.node with
+  | Const v -> bool_ (Int64.equal v 0L)
+  | Unop (Lognot, inner) -> inner
+  | _ -> unop Lognot a
+
+let ne a b = not_ (eq a b)
+let ugt a b = ult b a
+let uge a b = ule b a
+let sgt a b = slt b a
+let sge a b = sle b a
+
+let and_ a b =
+  if is_true a then b
+  else if is_true b then a
+  else if is_false a || is_false b then fls
+  else logand_ a b
+
+let or_ a b =
+  if is_false a then b
+  else if is_false b then a
+  else if is_true a || is_true b then tru
+  else logor_ a b
+
+let implies a b = or_ (not_ a) b
+
+let conj = function
+  | [] -> tru
+  | e :: rest -> List.fold_left and_ e rest
+
+let ite c a b =
+  if width c <> 1 then invalid_arg "Expr.ite: condition not boolean";
+  if not (Ty.equal a.ty b.ty) then invalid_arg "Expr.ite: branch sort mismatch";
+  if is_true c then a
+  else if is_false c then b
+  else if a == b then a
+  else
+    match a.node, b.node with
+    (* ite c 1 0 = c ; ite c 0 1 = not c (boolean-valued ite) *)
+    | Const 1L, Const 0L when Ty.equal a.ty Ty.bool -> c
+    | Const 0L, Const 1L when Ty.equal a.ty Ty.bool -> not_ c
+    | _ -> intern a.ty (Ite (c, a, b))
+
+let extract ~hi ~lo arg =
+  let w = width arg in
+  if lo < 0 || hi >= w || hi < lo then invalid_arg "Expr.extract: bad range";
+  if lo = 0 && hi = w - 1 then arg
+  else
+    let nw = hi - lo + 1 in
+    match arg.node with
+    | Const v ->
+        const ~width:nw (Int64.shift_right_logical v lo)
+    | Extract { lo = lo'; arg = inner; _ } ->
+        intern (Ty.bv nw) (Extract { hi = hi + lo'; lo = lo + lo'; arg = inner })
+    | _ -> intern (Ty.bv nw) (Extract { hi; lo; arg })
+
+let concat hi lo =
+  let wh = width hi and wl = width lo in
+  if wh + wl > 64 then invalid_arg "Expr.concat: result too wide";
+  match hi.node, lo.node with
+  | Const vh, Const vl ->
+      const ~width:(wh + wl) (Int64.logor (Int64.shift_left vh wl) vl)
+  | _ -> intern (Ty.bv (wh + wl)) (Concat (hi, lo))
+
+let zero_extend ~to_ arg =
+  let w = width arg in
+  if to_ < w then invalid_arg "Expr.zero_extend";
+  if to_ = w then arg else concat (const ~width:(to_ - w) 0L) arg
+
+let sign_extend_e ~to_ arg =
+  let w = width arg in
+  if to_ < w then invalid_arg "Expr.sign_extend";
+  if to_ = w then arg
+  else
+    let sign = extract ~hi:(w - 1) ~lo:(w - 1) arg in
+    let ext = ite (eq sign (const ~width:1 1L)) (const ~width:(to_ - w) (-1L))
+        (const ~width:(to_ - w) 0L) in
+    concat ext arg
+
+let truncate ~to_ arg =
+  let w = width arg in
+  if to_ > w then invalid_arg "Expr.truncate";
+  if to_ = w then arg else extract ~hi:(to_ - 1) ~lo:0 arg
+
+(* --- array operations ----------------------------------------------- *)
+
+let write arr idx value =
+  (match arr.ty with
+   | Ty.Arr { idx = iw; elt = ew } ->
+       if width idx <> iw then invalid_arg "Expr.write: index width";
+       if width value <> ew then invalid_arg "Expr.write: element width"
+   | Ty.Bv _ -> invalid_arg "Expr.write: not an array");
+  (* write a i (read a i) = a *)
+  (match value.node with
+   | Read { arr = a'; idx = i' } when a' == arr && i' == idx -> arr
+   | _ ->
+       (* overwrite at the same index: write (write a i v) i w = write a i w *)
+       match arr.node with
+       | Write { arr = base; idx = i'; _ } when i' == idx ->
+           intern arr.ty (Write { arr = base; idx; value })
+       | _ -> intern arr.ty (Write { arr; idx; value }))
+
+let rec read arr idx =
+  (match arr.ty with
+   | Ty.Arr { idx = iw; _ } ->
+       if width idx <> iw then invalid_arg "Expr.read: index width"
+   | Ty.Bv _ -> invalid_arg "Expr.read: not an array");
+  match arr.node with
+  | Const_array default -> const ~width:(elt_width arr) default
+  | Write { arr = base; idx = widx; value } -> (
+      if widx == idx then value
+      else
+        match widx.node, idx.node with
+        (* distinct constant indices: skip over the write *)
+        | Const a, Const b when not (Int64.equal a b) -> read base idx
+        | _ -> intern (Ty.bv (elt_width arr)) (Read { arr; idx }))
+  | _ -> intern (Ty.bv (elt_width arr)) (Read { arr; idx })
+
+(* ------------------------------------------------------------------ *)
+(* Traversal helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let children e =
+  match e.node with
+  | Const _ | Var _ | Const_array _ -> []
+  | Unop (_, a) | Extract { arg = a; _ } -> [ a ]
+  | Binop (_, a, b) | Cmp (_, a, b) | Concat (a, b) -> [ a; b ]
+  | Ite (a, b, c) -> [ a; b; c ]
+  | Read { arr; idx } -> [ arr; idx ]
+  | Write { arr; idx; value } -> [ arr; idx; value ]
+
+(* Depth-first post-order fold over the distinct subterms of [roots]. *)
+let fold_subterms f acc roots =
+  let seen = Hashtbl.create 256 in
+  let acc = ref acc in
+  let rec go e =
+    if not (Hashtbl.mem seen e.id) then begin
+      Hashtbl.add seen e.id ();
+      List.iter go (children e);
+      acc := f !acc e
+    end
+  in
+  List.iter go roots;
+  !acc
+
+let iter_subterms f roots = fold_subterms (fun () e -> f e) () roots
+
+let size e = fold_subterms (fun n _ -> n + 1) 0 [ e ]
+
+(* Free variables, in first-occurrence order. *)
+let vars roots =
+  List.rev
+    (fold_subterms
+       (fun acc e -> match e.node with Var _ -> e :: acc | _ -> acc)
+       [] roots)
+
+(* Parallel substitution of interned terms. *)
+let substitute map roots =
+  let memo = Hashtbl.create 256 in
+  let rec go e =
+    match Hashtbl.find_opt memo e.id with
+    | Some e' -> e'
+    | None ->
+        let e' =
+          match map e with
+          | Some r -> r
+          | None -> (
+              match e.node with
+              | Const _ | Var _ | Const_array _ -> e
+              | Unop (op, a) -> unop op (go a)
+              | Binop (op, a, b) -> binop op (go a) (go b)
+              | Cmp (op, a, b) -> cmp op (go a) (go b)
+              | Ite (c, a, b) -> ite (go c) (go a) (go b)
+              | Extract { hi; lo; arg } -> extract ~hi ~lo (go arg)
+              | Concat (a, b) -> concat (go a) (go b)
+              | Read { arr; idx } -> read (go arr) (go idx)
+              | Write { arr; idx; value } -> write (go arr) (go idx) (go value))
+        in
+        Hashtbl.add memo e.id e';
+        e'
+  in
+  List.map go roots
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let unop_name = function Neg -> "neg" | Lognot -> "not"
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Udiv -> "udiv"
+  | Urem -> "urem" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+
+let cmpop_name = function
+  | Eq -> "eq" | Ult -> "ult" | Ule -> "ule" | Slt -> "slt" | Sle -> "sle"
+
+let rec pp ppf e =
+  match e.node with
+  | Const v ->
+      if width e = 1 then Fmt.string ppf (if Int64.equal v 1L then "true" else "false")
+      else Fmt.pf ppf "%Ld:bv%d" v (width e)
+  | Var s -> Fmt.string ppf s
+  | Unop (op, a) -> Fmt.pf ppf "(%s %a)" (unop_name op) pp a
+  | Binop (op, a, b) -> Fmt.pf ppf "(%s %a %a)" (binop_name op) pp a pp b
+  | Cmp (op, a, b) -> Fmt.pf ppf "(%s %a %a)" (cmpop_name op) pp a pp b
+  | Ite (c, a, b) -> Fmt.pf ppf "(ite %a %a %a)" pp c pp a pp b
+  | Extract { hi; lo; arg } -> Fmt.pf ppf "(extract %d %d %a)" hi lo pp arg
+  | Concat (a, b) -> Fmt.pf ppf "(concat %a %a)" pp a pp b
+  | Read { arr; idx } -> Fmt.pf ppf "(read %a %a)" pp arr pp idx
+  | Write { arr; idx; value } ->
+      Fmt.pf ppf "(write %a %a %a)" pp arr pp idx pp value
+  | Const_array v -> Fmt.pf ppf "(const-array %Ld)" v
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,73 @@
+(* Satisfying assignments: concrete values for the bitvector variables of a
+   formula, plus point-wise values for reads of base array variables.  The
+   evaluator doubles as the reference concrete semantics used by the tests
+   to validate the bit-blaster. *)
+
+type t = {
+  values : (string, int64) Hashtbl.t;
+  (* array var name -> (index, element) points read by the formula *)
+  array_points : (string, (int64 * int64) list) Hashtbl.t;
+}
+
+let empty () = { values = Hashtbl.create 16; array_points = Hashtbl.create 4 }
+
+let set m name v = Hashtbl.replace m.values name v
+let value m name = Hashtbl.find_opt m.values name
+
+let add_array_point m name ~index ~elt =
+  let pts = Option.value ~default:[] (Hashtbl.find_opt m.array_points name) in
+  if not (List.mem_assoc index pts) then
+    Hashtbl.replace m.array_points name ((index, elt) :: pts)
+
+let array_points m name =
+  Option.value ~default:[] (Hashtbl.find_opt m.array_points name)
+
+let bindings m =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.values []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Ground evaluation of a bitvector term under the model.  Unassigned
+   variables evaluate to zero (a SAT model only constrains the variables the
+   CNF mentions; any extension is still a model). *)
+let rec eval m (e : Expr.t) : int64 =
+  match Expr.node e with
+  | Expr.Const v -> v
+  | Expr.Var name -> Option.value ~default:0L (value m name)
+  | Expr.Unop (op, a) -> Expr.eval_unop op (Expr.width e) (eval m a)
+  | Expr.Binop (op, a, b) ->
+      Expr.eval_binop op (Expr.width e) (eval m a) (eval m b)
+  | Expr.Cmp (op, a, b) ->
+      if Expr.eval_cmp op (Expr.width a) (eval m a) (eval m b) then 1L else 0L
+  | Expr.Ite (c, a, b) -> if Int64.equal (eval m c) 1L then eval m a else eval m b
+  | Expr.Extract { hi; lo; arg } ->
+      Ty.truncate (hi - lo + 1) (Int64.shift_right_logical (eval m arg) lo)
+  | Expr.Concat (hi, lo) ->
+      let wl = Expr.width lo in
+      Int64.logor (Int64.shift_left (eval m hi) wl) (eval m lo)
+  | Expr.Read { arr; idx } -> eval_read m arr (eval m idx)
+  | Expr.Write _ | Expr.Const_array _ ->
+      invalid_arg "Model.eval: array-sorted term"
+
+and eval_read m arr index =
+  match Expr.node arr with
+  | Expr.Const_array d -> d
+  | Expr.Write { arr = base; idx; value } ->
+      if Int64.equal (eval m idx) index then eval m value
+      else eval_read m base index
+  | Expr.Var name -> (
+      match List.assoc_opt index (array_points m name) with
+      | Some v -> v
+      | None -> 0L)
+  | Expr.Ite (c, a, b) ->
+      if Int64.equal (eval m c) 1L then eval_read m a index
+      else eval_read m b index
+  | Expr.Const _ | Expr.Unop _ | Expr.Binop _ | Expr.Cmp _ | Expr.Extract _
+  | Expr.Concat _ | Expr.Read _ ->
+      invalid_arg "Model.eval_read: ill-sorted array term"
+
+let holds m e = Int64.equal (eval m e) 1L
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list (fun ppf (k, v) -> Fmt.pf ppf "%s = %Ld" k v))
+    (bindings m)

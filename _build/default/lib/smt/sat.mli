@@ -1,0 +1,33 @@
+(** A from-scratch CDCL SAT solver (MiniSat lineage): two watched
+    literals, first-UIP learning, VSIDS decisions, phase saving, Luby
+    restarts — with a deterministic work budget so that timeouts are a
+    property of the formula, not of the machine. *)
+
+type result = Sat | Unsat | Unknown
+
+type t
+
+val create : unit -> t
+
+(** Allocate a variable; returns its external (1-based, DIMACS) index. *)
+val new_var : t -> int
+
+(** Add a clause of DIMACS literals (non-zero; sign = polarity).  Must be
+    called at decision level zero (before or between [solve] calls). *)
+val add_clause : t -> int list -> unit
+
+(** [solve ~budget t] searches until a model or refutation is found, or
+    until the budget (propagations + weighted conflicts) is exhausted. *)
+val solve : ?budget:int -> t -> result
+
+(** Model value of an external variable after [Sat]. *)
+val value : t -> int -> bool
+
+(** (propagations, conflicts, clauses) *)
+val stats : t -> int * int * int
+
+val num_vars : t -> int
+
+(** Test hook: observe each learned clause (internal literal encoding),
+    used by the SAT fuzz harness to validate learning. *)
+val learn_hook : (int array -> unit) option ref

@@ -1,0 +1,97 @@
+(* The budgeted check-sat entry point: array elimination, bit-blasting,
+   CDCL search, model reconstruction.
+
+   [Unknown] is the solver-timeout outcome that drives ER's iterative
+   algorithm.  The budget is deterministic (gate count for blasting,
+   propagation count for search) so that "the solver stalls on this
+   formula" is a property of the formula, not of the machine. *)
+
+type outcome =
+  | Sat of Model.t
+  | Unsat
+  | Unknown of string
+
+type stats = {
+  sat_vars : int;
+  gates : int;
+  propagations : int;
+  conflicts : int;
+  clauses : int;
+}
+
+let last_stats = ref None
+
+(* Default budgets: generous enough for well-conditioned queries, small
+   enough that ite towers from long write chains exhaust them. *)
+let default_budget = 4_000_000
+let default_gate_budget = 400_000
+
+let check ?(budget = default_budget) ?(gate_budget = default_gate_budget)
+    (assertions : Expr.t list) : outcome =
+  (* fast path on literal constants *)
+  let assertions = List.filter (fun e -> not (Expr.is_true e)) assertions in
+  if List.exists Expr.is_false assertions then Unsat
+  else if assertions = [] then Sat (Model.empty ())
+  else begin
+    let { Arrays.assertions = flat; witnesses } = Arrays.eliminate assertions in
+    let sat = Sat.create () in
+    let ctx = Bitblast.create ~gate_budget sat in
+    match List.iter (Bitblast.assert_true ctx) flat with
+    | exception Bitblast.Too_large ->
+        last_stats := None;
+        Unknown "gate budget exhausted during bit-blasting"
+    | () -> (
+        let res = Sat.solve ~budget sat in
+        let propagations, conflicts, clauses = Sat.stats sat in
+        last_stats :=
+          Some
+            {
+              sat_vars = Sat.num_vars sat;
+              gates = Bitblast.gate_count ctx;
+              propagations;
+              conflicts;
+              clauses;
+            };
+        match res with
+        | Sat.Unsat -> Unsat
+        | Sat.Unknown -> Unknown "propagation budget exhausted during search"
+        | Sat.Sat ->
+            let m = Model.empty () in
+            List.iter
+              (fun (var, bits) ->
+                 match Expr.node var with
+                 | Expr.Var name ->
+                     Model.set m name (Bitblast.value_of_bits sat bits)
+                 | _ -> assert false)
+              (Bitblast.blasted_vars ctx);
+            (* reconstruct array points from the read witnesses *)
+            List.iter
+              (fun { Arrays.array; index; value } ->
+                 match Expr.node array with
+                 | Expr.Var name ->
+                     Model.add_array_point m name ~index:(Model.eval m index)
+                       ~elt:(Model.eval m value)
+                 | _ -> assert false)
+              witnesses;
+            Sat m)
+  end
+
+(* Convenience wrappers used by the symbolic executor. *)
+
+let is_satisfiable ?budget ?gate_budget assertions =
+  match check ?budget ?gate_budget assertions with
+  | Sat _ -> Some true
+  | Unsat -> Some false
+  | Unknown _ -> None
+
+(* Is [e] forced true under [assumptions]?  (valid iff ¬e unsat) *)
+let must_be_true ?budget ?gate_budget assumptions e =
+  match check ?budget ?gate_budget (Expr.not_ e :: assumptions) with
+  | Unsat -> Some true
+  | Sat _ -> Some false
+  | Unknown _ -> None
+
+let pp_outcome ppf = function
+  | Sat _ -> Fmt.string ppf "sat"
+  | Unsat -> Fmt.string ppf "unsat"
+  | Unknown why -> Fmt.pf ppf "unknown (%s)" why

@@ -1,0 +1,43 @@
+(** Budgeted check-sat over bitvector+array assertions.
+
+    The pipeline is: array elimination ({!Arrays}), Tseitin bit-blasting
+    ({!Bitblast}), CDCL search ({!Sat}), model reconstruction ({!Model}).
+    Budgets are deterministic work counters, ER's stand-in for the
+    paper's 30-second solver timeout: a query either solves, refutes, or
+    *stalls* ([Unknown]) identically on every machine. *)
+
+type outcome =
+  | Sat of Model.t
+  | Unsat
+  | Unknown of string  (** budget exhausted: a symbolic-execution stall *)
+
+type stats = {
+  sat_vars : int;
+  gates : int;
+  propagations : int;
+  conflicts : int;
+  clauses : int;
+}
+
+(** Statistics of the most recent [check] call, if it reached the SAT
+    core.  Used for the deterministic solver-work accounting behind the
+    Fig. 5 progress curves. *)
+val last_stats : stats option ref
+
+val default_budget : int
+val default_gate_budget : int
+
+(** [check ~budget ~gate_budget assertions] decides the conjunction of
+    width-1 [assertions].  [gate_budget] caps bit-blasting work,
+    [budget] caps SAT propagation work. *)
+val check : ?budget:int -> ?gate_budget:int -> Expr.t list -> outcome
+
+(** [Some true] / [Some false] when decided within budget, [None] on a
+    stall. *)
+val is_satisfiable : ?budget:int -> ?gate_budget:int -> Expr.t list -> bool option
+
+(** Is [e] entailed by [assumptions]?  ([Some true] iff [not e] is unsat.) *)
+val must_be_true :
+  ?budget:int -> ?gate_budget:int -> Expr.t list -> Expr.t -> bool option
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/symex/cgraph.ml: Er_ir Er_smt Fmt Hashtbl

@@ -1,0 +1,1 @@
+lib/symex/exec.ml: Array Cgraph Er_ir Er_smt Er_trace Er_vm Hashtbl Int64 List Option Printf Sval Symmem

@@ -1,0 +1,1 @@
+lib/symex/exec.mli: Cgraph Er_ir Er_smt Er_trace Er_vm Symmem

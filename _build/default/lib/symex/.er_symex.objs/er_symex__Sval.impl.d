@@ -1,0 +1,1 @@
+lib/symex/sval.ml: Er_smt Er_vm Fmt Int64

@@ -1,0 +1,1 @@
+lib/symex/symmem.ml: Er_ir Er_smt Hashtbl Int Int64 List

@@ -1,0 +1,739 @@
+(* Shepherded symbolic execution (section 3.2).
+
+   The executor replays the decoded runtime trace over the program: every
+   conditional branch consumes the next TNT bit and asserts the branch
+   condition's outcome; every ptwrite consumes the next PTW value and
+   concretizes the instrumented register; thread chunks follow the
+   recorded TIP/MTC schedule.  There is no forking — path explosion is
+   gone by construction.
+
+   The solver is invoked at symbolic memory accesses and at the final
+   failure state.  A budgeted query that returns Unknown is a *stall*
+   (the paper's solver timeout), and the executor returns the constraint
+   graph so that key data value selection can pick what to record on the
+   next failure occurrence. *)
+
+open Er_ir.Types
+module Expr = Er_smt.Expr
+module Solver = Er_smt.Solver
+module Failure_ = Er_vm.Failure
+
+type config = {
+  solver_budget : int;
+  gate_budget : int;
+  max_steps : int;
+  progress_every : int;       (* sample period for Fig 5, in steps *)
+}
+
+let default_config =
+  {
+    solver_budget = 600_000;
+    gate_budget = 120_000;
+    max_steps = 30_000_000;
+    progress_every = 1_000;
+  }
+
+type stall_info = {
+  graph : Cgraph.t;
+  memory : Symmem.t;
+  stalled_at : point;
+  stall_reason : string;
+}
+
+type solution = {
+  model : Er_smt.Model.t;
+  (* input reads in consumption order: stream, symbolic variable, width *)
+  input_log : (string * Expr.t) list;
+  path_constraints : Expr.t list;
+}
+
+type outcome =
+  | Complete of solution
+  | Stalled of stall_info
+  | Diverged of string
+
+type progress_sample = { ps_steps : int; ps_solver_cost : int }
+
+type result = {
+  outcome : outcome;
+  steps : int;
+  solver_calls : int;
+  solver_cost : int;          (* deterministic: gates + propagations *)
+  progress : progress_sample list;
+}
+
+(* --- executor state ----------------------------------------------------- *)
+
+type frame = {
+  fr_func : func;
+  mutable fr_block : block;
+  mutable fr_ip : int;
+  fr_regs : (string, Sval.t) Hashtbl.t;
+  fr_dst : reg option;
+  mutable fr_stack_objs : int list;
+}
+
+type thread = {
+  tid : int;
+  mutable stack : frame list;
+  mutable live : bool;
+}
+
+type st = {
+  prog : Er_ir.Prog.t;
+  cfg : config;
+  trace : Er_trace.Decoder.split;
+  failure : Failure_.t;
+  failure_clock : int;
+  graph : Cgraph.t;
+  mem : Symmem.t;
+  globals : (string, int) Hashtbl.t;      (* name -> object id *)
+  mutable threads : thread list;
+  mutable next_tid : int;
+  mutable clock : int;
+  mutable branch_i : int;
+  mutable data_i : int;
+  mutable sched_i : int;
+  mutable path : Expr.t list;             (* newest first *)
+  mutable input_log : (string * Expr.t) list; (* newest first *)
+  input_counters : (string, int ref) Hashtbl.t;
+  mutable solver_calls : int;
+  mutable solver_cost : int;
+  mutable progress : progress_sample list;
+}
+
+exception Diverge of string
+exception Stall of { at : point; reason : string }
+
+(* --- solver helper -------------------------------------------------------- *)
+
+let sample st =
+  st.progress <- { ps_steps = st.clock; ps_solver_cost = st.solver_cost } :: st.progress
+
+let query st ~at extra =
+  st.solver_calls <- st.solver_calls + 1;
+  let r =
+    Solver.check ~budget:st.cfg.solver_budget ~gate_budget:st.cfg.gate_budget
+      (extra @ st.path)
+  in
+  (match !Solver.last_stats with
+   | Some s -> st.solver_cost <- st.solver_cost + s.Solver.gates + s.Solver.propagations
+   | None -> st.solver_cost <- st.solver_cost + st.cfg.gate_budget);
+  sample st;
+  match r with
+  | Solver.Unknown reason -> raise (Stall { at; reason })
+  | Solver.Sat m -> Some m
+  | Solver.Unsat -> None
+
+let assert_feasible st ~at ~what extra =
+  match query st ~at extra with
+  | Some _ -> List.iter (fun e -> if not (Expr.is_true e) then
+                            st.path <- e :: st.path) extra
+  | None -> raise (Diverge (Printf.sprintf "infeasible %s at %s" what
+                              (point_to_string at)))
+
+(* --- value helpers --------------------------------------------------------- *)
+
+let bvc ~width v = Expr.const ~width v
+
+let norm_expr ty e =
+  let w = width_of_ty ty in
+  let ew = Expr.width e in
+  if ew = w then e
+  else if ew > w then Expr.truncate ~to_:w e
+  else Expr.zero_extend ~to_:w e
+
+let eval_value st (fr : frame) v : Sval.t =
+  match v with
+  | Imm (value, ty) -> Sval.Bv (bvc ~width:(width_of_ty ty) value)
+  | Null -> Sval.null
+  | Global g -> (
+      match Hashtbl.find_opt st.globals g with
+      | Some obj -> Sval.Ptr { obj; index = bvc ~width:32 0L }
+      | None -> invalid_arg ("Exec: unknown global " ^ g))
+  | Reg r -> (
+      match Hashtbl.find_opt fr.fr_regs r with
+      | Some sv -> sv
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Exec: read of undefined register %s in %s" r
+               fr.fr_func.fname))
+
+let point_of (fr : frame) =
+  { p_func = fr.fr_func.fname; p_block = fr.fr_block.label; p_index = fr.fr_ip }
+
+let set_reg st (fr : frame) r (sv : Sval.t) =
+  (* provenance: this register definition is a recordable program point *)
+  (match sv with
+   | Sval.Bv e -> Cgraph.define st.graph (point_of fr) e
+   | Sval.Ptr { index; _ } -> Cgraph.define st.graph (point_of fr) index);
+  Hashtbl.replace fr.fr_regs r sv
+
+let smt_binop : binop -> Expr.binop = function
+  | Add -> Expr.Add | Sub -> Expr.Sub | Mul -> Expr.Mul | Udiv -> Expr.Udiv
+  | Urem -> Expr.Urem | And -> Expr.And | Or -> Expr.Or | Xor -> Expr.Xor
+  | Shl -> Expr.Shl | Lshr -> Expr.Lshr | Ashr -> Expr.Ashr
+
+let sym_cmp op ty (a : Sval.t) (b : Sval.t) : Expr.t =
+  let ea, eb =
+    match a, b with
+    | Sval.Ptr { obj = oa; index = ia }, Sval.Ptr { obj = ob; index = ib }
+      when oa = ob ->
+        (* same-object pointer comparison reduces to index comparison *)
+        ia, ib
+    | _ -> norm_expr ty (Sval.expect_bv a), norm_expr ty (Sval.expect_bv b)
+  in
+  match op with
+  | Eq -> Expr.eq ea eb
+  | Ne -> Expr.ne ea eb
+  | Ult -> Expr.ult ea eb
+  | Ule -> Expr.ule ea eb
+  | Ugt -> Expr.ugt ea eb
+  | Uge -> Expr.uge ea eb
+  | Slt -> Expr.slt ea eb
+  | Sle -> Expr.sle ea eb
+  | Sgt -> Expr.sgt ea eb
+  | Sge -> Expr.sge ea eb
+
+(* --- memory access ---------------------------------------------------------- *)
+
+(* Resolve an address value to (object, 32-bit index expr).  A symbolic
+   packed pointer is concretized to one object via a solver model, the way
+   ER's engine resolves symbolic memory accesses to concrete objects. *)
+let resolve_addr st ~at (sv : Sval.t) : Symmem.sobj * Expr.t =
+  let obj_of id =
+    match Symmem.find st.mem id with
+    | Some o -> o
+    | None -> raise (Diverge (Printf.sprintf "access to unknown object %d" id))
+  in
+  match sv with
+  | Sval.Ptr { obj; index } -> obj_of obj, index
+  | Sval.Bv e -> (
+      match Sval.decode_ptr e with
+      | Sval.Ptr { obj; index } -> obj_of obj, index
+      | Sval.Bv e -> (
+          (* fully symbolic address: ask the solver for a concrete object *)
+          match query st ~at [] with
+          | None -> raise (Diverge "path infeasible at address resolution")
+          | Some m ->
+              let v = Er_smt.Model.eval m e in
+              let obj = Er_vm.Memory.ptr_obj v in
+              let hi = Expr.extract ~hi:63 ~lo:32 e in
+              let pin = Expr.eq hi (bvc ~width:32 (Int64.of_int obj)) in
+              st.path <- pin :: st.path;
+              obj_of obj, Expr.extract ~hi:31 ~lo:0 e))
+
+(* A non-failing access must be in bounds; with a symbolic index this is
+   where the solver gets invoked and where stalls happen. *)
+let check_bounds st ~at (o : Symmem.sobj) idx =
+  if o.Symmem.s_freed then
+    raise (Diverge (Printf.sprintf "access to freed object %d mid-trace" o.Symmem.s_id));
+  match Expr.to_const idx with
+  | Some v ->
+      let i = Int64.to_int v in
+      if i < 0 || i >= o.Symmem.s_size then
+        raise
+          (Diverge
+             (Printf.sprintf "concrete out-of-bounds mid-trace (obj %d idx %d)"
+                o.Symmem.s_id i))
+  | None ->
+      let bound = Expr.ult idx (bvc ~width:32 (Int64.of_int o.Symmem.s_size)) in
+      assert_feasible st ~at ~what:"memory bounds" [ bound ]
+
+let access_ty_ok (o : Symmem.sobj) ty = o.Symmem.s_elt_ty = ty
+
+(* --- the failing instruction ------------------------------------------------ *)
+
+(* Constraints that make the final instruction fail the way production did. *)
+let failure_constraints st (fr : frame) (i : instr option) : Expr.t list =
+  let ev v = eval_value st fr v in
+  let addr_of = function
+    | Load { addr; _ } | Store { addr; _ } | Free { addr } -> Some (ev addr)
+    | Bin _ | Cmp _ | Select _ | Cast _ | Alloc _ | Gep _ | Call _ | Input _
+    | Output _ | Ptwrite _ | Assert _ | Spawn _ | Join | Lock _ | Unlock _ ->
+        None
+  in
+  match st.failure.Failure_.kind, i with
+  | Failure_.Null_deref, Some instr -> (
+      match addr_of instr with
+      | Some (Sval.Ptr { obj = 0; _ }) -> []
+      | Some (Sval.Ptr _) -> raise (Diverge "expected null pointer, got object")
+      | Some (Sval.Bv e) -> [ Expr.eq e (bvc ~width:64 0L) ]
+      | None -> raise (Diverge "null-deref failure at non-memory instruction"))
+  | Failure_.Out_of_bounds _, Some instr -> (
+      match addr_of instr with
+      | Some sv ->
+          let o, idx = resolve_addr st ~at:st.failure.Failure_.point sv in
+          [ Expr.uge idx (bvc ~width:32 (Int64.of_int o.Symmem.s_size)) ]
+      | None -> raise (Diverge "out-of-bounds failure at non-memory instruction"))
+  | Failure_.Use_after_free _, Some instr -> (
+      match addr_of instr with
+      | Some sv ->
+          let o, _ = resolve_addr st ~at:st.failure.Failure_.point sv in
+          if o.Symmem.s_freed then []
+          else raise (Diverge "expected freed object at failure point")
+      | None -> raise (Diverge "use-after-free at non-memory instruction"))
+  | Failure_.Double_free _, Some (Free { addr }) -> (
+      match resolve_addr st ~at:st.failure.Failure_.point (ev addr) with
+      | o, _ when o.Symmem.s_freed -> []
+      | _ -> raise (Diverge "expected freed object at double free"))
+  | Failure_.Div_by_zero, Some (Bin { ty; b; _ }) ->
+      [ Expr.eq (norm_expr ty (Sval.expect_bv (ev b)))
+          (bvc ~width:(width_of_ty ty) 0L) ]
+  | Failure_.Assert_failed _, Some (Assert { cond; _ }) ->
+      [ Expr.eq (norm_expr I1 (Sval.expect_bv (ev cond))) (bvc ~width:1 0L) ]
+  | Failure_.Input_exhausted _, _ -> []
+  | Failure_.Abort_called _, _ | Failure_.Unreachable_reached, _ -> []
+  | Failure_.Access_type_error _, _ | Failure_.Invalid_pointer, _ -> []
+  | Failure_.Stack_overflow, _ -> []
+  | (Failure_.Deadlock | Failure_.Lock_error _ | Failure_.Hang), _ ->
+      raise (Diverge "failure kind not supported by reconstruction")
+  | _, None -> []
+  | _, Some _ -> raise (Diverge "failure kind does not match failing instruction")
+
+(* --- stepping ---------------------------------------------------------------- *)
+
+type step = Stepped | Stepped_free | Thread_done | Reached_failure
+
+let jump st (fr : frame) label =
+  fr.fr_block <- Er_ir.Prog.block st.prog ~func:fr.fr_func.fname ~label;
+  fr.fr_ip <- 0
+
+let next_branch st =
+  if st.branch_i >= Array.length st.trace.Er_trace.Decoder.branches then
+    raise (Diverge "control-flow trace exhausted");
+  let b = st.trace.Er_trace.Decoder.branches.(st.branch_i) in
+  st.branch_i <- st.branch_i + 1;
+  b
+
+let next_data st =
+  if st.data_i >= Array.length st.trace.Er_trace.Decoder.data then
+    raise (Diverge "data-value trace exhausted");
+  let v = st.trace.Er_trace.Decoder.data.(st.data_i) in
+  st.data_i <- st.data_i + 1;
+  v
+
+let fresh_input st stream ty =
+  let c =
+    match Hashtbl.find_opt st.input_counters stream with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.replace st.input_counters stream c;
+        c
+  in
+  let name = Printf.sprintf "%s!%d" stream !c in
+  incr c;
+  let v = Expr.bv_var name ~width:(width_of_ty ty) in
+  st.input_log <- (stream, v) :: st.input_log;
+  v
+
+let make_frame (f : func) (args : Sval.t list) ~dst =
+  let regs = Hashtbl.create 16 in
+  (try
+     List.iter2
+       (fun (r, ty) sv ->
+          let sv =
+            match sv with
+            | Sval.Bv e -> Sval.Bv (norm_expr ty e)
+            | Sval.Ptr _ -> sv
+          in
+          Hashtbl.replace regs r sv)
+       f.params args
+   with Invalid_argument _ ->
+     invalid_arg (Printf.sprintf "Exec: arity mismatch calling %s" f.fname));
+  match f.blocks with
+  | [] -> assert false
+  | entry :: _ ->
+      { fr_func = f; fr_block = entry; fr_ip = 0; fr_regs = regs; fr_dst = dst;
+        fr_stack_objs = [] }
+
+let do_return st (th : thread) (v : Sval.t option) : step =
+  match th.stack with
+  | [] -> assert false
+  | fr :: rest ->
+      List.iter
+        (fun id ->
+           match Symmem.find st.mem id with
+           | Some o -> o.Symmem.s_freed <- true
+           | None -> ())
+        fr.fr_stack_objs;
+      th.stack <- rest;
+      (match rest with
+       | [] ->
+           th.live <- false;
+           Thread_done
+       | caller :: _ ->
+           (match fr.fr_dst, v with
+            | Some dst, Some sv -> set_reg st caller dst sv
+            | Some dst, None -> set_reg st caller dst (Sval.of_const ~width:64 0L)
+            | None, _ -> ());
+           Stepped)
+
+let step_instr st (th : thread) (fr : frame) (i : instr) : step =
+  let at = point_of fr in
+  let ev v = eval_value st fr v in
+  let bv ty v = norm_expr ty (Sval.expect_bv (ev v)) in
+  match i with
+  | Bin { dst; op; ty; a; b } ->
+      let ea = bv ty a and eb = bv ty b in
+      (match op with
+       | Udiv | Urem ->
+           (* the production run did not crash here: divisor was nonzero *)
+           if not (Expr.is_const eb) then begin
+             let nz = Expr.ne eb (bvc ~width:(width_of_ty ty) 0L) in
+             st.path <- nz :: st.path
+           end
+           else if Int64.equal (Option.get (Expr.to_const eb)) 0L then
+             raise (Diverge "concrete division by zero mid-trace")
+       | _ -> ());
+      (* pointer arithmetic through Bin: keep the object when adding a
+         concrete-object pointer and an integer *)
+      let result =
+        match op, ev a, ev b with
+        | Add, Sval.Ptr { obj; index }, other when ty = Ptr ->
+            Sval.Ptr { obj; index = Expr.add index (norm_expr I32 (Sval.expect_bv other)) }
+        | Add, other, Sval.Ptr { obj; index } when ty = Ptr ->
+            Sval.Ptr { obj; index = Expr.add index (norm_expr I32 (Sval.expect_bv other)) }
+        | _ -> Sval.Bv (Expr.binop (smt_binop op) ea eb)
+      in
+      set_reg st fr dst result;
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Cmp { dst; op; ty; a; b } ->
+      set_reg st fr dst (Sval.Bv (sym_cmp op ty (ev a) (ev b)));
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Select { dst; ty; cond; if_true; if_false } ->
+      let c = norm_expr I1 (Sval.expect_bv (ev cond)) in
+      let tv = ev if_true and fv = ev if_false in
+      let result =
+        match Expr.to_const c with
+        | Some 1L -> tv
+        | Some _ -> fv
+        | None -> (
+            match tv, fv with
+            | Sval.Ptr { obj = ot; index = it }, Sval.Ptr { obj = of_; index = if_ }
+              when ot = of_ ->
+                Sval.Ptr { obj = ot; index = Expr.ite c it if_ }
+            | _ ->
+                Sval.Bv
+                  (Expr.ite c
+                     (norm_expr ty (Sval.expect_bv tv))
+                     (norm_expr ty (Sval.expect_bv fv))))
+      in
+      set_reg st fr dst result;
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Cast { dst; kind; to_ty; v; from_ty } ->
+      let sv = ev v in
+      let result =
+        match kind, sv with
+        | (Ptrtoint | Inttoptr | Zext), Sval.Ptr _ when width_of_ty to_ty = 64 ->
+            sv    (* identity on packed pointers *)
+        | Inttoptr, Sval.Bv e when width_of_ty to_ty = 64 ->
+            Sval.decode_ptr (norm_expr to_ty e)
+        | _ ->
+            let e = norm_expr from_ty (Sval.expect_bv sv) in
+            let out =
+              match kind with
+              | Zext | Ptrtoint | Inttoptr ->
+                  if width_of_ty to_ty >= Expr.width e then
+                    Expr.zero_extend ~to_:(width_of_ty to_ty) e
+                  else Expr.truncate ~to_:(width_of_ty to_ty) e
+              | Trunc -> Expr.truncate ~to_:(width_of_ty to_ty) e
+              | Sext -> Expr.sign_extend_e ~to_:(width_of_ty to_ty) e
+            in
+            Sval.Bv out
+      in
+      set_reg st fr dst result;
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Load { dst; ty; addr } ->
+      let o, idx = resolve_addr st ~at (ev addr) in
+      if not (access_ty_ok o ty) then
+        raise (Diverge "access type mismatch mid-trace");
+      check_bounds st ~at o idx;
+      let e = Symmem.read o idx in
+      let sv = if ty = Ptr then Sval.decode_ptr e else Sval.Bv e in
+      set_reg st fr dst sv;
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Store { ty; v; addr } ->
+      let o, idx = resolve_addr st ~at (ev addr) in
+      if not (access_ty_ok o ty) then
+        raise (Diverge "access type mismatch mid-trace");
+      check_bounds st ~at o idx;
+      Symmem.write o idx (bv ty v);
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Alloc { dst; elt_ty; count; heap } ->
+      (* the runtime always traces allocation sizes; bind the symbolic
+         count to the recorded concrete size *)
+      let recorded = next_data st in
+      let c = bv I32 count in
+      (if not (Expr.is_const c) then
+         st.path <- Expr.eq c (bvc ~width:32 recorded) :: st.path
+       else if not (Int64.equal (Option.get (Expr.to_const c)) recorded) then
+         raise (Diverge "allocation size contradicts trace"));
+      let n = Int64.to_int recorded in
+      let o = Symmem.alloc st.mem ~elt_ty ~size:n ~heap in
+      if not heap then fr.fr_stack_objs <- o.Symmem.s_id :: fr.fr_stack_objs;
+      set_reg st fr dst (Sval.Ptr { obj = o.Symmem.s_id; index = bvc ~width:32 0L });
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Free { addr } ->
+      let o, _ = resolve_addr st ~at (ev addr) in
+      if o.Symmem.s_freed then raise (Diverge "double free mid-trace");
+      o.Symmem.s_freed <- true;
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Gep { dst; base; idx } ->
+      let delta =
+        let e = Sval.expect_bv (ev idx) in
+        if Expr.width e = 32 then e
+        else if Expr.width e > 32 then Expr.truncate ~to_:32 e
+        else Expr.sign_extend_e ~to_:32 e
+      in
+      (match ev base with
+       | Sval.Ptr { obj; index } ->
+           set_reg st fr dst (Sval.Ptr { obj; index = Expr.add index delta })
+       | Sval.Bv e ->
+           (match Sval.decode_ptr e with
+            | Sval.Ptr { obj; index } ->
+                set_reg st fr dst (Sval.Ptr { obj; index = Expr.add index delta })
+            | Sval.Bv e ->
+                set_reg st fr dst
+                  (Sval.Bv (Expr.add e (Expr.zero_extend ~to_:64 delta)))));
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Call { dst; func; args } ->
+      let f = Er_ir.Prog.func st.prog func in
+      let vargs = List.map ev args in
+      fr.fr_ip <- fr.fr_ip + 1;
+      th.stack <- make_frame f vargs ~dst :: th.stack;
+      Stepped
+  | Input { dst; ty; stream } ->
+      set_reg st fr dst (Sval.Bv (fresh_input st stream ty));
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Output _ ->
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Ptwrite { v } ->
+      (* consume the recorded value and concretize (section 3.3.3) *)
+      let recorded = next_data st in
+      (match ev v with
+       | Sval.Bv e ->
+           let c = bvc ~width:(Expr.width e) recorded in
+           if not (Expr.is_const e) then begin
+             st.path <- Expr.eq e c :: st.path;
+             (* subsequent uses of the register see the concrete value *)
+             (match v with
+              | Reg r -> Hashtbl.replace fr.fr_regs r (Sval.Bv c)
+              | Imm _ | Global _ | Null -> ())
+           end
+       | Sval.Ptr { obj; index } ->
+           let idx_c = Int64.of_int (Er_vm.Memory.ptr_index recorded) in
+           let c = bvc ~width:32 idx_c in
+           if not (Expr.is_const index) then begin
+             st.path <- Expr.eq index c :: st.path;
+             match v with
+             | Reg r -> Hashtbl.replace fr.fr_regs r (Sval.Ptr { obj; index = c })
+             | Imm _ | Global _ | Null -> ()
+           end);
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped_free
+  | Assert { cond; _ } ->
+      (* mid-trace asserts passed in production *)
+      let c = norm_expr I1 (Sval.expect_bv (ev cond)) in
+      if not (Expr.is_true c) then st.path <- c :: st.path;
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Spawn { func; args } ->
+      let f = Er_ir.Prog.func st.prog func in
+      let vargs = List.map ev args in
+      let t = { tid = st.next_tid; stack = [ make_frame f vargs ~dst:None ]; live = true } in
+      st.next_tid <- st.next_tid + 1;
+      st.threads <- st.threads @ [ t ];
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+  | Join | Lock _ | Unlock _ ->
+      (* synchronization is replayed via the recorded schedule *)
+      fr.fr_ip <- fr.fr_ip + 1;
+      Stepped
+
+let step_term st (th : thread) (fr : frame) (t : terminator) : step =
+  match t with
+  | Br l ->
+      jump st fr l;
+      Stepped
+  | Cond_br { cond; if_true; if_false } ->
+      let c = norm_expr I1 (Sval.expect_bv (eval_value st fr cond)) in
+      let taken = next_branch st in
+      (match Expr.to_const c with
+       | Some v ->
+           if Int64.equal v 1L <> taken then
+             raise (Diverge "concrete branch contradicts trace")
+       | None ->
+           let want = if taken then c else Expr.not_ c in
+           st.path <- want :: st.path);
+      jump st fr (if taken then if_true else if_false);
+      Stepped
+  | Ret v -> do_return st th (Option.map (eval_value st fr) v)
+  | Abort _ | Unreachable -> Reached_failure
+
+let step_thread st (th : thread) : step =
+  match th.stack with
+  | [] ->
+      th.live <- false;
+      Thread_done
+  | fr :: _ ->
+      if fr.fr_ip < Array.length fr.fr_block.instrs then
+        step_instr st th fr fr.fr_block.instrs.(fr.fr_ip)
+      else step_term st th fr fr.fr_block.term
+
+(* --- main entry -------------------------------------------------------------- *)
+
+let run ?(config = default_config) (prog : Er_ir.Prog.t)
+    ~(trace : Er_trace.Decoder.split) ~(failure : Failure_.t)
+    ~(failure_clock : int) : result =
+  let st =
+    {
+      prog;
+      cfg = config;
+      trace;
+      failure;
+      failure_clock;
+      graph = Cgraph.create ();
+      mem = Symmem.create ();
+      globals = Hashtbl.create 16;
+      threads = [];
+      next_tid = 1;
+      clock = 0;
+      branch_i = 0;
+      data_i = 0;
+      sched_i = 0;
+      path = [];
+      input_log = [];
+      input_counters = Hashtbl.create 8;
+      solver_calls = 0;
+      solver_cost = 0;
+      progress = [];
+    }
+  in
+  (* globals allocate in the same order as the concrete runtime *)
+  List.iter
+    (fun (g : global) ->
+       let o = Symmem.alloc st.mem ~elt_ty:g.g_elt_ty ~size:g.g_size ~heap:true in
+       (match g.g_init with
+        | None -> ()
+        | Some init ->
+            Array.iteri (fun i v -> Symmem.init_cell o ~index:i v) init);
+       Hashtbl.replace st.globals g.gname o.Symmem.s_id)
+    prog.program.globals;
+  let main_thread =
+    { tid = 0; stack = [ make_frame (Er_ir.Prog.main prog) [] ~dst:None ];
+      live = true }
+  in
+  st.threads <- [ main_thread ];
+  let thread_by_id tid =
+    match List.find_opt (fun t -> t.tid = tid) st.threads with
+    | Some t -> t
+    | None -> raise (Diverge (Printf.sprintf "schedule names unknown thread %d" tid))
+  in
+  let finish outcome =
+    {
+      outcome;
+      steps = st.clock;
+      solver_calls = st.solver_calls;
+      solver_cost = st.solver_cost;
+      progress = List.rev st.progress;
+    }
+  in
+  let result = ref None in
+  let cur = ref main_thread in
+  (try
+     while !result = None do
+       (* follow the recorded chunk schedule *)
+       (if st.sched_i < Array.length st.trace.Er_trace.Decoder.schedule then begin
+          let tid, sw_clock = st.trace.Er_trace.Decoder.schedule.(st.sched_i) in
+          if st.clock >= sw_clock then begin
+            st.sched_i <- st.sched_i + 1;
+            cur := thread_by_id tid
+          end
+        end);
+       let th = !cur in
+       if st.clock > st.cfg.max_steps then
+         raise (Diverge "step budget exhausted")
+       else if
+         st.clock = st.failure_clock
+         && (match th.stack with
+             | fr :: _ ->
+                 (* clock-free instrumentation executes before the failing
+                    instruction is identified *)
+                 not
+                   (fr.fr_ip < Array.length fr.fr_block.instrs
+                    && match fr.fr_block.instrs.(fr.fr_ip) with
+                       | Ptwrite _ -> true
+                       | _ -> false)
+             | [] -> true)
+       then begin
+         (* we are at the failing instruction *)
+         match th.stack with
+         | [] -> raise (Diverge "failure clock reached with empty stack")
+         | fr :: _ ->
+             let here = point_of fr in
+             if point_compare here st.failure.Failure_.point <> 0 then
+               raise
+                 (Diverge
+                    (Printf.sprintf "failure point mismatch: at %s, expected %s"
+                       (point_to_string here)
+                       (point_to_string st.failure.Failure_.point)));
+             let failing_instr =
+               if fr.fr_ip < Array.length fr.fr_block.instrs then
+                 Some fr.fr_block.instrs.(fr.fr_ip)
+               else None
+             in
+             let fc = failure_constraints st fr failing_instr in
+             st.path <- fc @ st.path;
+             (* final solve: compute failure-inducing inputs *)
+             (match query st ~at:here [] with
+              | None -> raise (Diverge "final path constraint unsatisfiable")
+              | Some model ->
+                  Cgraph.set_assertions st.graph st.path;
+                  result :=
+                    Some
+                      (finish
+                         (Complete
+                            {
+                              model;
+                              input_log = List.rev st.input_log;
+                              path_constraints = st.path;
+                            })))
+       end
+       else begin
+         match step_thread st th with
+         | Stepped -> st.clock <- st.clock + 1
+         | Stepped_free -> ()
+         | Thread_done -> (
+             (* pick any live thread; the schedule will correct us *)
+             match List.find_opt (fun t -> t.live) st.threads with
+             | Some t -> cur := t
+             | None -> raise (Diverge "all threads done before failure point"))
+         | Reached_failure ->
+             raise
+               (Diverge
+                  (Printf.sprintf "reached terminator failure early at clock %d"
+                     st.clock))
+       end
+     done;
+     match !result with Some r -> r | None -> assert false
+   with
+   | Diverge msg -> finish (Diverged msg)
+   | Stall { at; reason } ->
+       Cgraph.set_assertions st.graph st.path;
+       finish
+         (Stalled
+            { graph = st.graph; memory = st.mem; stalled_at = at;
+              stall_reason = reason }))

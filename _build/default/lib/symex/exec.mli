@@ -1,0 +1,63 @@
+(** Shepherded symbolic execution (paper section 3.2).
+
+    The executor replays a decoded runtime trace over an (instrumented)
+    EIR program: conditional branches consume TNT bits and assert the
+    branch condition's recorded outcome; [ptwrite] instructions consume
+    PTW values and concretize the instrumented register; thread chunks
+    follow the recorded TIP/MTC schedule; allocation sizes are bound to
+    their traced values.  No forking happens — the recorded control flow
+    eliminates path explosion by construction.
+
+    The solver is invoked at symbolic memory accesses and at the final
+    failure state; a budget-exhausted query is a {e stall}, returned
+    together with the constraint graph for key data value selection. *)
+
+type config = {
+  solver_budget : int;        (** SAT work budget per query *)
+  gate_budget : int;          (** bit-blasting budget per query *)
+  max_steps : int;
+  progress_every : int;       (** Fig. 5 sampling period, in steps *)
+}
+
+val default_config : config
+
+type stall_info = {
+  graph : Cgraph.t;           (** constraint graph at stall time *)
+  memory : Symmem.t;          (** symbolic memory with its write chains *)
+  stalled_at : Er_ir.Types.point;
+  stall_reason : string;
+}
+
+type solution = {
+  model : Er_smt.Model.t;
+  input_log : (string * Er_smt.Expr.t) list;
+      (** input reads in consumption order: (stream, symbolic variable) *)
+  path_constraints : Er_smt.Expr.t list;
+}
+
+type outcome =
+  | Complete of solution
+  | Stalled of stall_info
+  | Diverged of string
+
+type progress_sample = { ps_steps : int; ps_solver_cost : int }
+
+type result = {
+  outcome : outcome;
+  steps : int;
+  solver_calls : int;
+  solver_cost : int;          (** deterministic: gates + propagations *)
+  progress : progress_sample list;
+}
+
+(** [run prog ~trace ~failure ~failure_clock] shepherds symbolic
+    execution along [trace] until the instruction at [failure_clock]
+    (which must match [failure]'s program point), then solves for
+    failure-inducing inputs. *)
+val run :
+  ?config:config ->
+  Er_ir.Prog.t ->
+  trace:Er_trace.Decoder.split ->
+  failure:Er_vm.Failure.t ->
+  failure_clock:int ->
+  result

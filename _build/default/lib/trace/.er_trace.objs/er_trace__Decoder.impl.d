@@ -1,0 +1,1 @@
+lib/trace/decoder.ml: Array Bytes Char Int64 List Packet Printf

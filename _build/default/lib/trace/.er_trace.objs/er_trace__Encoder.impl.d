@@ -1,0 +1,1 @@
+lib/trace/encoder.ml: Buffer Packet Ring

@@ -1,0 +1,1 @@
+lib/trace/encoder.mli: Bytes

@@ -1,0 +1,1 @@
+lib/trace/packet.ml: Buffer Char Fmt Int64 List String

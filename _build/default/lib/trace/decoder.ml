@@ -1,0 +1,122 @@
+(* Offline decoding of a trace snapshot into the event stream consumed by
+   shepherded symbolic execution: branch outcomes, data values, thread
+   switches and timestamps, in program order. *)
+
+type event =
+  | Branch of bool
+  | Switch of { tid : int; clock : int }
+  | Data of int64
+  | Time of int
+
+type error =
+  | Truncated of string     (* ran out of bytes mid-packet *)
+  | Lost_sync of string     (* no PSB at the head: ring overwrote the start *)
+
+let error_to_string = function
+  | Truncated s -> "truncated trace: " ^ s
+  | Lost_sync s -> "lost sync: " ^ s
+
+(* Decode a raw byte snapshot.  The stream must begin with PSB; a snapshot
+   taken after ring overflow will not, which is reported as [Lost_sync]
+   (the driver's cue to enlarge the buffer, as ER sizes it to the largest
+   expected trace). *)
+let decode (raw : Bytes.t) : (event list, error) result =
+  let n = Bytes.length raw in
+  if n = 0 then Error (Lost_sync "empty trace")
+  else if Char.code (Bytes.get raw 0) <> Packet.op_psb then
+    Error (Lost_sync "trace does not begin with PSB")
+  else begin
+    let events = ref [] in
+    let pos = ref 1 in
+    let err = ref None in
+    let read_le nbytes =
+      if !pos + nbytes > n then None
+      else begin
+        let v = ref 0L in
+        for i = nbytes - 1 downto 0 do
+          v :=
+            Int64.logor
+              (Int64.shift_left !v 8)
+              (Int64.of_int (Char.code (Bytes.get raw (!pos + i))))
+        done;
+        pos := !pos + nbytes;
+        Some !v
+      end
+    in
+    (* a pending TIP waits for its MTC companion to form one Switch event *)
+    let pending_tip = ref None in
+    let push ev =
+      (match !pending_tip, ev with
+       | Some tid, Time clock ->
+           pending_tip := None;
+           events := Switch { tid; clock } :: !events
+       | Some tid, _ ->
+           (* TIP without MTC: surface as a switch with unknown clock *)
+           pending_tip := None;
+           events := ev :: Switch { tid; clock = -1 } :: !events
+       | None, _ -> events := ev :: !events)
+    in
+    while !err = None && !pos < n do
+      let b = Char.code (Bytes.get raw !pos) in
+      incr pos;
+      if b land 1 = 1 then
+        List.iter (fun bit -> push (Branch bit)) (Packet.decode_tnt b)
+      else if b = Packet.op_psb then ()   (* periodic sync; no event *)
+      else if b = Packet.op_ovf then err := Some (Lost_sync "OVF packet")
+      else if b = Packet.op_tip then begin
+        match read_le 4 with
+        | Some v -> pending_tip := Some (Int64.to_int v)
+        | None -> err := Some (Truncated "TIP payload")
+      end
+      else if b = Packet.op_ptw then begin
+        match read_le 8 with
+        | Some v -> push (Data v)
+        | None -> err := Some (Truncated "PTW payload")
+      end
+      else if b = Packet.op_mtc then begin
+        match read_le 2 with
+        | Some v -> push (Time (Int64.to_int v))
+        | None -> err := Some (Truncated "MTC payload")
+      end
+      else err := Some (Truncated (Printf.sprintf "unknown opcode 0x%02X" b))
+    done;
+    match !err with
+    | Some e -> Error e
+    | None -> Ok (List.rev !events)
+  end
+
+(* Split a decoded event stream into the components symbolic execution
+   needs: the branch outcomes, the recorded data values, and the chunk
+   schedule (thread id of each chunk in order, starting with thread 0). *)
+type split = {
+  branches : bool array;
+  data : int64 array;
+  schedule : (int * int) array;   (* (tid, clock) per chunk boundary *)
+}
+
+let split events =
+  let branches = ref [] and data = ref [] and sched = ref [] in
+  (* MTC carries only the low 16 bits of the clock; reconstruct a monotone
+     full clock by accumulating modular deltas (chunks are far shorter
+     than 2^16 instructions, so wraps are unambiguous) *)
+  let last_low = ref 0 and full = ref 0 in
+  let widen low =
+    if low >= 0 then begin
+      let delta = (low - !last_low) land 0xFFFF in
+      last_low := low;
+      full := !full + delta
+    end;
+    !full
+  in
+  List.iter
+    (function
+      | Branch b -> branches := b :: !branches
+      | Data v -> data := v :: !data
+      | Switch { tid; clock } -> sched := (tid, widen clock) :: !sched
+      | Time clock -> ignore (widen clock))
+    events;
+  {
+    branches = Array.of_list (List.rev !branches);
+    data = Array.of_list (List.rev !data);
+    schedule = Array.of_list (List.rev !sched);
+  }

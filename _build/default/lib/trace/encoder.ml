@@ -1,0 +1,87 @@
+(* The runtime side of tracing: accumulates conditional-branch outcomes
+   into TNT packets and streams packets into the ring buffer, exactly the
+   work a PT-enabled CPU does on the program's behalf.  The interpreter
+   calls [branch]/[thread_switch]/[ptwrite] from its hot loop, so the cost
+   of this module is the online monitoring overhead that Fig. 6 measures. *)
+
+type stats = {
+  mutable branches : int;
+  mutable ptwrites : int;
+  mutable switches : int;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+type t = {
+  ring : Ring.t;
+  (* TNT bits awaiting flush, accumulated as an int exactly like the
+     hardware packet generator: oldest branch at the highest bit.  The
+     hot path ([branch]) is allocation-free. *)
+  mutable pending_bits : int;
+  mutable pending_n : int;
+  scratch : Buffer.t;
+  stats : stats;
+}
+
+let create ?(ring_bytes = 1 lsl 22) () =
+  {
+    ring = Ring.create ring_bytes;
+    pending_bits = 0;
+    pending_n = 0;
+    scratch = Buffer.create 16;
+    stats = { branches = 0; ptwrites = 0; switches = 0; packets = 0; bytes = 0 };
+  }
+
+let emit t pkt =
+  Buffer.clear t.scratch;
+  Packet.append_bytes t.scratch pkt;
+  Ring.write_bytes t.ring (Buffer.to_bytes t.scratch);
+  t.stats.packets <- t.stats.packets + 1;
+  t.stats.bytes <- t.stats.bytes + Packet.size pkt
+
+let flush_tnt t =
+  if t.pending_n > 0 then begin
+    let n = t.pending_n in
+    (* byte layout of Packet.encode_tnt: marker bit 0, outcomes at bits
+       1..n (newest at bit 1), stop bit at n+1 *)
+    let byte = 1 lor (t.pending_bits lsl 1) lor (1 lsl (n + 1)) in
+    Ring.write_byte t.ring byte;
+    t.stats.packets <- t.stats.packets + 1;
+    t.stats.bytes <- t.stats.bytes + 1;
+    t.pending_bits <- 0;
+    t.pending_n <- 0
+  end
+
+let start t =
+  emit t Packet.Psb
+
+let branch t taken =
+  t.stats.branches <- t.stats.branches + 1;
+  t.pending_bits <- (t.pending_bits lsl 1) lor (if taken then 1 else 0);
+  t.pending_n <- t.pending_n + 1;
+  if t.pending_n = Packet.max_tnt_bits then flush_tnt t
+
+let thread_switch t ~tid ~clock =
+  flush_tnt t;
+  t.stats.switches <- t.stats.switches + 1;
+  emit t (Packet.Tip tid);
+  emit t (Packet.Mtc clock)
+
+let timestamp t ~clock =
+  flush_tnt t;
+  emit t (Packet.Mtc clock)
+
+let ptwrite t v =
+  flush_tnt t;
+  t.stats.ptwrites <- t.stats.ptwrites + 1;
+  emit t (Packet.Ptw v)
+
+(* Finish tracing and snapshot the buffer (what the ER runtime ships to
+   the analysis engine when the failure fires). *)
+let finish t =
+  flush_tnt t;
+  Ring.contents t.ring
+
+let overflowed t = Ring.overflowed t.ring
+let stats t = t.stats
+let bytes_emitted t = t.stats.bytes

@@ -1,0 +1,41 @@
+(** The runtime side of hardware-style tracing: accumulates branch
+    outcomes into TNT packets and streams packets into the ring buffer —
+    the per-instruction work whose cost is the online monitoring overhead
+    of Fig. 6.  The branch hot path is allocation-free. *)
+
+type stats = {
+  mutable branches : int;
+  mutable ptwrites : int;
+  mutable switches : int;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+type t
+
+(** [create ~ring_bytes ()] sizes the trace ring buffer; ER provisions it
+    for the largest expected failing execution (the paper uses 64 MB). *)
+val create : ?ring_bytes:int -> unit -> t
+
+(** Emit the PSB sync packet; must precede all events. *)
+val start : t -> unit
+
+(** One conditional-branch outcome. *)
+val branch : t -> bool -> unit
+
+(** Chunk boundary: TIP (thread id) + MTC (low 16 clock bits). *)
+val thread_switch : t -> tid:int -> clock:int -> unit
+
+(** A standalone MTC timestamp. *)
+val timestamp : t -> clock:int -> unit
+
+(** A traced data value (ptwrite instrumentation or allocation size). *)
+val ptwrite : t -> int64 -> unit
+
+(** Flush pending TNT bits and snapshot the ring contents — what the ER
+    runtime ships to the analysis engine when the failure fires. *)
+val finish : t -> Bytes.t
+
+val overflowed : t -> bool
+val stats : t -> stats
+val bytes_emitted : t -> int

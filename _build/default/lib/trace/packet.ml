@@ -1,0 +1,92 @@
+(* Packet-level model of a hardware control-flow trace, after Intel PT.
+
+   The packet kinds mirror the PT packets ER relies on:
+   - TNT packets carry up to six conditional-branch outcomes in one byte;
+   - TIP packets mark a transfer to an explicit target — we use them for
+     thread switches (target = thread id), the one indirect-control event
+     EIR has;
+   - PTW packets carry a 64-bit data value emitted by a [ptwrite]
+     instruction (the instrumentation inserted by key data value selection);
+   - MTC packets carry the low 16 bits of the logical clock, giving the
+     coarse timestamps that order chunks across threads (section 3.4);
+   - PSB is the sync point a decoder scans for, OVF signals ring-buffer
+     overwrite.
+
+   Byte-level encoding: TNT packets are single odd bytes (LSB set, stop
+   bit above the branch bits).  All other packets start with a
+   distinguishing even opcode byte. *)
+
+type t =
+  | Psb
+  | Tnt of bool list            (* 1..6 branch outcomes, oldest first *)
+  | Tip of int                  (* thread id *)
+  | Ptw of int64                (* traced data value *)
+  | Mtc of int                  (* low 16 bits of the logical clock *)
+  | Ovf
+
+let op_psb = 0x62
+let op_tip = 0x0C
+let op_ptw = 0x12
+let op_mtc = 0x58
+let op_ovf = 0xF2
+
+let max_tnt_bits = 6
+
+(* Size of a packet on the wire, in bytes. *)
+let size = function
+  | Psb -> 1
+  | Tnt _ -> 1
+  | Tip _ -> 5
+  | Ptw _ -> 9
+  | Mtc _ -> 3
+  | Ovf -> 1
+
+let encode_tnt bits =
+  let n = List.length bits in
+  if n < 1 || n > max_tnt_bits then invalid_arg "Packet.encode_tnt: 1..6 bits";
+  (* bit 0 = marker 1; bits 1..n = outcomes (oldest at bit n, newest at
+     bit 1, as in PT); stop bit at position n+1 *)
+  let byte = ref (1 lor (1 lsl (n + 1))) in
+  List.iteri
+    (fun i b -> if b then byte := !byte lor (1 lsl (n - i)))
+    bits;
+  !byte
+
+let decode_tnt byte =
+  if byte land 1 = 0 then invalid_arg "Packet.decode_tnt: not a TNT byte";
+  (* find the stop bit: highest set bit *)
+  let rec high i = if byte lsr i > 1 then high (i + 1) else i in
+  let stop = high 0 in
+  let n = stop - 1 in
+  List.init n (fun i -> byte land (1 lsl (n - i)) <> 0)
+
+let append_bytes buf pkt =
+  let add_byte b = Buffer.add_char buf (Char.chr (b land 0xFF)) in
+  let add_le v nbytes =
+    for i = 0 to nbytes - 1 do
+      add_byte (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+    done
+  in
+  match pkt with
+  | Psb -> add_byte op_psb
+  | Ovf -> add_byte op_ovf
+  | Tnt bits -> add_byte (encode_tnt bits)
+  | Tip tid ->
+      add_byte op_tip;
+      add_le (Int64.of_int tid) 4
+  | Ptw v ->
+      add_byte op_ptw;
+      add_le v 8
+  | Mtc ts ->
+      add_byte op_mtc;
+      add_le (Int64.of_int (ts land 0xFFFF)) 2
+
+let pp ppf = function
+  | Psb -> Fmt.string ppf "PSB"
+  | Ovf -> Fmt.string ppf "OVF"
+  | Tnt bits ->
+      Fmt.pf ppf "TNT(%s)"
+        (String.concat "" (List.map (fun b -> if b then "T" else "N") bits))
+  | Tip tid -> Fmt.pf ppf "TIP(thread %d)" tid
+  | Ptw v -> Fmt.pf ppf "PTW(%Ld)" v
+  | Mtc ts -> Fmt.pf ppf "MTC(%d)" ts

@@ -1,0 +1,45 @@
+(* The trace ring buffer the OS driver hands to the hardware: a fixed-size
+   byte buffer that silently overwrites its oldest contents.  ER configures
+   it large enough to hold the whole failing execution (the paper uses
+   64 MB); the decoder detects and reports loss when it was not. *)
+
+type t = {
+  data : Bytes.t;
+  capacity : int;
+  mutable head : int;     (* next write position *)
+  mutable written : int;  (* total bytes ever written *)
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { data = Bytes.create capacity; capacity; head = 0; written = 0 }
+
+let capacity t = t.capacity
+let total_written t = t.written
+let overflowed t = t.written > t.capacity
+
+let write_byte t b =
+  Bytes.unsafe_set t.data t.head (Char.unsafe_chr (b land 0xFF));
+  t.head <- t.head + 1;
+  if t.head = t.capacity then t.head <- 0;
+  t.written <- t.written + 1
+
+let write_bytes t (s : Bytes.t) =
+  for i = 0 to Bytes.length s - 1 do
+    write_byte t (Char.code (Bytes.get s i))
+  done
+
+(* Snapshot the live contents, oldest byte first. *)
+let contents t =
+  if not (overflowed t) then Bytes.sub t.data 0 t.head
+  else begin
+    let out = Bytes.create t.capacity in
+    let tail = t.capacity - t.head in
+    Bytes.blit t.data t.head out 0 tail;
+    Bytes.blit t.data 0 out tail t.head;
+    out
+  end
+
+let clear t =
+  t.head <- 0;
+  t.written <- 0

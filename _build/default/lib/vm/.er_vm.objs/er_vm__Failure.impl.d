@@ -1,0 +1,1 @@
+lib/vm/failure.ml: Er_ir Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/vm/inputs.ml: Array Char Fmt Hashtbl Int64 List Option String

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Er_ir Er_smt Failure Hashtbl Inputs Int64 List Memory Option Printf

@@ -1,0 +1,1 @@
+lib/vm/memory.ml: Array Er_ir Failure Hashtbl Int64 Option Printf

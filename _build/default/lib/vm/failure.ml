@@ -1,0 +1,94 @@
+(* Failure detection and identity.
+
+   ER detects fail-stop events (crashes) and programmatically-detected
+   errors (assertion failures).  Two occurrences are "the same failure"
+   when the failing program counter and call stack match — the criterion
+   the paper's shepherded-symbolic-execution engine uses to recognize a
+   reoccurrence. *)
+
+type kind =
+  | Null_deref
+  | Out_of_bounds of { obj : int; index : int; size : int }
+  | Use_after_free of { obj : int }
+  | Double_free of { obj : int }
+  | Invalid_pointer
+  | Access_type_error of string
+  | Div_by_zero
+  | Assert_failed of string
+  | Abort_called of string
+  | Unreachable_reached
+  | Input_exhausted of string
+  | Stack_overflow
+  | Deadlock
+  | Lock_error of string
+  | Hang                        (* instruction budget exhausted *)
+
+type t = {
+  kind : kind;
+  point : Er_ir.Types.point;          (* the failing instruction *)
+  stack : Er_ir.Types.point list;     (* call stack, innermost first *)
+  thread : int;
+}
+
+let kind_to_string = function
+  | Null_deref -> "NULL pointer dereference"
+  | Out_of_bounds { obj; index; size } ->
+      Printf.sprintf "out-of-bounds access (object %d, index %d, size %d)" obj
+        index size
+  | Use_after_free { obj } -> Printf.sprintf "use-after-free (object %d)" obj
+  | Double_free { obj } -> Printf.sprintf "double free (object %d)" obj
+  | Invalid_pointer -> "invalid pointer"
+  | Access_type_error s -> "access type error: " ^ s
+  | Div_by_zero -> "division by zero"
+  | Assert_failed msg -> "assertion failed: " ^ msg
+  | Abort_called msg -> "abort: " ^ msg
+  | Unreachable_reached -> "unreachable executed"
+  | Input_exhausted s -> "input exhausted on stream " ^ s
+  | Stack_overflow -> "stack overflow"
+  | Deadlock -> "deadlock"
+  | Lock_error s -> "lock error: " ^ s
+  | Hang -> "hang (instruction budget exhausted)"
+
+(* Identity ignores concrete object ids and indices (they vary across
+   occurrences) but keeps the bug class, the failing point, and the call
+   stack. *)
+let same_failure a b =
+  let same_kind =
+    match a.kind, b.kind with
+    | Null_deref, Null_deref -> true
+    | Out_of_bounds _, Out_of_bounds _ -> true
+    | Use_after_free _, Use_after_free _ -> true
+    | Double_free _, Double_free _ -> true
+    | Invalid_pointer, Invalid_pointer -> true
+    | Access_type_error _, Access_type_error _ -> true
+    | Div_by_zero, Div_by_zero -> true
+    | Assert_failed m1, Assert_failed m2 -> String.equal m1 m2
+    | Abort_called m1, Abort_called m2 -> String.equal m1 m2
+    | Unreachable_reached, Unreachable_reached -> true
+    | Input_exhausted s1, Input_exhausted s2 -> String.equal s1 s2
+    | Stack_overflow, Stack_overflow -> true
+    | Deadlock, Deadlock -> true
+    | Lock_error m1, Lock_error m2 -> String.equal m1 m2
+    | Hang, Hang -> true
+    | ( ( Null_deref | Out_of_bounds _ | Use_after_free _ | Double_free _
+        | Invalid_pointer | Access_type_error _ | Div_by_zero
+        | Assert_failed _ | Abort_called _ | Unreachable_reached
+        | Input_exhausted _ | Stack_overflow | Deadlock | Lock_error _
+        | Hang ),
+        _ ) ->
+        false
+  in
+  same_kind
+  && Er_ir.Types.point_compare a.point b.point = 0
+  && List.compare Er_ir.Types.point_compare a.stack b.stack = 0
+
+let pp ppf t =
+  Fmt.pf ppf "%s at %s (thread %d)@ stack: %a"
+    (kind_to_string t.kind)
+    (Er_ir.Types.point_to_string t.point)
+    t.thread
+    Fmt.(list ~sep:(any " <- ") (fun ppf p ->
+        Fmt.string ppf (Er_ir.Types.point_to_string p)))
+    t.stack
+
+let to_string t = Fmt.str "%a" pp t

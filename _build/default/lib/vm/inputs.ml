@@ -1,0 +1,70 @@
+(* Named input streams: the program's sources of nondeterminism.
+
+   Each [input] instruction names a stream ("stdin", "net", "argv", ...)
+   and consumes its next value.  A production workload provides concrete
+   streams; symbolic execution treats every read as an unconstrained
+   symbolic value; a generated test case is precisely a value assignment
+   for the reads the failing execution performed. *)
+
+type t = {
+  streams : (string, int64 array) Hashtbl.t;
+  cursors : (string, int ref) Hashtbl.t;
+  (* consumption log, for recording baselines and debugging *)
+  mutable consumed : (string * int64) list;
+}
+
+let make (streams : (string * int64 list) list) : t =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (name, vals) -> Hashtbl.replace tbl name (Array.of_list vals)) streams;
+  { streams = tbl; cursors = Hashtbl.create 8; consumed = [] }
+
+let of_string ~stream s =
+  make [ (stream, List.init (String.length s) (fun i -> Int64.of_int (Char.code s.[i]))) ]
+
+let reset t =
+  Hashtbl.reset t.cursors;
+  t.consumed <- []
+
+let read t stream =
+  match Hashtbl.find_opt t.streams stream with
+  | None -> None
+  | Some arr ->
+      let cur =
+        match Hashtbl.find_opt t.cursors stream with
+        | Some c -> c
+        | None ->
+            let c = ref 0 in
+            Hashtbl.replace t.cursors stream c;
+            c
+      in
+      if !cur >= Array.length arr then None
+      else begin
+        let v = arr.(!cur) in
+        incr cur;
+        t.consumed <- (stream, v) :: t.consumed;
+        v |> Option.some
+      end
+
+let consumed t = List.rev t.consumed
+
+let stream_values t stream =
+  match Hashtbl.find_opt t.streams stream with
+  | None -> []
+  | Some arr -> Array.to_list arr
+
+let streams t =
+  Hashtbl.fold (fun name arr acc -> (name, Array.to_list arr) :: acc) t.streams []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Total bytes of input — the amount a full record/replay engine must
+   persist. *)
+let total_values t =
+  Hashtbl.fold (fun _ arr acc -> acc + Array.length arr) t.streams 0
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list (fun ppf (name, vals) ->
+         Fmt.pf ppf "%s = [%a]" name
+           Fmt.(list ~sep:(any "; ") (fun ppf v -> pf ppf "%Ld" v))
+           vals))
+    (streams t)

@@ -1,0 +1,124 @@
+(* Concrete memory: a store of typed objects addressed by (object id,
+   cell index), with pointers packed into int64 register values as
+   [obj << 32 | index].  Object id 0 is the null object, so the null
+   pointer is the integer 0.  Bounds, liveness and access-width checks
+   implement the fail-stop crash detection of the runtime. *)
+
+open Er_ir.Types
+
+type obj = {
+  o_id : int;
+  o_elt_ty : ty;
+  o_size : int;
+  o_cells : int64 array;
+  o_heap : bool;
+  mutable o_freed : bool;
+}
+
+type t = {
+  objects : (int, obj) Hashtbl.t;
+  mutable next_id : int;
+  mutable live_cells : int;
+  mutable peak_cells : int;
+}
+
+let create () =
+  { objects = Hashtbl.create 64; next_id = 1; live_cells = 0; peak_cells = 0 }
+
+(* --- pointer packing -------------------------------------------------- *)
+
+let ptr ~obj ~index =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int obj) 32)
+    (Int64.logand (Int64.of_int index) 0xFFFFFFFFL)
+
+let ptr_obj (p : int64) = Int64.to_int (Int64.shift_right_logical p 32)
+
+(* index is a signed 32-bit offset so that negative GEPs behave like C *)
+let ptr_index (p : int64) = Int64.to_int (Int64.of_int32 (Int64.to_int32 p))
+
+let null = 0L
+let is_null p = Int64.equal p 0L
+
+(* --- allocation ------------------------------------------------------- *)
+
+let max_object_cells = 1 lsl 24
+
+let alloc t ~elt_ty ~size ~heap =
+  if size < 0 || size > max_object_cells then None
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let o =
+      { o_id = id; o_elt_ty = elt_ty; o_size = size;
+        o_cells = Array.make (max size 1) 0L; o_heap = heap; o_freed = false }
+    in
+    Hashtbl.replace t.objects id o;
+    t.live_cells <- t.live_cells + size;
+    if t.live_cells > t.peak_cells then t.peak_cells <- t.live_cells;
+    Some (ptr ~obj:id ~index:0)
+  end
+
+let find t id = Hashtbl.find_opt t.objects id
+
+let free t p : (unit, Failure.kind) result =
+  if is_null p then Error Failure.Null_deref
+  else
+    match find t (ptr_obj p) with
+    | None -> Error Failure.Invalid_pointer
+    | Some o ->
+        if o.o_freed then Error (Failure.Double_free { obj = o.o_id })
+        else if not o.o_heap then Error Failure.Invalid_pointer
+        else begin
+          o.o_freed <- true;
+          t.live_cells <- t.live_cells - o.o_size;
+          Ok ()
+        end
+
+(* Free a stack object when its frame returns (dangling pointers to it
+   then fault as use-after-free). *)
+let release_stack t id =
+  match find t id with
+  | Some o when not o.o_freed ->
+      o.o_freed <- true;
+      t.live_cells <- t.live_cells - o.o_size
+  | Some _ | None -> ()
+
+(* --- access ------------------------------------------------------------ *)
+
+let check_access t p ~ty : (obj * int, Failure.kind) result =
+  if is_null p then Error Failure.Null_deref
+  else
+    match find t (ptr_obj p) with
+    | None -> Error Failure.Invalid_pointer
+    | Some o ->
+        if o.o_freed then Error (Failure.Use_after_free { obj = o.o_id })
+        else begin
+          let index = ptr_index p in
+          if index < 0 || index >= o.o_size then
+            Error (Failure.Out_of_bounds { obj = o.o_id; index; size = o.o_size })
+          else if o.o_elt_ty <> ty then
+            Error
+              (Failure.Access_type_error
+                 (Printf.sprintf "object of %s accessed as %s"
+                    (ty_name o.o_elt_ty) (ty_name ty)))
+          else Ok (o, index)
+        end
+
+let load t p ~ty : (int64, Failure.kind) result =
+  match check_access t p ~ty with
+  | Error e -> Error e
+  | Ok (o, index) -> Ok o.o_cells.(index)
+
+let store t p ~ty v : (int * int * int64, Failure.kind) result =
+  match check_access t p ~ty with
+  | Error e -> Error e
+  | Ok (o, index) ->
+      let old = o.o_cells.(index) in
+      o.o_cells.(index) <- v;
+      Ok (o.o_id, index, old)
+
+let size_of t id = Option.map (fun o -> o.o_size) (find t id)
+let elt_ty_of t id = Option.map (fun o -> o.o_elt_ty) (find t id)
+let peak_cells t = t.peak_cells
+let object_count t = Hashtbl.length t.objects

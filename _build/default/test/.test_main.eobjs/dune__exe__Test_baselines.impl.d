@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Er_baselines Er_core Er_corpus Er_ir Er_vm Printf

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Bug Er_core Er_corpus Er_ir Er_vm List Printf Registry

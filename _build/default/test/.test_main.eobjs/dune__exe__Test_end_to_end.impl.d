@@ -1,0 +1,1 @@
+test/test_end_to_end.ml: Alcotest Bug Er_core Er_corpus Er_ir Er_vm List Running_example

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Er_core Er_corpus Er_invariants Er_ir List

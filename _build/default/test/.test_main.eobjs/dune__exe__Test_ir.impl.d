@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Er_corpus Er_ir List Parser Pretty Printf QCheck2 QCheck_alcotest String Validate

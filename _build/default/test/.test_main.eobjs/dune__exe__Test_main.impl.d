@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_baselines Test_corpus Test_end_to_end Test_invariants Test_ir Test_select Test_smt Test_trace Test_vm

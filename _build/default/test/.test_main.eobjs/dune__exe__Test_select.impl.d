@@ -1,0 +1,1 @@
+test/test_select.ml: Alcotest Er_corpus Er_ir Er_select Er_smt Er_symex Er_vm List Option

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Er_smt Expr Int64 List Model Option QCheck2 QCheck_alcotest Sat Solver

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Bytes Char Decoder Encoder Er_trace Int64 List Packet Printf QCheck2 QCheck_alcotest Ring

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Er_ir Er_smt Er_vm List

@@ -1,0 +1,158 @@
+(* Tests for the EIR front end: builder well-formedness checks, validator
+   diagnostics, pretty-printer/parser round trips (including a randomized
+   program generator). *)
+
+open Er_ir
+open Er_ir.Types
+module B = Builder
+
+let small_prog () =
+  let t = B.create () in
+  B.global t ~name:"g" ~ty:I32 ~size:8 ~init:(Array.make 8 3L) ();
+  B.func t ~name:"add3" ~params:[ ("x", I32) ] ~ret:I32 (fun fb ->
+      let y = B.add fb I32 (B.reg "x") (B.i32 3) in
+      B.ret fb (Some y));
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      let v = B.input fb I32 "in" in
+      let r = B.call fb "add3" [ v ] in
+      B.output fb r;
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+let test_builder_validates () = ignore (small_prog ())
+
+let test_builder_rejects_unterminated () =
+  let t = B.create () in
+  match
+    B.func t ~name:"f" ~params:[] (fun fb -> ignore (B.add fb I32 (B.i32 1) (B.i32 2)))
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "unterminated function accepted"
+
+let test_builder_rejects_unknown_callee () =
+  let t = B.create () in
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      B.call_void fb "missing" [];
+      B.ret_void fb);
+  match B.program t ~main:"main" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown callee accepted"
+
+let test_validator_unknown_label () =
+  let bad =
+    {
+      globals = [];
+      funcs =
+        [
+          {
+            fname = "main";
+            params = [];
+            ret_ty = None;
+            blocks = [ { label = "entry"; instrs = [||]; term = Br "nowhere" } ];
+          };
+        ];
+      main = "main";
+    }
+  in
+  match Validate.check bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "branch to unknown label accepted"
+
+let test_roundtrip_small () =
+  let p = small_prog () in
+  let text = Pretty.program_to_string p in
+  match Parser.parse_string text with
+  | Error e -> Alcotest.fail ("reparse failed: " ^ e)
+  | Ok p' ->
+      Alcotest.(check string) "round trip is stable" text
+        (Pretty.program_to_string p')
+
+let test_parse_error_reported () =
+  match Parser.parse_string "func main() { entry: frobnicate }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+let test_parse_corpus_programs () =
+  (* every corpus program must survive a print/parse/print round trip *)
+  List.iter
+    (fun (s : Er_corpus.Bug.spec) ->
+       let text = Pretty.program_to_string s.Er_corpus.Bug.program in
+       match Parser.parse_string text with
+       | Error e ->
+           Alcotest.fail
+             (Printf.sprintf "%s failed reparse: %s" s.Er_corpus.Bug.name e)
+       | Ok p' ->
+           Alcotest.(check string)
+             (s.Er_corpus.Bug.name ^ " round trip")
+             text (Pretty.program_to_string p'))
+    Er_corpus.Registry.all
+
+(* randomized straight-line programs: pretty -> parse -> pretty fixpoint *)
+let qcheck_roundtrip_random =
+  let gen_prog =
+    let open QCheck2.Gen in
+    let ty = oneofl [ I8; I16; I32; I64 ] in
+    let instr idx =
+      let dst = Printf.sprintf "%%r%d" idx in
+      let operand = oneofl [ Reg "%seed"; Imm (5L, I32); Imm (250L, I32) ] in
+      oneof
+        [
+          map2 (fun op (a, b) -> Bin { dst; op; ty = I32; a; b })
+            (oneofl [ Add; Sub; Mul; And; Or; Xor ])
+            (pair operand operand);
+          map2 (fun op (a, b) -> Cmp { dst; op; ty = I32; a; b })
+            (oneofl [ Eq; Ne; Ult; Sge ])
+            (pair operand operand);
+          map (fun t -> Input { dst; ty = t; stream = "s" }) ty;
+          return (Output { v = Reg "%seed" });
+        ]
+    in
+    let* n = int_range 1 12 in
+    let* instrs =
+      flatten_l (List.init n (fun i -> instr i))
+    in
+    let f =
+      {
+        fname = "main";
+        params = [];
+        ret_ty = None;
+        blocks =
+          [
+            {
+              label = "entry";
+              instrs =
+                Array.of_list
+                  (Input { dst = "%seed"; ty = I32; stream = "s" } :: instrs);
+              term = Ret None;
+            };
+          ];
+      }
+    in
+    return { globals = []; funcs = [ f ]; main = "main" }
+  in
+  QCheck2.Test.make ~name:"pretty/parse round trip on random programs"
+    ~count:80 gen_prog
+    (fun p ->
+       let text = Pretty.program_to_string p in
+       match Parser.parse_string text with
+       | Error _ -> false
+       | Ok p' -> String.equal text (Pretty.program_to_string p'))
+
+let suites =
+  [
+    ( "ir",
+      [
+        Alcotest.test_case "builder validates" `Quick test_builder_validates;
+        Alcotest.test_case "builder rejects unterminated" `Quick
+          test_builder_rejects_unterminated;
+        Alcotest.test_case "builder rejects unknown callee" `Quick
+          test_builder_rejects_unknown_callee;
+        Alcotest.test_case "validator catches bad label" `Quick
+          test_validator_unknown_label;
+        Alcotest.test_case "round trip (small)" `Quick test_roundtrip_small;
+        Alcotest.test_case "parse error reported" `Quick test_parse_error_reported;
+        Alcotest.test_case "round trip (entire corpus)" `Quick
+          test_parse_corpus_programs;
+        QCheck_alcotest.to_alcotest qcheck_roundtrip_random;
+      ] );
+  ]

@@ -1,0 +1,7 @@
+(* Aggregated test entry point: one Alcotest run over every suite. *)
+
+let () =
+  Alcotest.run "execution-reconstruction"
+    (Test_smt.suites @ Test_ir.suites @ Test_trace.suites @ Test_vm.suites
+     @ Test_select.suites @ Test_baselines.suites @ Test_invariants.suites
+     @ Test_end_to_end.suites @ Test_corpus.suites)

@@ -1,0 +1,351 @@
+(* Unit and property tests for the er_smt substrate: term interning and
+   folding, the CDCL SAT core, array elimination, and end-to-end check-sat
+   against the reference concrete evaluator. *)
+
+open Er_smt
+
+let i32 v = Expr.const ~width:32 (Int64.of_int v)
+let x32 = Expr.bv_var "x" ~width:32
+let y32 = Expr.bv_var "y" ~width:32
+
+(* --- Expr ------------------------------------------------------------ *)
+
+let test_hashcons () =
+  let a = Expr.add x32 (i32 1) and b = Expr.add x32 (i32 1) in
+  Alcotest.(check bool) "same node" true (Expr.equal a b);
+  Alcotest.(check int) "same id" (Expr.id a) (Expr.id b)
+
+let test_folding () =
+  let open Expr in
+  Alcotest.(check bool) "const add" true (equal (add (i32 2) (i32 3)) (i32 5));
+  Alcotest.(check bool) "add zero" true (equal (add x32 (i32 0)) x32);
+  Alcotest.(check bool) "mul one" true (equal (mul x32 (i32 1)) x32);
+  Alcotest.(check bool) "mul zero" true (equal (mul x32 (i32 0)) (i32 0));
+  Alcotest.(check bool) "x - x" true (equal (sub x32 x32) (i32 0));
+  Alcotest.(check bool) "x xor x" true (equal (logxor_ x32 x32) (i32 0));
+  Alcotest.(check bool) "eq refl" true (is_true (eq x32 x32));
+  Alcotest.(check bool) "ult irrefl" true (is_false (ult x32 x32));
+  Alcotest.(check bool) "not not" true (equal (not_ (not_ (eq x32 y32))) (eq x32 y32));
+  Alcotest.(check bool) "eq sym interned" true
+    (equal (eq x32 y32) (eq y32 x32))
+
+let test_fold_width_truncation () =
+  let a = Expr.const ~width:8 255L and b = Expr.const ~width:8 1L in
+  Alcotest.(check bool) "overflow wraps" true
+    (Expr.equal (Expr.add a b) (Expr.const ~width:8 0L));
+  let m = Expr.mul (Expr.const ~width:8 16L) (Expr.const ~width:8 16L) in
+  Alcotest.(check bool) "mul wraps" true (Expr.equal m (Expr.const ~width:8 0L))
+
+let test_row_rules () =
+  let open Expr in
+  let arr = const_array ~idx:32 ~elt:32 0L in
+  let w1 = write arr (i32 3) (i32 99) in
+  Alcotest.(check bool) "read same const idx" true
+    (equal (read w1 (i32 3)) (i32 99));
+  Alcotest.(check bool) "read distinct const idx" true
+    (equal (read w1 (i32 4)) (i32 0));
+  let wsym = write arr x32 (i32 7) in
+  Alcotest.(check bool) "read same sym idx" true
+    (equal (read wsym x32) (i32 7));
+  (* read at a different symbolic index stays symbolic *)
+  (match node (read wsym y32) with
+   | Read _ -> ()
+   | _ -> Alcotest.fail "expected residual Read node");
+  Alcotest.(check bool) "write of read is identity" true
+    (equal (write wsym x32 (read wsym x32)) wsym)
+
+let test_extract_concat () =
+  let open Expr in
+  let v = const ~width:32 0xAABBCCDDL in
+  Alcotest.(check bool) "extract low byte" true
+    (equal (extract ~hi:7 ~lo:0 v) (const ~width:8 0xDDL));
+  Alcotest.(check bool) "extract high byte" true
+    (equal (extract ~hi:31 ~lo:24 v) (const ~width:8 0xAAL));
+  Alcotest.(check bool) "concat consts" true
+    (equal
+       (concat (const ~width:8 0xABL) (const ~width:8 0xCDL))
+       (const ~width:16 0xABCDL));
+  Alcotest.(check bool) "zext" true
+    (equal (zero_extend ~to_:16 (const ~width:8 0x80L)) (const ~width:16 0x80L));
+  Alcotest.(check bool) "sext" true
+    (equal (sign_extend_e ~to_:16 (const ~width:8 0x80L))
+       (const ~width:16 0xFF80L))
+
+(* --- Sat --------------------------------------------------------------- *)
+
+let test_sat_basic () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ a; b ];
+  Sat.add_clause s [ -a; b ];
+  Sat.add_clause s [ a; -b ];
+  (match Sat.solve s with
+   | Sat.Sat ->
+       Alcotest.(check bool) "a true" true (Sat.value s a);
+       Alcotest.(check bool) "b true" true (Sat.value s b)
+   | _ -> Alcotest.fail "expected sat");
+  Sat.add_clause s [ -a; -b ];
+  match Sat.solve s with
+  | Sat.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat"
+
+let test_sat_pigeonhole () =
+  (* 4 pigeons in 3 holes: classic small UNSAT requiring real search *)
+  let s = Sat.create () in
+  let v = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Sat.new_var s)) in
+  for p = 0 to 3 do
+    Sat.add_clause s [ v.(p).(0); v.(p).(1); v.(p).(2) ]
+  done;
+  for h = 0 to 2 do
+    for p1 = 0 to 3 do
+      for p2 = p1 + 1 to 3 do
+        Sat.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+      done
+    done
+  done;
+  match Sat.solve s with
+  | Sat.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat"
+
+let test_sat_budget () =
+  (* 9 pigeons in 8 holes with a tiny budget must time out *)
+  let s = Sat.create () in
+  let n = 9 in
+  let v = Array.init n (fun _ -> Array.init (n - 1) (fun _ -> Sat.new_var s)) in
+  for p = 0 to n - 1 do
+    Sat.add_clause s (Array.to_list v.(p))
+  done;
+  for h = 0 to n - 2 do
+    for p1 = 0 to n - 1 do
+      for p2 = p1 + 1 to n - 1 do
+        Sat.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+      done
+    done
+  done;
+  match Sat.solve ~budget:200 s with
+  | Sat.Unknown -> ()
+  | Sat.Sat -> Alcotest.fail "pigeonhole cannot be sat"
+  | Sat.Unsat -> Alcotest.fail "budget too generous for this test"
+
+let qcheck_sat_random_3cnf =
+  (* random small 3-CNF: solver's Sat answers must satisfy the formula,
+     and Unsat answers must agree with brute force *)
+  QCheck2.Test.make ~name:"sat agrees with brute force on random 3-CNF"
+    ~count:60
+    QCheck2.Gen.(
+      let lit = map2 (fun v s -> if s then v + 1 else -(v + 1)) (int_bound 5) bool in
+      let clause = list_size (int_range 1 3) lit in
+      list_size (int_range 1 18) clause)
+    (fun clauses ->
+       let brute_sat =
+         (* 6 variables -> 64 assignments *)
+         let eval_lit assign l =
+           let v = abs l - 1 in
+           let b = assign land (1 lsl v) <> 0 in
+           if l > 0 then b else not b
+         in
+         let eval_clause assign c = List.exists (eval_lit assign) c in
+         let rec go a =
+           if a >= 64 then false
+           else if List.for_all (eval_clause a) clauses then true
+           else go (a + 1)
+         in
+         go 0
+       in
+       let s = Sat.create () in
+       for _ = 1 to 6 do ignore (Sat.new_var s) done;
+       List.iter (fun c -> Sat.add_clause s c) clauses;
+       match Sat.solve s with
+       | Sat.Sat ->
+           brute_sat
+           && List.for_all
+                (List.exists (fun l ->
+                     if l > 0 then Sat.value s l else not (Sat.value s (-l))))
+                clauses
+       | Sat.Unsat -> not brute_sat
+       | Sat.Unknown -> false)
+
+(* --- Solver end-to-end -------------------------------------------------- *)
+
+let solve_sat assertions =
+  match Solver.check assertions with
+  | Solver.Sat m -> m
+  | Solver.Unsat -> Alcotest.fail "unexpected unsat"
+  | Solver.Unknown why -> Alcotest.fail ("unexpected unknown: " ^ why)
+
+let test_solver_linear () =
+  let m = solve_sat [ Expr.eq (Expr.add x32 (i32 5)) (i32 12) ] in
+  Alcotest.(check int64) "x = 7" 7L (Option.get (Model.value m "x"))
+
+let test_solver_unsat () =
+  match
+    Solver.check [ Expr.ult x32 (i32 5); Expr.ult (i32 10) x32 ]
+  with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat"
+
+let test_solver_mul_inverse () =
+  let m =
+    solve_sat
+      [ Expr.eq (Expr.mul x32 (i32 3)) (i32 21); Expr.ult x32 (i32 100) ]
+  in
+  Alcotest.(check int64) "x = 7" 7L (Option.get (Model.value m "x"))
+
+let test_solver_divrem () =
+  let m =
+    solve_sat
+      [
+        Expr.eq (Expr.udiv (i32 29) x32) (i32 4);
+        Expr.eq (Expr.urem (i32 29) x32) (i32 1);
+      ]
+  in
+  Alcotest.(check int64) "x = 7" 7L (Option.get (Model.value m "x"))
+
+let test_solver_shifts () =
+  let m =
+    solve_sat
+      [
+        Expr.eq (Expr.shl (i32 1) x32) (i32 64);
+        Expr.eq (Expr.lshr (i32 0x100) x32) y32;
+      ]
+  in
+  Alcotest.(check int64) "x = 6" 6L (Option.get (Model.value m "x"));
+  Alcotest.(check int64) "y = 4" 4L (Option.get (Model.value m "y"))
+
+let test_solver_signed () =
+  let neg1 = Expr.const ~width:32 0xFFFFFFFFL in
+  (match Solver.check [ Expr.slt neg1 (i32 0) ] with
+   | Solver.Sat _ -> ()
+   | _ -> Alcotest.fail "-1 <s 0 should be sat");
+  match Solver.check [ Expr.ult neg1 (i32 0) ] with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "-1 <u 0 should be unsat"
+
+let test_solver_array_chain () =
+  (* V[256] = {0}; V[x] = 1; if (V[c] == 0) V[c] = 512; V[V[x]] = x —
+     the paper's running example, steps 1-4 (Fig 3/4). *)
+  let open Expr in
+  let v0 = const_array ~idx:32 ~elt:32 0L in
+  let a = bv_var "a" ~width:32 and b = bv_var "b" ~width:32 in
+  let c = bv_var "c" ~width:32 and d = bv_var "d" ~width:32 in
+  let x = add a b in
+  let bounds = [ ult x (i32 256); ult c (i32 256); ult d (i32 256) ] in
+  let v1 = write v0 x (i32 1) in
+  let cond1 = eq (read v1 c) (i32 0) in
+  let v2 = write v1 c (i32 512) in
+  let v3 = write v2 (read v2 x) x in
+  let cond2 = ult c d in
+  let cond3 = eq (read v3 (read v3 d)) x in
+  let m = solve_sat (bounds @ [ cond1; cond2; cond3 ]) in
+  (* validate the model concretely: x must equal d (paper's analysis) *)
+  let get n = Option.get (Model.value m n) in
+  let xv = Int64.logand (Int64.add (get "a") (get "b")) 0xFFFFFFFFL in
+  Alcotest.(check int64) "x = d" (get "d") xv
+
+let test_solver_ackermann () =
+  let open Expr in
+  let a = arr_var "A" ~idx:32 ~elt:32 in
+  let i = bv_var "i" ~width:32 and j = bv_var "j" ~width:32 in
+  (match
+     Solver.check
+       [ eq (read a i) (i32 1); eq (read a j) (i32 2); eq i j ]
+   with
+   | Solver.Unsat -> ()
+   | _ -> Alcotest.fail "congruence violation should be unsat");
+  let m =
+    solve_sat [ eq (read a i) (i32 1); eq (read a j) (i32 2) ]
+  in
+  let get n = Option.get (Model.value m n) in
+  Alcotest.(check bool) "i <> j" true (not (Int64.equal (get "i") (get "j")))
+
+let test_solver_gate_budget () =
+  (* a 64-bit multiplication tower should exceed a tiny gate budget *)
+  let x = Expr.bv_var "gx" ~width:64 in
+  let rec tower n acc = if n = 0 then acc else tower (n - 1) (Expr.mul acc acc) in
+  let e = Expr.eq (tower 4 x) (Expr.const ~width:64 17L) in
+  match Solver.check ~gate_budget:500 [ e ] with
+  | Solver.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected gate-budget timeout"
+
+(* Random ground-term property: build a term over two variables, pick
+   concrete values, assert term = its concrete value; the solver must find
+   a model, and the model must satisfy all assertions per Model.eval. *)
+let qcheck_solver_vs_eval =
+  let gen_expr =
+    let open QCheck2.Gen in
+    let width = 8 in
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              map (fun v -> Expr.const ~width (Int64.of_int (v land 255))) (int_bound 255);
+              return (Expr.bv_var "qx" ~width);
+              return (Expr.bv_var "qy" ~width);
+            ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              map2 Expr.add sub sub;
+              map2 Expr.sub sub sub;
+              map2 Expr.mul sub sub;
+              map2 Expr.logand_ sub sub;
+              map2 Expr.logor_ sub sub;
+              map2 Expr.logxor_ sub sub;
+              map2 Expr.udiv sub sub;
+              map2 Expr.urem sub sub;
+              map2 Expr.shl sub sub;
+              map2 Expr.lshr sub sub;
+              map2 Expr.ashr sub sub;
+              map Expr.neg sub;
+              map Expr.lognot_ sub;
+              map3 (fun c a b -> Expr.ite (Expr.ult c a) a b) sub sub sub;
+            ])
+  in
+  QCheck2.Test.make ~name:"solver models satisfy assertions (random terms)"
+    ~count:60
+    QCheck2.Gen.(triple gen_expr (int_bound 255) (int_bound 255))
+    (fun (e, xv, yv) ->
+       let ground = Model.empty () in
+       Model.set ground "qx" (Int64.of_int xv);
+       Model.set ground "qy" (Int64.of_int yv);
+       let c = Model.eval ground e in
+       let assertion = Expr.eq e (Expr.const ~width:8 c) in
+       match Solver.check [ assertion ] with
+       | Solver.Sat m -> Model.holds m assertion
+       | Solver.Unsat -> false   (* ground witness exists, cannot be unsat *)
+       | Solver.Unknown _ -> QCheck2.assume_fail ())
+
+let qcheck_of t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "smt.expr",
+      [
+        Alcotest.test_case "hash-consing" `Quick test_hashcons;
+        Alcotest.test_case "constant folding" `Quick test_folding;
+        Alcotest.test_case "width truncation" `Quick test_fold_width_truncation;
+        Alcotest.test_case "read-over-write rules" `Quick test_row_rules;
+        Alcotest.test_case "extract/concat" `Quick test_extract_concat;
+      ] );
+    ( "smt.sat",
+      [
+        Alcotest.test_case "basic sat/unsat" `Quick test_sat_basic;
+        Alcotest.test_case "pigeonhole unsat" `Quick test_sat_pigeonhole;
+        Alcotest.test_case "budget timeout" `Quick test_sat_budget;
+        qcheck_of qcheck_sat_random_3cnf;
+      ] );
+    ( "smt.solver",
+      [
+        Alcotest.test_case "linear equation" `Quick test_solver_linear;
+        Alcotest.test_case "interval unsat" `Quick test_solver_unsat;
+        Alcotest.test_case "multiplicative inverse" `Quick test_solver_mul_inverse;
+        Alcotest.test_case "div/rem" `Quick test_solver_divrem;
+        Alcotest.test_case "shifts" `Quick test_solver_shifts;
+        Alcotest.test_case "signed vs unsigned" `Quick test_solver_signed;
+        Alcotest.test_case "fig3 write chain" `Quick test_solver_array_chain;
+        Alcotest.test_case "ackermann congruence" `Quick test_solver_ackermann;
+        Alcotest.test_case "gate budget" `Quick test_solver_gate_budget;
+        qcheck_of qcheck_solver_vs_eval;
+      ] );
+  ]

@@ -1,0 +1,234 @@
+(* Tests for the production runtime: arithmetic semantics against the SMT
+   evaluator, memory-safety fault detection, threading/scheduling, and
+   determinism. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+module I = Er_vm.Interp
+
+let run_prog ?(config = I.default_config) p inputs =
+  I.run ~config (Er_ir.Prog.of_program p) (Er_vm.Inputs.make inputs)
+
+let expect_failure name p inputs pred =
+  match (run_prog p inputs).I.outcome with
+  | I.Failed f ->
+      if not (pred f.Er_vm.Failure.kind) then
+        Alcotest.fail
+          (name ^ ": wrong failure " ^ Er_vm.Failure.to_string f)
+  | I.Finished _ -> Alcotest.fail (name ^ ": expected failure")
+
+let simple_main body =
+  let t = B.create () in
+  B.func t ~name:"main" ~params:[] body;
+  B.program t ~main:"main"
+
+let test_arith_matches_smt () =
+  (* for a batch of (op, a, b): VM result = SMT eval result *)
+  let cases =
+    [ (Add, 250L, 10L); (Sub, 3L, 10L); (Mul, 77L, 99L); (Udiv, 200L, 7L);
+      (Urem, 200L, 7L); (And, 0xF0L, 0x3CL); (Or, 1L, 0x80L);
+      (Xor, 0xFFL, 0x0FL); (Shl, 1L, 6L); (Lshr, 0x80L, 3L); (Ashr, 0x80L, 3L) ]
+  in
+  List.iter
+    (fun (op, a, b) ->
+       let p =
+         simple_main (fun fb ->
+             let r = B.bin fb op I8 (B.imm64 a I8) (B.imm64 b I8) in
+             B.output fb r;
+             B.ret_void fb)
+       in
+       let r = run_prog p [] in
+       let smt_op =
+         match op with
+         | Add -> Er_smt.Expr.Add | Sub -> Er_smt.Expr.Sub
+         | Mul -> Er_smt.Expr.Mul | Udiv -> Er_smt.Expr.Udiv
+         | Urem -> Er_smt.Expr.Urem | And -> Er_smt.Expr.And
+         | Or -> Er_smt.Expr.Or | Xor -> Er_smt.Expr.Xor
+         | Shl -> Er_smt.Expr.Shl | Lshr -> Er_smt.Expr.Lshr
+         | Ashr -> Er_smt.Expr.Ashr
+       in
+       let want =
+         Er_smt.Expr.eval_binop smt_op 8 (Er_smt.Ty.truncate 8 a)
+           (Er_smt.Ty.truncate 8 b)
+       in
+       Alcotest.(check (list int64)) "vm = smt" [ want ] r.I.outputs)
+    cases
+
+let test_null_deref () =
+  expect_failure "null"
+    (simple_main (fun fb ->
+         let v = B.load fb I32 B.null in
+         B.output fb v;
+         B.ret_void fb))
+    []
+    (function Er_vm.Failure.Null_deref -> true | _ -> false)
+
+let test_out_of_bounds () =
+  expect_failure "oob"
+    (simple_main (fun fb ->
+         let buf = B.alloc fb I32 (B.i32 4) in
+         let p = B.gep fb buf (B.i32 4) in
+         B.store fb I32 (B.i32 1) p;
+         B.ret_void fb))
+    []
+    (function Er_vm.Failure.Out_of_bounds _ -> true | _ -> false)
+
+let test_use_after_free () =
+  expect_failure "uaf"
+    (simple_main (fun fb ->
+         let buf = B.alloc fb I32 (B.i32 4) in
+         B.free fb buf;
+         let v = B.load fb I32 buf in
+         B.output fb v;
+         B.ret_void fb))
+    []
+    (function Er_vm.Failure.Use_after_free _ -> true | _ -> false)
+
+let test_double_free () =
+  expect_failure "dfree"
+    (simple_main (fun fb ->
+         let buf = B.alloc fb I32 (B.i32 4) in
+         B.free fb buf;
+         B.free fb buf;
+         B.ret_void fb))
+    []
+    (function Er_vm.Failure.Double_free _ -> true | _ -> false)
+
+let test_div_by_zero () =
+  expect_failure "div0"
+    (simple_main (fun fb ->
+         let z = B.input fb I32 "in" in
+         let r = B.udiv fb I32 (B.i32 7) z in
+         B.output fb r;
+         B.ret_void fb))
+    [ ("in", [ 0L ]) ]
+    (function Er_vm.Failure.Div_by_zero -> true | _ -> false)
+
+let test_stack_release () =
+  (* alloca'd objects fault after the frame returns *)
+  let t = B.create () in
+  B.global t ~name:"leak" ~ty:I64 ~size:1 ();
+  B.func t ~name:"f" ~params:[] (fun fb ->
+      let buf = B.alloca fb I32 (B.i32 2) in
+      let bi = B.cast fb Ptrtoint ~from_ty:Ptr ~to_ty:I64 buf in
+      B.store fb I64 bi (B.gep fb (B.glob "leak") (B.i32 0));
+      B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      B.call_void fb "f" [];
+      let bi = B.load fb I64 (B.gep fb (B.glob "leak") (B.i32 0)) in
+      let p = B.cast fb Inttoptr ~from_ty:I64 ~to_ty:Ptr bi in
+      let v = B.load fb I32 p in
+      B.output fb v;
+      B.ret_void fb);
+  expect_failure "dangling stack" (B.program t ~main:"main") []
+    (function Er_vm.Failure.Use_after_free _ -> true | _ -> false)
+
+let test_input_exhausted () =
+  expect_failure "eof"
+    (simple_main (fun fb ->
+         let v = B.input fb I32 "in" in
+         B.output fb v;
+         let w = B.input fb I32 "in" in
+         B.output fb w;
+         B.ret_void fb))
+    [ ("in", [ 1L ]) ]
+    (function Er_vm.Failure.Input_exhausted _ -> true | _ -> false)
+
+let counter_prog () =
+  (* two threads increment a shared counter under a lock *)
+  let t = B.create () in
+  B.global t ~name:"ctr" ~ty:I64 ~size:1 ();
+  B.global t ~name:"mtx" ~ty:I64 ~size:1 ();
+  B.func t ~name:"worker" ~params:[ ("n", I32) ] (fun fb ->
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv (B.reg "n") in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      B.lock fb (B.glob "mtx");
+      let c = B.load fb I64 (B.gep fb (B.glob "ctr") (B.i32 0)) in
+      B.store fb I64 (B.add fb I64 c (B.imm64 1L I64))
+        (B.gep fb (B.glob "ctr") (B.i32 0));
+      B.unlock fb (B.glob "mtx");
+      B.store fb I32 (B.add fb I32 iv (B.i32 1)) i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      B.spawn fb "worker" [ B.i32 200 ];
+      B.call_void fb "worker" [ B.i32 200 ];
+      B.join fb;
+      let c = B.load fb I64 (B.gep fb (B.glob "ctr") (B.i32 0)) in
+      B.output fb c;
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+let test_threads_locks () =
+  (* under the lock the count is exact for every schedule seed *)
+  List.iter
+    (fun seed ->
+       let config = { I.default_config with sched_seed = seed } in
+       let r = run_prog ~config (counter_prog ()) [] in
+       match r.I.outcome with
+       | I.Finished _ ->
+           Alcotest.(check (list int64)) "counter" [ 400L ] r.I.outputs
+       | I.Failed f -> Alcotest.fail (Er_vm.Failure.to_string f))
+    [ 0; 1; 2; 3 ]
+
+let test_determinism () =
+  (* same seed -> identical instruction count and branch count *)
+  let p = counter_prog () in
+  let config = { I.default_config with sched_seed = 7 } in
+  let a = run_prog ~config p [] and b = run_prog ~config p [] in
+  Alcotest.(check int) "instrs" a.I.instr_count b.I.instr_count;
+  Alcotest.(check int) "branches" a.I.branch_count b.I.branch_count
+
+let test_seed_changes_schedule () =
+  (* remove the lock: different seeds can lose updates differently — here
+     we only require that schedules (instr interleavings) vary, which we
+     observe through switch counts *)
+  let count_switches seed =
+    let n = ref 0 in
+    let hooks =
+      { I.no_hooks with I.on_switch = Some (fun ~tid:_ ~clock:_ -> incr n) }
+    in
+    let config = { I.default_config with sched_seed = seed; hooks } in
+    ignore (run_prog ~config (counter_prog ()) []);
+    !n
+  in
+  Alcotest.(check bool) "some switches happen" true (count_switches 1 > 2)
+
+let test_hang_detection () =
+  let p =
+    simple_main (fun fb ->
+        B.br fb "loop";
+        B.block fb "loop";
+        B.br fb "loop")
+  in
+  let config = { I.default_config with max_instrs = 10_000 } in
+  match (run_prog ~config p []).I.outcome with
+  | I.Failed { Er_vm.Failure.kind = Er_vm.Failure.Hang; _ } -> ()
+  | I.Failed f -> Alcotest.fail (Er_vm.Failure.to_string f)
+  | I.Finished _ -> Alcotest.fail "expected hang"
+
+let suites =
+  [
+    ( "vm",
+      [
+        Alcotest.test_case "arith matches smt semantics" `Quick test_arith_matches_smt;
+        Alcotest.test_case "null deref" `Quick test_null_deref;
+        Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
+        Alcotest.test_case "use after free" `Quick test_use_after_free;
+        Alcotest.test_case "double free" `Quick test_double_free;
+        Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+        Alcotest.test_case "dangling stack object" `Quick test_stack_release;
+        Alcotest.test_case "input exhausted" `Quick test_input_exhausted;
+        Alcotest.test_case "threads + locks" `Quick test_threads_locks;
+        Alcotest.test_case "determinism per seed" `Quick test_determinism;
+        Alcotest.test_case "scheduler emits switches" `Quick test_seed_changes_schedule;
+        Alcotest.test_case "hang detection" `Quick test_hang_detection;
+      ] );
+  ]
