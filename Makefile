@@ -1,0 +1,28 @@
+# Tier-1 verification in one command: `make ci` chains the build, the
+# full test suite, and (when ocamlformat is available) the format check.
+
+.PHONY: all build test fmt ci fleet
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed — skipping 'dune build @fmt'"; \
+	fi
+
+ci:
+	dune build
+	dune runtest
+	$(MAKE) fmt
+
+# Run the whole bug corpus through the staged pipeline.
+fleet:
+	dune exec bin/er_cli.exe -- fleet

@@ -25,10 +25,10 @@ let section title =
 (* ------------------------------------------------------------------ *)
 
 let reconstruct_spec (s : Bug.spec) =
-  Er_core.Driver.reconstruct ~config:s.Bug.config ~base_prog:s.Bug.program
+  Er_core.Pipeline.run ~config:s.Bug.config ~base_prog:s.Bug.program
     ~workload:s.Bug.failing_workload ()
 
-let table1_results : (string * Er_core.Driver.result) list ref = ref []
+let table1_results : (string * Er_core.Pipeline.result) list ref = ref []
 
 let run_table1 () =
   section "Table 1: bugs, trace lengths, occurrences, symex time";
@@ -39,22 +39,22 @@ let run_table1 () =
        let r = reconstruct_spec s in
        table1_results := (s.Bug.name, r) :: !table1_results;
        let instrs, bytes =
-         match r.Er_core.Driver.iterations with
+         match r.Er_core.Pipeline.iterations with
          | it :: _ ->
-             (it.Er_core.Driver.vm_instrs, it.Er_core.Driver.trace_bytes)
+             (it.Er_core.Pipeline.vm_instrs, it.Er_core.Pipeline.trace_bytes)
          | [] -> (0, 0)
        in
        let verified =
-         match r.Er_core.Driver.status with
-         | Er_core.Driver.Reproduced { verified = Some v; _ } ->
+         match r.Er_core.Pipeline.status with
+         | Er_core.Pipeline.Reproduced { verified = Some v; _ } ->
              if v.Er_core.Verify.ok then "yes" else "NO"
-         | Er_core.Driver.Reproduced _ -> "unchecked"
-         | Er_core.Driver.Gave_up m -> "GAVE UP: " ^ m
+         | Er_core.Pipeline.Reproduced _ -> "unchecked"
+         | Er_core.Pipeline.Gave_up g -> "GAVE UP: " ^ Er_core.Outcome.give_up_to_string g
        in
        Printf.printf "%-22s %-24s %-26s %-3s %9d %6d %9.2fs %8.1f %s\n%!"
          s.Bug.name s.Bug.models s.Bug.bug_type
          (if s.Bug.multithreaded then "Y" else "N")
-         instrs r.Er_core.Driver.occurrences r.Er_core.Driver.total_symex_time
+         instrs r.Er_core.Pipeline.occurrences r.Er_core.Pipeline.total_symex_time
          (float_of_int bytes /. 1024.) verified)
     Registry.table1
 
@@ -159,13 +159,13 @@ let run_fig5 () =
           if k = 0 then []
           else begin
             let config =
-              { s.Bug.config with Er_core.Driver.max_occurrences = k }
+              { s.Bug.config with Er_core.Pipeline.max_occurrences = k }
             in
             let rk =
-              Er_core.Driver.reconstruct ~config ~base_prog:s.Bug.program
+              Er_core.Pipeline.run ~config ~base_prog:s.Bug.program
                 ~workload:s.Bug.failing_workload ()
             in
-            rk.Er_core.Driver.recording_points
+            rk.Er_core.Pipeline.recording_points
           end
         in
         let inst_prog, _ = Er_select.Instrument.apply s.Bug.program points in
@@ -219,14 +219,14 @@ let run_ablation () =
   List.iter
     (fun (s : Bug.spec) ->
        let er = reconstruct_spec s in
-       let er_occ = er.Er_core.Driver.occurrences in
+       let er_occ = er.Er_core.Pipeline.occurrences in
        let needs_data =
          List.exists
            (fun it ->
-              match it.Er_core.Driver.outcome with
-              | `Stalled _ -> true
-              | `Complete | `Diverged _ -> false)
-           er.Er_core.Driver.iterations
+              match it.Er_core.Pipeline.outcome with
+              | Er_core.Outcome.Stalled _ -> true
+              | Er_core.Outcome.Completed | Er_core.Outcome.Diverged _ -> false)
+           er.Er_core.Pipeline.iterations
        in
        if needs_data then begin
          (* three random seeds; report the mean occurrences and whether all
@@ -299,21 +299,21 @@ let run_offline () =
        let r = reconstruct_spec s in
        let nodes =
          List.fold_left
-           (fun m it -> max m it.Er_core.Driver.graph_nodes)
-           0 r.Er_core.Driver.iterations
+           (fun m it -> max m it.Er_core.Pipeline.graph_nodes)
+           0 r.Er_core.Pipeline.iterations
        in
        let sel =
          List.fold_left
-           (fun a it -> a +. it.Er_core.Driver.selection_time)
-           0.0 r.Er_core.Driver.iterations
+           (fun a it -> a +. it.Er_core.Pipeline.selection_time)
+           0.0 r.Er_core.Pipeline.iterations
        in
        let calls =
          List.fold_left
-           (fun a it -> a + it.Er_core.Driver.solver_calls)
-           0 r.Er_core.Driver.iterations
+           (fun a it -> a + it.Er_core.Pipeline.solver_calls)
+           0 r.Er_core.Pipeline.iterations
        in
        Printf.printf "%-22s %12d %14.4f %12.2f %12d\n%!" s.Bug.name nodes sel
-         r.Er_core.Driver.total_symex_time calls)
+         r.Er_core.Pipeline.total_symex_time calls)
     Registry.table1;
   Printf.printf "\ninterned constraint-graph terms process-wide: %d\n"
     (Er_smt.Expr.live_nodes ())
@@ -343,9 +343,9 @@ let run_fig1 () =
     List.length
       (List.filter
          (fun (_, r) ->
-            match r.Er_core.Driver.status with
-            | Er_core.Driver.Reproduced _ -> true
-            | Er_core.Driver.Gave_up _ -> false)
+            match r.Er_core.Pipeline.status with
+            | Er_core.Pipeline.Reproduced _ -> true
+            | Er_core.Pipeline.Gave_up _ -> false)
          !table1_results)
   in
   Printf.printf
@@ -357,8 +357,8 @@ let run_fig1 () =
     List.length
       (List.filter
          (fun (_, r) ->
-            match r.Er_core.Driver.status with
-            | Er_core.Driver.Reproduced { verified = Some v; _ } ->
+            match r.Er_core.Pipeline.status with
+            | Er_core.Pipeline.Reproduced { verified = Some v; _ } ->
                 v.Er_core.Verify.ok
             | _ -> false)
          !table1_results)
@@ -381,9 +381,11 @@ let run_casestudy () =
     let prog = Er_ir.Prog.of_program s.Bug.program in
     let passing = List.init 4 passing_inputs in
     let r = reconstruct_spec s in
-    match r.Er_core.Driver.status with
-    | Er_core.Driver.Gave_up m -> Printf.printf "reconstruction gave up: %s\n" m
-    | Er_core.Driver.Reproduced { testcase; _ } ->
+    match r.Er_core.Pipeline.status with
+    | Er_core.Pipeline.Gave_up g ->
+        Printf.printf "reconstruction gave up: %s\n"
+          (Er_core.Outcome.give_up_to_string g)
+    | Er_core.Pipeline.Reproduced { testcase; _ } ->
         let failing_er = Er_core.Testcase.to_inputs testcase in
         let report_er =
           Er_invariants.Localize.localize ~prog ~passing ~failing:failing_er

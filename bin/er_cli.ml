@@ -1,7 +1,11 @@
 (* Command-line front end for the ER reproduction.
 
      er_cli list                    list corpus bugs
-     er_cli reproduce <bug>         run the iterative algorithm on one bug
+     er_cli reproduce <bug>         run the staged pipeline on one bug
+                                    (--events FILE for a JSONL event log,
+                                     --json for a machine-readable result)
+     er_cli fleet                   run the whole corpus, print a per-bug,
+                                    per-stage timing/solver-cost table
      er_cli show <bug>              print a bug's EIR program
      er_cli parse <file.eir>        parse and validate a textual EIR file
      er_cli run <file.eir> k=v,...  run a textual EIR program concretely *)
@@ -37,42 +41,148 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the bug corpus")
     Term.(const run $ const ())
 
+(* Run the staged pipeline on one spec, optionally streaming events to a
+   JSONL file ("-" for stdout).  Shared by [reproduce] and [fleet]. *)
+let with_events_sink events_file f =
+  match events_file with
+  | None -> f Er_core.Events.null
+  | Some "-" ->
+      let r = f (Er_core.Events.jsonl stdout) in
+      flush stdout;
+      r
+  | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error msg ->
+          Printf.eprintf "er_cli: cannot open events file: %s\n" msg;
+          exit 1
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> f (Er_core.Events.jsonl oc))
+
+let run_pipeline (spec : Er_corpus.Bug.spec) events =
+  Er_core.Pipeline.run ~config:spec.Er_corpus.Bug.config ~events
+    ~base_prog:spec.Er_corpus.Bug.program
+    ~workload:spec.Er_corpus.Bug.failing_workload ()
+
 let reproduce_cmd =
-  let run spec verbose =
-    let r =
-      Er_core.Driver.reconstruct ~config:spec.Er_corpus.Bug.config
-        ~base_prog:spec.Er_corpus.Bug.program
-        ~workload:spec.Er_corpus.Bug.failing_workload ()
-    in
-    List.iter
-      (fun (it : Er_core.Driver.iteration) ->
-         Printf.printf "occurrence %d: %s (solver calls %d, graph %d nodes)\n"
-           it.Er_core.Driver.occurrence
-           (match it.Er_core.Driver.outcome with
-            | `Complete -> "complete"
-            | `Stalled why -> "stalled — " ^ why
-            | `Diverged why -> "diverged — " ^ why)
-           it.Er_core.Driver.solver_calls it.Er_core.Driver.graph_nodes)
-      r.Er_core.Driver.iterations;
-    (match r.Er_core.Driver.status with
-     | Er_core.Driver.Reproduced { testcase; verified; _ } ->
-         Printf.printf "reproduced after %d failure occurrence(s)\n"
-           r.Er_core.Driver.occurrences;
-         if verbose then
-           Printf.printf "test case:\n%s\n"
-             (Fmt.str "%a" Er_core.Testcase.pp testcase);
-         (match verified with
-          | Some v ->
-              Printf.printf "verified: same failure %b, same control flow %b\n"
-                v.Er_core.Verify.same_failure
-                v.Er_core.Verify.same_control_flow
-          | None -> ())
-     | Er_core.Driver.Gave_up m -> Printf.printf "gave up: %s\n" m);
-    ()
+  let run spec verbose events_file json =
+    let r = with_events_sink events_file (run_pipeline spec) in
+    if json then print_endline (Er_core.Pipeline.result_to_json r)
+    else begin
+      List.iter
+        (fun (it : Er_core.Pipeline.iteration) ->
+           Printf.printf "occurrence %d: %s (solver calls %d, graph %d nodes)\n"
+             it.Er_core.Pipeline.occurrence
+             (Fmt.str "%a" Er_core.Outcome.pp_step it.Er_core.Pipeline.outcome)
+             it.Er_core.Pipeline.solver_calls it.Er_core.Pipeline.graph_nodes)
+        r.Er_core.Pipeline.iterations;
+      match r.Er_core.Pipeline.status with
+      | Er_core.Pipeline.Reproduced { testcase; verified; _ } ->
+          Printf.printf "reproduced after %d failure occurrence(s)\n"
+            r.Er_core.Pipeline.occurrences;
+          if verbose then
+            Printf.printf "test case:\n%s\n"
+              (Fmt.str "%a" Er_core.Testcase.pp testcase);
+          (match verified with
+           | Some v ->
+               Printf.printf "verified: same failure %b, same control flow %b\n"
+                 v.Er_core.Verify.same_failure
+                 v.Er_core.Verify.same_control_flow
+           | None -> ())
+      | Er_core.Pipeline.Gave_up g ->
+          Printf.printf "gave up: %s\n" (Er_core.Outcome.give_up_to_string g)
+    end
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  let events_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"Write the pipeline's structured event stream as JSON Lines \
+                to $(docv) (use - for stdout).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the final result (status, iterations, recording points) \
+                as machine-readable JSON instead of the human summary.")
+  in
   Cmd.v (Cmd.info "reproduce" ~doc:"Reconstruct one corpus failure")
-    Term.(const run $ spec_arg $ verbose)
+    Term.(const run $ spec_arg $ verbose $ events_file $ json)
+
+(* Fleet mode: the whole Table 1 corpus through the staged pipeline, with
+   an aggregated per-bug, per-stage summary — the first step from one-bug
+   reproduction toward a service that processes many failures. *)
+let fleet_cmd =
+  let stage_times (r : Er_core.Pipeline.result) =
+    List.fold_left
+      (fun (tr, sy, se, ve) (it : Er_core.Pipeline.iteration) ->
+         ( tr +. it.Er_core.Pipeline.trace_time,
+           sy +. it.Er_core.Pipeline.symex_time,
+           se +. it.Er_core.Pipeline.selection_time,
+           ve +. it.Er_core.Pipeline.verify_time ))
+      (0., 0., 0., 0.) r.Er_core.Pipeline.iterations
+  in
+  let run events_file =
+    Printf.printf "%-22s %-8s %4s %4s %9s %9s %9s %9s %7s %12s %4s\n" "bug"
+      "status" "occ" "runs" "trace(s)" "symex(s)" "select(s)" "verify(s)"
+      "squery" "solver-cost" "pts";
+    let totals = ref (0, 0, 0., 0., 0., 0., 0, 0) in
+    let reproduced = ref 0 in
+    let n = List.length Er_corpus.Registry.table1 in
+    with_events_sink events_file (fun events ->
+        List.iter
+          (fun (s : Er_corpus.Bug.spec) ->
+             let r = run_pipeline s events in
+             let tr, sy, se, ve = stage_times r in
+             let calls, cost =
+               List.fold_left
+                 (fun (c, k) (it : Er_core.Pipeline.iteration) ->
+                    ( c + it.Er_core.Pipeline.solver_calls,
+                      k + it.Er_core.Pipeline.solver_cost ))
+                 (0, 0) r.Er_core.Pipeline.iterations
+             in
+             let status =
+               match r.Er_core.Pipeline.status with
+               | Er_core.Pipeline.Reproduced { verified = Some v; _ } ->
+                   incr reproduced;
+                   if v.Er_core.Verify.ok then "ok" else "UNVERIF"
+               | Er_core.Pipeline.Reproduced _ ->
+                   incr reproduced;
+                   "ok"
+               | Er_core.Pipeline.Gave_up _ -> "GAVE-UP"
+             in
+             let o, ru, a, b, c, d, e, f = !totals in
+             totals :=
+               ( o + r.Er_core.Pipeline.occurrences,
+                 ru + r.Er_core.Pipeline.runs, a +. tr, b +. sy, c +. se,
+                 d +. ve, e + calls, f + cost );
+             Printf.printf
+               "%-22s %-8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d %4d\n%!"
+               s.Er_corpus.Bug.name status r.Er_core.Pipeline.occurrences
+               r.Er_core.Pipeline.runs tr sy se ve calls cost
+               (List.length r.Er_core.Pipeline.recording_points))
+          Er_corpus.Registry.table1);
+    let o, ru, a, b, c, d, e, f = !totals in
+    Printf.printf "%-22s %-8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d\n"
+      "total" (Printf.sprintf "%d/%d" !reproduced n) o ru a b c d e f
+  in
+  let events_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"Append every bug's event stream as JSON Lines to $(docv) \
+                (use - for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Run the whole bug corpus through the staged pipeline")
+    Term.(const run $ events_file)
 
 let show_cmd =
   let run spec =
@@ -141,4 +251,7 @@ let () =
     Cmd.info "er_cli" ~version:"1.0"
       ~doc:"Execution Reconstruction (PLDI 2021) — OCaml reproduction"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; reproduce_cmd; show_cmd; parse_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; reproduce_cmd; fleet_cmd; show_cmd; parse_cmd; run_cmd ]))

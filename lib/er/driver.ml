@@ -1,20 +1,17 @@
-(* The iterative ER algorithm (Fig. 2, section 3.3.4).
+(* Compatibility surface over the staged {!Pipeline}.
 
-   Each iteration:
-   1. instrument the program with the accumulated recording set,
-   2. run it in "production" under PT-like tracing until the failure
-      reoccurs, shipping the trace snapshot,
-   3. shepherd symbolic execution along the trace;
-   4. on completion, solve for failure-inducing inputs and verify the
-      generated test case by concrete re-execution;
-   5. on a stall, run key data value selection over the constraint graph
-      and extend the recording set for the next occurrence. *)
+   The iterative ER algorithm (Fig. 2, section 3.3.4) now lives in
+   {!Pipeline} as four first-class stages folded over occurrences with a
+   structured event stream.  This module keeps the original driver API —
+   the same config/iteration/result records with string-rendered outcomes
+   — so existing callers (tests, bench harness, examples) are untouched;
+   the full structured result is available via {!result.pipeline}. *)
 
 open Er_ir.Types
 module Interp = Er_vm.Interp
 module Exec = Er_symex.Exec
 
-type config = {
+type config = Pipeline.config = {
   max_occurrences : int;
   exec_config : Exec.config;
   vm_config : Interp.config;
@@ -22,14 +19,7 @@ type config = {
   verify : bool;
 }
 
-let default_config =
-  {
-    max_occurrences = 24;
-    exec_config = Exec.default_config;
-    vm_config = Interp.default_config;
-    ring_bytes = 1 lsl 22;
-    verify = true;
-  }
+let default_config = Pipeline.default_config
 
 type iteration = {
   occurrence : int;
@@ -62,190 +52,41 @@ type result = {
   total_symex_time : float;
   recording_points : point list;      (* base-program coordinates *)
   failure : Er_vm.Failure.t option;   (* base-program coordinates *)
+  pipeline : Pipeline.result;         (* the structured result underneath *)
 }
 
-(* A workload produces the inputs (and scheduler seed) of the k-th
-   occurrence of the failure in production.  Different occurrences may
-   use different inputs and interleavings, as in a real deployment. *)
-type workload = occurrence:int -> Er_vm.Inputs.t * int
+type workload = Pipeline.workload
 
-let map_failure (mapper : Er_select.Instrument.mapper) (f : Er_vm.Failure.t) :
-  Er_vm.Failure.t =
-  let map_pt p = Option.value ~default:p (mapper p) in
-  { f with
-    Er_vm.Failure.point = map_pt f.Er_vm.Failure.point;
-    stack = List.map map_pt f.Er_vm.Failure.stack }
+let iteration_of_pipeline (it : Pipeline.iteration) : iteration =
+  {
+    occurrence = it.Pipeline.occurrence;
+    trace_bytes = it.Pipeline.trace_bytes;
+    trace_packets = it.Pipeline.trace_packets;
+    ptwrites_recorded = it.Pipeline.ptwrites_recorded;
+    vm_instrs = it.Pipeline.vm_instrs;
+    symex_steps = it.Pipeline.symex_steps;
+    symex_time = it.Pipeline.symex_time;
+    solver_calls = it.Pipeline.solver_calls;
+    solver_cost = it.Pipeline.solver_cost;
+    outcome = Outcome.step_to_compat it.Pipeline.outcome;
+    recording_set_size = it.Pipeline.recording_set_size;
+    graph_nodes = it.Pipeline.graph_nodes;
+    selection_time = it.Pipeline.selection_time;
+  }
 
 let reconstruct ?(config = default_config) ~(base_prog : program)
     ~(workload : workload) () : result =
-  let base_indexed = Er_ir.Prog.of_program base_prog in
-  (* the solver budget escalates when selection reaches a fixpoint while
-     symbolic execution still stalls — the paper's guidance of using a
-     longer timeout for infrequent failures (section 4) *)
-  let exec_config = ref config.exec_config in
-  let points : point list ref = ref [] in
-  let iterations = ref [] in
-  let first_failure = ref None in       (* base coordinates *)
-  let final = ref None in
-  let occ = ref 0 in
-  while !final = None && !occ < config.max_occurrences do
-    incr occ;
-    let inst_prog, mapper = Er_select.Instrument.apply base_prog !points in
-    let inst_indexed = Er_ir.Prog.of_program inst_prog in
-    (* --- production run under tracing --- *)
-    let inputs, sched_seed = workload ~occurrence:!occ in
-    let enc = Er_trace.Encoder.create ~ring_bytes:config.ring_bytes () in
-    Er_trace.Encoder.start enc;
-    let hooks =
-      {
-        Interp.no_hooks with
-        Interp.on_branch = Some (fun b -> Er_trace.Encoder.branch enc b);
-        on_switch =
-          Some (fun ~tid ~clock -> Er_trace.Encoder.thread_switch enc ~tid ~clock);
-        on_ptwrite = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
-        on_alloc = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
-      }
-    in
-    let vm_config = { config.vm_config with Interp.sched_seed; hooks } in
-    let vm_result = Interp.run ~config:vm_config inst_indexed inputs in
-    match vm_result.Interp.outcome with
-    | Interp.Finished _ ->
-        (* the failure did not reoccur under this workload; wait for the
-           next occurrence *)
-        ()
-    | Interp.Failed failure when
-        (match !first_failure with
-         | Some f0 ->
-             not (Er_vm.Failure.same_failure f0 (map_failure mapper failure))
-         | None -> false) ->
-        (* a different bug fired; ER keys on the failing program counter
-           and call stack and waits for the tracked failure to reoccur *)
-        ()
-    | Interp.Failed failure -> (
-        let base_failure = map_failure mapper failure in
-        (match !first_failure with
-         | None -> first_failure := Some base_failure
-         | Some _ -> ());
-        let raw = Er_trace.Encoder.finish enc in
-        let enc_stats = Er_trace.Encoder.stats enc in
-        match Er_trace.Decoder.decode raw with
-        | Error e ->
-            final :=
-              Some
-                (Gave_up
-                   ("trace decode failed: " ^ Er_trace.Decoder.error_to_string e))
-        | Ok events ->
-            let split = Er_trace.Decoder.split events in
-            (* --- shepherded symbolic execution --- *)
-            let t0 = Sys.time () in
-            let sx =
-              Exec.run ~config:!exec_config inst_indexed ~trace:split
-                ~failure ~failure_clock:vm_result.Interp.instr_count
-            in
-            let symex_time = Sys.time () -. t0 in
-            let record outcome ~graph_nodes ~selection_time =
-              iterations :=
-                {
-                  occurrence = !occ;
-                  trace_bytes = Bytes.length raw;
-                  trace_packets = enc_stats.Er_trace.Encoder.packets;
-                  ptwrites_recorded = enc_stats.Er_trace.Encoder.ptwrites;
-                  vm_instrs = vm_result.Interp.instr_count;
-                  symex_steps = sx.Exec.steps;
-                  symex_time;
-                  solver_calls = sx.Exec.solver_calls;
-                  solver_cost = sx.Exec.solver_cost;
-                  outcome;
-                  recording_set_size = List.length !points;
-                  graph_nodes;
-                  selection_time;
-                }
-                :: !iterations
-            in
-            (match sx.Exec.outcome with
-             | Exec.Complete solution ->
-                 let testcase = Testcase.of_solution solution in
-                 let verified =
-                   if config.verify then
-                     let expected_branches =
-                       split.Er_trace.Decoder.branches
-                     in
-                     Some
-                       (Verify.check ~base_prog:base_indexed ~testcase
-                          ~expected_failure:base_failure ~expected_branches
-                          ~sched_seed)
-                   else None
-                 in
-                 record `Complete
-                   ~graph_nodes:(Er_symex.Cgraph.node_count
-                                   (match sx.Exec.outcome with
-                                    | Exec.Complete _ ->
-                                        (* graph retained via solution path *)
-                                        let g = Er_symex.Cgraph.create () in
-                                        Er_symex.Cgraph.set_assertions g
-                                          solution.Exec.path_constraints;
-                                        g
-                                    | _ -> assert false))
-                   ~selection_time:0.0;
-                 final := Some (Reproduced { testcase; verified; solution })
-             | Exec.Stalled stall ->
-                 (* --- key data value selection --- *)
-                 let t1 = Sys.time () in
-                 let bset =
-                   Er_select.Bottleneck.compute stall.Exec.graph
-                     stall.Exec.memory
-                 in
-                 let plan =
-                   Er_select.Recording.reduce stall.Exec.graph
-                     bset.Er_select.Bottleneck.elements
-                 in
-                 let selection_time = Sys.time () -. t1 in
-                 let new_points =
-                   List.filter_map mapper (Er_select.Recording.points plan)
-                 in
-                 let added =
-                   List.filter
-                     (fun p ->
-                        not
-                          (List.exists
-                             (fun q -> point_compare p q = 0)
-                             !points))
-                     new_points
-                 in
-                 points := !points @ added;
-                 record
-                   (`Stalled
-                      (Printf.sprintf "%s; +%d points (chain=%d, obj=%dB)"
-                         stall.Exec.stall_reason (List.length added)
-                         bset.Er_select.Bottleneck.longest_chain
-                         bset.Er_select.Bottleneck.largest_object_bytes))
-                   ~graph_nodes:(Er_symex.Cgraph.node_count stall.Exec.graph)
-                   ~selection_time;
-                 if added = [] then begin
-                   (* selection fixpoint while symex still stalls: give the
-                      solver a longer deterministic timeout, as ER does for
-                      infrequent failures *)
-                   exec_config :=
-                     {
-                       !exec_config with
-                       Exec.solver_budget = 4 * !exec_config.Exec.solver_budget;
-                       gate_budget = 4 * !exec_config.Exec.gate_budget;
-                     }
-                 end
-             | Exec.Diverged msg ->
-                 record (`Diverged msg) ~graph_nodes:0 ~selection_time:0.0))
-  done;
-  let iterations = List.rev !iterations in
+  let p = Pipeline.run ~config ~base_prog ~workload () in
   {
     status =
-      (match !final with
-       | Some s -> s
-       | None -> Gave_up "max occurrences exhausted");
-    iterations;
-    (* failure occurrences ER consumed (runs in which the tracked failure
-       actually fired and a trace was analyzed) *)
-    occurrences = List.length iterations;
-    total_symex_time = List.fold_left (fun a i -> a +. i.symex_time) 0.0 iterations;
-    recording_points = !points;
-    failure = !first_failure;
+      (match p.Pipeline.status with
+       | Pipeline.Reproduced { testcase; verified; solution } ->
+           Reproduced { testcase; verified; solution }
+       | Pipeline.Gave_up g -> Gave_up (Outcome.give_up_to_string g));
+    iterations = List.map iteration_of_pipeline p.Pipeline.iterations;
+    occurrences = p.Pipeline.occurrences;
+    total_symex_time = p.Pipeline.total_symex_time;
+    recording_points = p.Pipeline.recording_points;
+    failure = p.Pipeline.failure;
+    pipeline = p;
   }

@@ -1,18 +1,17 @@
-(** The iterative ER algorithm (paper Fig. 2, section 3.3.4) — the
-    library's main entry point.
+(** Compatibility surface of the iterative ER algorithm (paper Fig. 2,
+    section 3.3.4).
 
-    Each iteration instruments the program with the accumulated recording
-    set, runs it "in production" under PT-like tracing until the tracked
-    failure reoccurs, ships the trace to shepherded symbolic execution,
-    and either extracts a verified test case or extends the recording set
-    via key data value selection.  When selection reaches a fixpoint
-    while symbolic execution still stalls, the deterministic solver
-    budget escalates — the paper's longer timeout for infrequent
-    failures. *)
+    The algorithm itself lives in {!Pipeline} as four first-class stages
+    ([TRACER] → [SHEPHERD] → [SELECTOR] → [VERIFIER]) folded over failure
+    occurrences, reporting through the {!Events} bus.  This module keeps
+    the original flat records with string-rendered outcomes so that
+    long-standing callers compile unchanged; new code should prefer
+    {!Pipeline.run} (or read {!result.pipeline}) for structured outcomes,
+    per-stage timing and the event stream. *)
 
 open Er_ir.Types
 
-type config = {
+type config = Pipeline.config = {
   max_occurrences : int;           (** bound on production runs consumed *)
   exec_config : Er_symex.Exec.config;
   vm_config : Er_vm.Interp.config;
@@ -53,13 +52,15 @@ type result = {
   total_symex_time : float;
   recording_points : point list;   (** final recording set, base coords *)
   failure : Er_vm.Failure.t option;
+  pipeline : Pipeline.result;      (** structured result: outcomes, per-stage
+                                       timing, full event stream *)
 }
 
 (** A workload models the production traffic around the k-th occurrence
     of the failure: the input streams and the scheduler seed of that run.
     Occurrences may differ in inputs and interleavings; runs in which the
     tracked failure does not fire are skipped, as in a real deployment. *)
-type workload = occurrence:int -> Er_vm.Inputs.t * int
+type workload = Pipeline.workload
 
 val reconstruct :
   ?config:config -> base_prog:program -> workload:workload -> unit -> result

@@ -1,0 +1,510 @@
+(* The structured event bus of the staged pipeline.
+
+   Every stage (tracer, shepherd, selector, verifier) emits typed events
+   as it runs; sinks are pluggable — the null sink for silent runs, an
+   in-memory buffer (the pipeline derives its per-iteration accounting
+   records from it), a human formatter for the CLI, and a JSONL writer
+   for downstream tooling.  Events round-trip through JSON
+   ([of_json (to_json e) = Some e]) so a persisted stream can be
+   re-analyzed offline. *)
+
+(* ---------------------------------------------------------------- *)
+(* Minimal JSON — hand-rolled because the container has no json
+   library; covers exactly what events and pipeline results need.    *)
+(* ---------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+         match c with
+         | '"' -> Buffer.add_string buf "\\\""
+         | '\\' -> Buffer.add_string buf "\\\\"
+         | '\n' -> Buffer.add_string buf "\\n"
+         | '\t' -> Buffer.add_string buf "\\t"
+         | '\r' -> Buffer.add_string buf "\\r"
+         | c when Char.code c < 0x20 ->
+             Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+         | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec to_string = function
+    | Null -> "null"
+    | Bool b -> if b then "true" else "false"
+    | Int i -> string_of_int i
+    | Float f ->
+        (* %.17g round-trips every finite double and stays a JSON number *)
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Printf.sprintf "%.1f" f
+        else Printf.sprintf "%.17g" f
+    | Str s -> "\"" ^ escape s ^ "\""
+    | List l -> "[" ^ String.concat "," (List.map to_string l) ^ "]"
+    | Obj fields ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ to_string v) fields)
+        ^ "}"
+
+  (* recursive-descent parser; returns None on any malformation *)
+  exception Bad
+
+  let parse (s : string) : t option =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance () else raise Bad
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else raise Bad
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then raise Bad;
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then raise Bad);
+            (match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'u' ->
+                 if !pos + 4 >= n then raise Bad;
+                 let hex = String.sub s (!pos + 1) 4 in
+                 let code =
+                   try int_of_string ("0x" ^ hex) with _ -> raise Bad
+                 in
+                 (* events only escape control chars, so < 0x80 suffices *)
+                 if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                 else raise Bad;
+                 pos := !pos + 4
+             | _ -> raise Bad);
+            advance ();
+            go ()
+        | c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> raise Bad)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin advance (); Obj [] end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); fields ((k, v) :: acc)
+              | Some '}' -> advance (); List.rev ((k, v) :: acc)
+              | _ -> raise Bad
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin advance (); List [] end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); elems (v :: acc)
+              | Some ']' -> advance (); List.rev (v :: acc)
+              | _ -> raise Bad
+            in
+            List (elems [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> raise Bad
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos = n then Some v else None
+    with Bad | Invalid_argument _ -> None
+end
+
+(* ---------------------------------------------------------------- *)
+(* Events                                                            *)
+(* ---------------------------------------------------------------- *)
+
+type stage = Trace | Symex | Select | Verify
+
+type skip_reason = No_failure | Different_failure
+
+type event =
+  | Occurrence_started of { occurrence : int }
+  | Run_skipped of { occurrence : int; reason : skip_reason }
+  | Trace_captured of {
+      occurrence : int;
+      bytes : int;
+      packets : int;
+      ptwrites : int;
+      switches : int;
+      vm_instrs : int;
+      elapsed : float;
+    }
+  | Decode_failed of { occurrence : int; error : string }
+  | Symex_finished of {
+      occurrence : int;
+      steps : int;
+      solver_calls : int;
+      solver_cost : int;
+      graph_nodes : int;
+      outcome : [ `Complete | `Stalled | `Diverged ];
+      elapsed : float;
+    }
+  | Diverged of { occurrence : int; reason : string }
+  | Stall of {
+      occurrence : int;
+      reason : string;
+      chain : int;              (* longest symbolic write chain *)
+      object_bytes : int;       (* largest symbolic object *)
+    }
+  | Points_added of {
+      occurrence : int;
+      added : int;
+      total : int;              (* recording set size after this iteration *)
+      elapsed : float;
+    }
+  | Budget_escalated of {
+      occurrence : int;
+      solver_budget : int;
+      gate_budget : int;
+    }
+  | Verified of {
+      occurrence : int;
+      ok : bool;
+      same_failure : bool;
+      same_control_flow : bool;
+      elapsed : float;
+    }
+  | Reproduced of { occurrence : int; testcase_values : int }
+  | Gave_up of { occurrence : int; reason : string }
+  | Pipeline_finished of { runs : int; occurrences : int; reproduced : bool }
+
+(* The stage that emitted an event; [None] for pipeline control events. *)
+let stage_of = function
+  | Occurrence_started _ -> None
+  | Run_skipped _ | Trace_captured _ | Decode_failed _ -> Some Trace
+  | Symex_finished _ | Diverged _ -> Some Symex
+  | Stall _ | Points_added _ | Budget_escalated _ -> Some Select
+  | Verified _ -> Some Verify
+  | Reproduced _ | Gave_up _ | Pipeline_finished _ -> None
+
+let stage_name = function
+  | Trace -> "trace"
+  | Symex -> "symex"
+  | Select -> "select"
+  | Verify -> "verify"
+
+(* ---------------------------------------------------------------- *)
+(* JSON encoding / decoding                                          *)
+(* ---------------------------------------------------------------- *)
+
+let to_json_value (e : event) : Json.t =
+  let open Json in
+  let obj name fields = Obj (("event", Str name) :: fields) in
+  match e with
+  | Occurrence_started { occurrence } ->
+      obj "occurrence_started" [ ("occurrence", Int occurrence) ]
+  | Run_skipped { occurrence; reason } ->
+      obj "run_skipped"
+        [ ("occurrence", Int occurrence);
+          ( "reason",
+            Str
+              (match reason with
+               | No_failure -> "no_failure"
+               | Different_failure -> "different_failure") ) ]
+  | Trace_captured { occurrence; bytes; packets; ptwrites; switches; vm_instrs; elapsed } ->
+      obj "trace_captured"
+        [ ("occurrence", Int occurrence); ("bytes", Int bytes);
+          ("packets", Int packets); ("ptwrites", Int ptwrites);
+          ("switches", Int switches); ("vm_instrs", Int vm_instrs);
+          ("elapsed", Float elapsed) ]
+  | Decode_failed { occurrence; error } ->
+      obj "decode_failed" [ ("occurrence", Int occurrence); ("error", Str error) ]
+  | Symex_finished { occurrence; steps; solver_calls; solver_cost; graph_nodes; outcome; elapsed } ->
+      obj "symex_finished"
+        [ ("occurrence", Int occurrence); ("steps", Int steps);
+          ("solver_calls", Int solver_calls); ("solver_cost", Int solver_cost);
+          ("graph_nodes", Int graph_nodes);
+          ( "outcome",
+            Str
+              (match outcome with
+               | `Complete -> "complete"
+               | `Stalled -> "stalled"
+               | `Diverged -> "diverged") );
+          ("elapsed", Float elapsed) ]
+  | Diverged { occurrence; reason } ->
+      obj "diverged" [ ("occurrence", Int occurrence); ("reason", Str reason) ]
+  | Stall { occurrence; reason; chain; object_bytes } ->
+      obj "stall"
+        [ ("occurrence", Int occurrence); ("reason", Str reason);
+          ("chain", Int chain); ("object_bytes", Int object_bytes) ]
+  | Points_added { occurrence; added; total; elapsed } ->
+      obj "points_added"
+        [ ("occurrence", Int occurrence); ("added", Int added);
+          ("total", Int total); ("elapsed", Float elapsed) ]
+  | Budget_escalated { occurrence; solver_budget; gate_budget } ->
+      obj "budget_escalated"
+        [ ("occurrence", Int occurrence); ("solver_budget", Int solver_budget);
+          ("gate_budget", Int gate_budget) ]
+  | Verified { occurrence; ok; same_failure; same_control_flow; elapsed } ->
+      obj "verified"
+        [ ("occurrence", Int occurrence); ("ok", Bool ok);
+          ("same_failure", Bool same_failure);
+          ("same_control_flow", Bool same_control_flow);
+          ("elapsed", Float elapsed) ]
+  | Reproduced { occurrence; testcase_values } ->
+      obj "reproduced"
+        [ ("occurrence", Int occurrence); ("testcase_values", Int testcase_values) ]
+  | Gave_up { occurrence; reason } ->
+      obj "gave_up" [ ("occurrence", Int occurrence); ("reason", Str reason) ]
+  | Pipeline_finished { runs; occurrences; reproduced } ->
+      obj "pipeline_finished"
+        [ ("runs", Int runs); ("occurrences", Int occurrences);
+          ("reproduced", Bool reproduced) ]
+
+let to_json e = Json.to_string (to_json_value e)
+
+let of_json (line : string) : event option =
+  match Json.parse line with
+  | Some (Json.Obj fields) -> (
+      let str k = match List.assoc_opt k fields with Some (Json.Str s) -> Some s | _ -> None in
+      let int k = match List.assoc_opt k fields with Some (Json.Int i) -> Some i | _ -> None in
+      let flt k =
+        match List.assoc_opt k fields with
+        | Some (Json.Float f) -> Some f
+        | Some (Json.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      let boolean k = match List.assoc_opt k fields with Some (Json.Bool b) -> Some b | _ -> None in
+      let ( let* ) = Option.bind in
+      match str "event" with
+      | Some "occurrence_started" ->
+          let* occurrence = int "occurrence" in
+          Some (Occurrence_started { occurrence })
+      | Some "run_skipped" ->
+          let* occurrence = int "occurrence" in
+          let* reason =
+            match str "reason" with
+            | Some "no_failure" -> Some No_failure
+            | Some "different_failure" -> Some Different_failure
+            | _ -> None
+          in
+          Some (Run_skipped { occurrence; reason })
+      | Some "trace_captured" ->
+          let* occurrence = int "occurrence" in
+          let* bytes = int "bytes" in
+          let* packets = int "packets" in
+          let* ptwrites = int "ptwrites" in
+          let* switches = int "switches" in
+          let* vm_instrs = int "vm_instrs" in
+          let* elapsed = flt "elapsed" in
+          Some (Trace_captured { occurrence; bytes; packets; ptwrites; switches; vm_instrs; elapsed })
+      | Some "decode_failed" ->
+          let* occurrence = int "occurrence" in
+          let* error = str "error" in
+          Some (Decode_failed { occurrence; error })
+      | Some "symex_finished" ->
+          let* occurrence = int "occurrence" in
+          let* steps = int "steps" in
+          let* solver_calls = int "solver_calls" in
+          let* solver_cost = int "solver_cost" in
+          let* graph_nodes = int "graph_nodes" in
+          let* outcome =
+            match str "outcome" with
+            | Some "complete" -> Some `Complete
+            | Some "stalled" -> Some `Stalled
+            | Some "diverged" -> Some `Diverged
+            | _ -> None
+          in
+          let* elapsed = flt "elapsed" in
+          Some (Symex_finished { occurrence; steps; solver_calls; solver_cost; graph_nodes; outcome; elapsed })
+      | Some "diverged" ->
+          let* occurrence = int "occurrence" in
+          let* reason = str "reason" in
+          Some (Diverged { occurrence; reason })
+      | Some "stall" ->
+          let* occurrence = int "occurrence" in
+          let* reason = str "reason" in
+          let* chain = int "chain" in
+          let* object_bytes = int "object_bytes" in
+          Some (Stall { occurrence; reason; chain; object_bytes })
+      | Some "points_added" ->
+          let* occurrence = int "occurrence" in
+          let* added = int "added" in
+          let* total = int "total" in
+          let* elapsed = flt "elapsed" in
+          Some (Points_added { occurrence; added; total; elapsed })
+      | Some "budget_escalated" ->
+          let* occurrence = int "occurrence" in
+          let* solver_budget = int "solver_budget" in
+          let* gate_budget = int "gate_budget" in
+          Some (Budget_escalated { occurrence; solver_budget; gate_budget })
+      | Some "verified" ->
+          let* occurrence = int "occurrence" in
+          let* ok = boolean "ok" in
+          let* same_failure = boolean "same_failure" in
+          let* same_control_flow = boolean "same_control_flow" in
+          let* elapsed = flt "elapsed" in
+          Some (Verified { occurrence; ok; same_failure; same_control_flow; elapsed })
+      | Some "reproduced" ->
+          let* occurrence = int "occurrence" in
+          let* testcase_values = int "testcase_values" in
+          Some (Reproduced { occurrence; testcase_values })
+      | Some "gave_up" ->
+          let* occurrence = int "occurrence" in
+          let* reason = str "reason" in
+          Some (Gave_up { occurrence; reason })
+      | Some "pipeline_finished" ->
+          let* runs = int "runs" in
+          let* occurrences = int "occurrences" in
+          let* reproduced = boolean "reproduced" in
+          Some (Pipeline_finished { runs; occurrences; reproduced })
+      | _ -> None)
+  | _ -> None
+
+(* ---------------------------------------------------------------- *)
+(* Human rendering                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let pp ppf (e : event) =
+  let stage =
+    match stage_of e with
+    | Some s -> Printf.sprintf "[%s]" (stage_name s)
+    | None -> "[pipeline]"
+  in
+  match e with
+  | Occurrence_started { occurrence } ->
+      Fmt.pf ppf "%-10s occurrence %d started" stage occurrence
+  | Run_skipped { occurrence; reason } ->
+      Fmt.pf ppf "%-10s occurrence %d skipped (%s)" stage occurrence
+        (match reason with
+         | No_failure -> "tracked failure did not fire"
+         | Different_failure -> "a different bug fired")
+  | Trace_captured { occurrence; bytes; packets; ptwrites; switches; vm_instrs; elapsed } ->
+      Fmt.pf ppf
+        "%-10s occurrence %d: %d bytes, %d packets, %d ptwrites, %d switches, %d instrs (%.3fs)"
+        stage occurrence bytes packets ptwrites switches vm_instrs elapsed
+  | Decode_failed { occurrence; error } ->
+      Fmt.pf ppf "%-10s occurrence %d: decode failed: %s" stage occurrence error
+  | Symex_finished { occurrence; steps; solver_calls; solver_cost; graph_nodes; outcome; elapsed } ->
+      Fmt.pf ppf
+        "%-10s occurrence %d: %s after %d steps, %d solver calls (cost %d), graph %d nodes (%.3fs)"
+        stage occurrence
+        (match outcome with
+         | `Complete -> "complete"
+         | `Stalled -> "stalled"
+         | `Diverged -> "diverged")
+        steps solver_calls solver_cost graph_nodes elapsed
+  | Diverged { occurrence; reason } ->
+      Fmt.pf ppf "%-10s occurrence %d: diverged — %s" stage occurrence reason
+  | Stall { occurrence; reason; chain; object_bytes } ->
+      Fmt.pf ppf "%-10s occurrence %d: %s (chain=%d, obj=%dB)" stage occurrence
+        reason chain object_bytes
+  | Points_added { occurrence; added; total; elapsed } ->
+      Fmt.pf ppf "%-10s occurrence %d: +%d recording points (total %d, %.4fs)"
+        stage occurrence added total elapsed
+  | Budget_escalated { occurrence; solver_budget; gate_budget } ->
+      Fmt.pf ppf
+        "%-10s occurrence %d: selection fixpoint — budgets escalated to %d/%d"
+        stage occurrence solver_budget gate_budget
+  | Verified { occurrence; ok; same_failure; same_control_flow; elapsed } ->
+      Fmt.pf ppf
+        "%-10s occurrence %d: ok=%b (same failure %b, same control flow %b, %.3fs)"
+        stage occurrence ok same_failure same_control_flow elapsed
+  | Reproduced { occurrence; testcase_values } ->
+      Fmt.pf ppf "%-10s occurrence %d: test case extracted (%d input values)"
+        stage occurrence testcase_values
+  | Gave_up { occurrence; reason } ->
+      Fmt.pf ppf "%-10s gave up after occurrence %d: %s" stage occurrence reason
+  | Pipeline_finished { runs; occurrences; reproduced } ->
+      Fmt.pf ppf "%-10s finished: %d runs, %d analyzed occurrences, reproduced=%b"
+        stage runs occurrences reproduced
+
+(* ---------------------------------------------------------------- *)
+(* Sinks                                                             *)
+(* ---------------------------------------------------------------- *)
+
+type sink = event -> unit
+
+let null : sink = fun _ -> ()
+
+let tee (a : sink) (b : sink) : sink = fun e -> a e; b e
+
+(* In-memory buffer: returns the sink and a function reading the events
+   collected so far, in emission order. *)
+let buffer () : sink * (unit -> event list) =
+  let evs = ref [] in
+  ((fun e -> evs := e :: !evs), fun () -> List.rev !evs)
+
+let human ppf : sink = fun e -> Fmt.pf ppf "%a@." pp e
+
+let jsonl oc : sink =
+  fun e ->
+    output_string oc (to_json e);
+    output_char oc '\n'

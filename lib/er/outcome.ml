@@ -1,0 +1,56 @@
+(* Structured outcomes for the staged ER pipeline.
+
+   The original driver threaded failure information around as formatted
+   strings ("stalled — …; +2 points (chain=7, obj=1024B)"), which made it
+   impossible for downstream tooling — the fleet aggregator, the JSONL
+   event sink, tests — to act on *why* an iteration stopped.  These
+   variants carry the same information structurally; the string renderings
+   below exist only for the human-facing compatibility surface of
+   {!Driver}. *)
+
+type stall = {
+  reason : string;              (* the executor's stall description *)
+  longest_chain : int;          (* bottleneck: longest symbolic write chain *)
+  largest_object_bytes : int;   (* bottleneck: largest symbolic object *)
+  points_added : int;           (* recording points gained by selection *)
+}
+
+(* Per-iteration outcome of shepherded symbolic execution + selection. *)
+type step =
+  | Completed
+  | Stalled of stall            (* solver/gate budget exhausted mid-path *)
+  | Diverged of string          (* execution left the recorded trace *)
+
+(* Terminal reason the whole reconstruction stopped without a test case. *)
+type give_up =
+  | Decode_error of string      (* the shipped trace snapshot was corrupt *)
+  | Max_occurrences of int      (* occurrence budget exhausted *)
+
+let step_tag = function
+  | Completed -> `Complete
+  | Stalled _ -> `Stalled
+  | Diverged _ -> `Diverged
+
+(* The legacy [`Stalled of string] rendering kept bottleneck statistics
+   inside the message; reproduce it exactly for Driver compatibility. *)
+let step_to_compat :
+  step -> [ `Complete | `Stalled of string | `Diverged of string ] = function
+  | Completed -> `Complete
+  | Stalled s ->
+      `Stalled
+        (Printf.sprintf "%s; +%d points (chain=%d, obj=%dB)" s.reason
+           s.points_added s.longest_chain s.largest_object_bytes)
+  | Diverged m -> `Diverged m
+
+let give_up_to_string = function
+  | Decode_error e -> "trace decode failed: " ^ e
+  | Max_occurrences _ -> "max occurrences exhausted"
+
+let pp_step ppf = function
+  | Completed -> Fmt.string ppf "complete"
+  | Stalled s ->
+      Fmt.pf ppf "stalled — %s; +%d points (chain=%d, obj=%dB)" s.reason
+        s.points_added s.longest_chain s.largest_object_bytes
+  | Diverged m -> Fmt.pf ppf "diverged — %s" m
+
+let pp_give_up ppf g = Fmt.string ppf (give_up_to_string g)

@@ -1,0 +1,636 @@
+(* The staged ER pipeline (paper Fig. 2, section 3.3.4).
+
+   The iterative algorithm is a pipeline of four stages per failure
+   occurrence:
+
+     TRACER    — instrumented production run under PT-like tracing,
+                 snapshot shipped when the tracked failure reoccurs;
+     SHEPHERD  — symbolic execution shepherded along the decoded trace;
+     SELECTOR  — key data value selection over the constraint graph at a
+                 stall, extending the recording set;
+     VERIFIER  — concrete re-execution of the generated test case.
+
+   Each stage is a first-class module (so alternative tracers/solvers/
+   selection policies can be swapped in), the loop is a fold of an
+   immutable {!state} over occurrences, and every stage reports through
+   the {!Events} bus.  Per-iteration accounting records are *derived from
+   the event stream* rather than hand-assembled, so whatever a sink sees
+   is, by construction, the same data the result reports. *)
+
+open Er_ir.Types
+module Interp = Er_vm.Interp
+module Exec = Er_symex.Exec
+
+type config = {
+  max_occurrences : int;           (* bound on production runs consumed *)
+  exec_config : Exec.config;
+  vm_config : Interp.config;
+  ring_bytes : int;                (* trace ring buffer size *)
+  verify : bool;                   (* re-execute the generated test case *)
+}
+
+let default_config =
+  {
+    max_occurrences = 24;
+    exec_config = Exec.default_config;
+    vm_config = Interp.default_config;
+    ring_bytes = 1 lsl 22;
+    verify = true;
+  }
+
+(* A workload produces the inputs (and scheduler seed) of the k-th
+   occurrence of the failure in production. *)
+type workload = occurrence:int -> Er_vm.Inputs.t * int
+
+let map_failure (mapper : Er_select.Instrument.mapper) (f : Er_vm.Failure.t) :
+  Er_vm.Failure.t =
+  let map_pt p = Option.value ~default:p (mapper p) in
+  { f with
+    Er_vm.Failure.point = map_pt f.Er_vm.Failure.point;
+    stack = List.map map_pt f.Er_vm.Failure.stack }
+
+(* ---------------------------------------------------------------- *)
+(* Stage interfaces                                                  *)
+(* ---------------------------------------------------------------- *)
+
+(* What the tracer ships to the analysis engine: the decoded trace
+   snapshot plus the failure context of the run that produced it. *)
+type capture = {
+  cap_bytes : int;                       (* raw snapshot size *)
+  cap_packets : int;
+  cap_ptwrites : int;
+  cap_switches : int;
+  cap_vm_instrs : int;
+  cap_split : Er_trace.Decoder.split;
+  cap_failure : Er_vm.Failure.t;         (* instrumented coordinates *)
+  cap_base_failure : Er_vm.Failure.t;    (* base-program coordinates *)
+  cap_failure_clock : int;
+  cap_sched_seed : int;
+}
+
+type trace_outcome =
+  | Captured of capture
+  | No_failure                 (* the run finished without the failure *)
+  | Different_failure          (* an unrelated bug fired; keep waiting *)
+  | Decode_failed of string    (* snapshot shipped but unusable *)
+
+module type TRACER = sig
+  (* One production run of the instrumented program under tracing.
+     [tracked] is the failure identity ER is keyed on (base coordinates);
+     [None] until the first occurrence pins it down. *)
+  val capture :
+    config:config ->
+    prog:Er_ir.Prog.t ->
+    mapper:Er_select.Instrument.mapper ->
+    tracked:Er_vm.Failure.t option ->
+    inputs:Er_vm.Inputs.t ->
+    sched_seed:int ->
+    trace_outcome
+end
+
+module type SHEPHERD = sig
+  val analyze :
+    config:Exec.config -> prog:Er_ir.Prog.t -> capture:capture -> Exec.result
+end
+
+(* The selector's answer: which base-program points to instrument next,
+   plus the bottleneck statistics that justified the choice. *)
+type selection = {
+  sel_points : point list;       (* new points only — deduped vs existing *)
+  sel_longest_chain : int;
+  sel_largest_object_bytes : int;
+}
+
+module type SELECTOR = sig
+  val select :
+    stall:Exec.stall_info ->
+    mapper:Er_select.Instrument.mapper ->
+    existing:point list ->
+    selection
+end
+
+module type VERIFIER = sig
+  val verify :
+    base_prog:Er_ir.Prog.t ->
+    testcase:Testcase.t ->
+    expected_failure:Er_vm.Failure.t ->
+    expected_branches:bool array ->
+    sched_seed:int ->
+    Verify.verdict
+end
+
+(* ---------------------------------------------------------------- *)
+(* Default stage implementations                                     *)
+(* ---------------------------------------------------------------- *)
+
+module Default_tracer : TRACER = struct
+  let capture ~config ~prog ~mapper ~tracked ~inputs ~sched_seed =
+    let enc = Er_trace.Encoder.create ~ring_bytes:config.ring_bytes () in
+    Er_trace.Encoder.start enc;
+    let switches = ref 0 in
+    let trace_hooks =
+      {
+        Interp.no_hooks with
+        Interp.on_branch = Some (fun b -> Er_trace.Encoder.branch enc b);
+        on_switch =
+          Some (fun ~tid ~clock -> Er_trace.Encoder.thread_switch enc ~tid ~clock);
+        on_ptwrite = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
+        on_alloc = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
+      }
+    in
+    let count_hooks =
+      { Interp.no_hooks with
+        Interp.on_switch = Some (fun ~tid:_ ~clock:_ -> incr switches) }
+    in
+    let hooks = Interp.compose_hooks trace_hooks count_hooks in
+    let vm_config = { config.vm_config with Interp.sched_seed; hooks } in
+    let vm = Interp.run ~config:vm_config prog inputs in
+    match vm.Interp.outcome with
+    | Interp.Finished _ -> No_failure
+    | Interp.Failed failure -> (
+        let base_failure = map_failure mapper failure in
+        match tracked with
+        | Some f0 when not (Er_vm.Failure.same_failure f0 base_failure) ->
+            (* ER keys on the failing program counter and call stack and
+               waits for the tracked failure to reoccur *)
+            Different_failure
+        | _ -> (
+            let raw = Er_trace.Encoder.finish enc in
+            let stats = Er_trace.Encoder.stats enc in
+            match Er_trace.Decoder.decode raw with
+            | Error e -> Decode_failed (Er_trace.Decoder.error_to_string e)
+            | Ok events ->
+                Captured
+                  {
+                    cap_bytes = Bytes.length raw;
+                    cap_packets = stats.Er_trace.Encoder.packets;
+                    cap_ptwrites = stats.Er_trace.Encoder.ptwrites;
+                    cap_switches = !switches;
+                    cap_vm_instrs = vm.Interp.instr_count;
+                    cap_split = Er_trace.Decoder.split events;
+                    cap_failure = failure;
+                    cap_base_failure = base_failure;
+                    cap_failure_clock = vm.Interp.instr_count;
+                    cap_sched_seed = sched_seed;
+                  }))
+end
+
+module Default_shepherd : SHEPHERD = struct
+  let analyze ~config ~prog ~capture =
+    Exec.run ~config prog ~trace:capture.cap_split ~failure:capture.cap_failure
+      ~failure_clock:capture.cap_failure_clock
+end
+
+module Default_selector : SELECTOR = struct
+  let select ~stall ~mapper ~existing =
+    let bset =
+      Er_select.Bottleneck.compute stall.Exec.graph stall.Exec.memory
+    in
+    let plan =
+      Er_select.Recording.reduce stall.Exec.graph
+        bset.Er_select.Bottleneck.elements
+    in
+    let mapped = List.filter_map mapper (Er_select.Recording.points plan) in
+    {
+      sel_points = Er_select.Recording.fresh ~existing mapped;
+      sel_longest_chain = bset.Er_select.Bottleneck.longest_chain;
+      sel_largest_object_bytes = bset.Er_select.Bottleneck.largest_object_bytes;
+    }
+end
+
+module Default_verifier : VERIFIER = struct
+  let verify ~base_prog ~testcase ~expected_failure ~expected_branches
+      ~sched_seed =
+    Verify.check ~base_prog ~testcase ~expected_failure ~expected_branches
+      ~sched_seed
+end
+
+(* ---------------------------------------------------------------- *)
+(* Results                                                           *)
+(* ---------------------------------------------------------------- *)
+
+type iteration = {
+  occurrence : int;
+  trace_bytes : int;
+  trace_packets : int;
+  ptwrites_recorded : int;
+  vm_instrs : int;
+  trace_time : float;          (* tracer stage wall clock *)
+  symex_steps : int;
+  symex_time : float;          (* shepherd stage wall clock *)
+  solver_calls : int;
+  solver_cost : int;
+  outcome : Outcome.step;
+  recording_set_size : int;    (* accumulated points after this iteration *)
+  graph_nodes : int;           (* constraint graph size at stall/finish *)
+  selection_time : float;      (* selector stage wall clock *)
+  verify_time : float;         (* verifier stage wall clock *)
+}
+
+type status =
+  | Reproduced of {
+      testcase : Testcase.t;
+      verified : Verify.verdict option;
+      solution : Exec.solution;
+    }
+  | Gave_up of Outcome.give_up
+
+type result = {
+  status : status;
+  iterations : iteration list;
+  occurrences : int;           (* failure occurrences ER analyzed *)
+  runs : int;                  (* production runs consumed, incl. skipped *)
+  total_symex_time : float;
+  recording_points : point list;  (* base-program coordinates *)
+  failure : Er_vm.Failure.t option;
+  events : Events.event list;  (* the full buffered event stream *)
+}
+
+(* ---------------------------------------------------------------- *)
+(* Accounting: iterations are a pure function of the event stream    *)
+(* ---------------------------------------------------------------- *)
+
+let iterations_of_events (evs : Events.event list) : iteration list =
+  let blank occurrence total_points =
+    {
+      occurrence;
+      trace_bytes = 0;
+      trace_packets = 0;
+      ptwrites_recorded = 0;
+      vm_instrs = 0;
+      trace_time = 0.0;
+      symex_steps = 0;
+      symex_time = 0.0;
+      solver_calls = 0;
+      solver_cost = 0;
+      outcome = Outcome.Completed;
+      recording_set_size = total_points;
+      graph_nodes = 0;
+      selection_time = 0.0;
+      verify_time = 0.0;
+    }
+  in
+  (* [cur] is the iteration being assembled for the occurrence whose trace
+     was captured; it is flushed when the next occurrence starts or the
+     stream ends.  [total] tracks the running recording-set size. *)
+  let flush acc = function None -> acc | Some it -> it :: acc in
+  let acc, cur, _total =
+    List.fold_left
+      (fun (acc, cur, total) (ev : Events.event) ->
+         match ev with
+         | Events.Occurrence_started _ -> (flush acc cur, None, total)
+         | Events.Trace_captured
+             { occurrence; bytes; packets; ptwrites; vm_instrs; elapsed; _ } ->
+             ( acc,
+               Some
+                 { (blank occurrence total) with
+                   trace_bytes = bytes;
+                   trace_packets = packets;
+                   ptwrites_recorded = ptwrites;
+                   vm_instrs;
+                   trace_time = elapsed },
+               total )
+         | Events.Symex_finished
+             { steps; solver_calls; solver_cost; graph_nodes; outcome; elapsed; _ } ->
+             let upd it =
+               { it with
+                 symex_steps = steps;
+                 symex_time = elapsed;
+                 solver_calls;
+                 solver_cost;
+                 graph_nodes;
+                 outcome =
+                   (match outcome with
+                    | `Complete -> Outcome.Completed
+                    | `Stalled ->
+                        (* details arrive with the Stall / Points_added
+                           events of the selector *)
+                        Outcome.Stalled
+                          { Outcome.reason = ""; longest_chain = 0;
+                            largest_object_bytes = 0; points_added = 0 }
+                    | `Diverged -> Outcome.Diverged "") }
+             in
+             (acc, Option.map upd cur, total)
+         | Events.Diverged { reason; _ } ->
+             let upd it = { it with outcome = Outcome.Diverged reason } in
+             (acc, Option.map upd cur, total)
+         | Events.Stall { reason; chain; object_bytes; _ } ->
+             let upd it =
+               match it.outcome with
+               | Outcome.Stalled s ->
+                   { it with
+                     outcome =
+                       Outcome.Stalled
+                         { s with Outcome.reason; longest_chain = chain;
+                           largest_object_bytes = object_bytes } }
+               | _ -> it
+             in
+             (acc, Option.map upd cur, total)
+         | Events.Points_added { added; total = new_total; elapsed; _ } ->
+             let upd it =
+               let outcome =
+                 match it.outcome with
+                 | Outcome.Stalled s ->
+                     Outcome.Stalled { s with Outcome.points_added = added }
+                 | o -> o
+               in
+               { it with
+                 outcome;
+                 selection_time = elapsed;
+                 recording_set_size = new_total }
+             in
+             (flush acc (Option.map upd cur), None, new_total)
+         | Events.Verified { elapsed; _ } ->
+             let upd it = { it with verify_time = elapsed } in
+             (acc, Option.map upd cur, total)
+         | Events.Run_skipped _ | Events.Decode_failed _
+         | Events.Budget_escalated _ | Events.Reproduced _ | Events.Gave_up _
+         | Events.Pipeline_finished _ ->
+             (acc, cur, total))
+      ([], None, 0) evs
+  in
+  List.rev (flush acc cur)
+
+(* ---------------------------------------------------------------- *)
+(* The fold over occurrences                                         *)
+(* ---------------------------------------------------------------- *)
+
+(* Immutable pipeline state threaded through the fold — replaces the
+   seven mutable refs of the original driver loop. *)
+type state = {
+  st_run : int;                          (* production runs consumed *)
+  st_points : point list;                (* recording set, base coords *)
+  st_exec_config : Exec.config;          (* escalates at fixpoints *)
+  st_tracked : Er_vm.Failure.t option;   (* failure identity, base coords *)
+  st_final : status option;
+}
+
+module Make (T : TRACER) (Sh : SHEPHERD) (Sel : SELECTOR) (V : VERIFIER) =
+struct
+  let run ?(config = default_config) ?(events = Events.null)
+      ~(base_prog : program) ~(workload : workload) () : result =
+    let base_indexed = Er_ir.Prog.of_program base_prog in
+    let buffer, buffered = Events.buffer () in
+    let emit = Events.tee buffer events in
+    let occurrence_step (st : state) : state =
+      let occ = st.st_run + 1 in
+      emit (Events.Occurrence_started { occurrence = occ });
+      let inst_prog, mapper =
+        Er_select.Instrument.apply base_prog st.st_points
+      in
+      let inst_indexed = Er_ir.Prog.of_program inst_prog in
+      let inputs, sched_seed = workload ~occurrence:occ in
+      (* --- stage 1: production run under tracing --- *)
+      let t0 = Sys.time () in
+      match
+        T.capture ~config ~prog:inst_indexed ~mapper ~tracked:st.st_tracked
+          ~inputs ~sched_seed
+      with
+      | No_failure ->
+          emit
+            (Events.Run_skipped
+               { occurrence = occ; reason = Events.No_failure });
+          { st with st_run = occ }
+      | Different_failure ->
+          emit
+            (Events.Run_skipped
+               { occurrence = occ; reason = Events.Different_failure });
+          { st with st_run = occ }
+      | Decode_failed e ->
+          emit (Events.Decode_failed { occurrence = occ; error = e });
+          { st with st_run = occ;
+            st_final = Some (Gave_up (Outcome.Decode_error e)) }
+      | Captured cap -> (
+          emit
+            (Events.Trace_captured
+               { occurrence = occ; bytes = cap.cap_bytes;
+                 packets = cap.cap_packets; ptwrites = cap.cap_ptwrites;
+                 switches = cap.cap_switches; vm_instrs = cap.cap_vm_instrs;
+                 elapsed = Sys.time () -. t0 });
+          let tracked =
+            match st.st_tracked with
+            | Some _ as t -> t
+            | None -> Some cap.cap_base_failure
+          in
+          (* --- stage 2: shepherded symbolic execution --- *)
+          let t1 = Sys.time () in
+          let sx =
+            Sh.analyze ~config:st.st_exec_config ~prog:inst_indexed
+              ~capture:cap
+          in
+          let symex_time = Sys.time () -. t1 in
+          let finished outcome ~graph_nodes =
+            emit
+              (Events.Symex_finished
+                 { occurrence = occ; steps = sx.Exec.steps;
+                   solver_calls = sx.Exec.solver_calls;
+                   solver_cost = sx.Exec.solver_cost; graph_nodes; outcome;
+                   elapsed = symex_time })
+          in
+          match sx.Exec.outcome with
+          | Exec.Complete solution ->
+              (* graph size at completion = the distinct nodes of the final
+                 path condition (what Cgraph.node_count folds over) *)
+              let graph_nodes =
+                Er_smt.Expr.fold_subterms
+                  (fun n _ -> n + 1)
+                  0 solution.Exec.path_constraints
+              in
+              finished `Complete ~graph_nodes;
+              let testcase = Testcase.of_solution solution in
+              (* --- stage 4: verification by concrete re-execution --- *)
+              let verified =
+                if config.verify then begin
+                  let t2 = Sys.time () in
+                  let v =
+                    V.verify ~base_prog:base_indexed ~testcase
+                      ~expected_failure:cap.cap_base_failure
+                      ~expected_branches:cap.cap_split.Er_trace.Decoder.branches
+                      ~sched_seed
+                  in
+                  emit
+                    (Events.Verified
+                       { occurrence = occ; ok = v.Verify.ok;
+                         same_failure = v.Verify.same_failure;
+                         same_control_flow = v.Verify.same_control_flow;
+                         elapsed = Sys.time () -. t2 });
+                  Some v
+                end
+                else None
+              in
+              emit
+                (Events.Reproduced
+                   { occurrence = occ;
+                     testcase_values = Testcase.total_values testcase });
+              { st with st_run = occ; st_tracked = tracked;
+                st_final = Some (Reproduced { testcase; verified; solution }) }
+          | Exec.Stalled stall ->
+              finished `Stalled
+                ~graph_nodes:(Er_symex.Cgraph.node_count stall.Exec.graph);
+              (* --- stage 3: key data value selection --- *)
+              let t2 = Sys.time () in
+              let sel =
+                Sel.select ~stall ~mapper ~existing:st.st_points
+              in
+              let selection_time = Sys.time () -. t2 in
+              emit
+                (Events.Stall
+                   { occurrence = occ; reason = stall.Exec.stall_reason;
+                     chain = sel.sel_longest_chain;
+                     object_bytes = sel.sel_largest_object_bytes });
+              let points = st.st_points @ sel.sel_points in
+              emit
+                (Events.Points_added
+                   { occurrence = occ; added = List.length sel.sel_points;
+                     total = List.length points; elapsed = selection_time });
+              let exec_config =
+                if sel.sel_points = [] then begin
+                  (* selection fixpoint while symex still stalls: give the
+                     solver a longer deterministic timeout, as ER does for
+                     infrequent failures *)
+                  let ec =
+                    { st.st_exec_config with
+                      Exec.solver_budget =
+                        4 * st.st_exec_config.Exec.solver_budget;
+                      gate_budget = 4 * st.st_exec_config.Exec.gate_budget }
+                  in
+                  emit
+                    (Events.Budget_escalated
+                       { occurrence = occ;
+                         solver_budget = ec.Exec.solver_budget;
+                         gate_budget = ec.Exec.gate_budget });
+                  ec
+                end
+                else st.st_exec_config
+              in
+              { st_run = occ; st_points = points; st_exec_config = exec_config;
+                st_tracked = tracked; st_final = None }
+          | Exec.Diverged msg ->
+              finished `Diverged ~graph_nodes:0;
+              emit (Events.Diverged { occurrence = occ; reason = msg });
+              { st with st_run = occ; st_tracked = tracked })
+    in
+    let rec fold st =
+      match st.st_final with
+      | Some _ -> st
+      | None when st.st_run >= config.max_occurrences -> st
+      | None -> fold (occurrence_step st)
+    in
+    let st =
+      fold
+        { st_run = 0; st_points = []; st_exec_config = config.exec_config;
+          st_tracked = None; st_final = None }
+    in
+    let status =
+      match st.st_final with
+      | Some s -> s
+      | None -> Gave_up (Outcome.Max_occurrences config.max_occurrences)
+    in
+    (match status with
+     | Gave_up g ->
+         emit
+           (Events.Gave_up
+              { occurrence = st.st_run;
+                reason = Outcome.give_up_to_string g })
+     | Reproduced _ -> ());
+    let iterations = iterations_of_events (buffered ()) in
+    let reproduced =
+      match status with Reproduced _ -> true | Gave_up _ -> false
+    in
+    emit
+      (Events.Pipeline_finished
+         { runs = st.st_run; occurrences = List.length iterations; reproduced });
+    {
+      status;
+      iterations;
+      occurrences = List.length iterations;
+      runs = st.st_run;
+      total_symex_time =
+        List.fold_left (fun a it -> a +. it.symex_time) 0.0 iterations;
+      recording_points = st.st_points;
+      failure = st.st_tracked;
+      events = buffered ();
+    }
+end
+
+module Default = Make (Default_tracer) (Default_shepherd) (Default_selector)
+    (Default_verifier)
+
+(* The staged pipeline with the paper's stage implementations. *)
+let run = Default.run
+
+(* ---------------------------------------------------------------- *)
+(* Machine-readable rendering of a result                            *)
+(* ---------------------------------------------------------------- *)
+
+let point_to_json (p : point) : Events.Json.t =
+  Events.Json.Obj
+    [ ("func", Events.Json.Str p.p_func);
+      ("block", Events.Json.Str p.p_block);
+      ("index", Events.Json.Int p.p_index) ]
+
+let iteration_to_json (it : iteration) : Events.Json.t =
+  let open Events.Json in
+  Obj
+    [ ("occurrence", Int it.occurrence);
+      ("trace_bytes", Int it.trace_bytes);
+      ("trace_packets", Int it.trace_packets);
+      ("ptwrites_recorded", Int it.ptwrites_recorded);
+      ("vm_instrs", Int it.vm_instrs);
+      ("trace_time", Float it.trace_time);
+      ("symex_steps", Int it.symex_steps);
+      ("symex_time", Float it.symex_time);
+      ("solver_calls", Int it.solver_calls);
+      ("solver_cost", Int it.solver_cost);
+      ( "outcome",
+        match it.outcome with
+        | Outcome.Completed -> Obj [ ("kind", Str "complete") ]
+        | Outcome.Stalled s ->
+            Obj
+              [ ("kind", Str "stalled");
+                ("reason", Str s.Outcome.reason);
+                ("chain", Int s.Outcome.longest_chain);
+                ("object_bytes", Int s.Outcome.largest_object_bytes);
+                ("points_added", Int s.Outcome.points_added) ]
+        | Outcome.Diverged m ->
+            Obj [ ("kind", Str "diverged"); ("reason", Str m) ] );
+      ("recording_set_size", Int it.recording_set_size);
+      ("graph_nodes", Int it.graph_nodes);
+      ("selection_time", Float it.selection_time);
+      ("verify_time", Float it.verify_time) ]
+
+let result_to_json (r : result) : string =
+  let open Events.Json in
+  let status =
+    match r.status with
+    | Reproduced { testcase; verified; _ } ->
+        Obj
+          ([ ("kind", Str "reproduced");
+             ( "testcase",
+               Obj
+                 (List.map
+                    (fun (stream, vals) ->
+                       (stream, List (List.map (fun v -> Str (Int64.to_string v)) vals)))
+                    testcase.Testcase.streams) ) ]
+           @
+           match verified with
+           | Some v ->
+               [ ( "verified",
+                   Obj
+                     [ ("ok", Bool v.Verify.ok);
+                       ("same_failure", Bool v.Verify.same_failure);
+                       ("same_control_flow", Bool v.Verify.same_control_flow) ] ) ]
+           | None -> [])
+    | Gave_up g ->
+        Obj
+          [ ("kind", Str "gave_up");
+            ("reason", Str (Outcome.give_up_to_string g)) ]
+  in
+  to_string
+    (Obj
+       [ ("status", status);
+         ("occurrences", Int r.occurrences);
+         ("runs", Int r.runs);
+         ("total_symex_time", Float r.total_symex_time);
+         ("recording_points", List (List.map point_to_json r.recording_points));
+         ("iterations", List (List.map iteration_to_json r.iterations)) ])

@@ -151,3 +151,12 @@ let reduce (graph : Cgraph.t) (bottleneck : Expr.t list) : plan =
   { items; bottleneck_cost; reduced_cost }
 
 let points plan = List.map (fun it -> it.it_point) plan.items
+
+(* Points not already in [existing], deduplicated and in first-seen order
+   — the increment the pipeline's selector hands back each iteration. *)
+let fresh ~existing pts =
+  let mem p l = List.exists (fun q -> Er_ir.Types.point_compare p q = 0) l in
+  List.rev
+    (List.fold_left
+       (fun acc p -> if mem p existing || mem p acc then acc else p :: acc)
+       [] pts)

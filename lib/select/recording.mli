@@ -31,3 +31,8 @@ val reduce : Er_symex.Cgraph.t -> Er_smt.Expr.t list -> plan
 
 (** The program points to instrument. *)
 val points : plan -> point list
+
+(** [fresh ~existing pts] is [pts] without the points already in
+    [existing], deduplicated, in first-seen order — the recording-set
+    increment one selection round contributes. *)
+val fresh : existing:point list -> point list -> point list

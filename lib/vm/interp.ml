@@ -40,6 +40,45 @@ let no_hooks =
     on_store = None; on_alloc = None; on_def = None; on_enter = None;
     on_ret = None }
 
+(* Run two hook sets side by side ([a] first).  Lets the pipeline attach
+   event-accounting observers next to the trace encoder hooks without
+   either knowing about the other. *)
+let compose_hooks (a : hooks) (b : hooks) : hooks =
+  let fuse f g wrap =
+    match f, g with
+    | None, h | h, None -> h
+    | Some f, Some g -> Some (wrap f g)
+  in
+  {
+    on_branch = fuse a.on_branch b.on_branch (fun f g x -> f x; g x);
+    on_switch =
+      fuse a.on_switch b.on_switch (fun f g ~tid ~clock ->
+          f ~tid ~clock;
+          g ~tid ~clock);
+    on_ptwrite = fuse a.on_ptwrite b.on_ptwrite (fun f g x -> f x; g x);
+    on_input =
+      fuse a.on_input b.on_input (fun f g ~stream ~value ->
+          f ~stream ~value;
+          g ~stream ~value);
+    on_store =
+      fuse a.on_store b.on_store (fun f g ~obj ~index ~old_value ~new_value ->
+          f ~obj ~index ~old_value ~new_value;
+          g ~obj ~index ~old_value ~new_value);
+    on_alloc = fuse a.on_alloc b.on_alloc (fun f g x -> f x; g x);
+    on_def =
+      fuse a.on_def b.on_def (fun f g p ~reg ~value ->
+          f p ~reg ~value;
+          g p ~reg ~value);
+    on_enter =
+      fuse a.on_enter b.on_enter (fun f g ~func ~args ->
+          f ~func ~args;
+          g ~func ~args);
+    on_ret =
+      fuse a.on_ret b.on_ret (fun f g ~func ~value ->
+          f ~func ~value;
+          g ~func ~value);
+  }
+
 type config = {
   max_instrs : int;
   max_call_depth : int;

@@ -1,0 +1,291 @@
+(* Staged-pipeline accounting: occurrence counting vs skipped runs, budget
+   escalation exactly at selection fixpoints, per-stage event coverage,
+   event-derived iteration records, and the JSONL round-trip. *)
+
+open Er_corpus
+module P = Er_core.Pipeline
+module E = Er_core.Events
+module O = Er_core.Outcome
+
+let spec = Registry.running_example
+
+let run_default () =
+  P.run ~config:spec.Bug.config ~base_prog:spec.Bug.program
+    ~workload:spec.Bug.failing_workload ()
+
+let cached : P.result option ref = ref None
+
+let result () =
+  match !cached with
+  | Some r -> r
+  | None ->
+      let r = run_default () in
+      cached := Some r;
+      r
+
+(* --- occurrences count only runs where the tracked failure fired ------- *)
+
+let test_occurrences_exclude_skipped_runs () =
+  (* a workload whose first production run finishes cleanly: the pipeline
+     must consume the run without counting it as an analyzed occurrence *)
+  let workload ~occurrence =
+    if occurrence = 1 then (spec.Bug.perf_inputs (), 0)
+    else spec.Bug.failing_workload ~occurrence:(occurrence - 1)
+  in
+  let r = P.run ~config:spec.Bug.config ~base_prog:spec.Bug.program ~workload () in
+  (match r.P.status with
+   | P.Reproduced _ -> ()
+   | P.Gave_up g -> Alcotest.fail ("gave up: " ^ O.give_up_to_string g));
+  Alcotest.(check int) "occurrences = analyzed iterations"
+    (List.length r.P.iterations) r.P.occurrences;
+  Alcotest.(check int) "skipped run still consumes a production run"
+    (r.P.occurrences + 1) r.P.runs;
+  let skipped =
+    List.filter
+      (function
+        | E.Run_skipped { reason = E.No_failure; occurrence } ->
+            occurrence = 1
+        | _ -> false)
+      r.P.events
+  in
+  Alcotest.(check int) "the clean run emitted Run_skipped(no_failure)" 1
+    (List.length skipped);
+  (* the baseline workload analyzes every run: runs = occurrences *)
+  let r0 = result () in
+  Alcotest.(check int) "baseline: every run analyzed" r0.P.runs
+    r0.P.occurrences
+
+(* --- budget escalation happens exactly at selection fixpoints ---------- *)
+
+let escalation_matches_fixpoints (evs : E.event list) =
+  (* pair each occurrence's Points_added.added with whether a
+     Budget_escalated event followed for that occurrence *)
+  let added = Hashtbl.create 8 and escalated = Hashtbl.create 8 in
+  List.iter
+    (function
+      | E.Points_added { occurrence; added = a; _ } ->
+          Hashtbl.replace added occurrence a
+      | E.Budget_escalated { occurrence; _ } ->
+          Hashtbl.replace escalated occurrence ()
+      | _ -> ())
+    evs;
+  Hashtbl.iter
+    (fun occ a ->
+       Alcotest.(check bool)
+         (Printf.sprintf "occurrence %d: escalated iff selection fixpoint" occ)
+         (a = 0)
+         (Hashtbl.mem escalated occ))
+    added;
+  Hashtbl.iter
+    (fun occ () ->
+       if not (Hashtbl.mem added occ) then
+         Alcotest.fail
+           (Printf.sprintf
+              "occurrence %d escalated without a selection round" occ))
+    escalated
+
+let test_budget_escalates_at_fixpoint () =
+  (* tiny budgets: selection runs dry while symex still stalls, forcing
+     the deterministic analogue of the paper's longer solver timeout *)
+  let config =
+    { spec.Bug.config with
+      P.exec_config =
+        { spec.Bug.config.P.exec_config with
+          Er_symex.Exec.solver_budget = 200; gate_budget = 200 } }
+  in
+  let r =
+    P.run ~config ~base_prog:spec.Bug.program
+      ~workload:spec.Bug.failing_workload ()
+  in
+  (match r.P.status with
+   | P.Reproduced _ -> ()
+   | P.Gave_up g -> Alcotest.fail ("gave up: " ^ O.give_up_to_string g));
+  let escalations =
+    List.filter_map
+      (function
+        | E.Budget_escalated { solver_budget; _ } -> Some solver_budget
+        | _ -> None)
+      r.P.events
+  in
+  Alcotest.(check bool) "at least one escalation forced" true
+    (escalations <> []);
+  (* each escalation quadruples the previous effective budget *)
+  ignore
+    (List.fold_left
+       (fun prev b ->
+          Alcotest.(check int) "budget quadruples" (4 * prev) b;
+          b)
+       200 escalations);
+  escalation_matches_fixpoints r.P.events;
+  (* the default run must obey the same invariant (vacuously or not) *)
+  escalation_matches_fixpoints (result ()).P.events
+
+(* --- every stage reports at least one event per iteration -------------- *)
+
+let events_of_occurrence evs occ =
+  List.filter
+    (fun e ->
+       match (e : E.event) with
+       | E.Occurrence_started { occurrence }
+       | E.Run_skipped { occurrence; _ }
+       | E.Trace_captured { occurrence; _ }
+       | E.Decode_failed { occurrence; _ }
+       | E.Symex_finished { occurrence; _ }
+       | E.Diverged { occurrence; _ }
+       | E.Stall { occurrence; _ }
+       | E.Points_added { occurrence; _ }
+       | E.Budget_escalated { occurrence; _ }
+       | E.Verified { occurrence; _ }
+       | E.Reproduced { occurrence; _ }
+       | E.Gave_up { occurrence; _ } -> occurrence = occ
+       | E.Pipeline_finished _ -> false)
+    evs
+
+let test_event_per_stage_per_iteration () =
+  let r = result () in
+  Alcotest.(check bool) "needs more than one occurrence" true
+    (r.P.occurrences > 1);
+  List.iter
+    (fun (it : P.iteration) ->
+       let evs = events_of_occurrence r.P.events it.P.occurrence in
+       let has stage =
+         List.exists (fun e -> E.stage_of e = Some stage) evs
+       in
+       Alcotest.(check bool) "tracer reported" true (has E.Trace);
+       Alcotest.(check bool) "shepherd reported" true (has E.Symex);
+       match it.P.outcome with
+       | O.Stalled _ ->
+           Alcotest.(check bool) "selector reported" true (has E.Select)
+       | O.Completed ->
+           Alcotest.(check bool) "verifier reported" true (has E.Verify)
+       | O.Diverged _ -> ())
+    r.P.iterations
+
+(* --- iteration records are a pure function of the event stream --------- *)
+
+let test_iterations_derived_from_events () =
+  let r = result () in
+  Alcotest.(check int) "derivation is idempotent"
+    (List.length r.P.iterations)
+    (List.length (P.iterations_of_events r.P.events));
+  List.iter2
+    (fun (a : P.iteration) (b : P.iteration) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "occurrence %d re-derives identically" a.P.occurrence)
+         true (a = b))
+    r.P.iterations
+    (P.iterations_of_events r.P.events)
+
+(* --- per-stage wall-clock accounting ----------------------------------- *)
+
+let test_stage_accounting () =
+  let r = result () in
+  List.iter
+    (fun (it : P.iteration) ->
+       Alcotest.(check bool) "stage times are non-negative" true
+         (it.P.trace_time >= 0. && it.P.symex_time >= 0.
+          && it.P.selection_time >= 0. && it.P.verify_time >= 0.);
+       match it.P.outcome with
+       | O.Stalled s ->
+           Alcotest.(check bool) "stall carries bottleneck stats" true
+             (s.O.longest_chain >= 0 && s.O.largest_object_bytes >= 0)
+       | O.Completed | O.Diverged _ ->
+           Alcotest.(check (float 0.0)) "no selection time outside stalls" 0.0
+             it.P.selection_time)
+    r.P.iterations;
+  Alcotest.(check (float 1e-9)) "total symex time = sum over iterations"
+    (List.fold_left (fun a (it : P.iteration) -> a +. it.P.symex_time) 0.0
+       r.P.iterations)
+    r.P.total_symex_time
+
+(* --- JSONL sink round-trip --------------------------------------------- *)
+
+let test_jsonl_round_trip () =
+  let r = result () in
+  Alcotest.(check bool) "stream is non-empty" true (r.P.events <> []);
+  (* structural round-trip through the JSON codec *)
+  List.iter
+    (fun e ->
+       match E.of_json (E.to_json e) with
+       | Some e' ->
+           if e <> e' then
+             Alcotest.fail ("round-trip changed event: " ^ E.to_json e)
+       | None -> Alcotest.fail ("unparseable event: " ^ E.to_json e))
+    r.P.events;
+  (* the file-level contract: one parseable JSON object per line *)
+  let path = Filename.temp_file "er_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       let oc = open_out path in
+       let sink = E.jsonl oc in
+       let r2 =
+         P.run ~config:spec.Bug.config ~events:sink
+           ~base_prog:spec.Bug.program
+           ~workload:spec.Bug.failing_workload ()
+       in
+       close_out oc;
+       let ic = open_in path in
+       let lines = ref [] in
+       (try
+          while true do
+            lines := input_line ic :: !lines
+          done
+        with End_of_file -> close_in ic);
+       let lines = List.rev !lines in
+       Alcotest.(check int) "one line per event"
+         (List.length r2.P.events) (List.length lines);
+       List.iter2
+         (fun line e ->
+            match E.of_json line with
+            | Some e' when e' = e -> ()
+            | Some _ -> Alcotest.fail ("line decodes to different event: " ^ line)
+            | None -> Alcotest.fail ("unparseable line: " ^ line))
+         lines r2.P.events)
+
+(* --- compatibility wrapper --------------------------------------------- *)
+
+let test_driver_wrapper_matches_pipeline () =
+  let d =
+    Er_core.Driver.reconstruct ~config:spec.Bug.config
+      ~base_prog:spec.Bug.program ~workload:spec.Bug.failing_workload ()
+  in
+  let p = d.Er_core.Driver.pipeline in
+  Alcotest.(check int) "same occurrence count" p.P.occurrences
+    d.Er_core.Driver.occurrences;
+  Alcotest.(check int) "same iteration count"
+    (List.length p.P.iterations)
+    (List.length d.Er_core.Driver.iterations);
+  List.iter2
+    (fun (a : Er_core.Driver.iteration) (b : P.iteration) ->
+       Alcotest.(check int) "solver calls agree" b.P.solver_calls
+         a.Er_core.Driver.solver_calls;
+       Alcotest.(check bool) "outcomes agree" true
+         (a.Er_core.Driver.outcome = O.step_to_compat b.P.outcome))
+    d.Er_core.Driver.iterations p.P.iterations;
+  match d.Er_core.Driver.status, p.P.status with
+  | Er_core.Driver.Reproduced _, P.Reproduced _ -> ()
+  | Er_core.Driver.Gave_up a, P.Gave_up g ->
+      Alcotest.(check string) "give-up reason renders identically" a
+        (O.give_up_to_string g)
+  | _ -> Alcotest.fail "wrapper status disagrees with pipeline status"
+
+let suites =
+  [
+    ( "pipeline",
+      [
+        Alcotest.test_case "occurrences exclude skipped runs" `Slow
+          test_occurrences_exclude_skipped_runs;
+        Alcotest.test_case "budget escalates exactly at fixpoints" `Slow
+          test_budget_escalates_at_fixpoint;
+        Alcotest.test_case "every stage emits events per iteration" `Slow
+          test_event_per_stage_per_iteration;
+        Alcotest.test_case "iterations derive from the event stream" `Slow
+          test_iterations_derived_from_events;
+        Alcotest.test_case "per-stage accounting" `Slow test_stage_accounting;
+        Alcotest.test_case "JSONL sink round-trips" `Slow
+          test_jsonl_round_trip;
+        Alcotest.test_case "driver wrapper matches pipeline" `Slow
+          test_driver_wrapper_matches_pipeline;
+      ] );
+  ]
