@@ -1,7 +1,7 @@
 # Tier-1 verification in one command: `make ci` chains the build, the
 # full test suite, and (when ocamlformat is available) the format check.
 
-.PHONY: all build test fmt ci fleet
+.PHONY: all build test fmt ci fleet bench-smoke
 
 all: build
 
@@ -22,7 +22,14 @@ ci:
 	dune build
 	dune runtest
 	$(MAKE) fmt
+	$(MAKE) bench-smoke
+	dune exec bench/main.exe -- --validate BENCH_2.json
 
 # Run the whole bug corpus through the staged pipeline.
 fleet:
 	dune exec bin/er_cli.exe -- fleet
+
+# One-bug end-to-end bench: pipeline + recording overhead, persisted
+# trajectory written and re-parsed with the shared JSON reader.
+bench-smoke:
+	dune exec bench/main.exe -- smoke -o /tmp/er_bench_smoke.json

@@ -12,8 +12,14 @@
      offline    sec. 5.3 — constraint graph size, selection time, memory
      casestudy  sec. 5.4 — invariant-based failure localization (od, pr)
      micro      Bechamel micro-benchmarks
+     smoke      one-bug pipeline + overhead run, for CI
 
-   With no argument, everything runs in order. *)
+   With no argument, everything runs in order.  [-o FILE] persists the
+   collected per-bug trajectory (overhead %, trace bytes, solver cost,
+   iterations) as JSON — the committed BENCH_2.json is produced by
+   `table1 fig6 -o BENCH_2.json`.  [--validate FILE] re-parses such a
+   file with Er_core.Json and checks its shape, exiting non-zero on any
+   mismatch. *)
 
 open Er_corpus
 
@@ -415,6 +421,158 @@ let run_casestudy () =
   study Coreutils_pr.spec Coreutils_pr.passing_inputs "balance"
 
 (* ------------------------------------------------------------------ *)
+(* Persisted bench trajectory (BENCH_2.json)                           *)
+(* ------------------------------------------------------------------ *)
+
+module J = Er_core.Json
+
+(* One row per bug from whatever jobs ran: pipeline work from [table1]
+   (or [smoke]), recording overheads from [fig6] when available. *)
+let bench_json () =
+  let results = List.rev !table1_results in
+  let overheads =
+    List.map (fun (n, er, rr) -> (n, (er, rr))) !fig6_results
+  in
+  let sum sel (r : Er_core.Pipeline.result) =
+    List.fold_left (fun a it -> a + sel it) 0 r.Er_core.Pipeline.iterations
+  in
+  let bug_obj (name, (r : Er_core.Pipeline.result)) =
+    let reproduced =
+      match r.Er_core.Pipeline.status with
+      | Er_core.Pipeline.Reproduced _ -> true
+      | Er_core.Pipeline.Gave_up _ -> false
+    in
+    J.Obj
+      ([
+         ("name", J.Str name);
+         ("reproduced", J.Bool reproduced);
+         ("iterations", J.Int (List.length r.Er_core.Pipeline.iterations));
+         ("occurrences", J.Int r.Er_core.Pipeline.occurrences);
+         ("runs", J.Int r.Er_core.Pipeline.runs);
+         ("trace_bytes", J.Int (sum (fun it -> it.Er_core.Pipeline.trace_bytes) r));
+         ("solver_calls", J.Int (sum (fun it -> it.Er_core.Pipeline.solver_calls) r));
+         ("solver_cost", J.Int (sum (fun it -> it.Er_core.Pipeline.solver_cost) r));
+         ("recording_points",
+          J.Int (List.length r.Er_core.Pipeline.recording_points));
+         ("symex_time", J.Float r.Er_core.Pipeline.total_symex_time);
+       ]
+       @
+       match List.assoc_opt name overheads with
+       | Some (er, rr) ->
+           [
+             ("er_overhead_pct", J.Float er.mean);
+             ("er_overhead_stderr", J.Float er.stderr);
+             ("rr_overhead_pct", J.Float rr.mean);
+             ("rr_overhead_stderr", J.Float rr.stderr);
+           ]
+       | None -> [])
+  in
+  let reproduced =
+    List.length
+      (List.filter
+         (fun (_, r) ->
+            match r.Er_core.Pipeline.status with
+            | Er_core.Pipeline.Reproduced _ -> true
+            | Er_core.Pipeline.Gave_up _ -> false)
+         results)
+  in
+  let total sel = List.fold_left (fun a (_, r) -> a + sum sel r) 0 results in
+  let mean sel =
+    match !fig6_results with
+    | [] -> J.Null
+    | xs ->
+        J.Float
+          (List.fold_left (fun a x -> a +. sel x) 0.0 xs
+           /. float_of_int (List.length xs))
+  in
+  J.Obj
+    [
+      ("bench", J.Int 2);
+      ("bugs", J.List (List.map bug_obj results));
+      ( "totals",
+        J.Obj
+          [
+            ("bugs", J.Int (List.length results));
+            ("reproduced", J.Int reproduced);
+            ("trace_bytes", J.Int (total (fun it -> it.Er_core.Pipeline.trace_bytes)));
+            ("solver_calls", J.Int (total (fun it -> it.Er_core.Pipeline.solver_calls)));
+            ("solver_cost", J.Int (total (fun it -> it.Er_core.Pipeline.solver_cost)));
+            ("mean_er_overhead_pct", mean (fun (_, e, _) -> e.mean));
+            ("mean_rr_overhead_pct", mean (fun (_, _, r) -> r.mean));
+          ] );
+    ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Shape check for a persisted trajectory: parses with the shared JSON
+   reader and carries the fields downstream tooling depends on. *)
+let validate_bench path =
+  match J.parse (read_file path) with
+  | None ->
+      Printf.eprintf "%s: does not parse as JSON\n" path;
+      false
+  | Some doc ->
+      let ok_version =
+        match Option.bind (J.member "bench" doc) J.to_int with
+        | Some 2 -> true
+        | _ ->
+            Printf.eprintf "%s: missing or wrong \"bench\" version\n" path;
+            false
+      in
+      let bugs =
+        Option.bind (J.member "bugs" doc) J.to_list |> Option.value ~default:[]
+      in
+      let ok_bugs =
+        bugs <> []
+        && List.for_all
+             (fun b ->
+                let has k conv = Option.is_some (Option.bind (J.member k b) conv) in
+                has "name" J.to_str && has "trace_bytes" J.to_int
+                && has "solver_cost" J.to_int && has "iterations" J.to_int
+                && has "reproduced" J.to_bool)
+             bugs
+      in
+      if not ok_bugs then
+        Printf.eprintf "%s: \"bugs\" is empty or rows lack required fields\n"
+          path;
+      let ok_totals = Option.is_some (J.member "totals" doc) in
+      if not ok_totals then Printf.eprintf "%s: missing \"totals\"\n" path;
+      if ok_version && ok_bugs && ok_totals then begin
+        Printf.printf "%s: OK (%d bugs)\n" path (List.length bugs);
+        true
+      end
+      else false
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: one bug end to end, cheap enough for every CI run            *)
+(* ------------------------------------------------------------------ *)
+
+let run_smoke () =
+  section "Smoke: one-bug pipeline + recording overhead";
+  let s =
+    match Registry.find "libpng-2004-0597" with
+    | Some s -> s
+    | None -> List.hd Registry.table1
+  in
+  let r = reconstruct_spec s in
+  table1_results := (s.Bug.name, r) :: !table1_results;
+  let er, rr = overhead_of s ~runs:3 in
+  fig6_results := (s.Bug.name, er, rr) :: !fig6_results;
+  let reproduced =
+    match r.Er_core.Pipeline.status with
+    | Er_core.Pipeline.Reproduced _ -> true
+    | Er_core.Pipeline.Gave_up _ -> false
+  in
+  Printf.printf
+    "%s: reproduced=%b occurrences=%d ER overhead %.1f%% rr overhead %.1f%%\n"
+    s.Bug.name reproduced r.Er_core.Pipeline.occurrences er.mean rr.mean;
+  if not reproduced then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -512,16 +670,40 @@ let () =
       ("offline", run_offline);
       ("casestudy", run_casestudy);
       ("micro", run_micro);
+      ("smoke", run_smoke);
     ]
   in
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as names) ->
-      List.iter
-        (fun n ->
-           match List.assoc_opt n jobs with
-           | Some f -> f ()
-           | None ->
-               Printf.printf "unknown job %s (have: %s)\n" n
-                 (String.concat ", " (List.map fst jobs)))
-        names
-  | _ -> List.iter (fun (_, f) -> f ()) jobs
+  let rec parse (names, out, validate) = function
+    | [] -> (List.rev names, out, validate)
+    | "-o" :: f :: rest -> parse (names, Some f, validate) rest
+    | "--validate" :: f :: rest -> parse (names, out, Some f) rest
+    | n :: rest -> parse (n :: names, out, validate) rest
+  in
+  let names, out, validate =
+    parse ([], None, None) (List.tl (Array.to_list Sys.argv))
+  in
+  (match names, out, validate with
+   | [], None, None -> List.iter (fun (_, f) -> f ()) jobs
+   | [], _, _ -> ()
+   | names, _, _ ->
+       List.iter
+         (fun n ->
+            match List.assoc_opt n jobs with
+            | Some f -> f ()
+            | None ->
+                Printf.printf "unknown job %s (have: %s)\n" n
+                  (String.concat ", " (List.map fst jobs));
+                exit 1)
+         names);
+  (match out with
+   | None -> ()
+   | Some path ->
+       let oc = open_out path in
+       output_string oc (J.to_string (bench_json ()));
+       output_char oc '\n';
+       close_out oc;
+       (* round-trip the file we just wrote through the shared parser *)
+       if not (validate_bench path) then exit 1);
+  match validate with
+  | None -> ()
+  | Some path -> if not (validate_bench path) then exit 1

@@ -66,9 +66,37 @@ let run_pipeline (spec : Er_corpus.Bug.spec) events =
     ~base_prog:spec.Er_corpus.Bug.program
     ~workload:spec.Er_corpus.Bug.failing_workload ()
 
+(* Metrics plumbing shared by [reproduce --metrics] and
+   [fleet --metrics-out].  The default registry is off unless a command
+   asks for it, so instrumented hot paths cost one branch. *)
+let metrics_fmt =
+  Arg.enum [ ("table", `Table); ("json", `Json); ("prometheus", `Prometheus) ]
+
+let with_metrics enabled f =
+  if not enabled then f ()
+  else begin
+    Er_metrics.reset Er_metrics.default;
+    Er_metrics.set_enabled Er_metrics.default true;
+    Fun.protect
+      ~finally:(fun () -> Er_metrics.set_enabled Er_metrics.default false)
+      f
+  end
+
+let render_metrics fmt oc =
+  let snap = Er_metrics.snapshot () in
+  match fmt with
+  | `Table -> output_string oc (Er_metrics.Snapshot.to_table snap)
+  | `Json ->
+      output_string oc (Er_metrics.Snapshot.to_json snap);
+      output_char oc '\n'
+  | `Prometheus -> output_string oc (Er_metrics.Snapshot.to_prometheus snap)
+
 let reproduce_cmd =
-  let run spec verbose events_file json =
-    let r = with_events_sink events_file (run_pipeline spec) in
+  let run spec verbose events_file json metrics =
+    let r =
+      with_metrics (Option.is_some metrics) (fun () ->
+          with_events_sink events_file (run_pipeline spec))
+    in
     if json then print_endline (Er_core.Pipeline.result_to_json r)
     else begin
       List.iter
@@ -93,7 +121,10 @@ let reproduce_cmd =
            | None -> ())
       | Er_core.Pipeline.Gave_up g ->
           Printf.printf "gave up: %s\n" (Er_core.Outcome.give_up_to_string g)
-    end
+    end;
+    match metrics with
+    | None -> ()
+    | Some fmt -> render_metrics fmt stdout
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
   let events_file =
@@ -111,8 +142,17 @@ let reproduce_cmd =
           ~doc:"Emit the final result (status, iterations, recording points) \
                 as machine-readable JSON instead of the human summary.")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some metrics_fmt) None
+      & info [ "metrics" ] ~docv:"FMT"
+          ~doc:"Enable the cross-layer metrics registry for this run and \
+                print a snapshot afterwards; $(docv) is one of table, json \
+                or prometheus.")
+  in
   Cmd.v (Cmd.info "reproduce" ~doc:"Reconstruct one corpus failure")
-    Term.(const run $ spec_arg $ verbose $ events_file $ json)
+    Term.(const run $ spec_arg $ verbose $ events_file $ json $ metrics)
 
 (* Fleet mode: the whole Table 1 corpus through the staged pipeline, with
    an aggregated per-bug, per-stage summary — the first step from one-bug
@@ -127,10 +167,10 @@ let fleet_cmd =
            ve +. it.Er_core.Pipeline.verify_time ))
       (0., 0., 0., 0.) r.Er_core.Pipeline.iterations
   in
-  let run events_file =
-    Printf.printf "%-22s %-8s %4s %4s %9s %9s %9s %9s %7s %12s %4s\n" "bug"
+  let run events_file metrics_out =
+    Printf.printf "%-22s %-8s %4s %4s %9s %9s %9s %9s %7s %12s %6s %4s\n" "bug"
       "status" "occ" "runs" "trace(s)" "symex(s)" "select(s)" "verify(s)"
-      "squery" "solver-cost" "pts";
+      "squery" "solver-cost" "ringOW" "pts";
     let totals = ref (0, 0, 0., 0., 0., 0., 0, 0) in
     let reproduced = ref 0 in
     let n = List.length Er_corpus.Registry.table1 in
@@ -161,15 +201,40 @@ let fleet_cmd =
                ( o + r.Er_core.Pipeline.occurrences,
                  ru + r.Er_core.Pipeline.runs, a +. tr, b +. sy, c +. se,
                  d +. ve, e + calls, f + cost );
+             let ring_ow =
+               List.fold_left
+                 (fun a (it : Er_core.Pipeline.iteration) ->
+                    a + it.Er_core.Pipeline.ring_overwritten)
+                 0 r.Er_core.Pipeline.iterations
+             in
              Printf.printf
-               "%-22s %-8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d %4d\n%!"
+               "%-22s %-8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d %6d %4d\n%!"
                s.Er_corpus.Bug.name status r.Er_core.Pipeline.occurrences
-               r.Er_core.Pipeline.runs tr sy se ve calls cost
+               r.Er_core.Pipeline.runs tr sy se ve calls cost ring_ow
                (List.length r.Er_core.Pipeline.recording_points))
           Er_corpus.Registry.table1);
     let o, ru, a, b, c, d, e, f = !totals in
     Printf.printf "%-22s %-8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d\n"
-      "total" (Printf.sprintf "%d/%d" !reproduced n) o ru a b c d e f
+      "total" (Printf.sprintf "%d/%d" !reproduced n) o ru a b c d e f;
+    match metrics_out with
+    | None -> ()
+    | Some "-" ->
+        render_metrics `Json stdout;
+        flush stdout
+    | Some path ->
+        let oc =
+          try open_out path
+          with Sys_error msg ->
+            Printf.eprintf "er_cli: cannot open metrics file: %s\n" msg;
+            exit 1
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> render_metrics `Json oc)
+  in
+  let run events_file metrics_out =
+    with_metrics (Option.is_some metrics_out) (fun () ->
+        run events_file metrics_out)
   in
   let events_file =
     Arg.(
@@ -179,10 +244,19 @@ let fleet_cmd =
           ~doc:"Append every bug's event stream as JSON Lines to $(docv) \
                 (use - for stdout).")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Enable the cross-layer metrics registry for the whole fleet \
+                run and write the final snapshot as JSON to $(docv) (use - \
+                for stdout).")
+  in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Run the whole bug corpus through the staged pipeline")
-    Term.(const run $ events_file)
+    Term.(const run $ events_file $ metrics_out)
 
 let show_cmd =
   let run spec =

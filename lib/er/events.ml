@@ -8,183 +8,9 @@
    ([of_json (to_json e) = Some e]) so a persisted stream can be
    re-analyzed offline. *)
 
-(* ---------------------------------------------------------------- *)
-(* Minimal JSON — hand-rolled because the container has no json
-   library; covers exactly what events and pipeline results need.    *)
-(* ---------------------------------------------------------------- *)
-
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape s =
-    let buf = Buffer.create (String.length s + 8) in
-    String.iter
-      (fun c ->
-         match c with
-         | '"' -> Buffer.add_string buf "\\\""
-         | '\\' -> Buffer.add_string buf "\\\\"
-         | '\n' -> Buffer.add_string buf "\\n"
-         | '\t' -> Buffer.add_string buf "\\t"
-         | '\r' -> Buffer.add_string buf "\\r"
-         | c when Char.code c < 0x20 ->
-             Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-         | c -> Buffer.add_char buf c)
-      s;
-    Buffer.contents buf
-
-  let rec to_string = function
-    | Null -> "null"
-    | Bool b -> if b then "true" else "false"
-    | Int i -> string_of_int i
-    | Float f ->
-        (* %.17g round-trips every finite double and stays a JSON number *)
-        if Float.is_integer f && Float.abs f < 1e15 then
-          Printf.sprintf "%.1f" f
-        else Printf.sprintf "%.17g" f
-    | Str s -> "\"" ^ escape s ^ "\""
-    | List l -> "[" ^ String.concat "," (List.map to_string l) ^ "]"
-    | Obj fields ->
-        "{"
-        ^ String.concat ","
-            (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ to_string v) fields)
-        ^ "}"
-
-  (* recursive-descent parser; returns None on any malformation *)
-  exception Bad
-
-  let parse (s : string) : t option =
-    let n = String.length s in
-    let pos = ref 0 in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      if peek () = Some c then advance () else raise Bad
-    in
-    let literal lit v =
-      let l = String.length lit in
-      if !pos + l <= n && String.sub s !pos l = lit then begin
-        pos := !pos + l;
-        v
-      end
-      else raise Bad
-    in
-    let parse_string () =
-      expect '"';
-      let buf = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then raise Bad;
-        match s.[!pos] with
-        | '"' -> advance ()
-        | '\\' ->
-            advance ();
-            (if !pos >= n then raise Bad);
-            (match s.[!pos] with
-             | '"' -> Buffer.add_char buf '"'
-             | '\\' -> Buffer.add_char buf '\\'
-             | '/' -> Buffer.add_char buf '/'
-             | 'n' -> Buffer.add_char buf '\n'
-             | 't' -> Buffer.add_char buf '\t'
-             | 'r' -> Buffer.add_char buf '\r'
-             | 'b' -> Buffer.add_char buf '\b'
-             | 'f' -> Buffer.add_char buf '\012'
-             | 'u' ->
-                 if !pos + 4 >= n then raise Bad;
-                 let hex = String.sub s (!pos + 1) 4 in
-                 let code =
-                   try int_of_string ("0x" ^ hex) with _ -> raise Bad
-                 in
-                 (* events only escape control chars, so < 0x80 suffices *)
-                 if code < 0x80 then Buffer.add_char buf (Char.chr code)
-                 else raise Bad;
-                 pos := !pos + 4
-             | _ -> raise Bad);
-            advance ();
-            go ()
-        | c -> Buffer.add_char buf c; advance (); go ()
-      in
-      go ();
-      Buffer.contents buf
-    in
-    let parse_number () =
-      let start = !pos in
-      let is_num_char c =
-        match c with
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
-        advance ()
-      done;
-      let tok = String.sub s start (!pos - start) in
-      match int_of_string_opt tok with
-      | Some i -> Int i
-      | None -> (
-          match float_of_string_opt tok with
-          | Some f -> Float f
-          | None -> raise Bad)
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' ->
-          advance ();
-          skip_ws ();
-          if peek () = Some '}' then begin advance (); Obj [] end
-          else begin
-            let rec fields acc =
-              skip_ws ();
-              let k = parse_string () in
-              skip_ws ();
-              expect ':';
-              let v = parse_value () in
-              skip_ws ();
-              match peek () with
-              | Some ',' -> advance (); fields ((k, v) :: acc)
-              | Some '}' -> advance (); List.rev ((k, v) :: acc)
-              | _ -> raise Bad
-            in
-            Obj (fields [])
-          end
-      | Some '[' ->
-          advance ();
-          skip_ws ();
-          if peek () = Some ']' then begin advance (); List [] end
-          else begin
-            let rec elems acc =
-              let v = parse_value () in
-              skip_ws ();
-              match peek () with
-              | Some ',' -> advance (); elems (v :: acc)
-              | Some ']' -> advance (); List.rev (v :: acc)
-              | _ -> raise Bad
-            in
-            List (elems [])
-          end
-      | Some '"' -> Str (parse_string ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> parse_number ()
-      | None -> raise Bad
-    in
-    try
-      let v = parse_value () in
-      skip_ws ();
-      if !pos = n then Some v else None
-    with Bad | Invalid_argument _ -> None
-end
+(* JSON comes from the shared [Json] module ([Er_core.Json], backed by
+   [Er_json]) — the same dialect the pipeline renderer, the metrics
+   snapshots and the bench harness use. *)
 
 (* ---------------------------------------------------------------- *)
 (* Events                                                            *)
@@ -204,6 +30,7 @@ type event =
       ptwrites : int;
       switches : int;
       vm_instrs : int;
+      overwritten : int; (* ring bytes lost to wrap-around this capture *)
       elapsed : float;
     }
   | Decode_failed of { occurrence : int; error : string }
@@ -243,6 +70,10 @@ type event =
     }
   | Reproduced of { occurrence : int; testcase_values : int }
   | Gave_up of { occurrence : int; reason : string }
+  | Metrics_snapshot of {
+      occurrence : int;
+      snapshot : Er_metrics.Snapshot.t;
+    }
   | Pipeline_finished of { runs : int; occurrences : int; reproduced : bool }
 
 (* The stage that emitted an event; [None] for pipeline control events. *)
@@ -252,7 +83,7 @@ let stage_of = function
   | Symex_finished _ | Diverged _ -> Some Symex
   | Stall _ | Points_added _ | Budget_escalated _ -> Some Select
   | Verified _ -> Some Verify
-  | Reproduced _ | Gave_up _ | Pipeline_finished _ -> None
+  | Reproduced _ | Gave_up _ | Metrics_snapshot _ | Pipeline_finished _ -> None
 
 let stage_name = function
   | Trace -> "trace"
@@ -278,12 +109,12 @@ let to_json_value (e : event) : Json.t =
               (match reason with
                | No_failure -> "no_failure"
                | Different_failure -> "different_failure") ) ]
-  | Trace_captured { occurrence; bytes; packets; ptwrites; switches; vm_instrs; elapsed } ->
+  | Trace_captured { occurrence; bytes; packets; ptwrites; switches; vm_instrs; overwritten; elapsed } ->
       obj "trace_captured"
         [ ("occurrence", Int occurrence); ("bytes", Int bytes);
           ("packets", Int packets); ("ptwrites", Int ptwrites);
           ("switches", Int switches); ("vm_instrs", Int vm_instrs);
-          ("elapsed", Float elapsed) ]
+          ("overwritten", Int overwritten); ("elapsed", Float elapsed) ]
   | Decode_failed { occurrence; error } ->
       obj "decode_failed" [ ("occurrence", Int occurrence); ("error", Str error) ]
   | Symex_finished { occurrence; steps; solver_calls; solver_cost; graph_nodes; outcome; elapsed } ->
@@ -323,6 +154,10 @@ let to_json_value (e : event) : Json.t =
         [ ("occurrence", Int occurrence); ("testcase_values", Int testcase_values) ]
   | Gave_up { occurrence; reason } ->
       obj "gave_up" [ ("occurrence", Int occurrence); ("reason", Str reason) ]
+  | Metrics_snapshot { occurrence; snapshot } ->
+      obj "metrics_snapshot"
+        [ ("occurrence", Int occurrence);
+          ("snapshot", Er_metrics.Snapshot.to_json_value snapshot) ]
   | Pipeline_finished { runs; occurrences; reproduced } ->
       obj "pipeline_finished"
         [ ("runs", Int runs); ("occurrences", Int occurrences);
@@ -363,8 +198,9 @@ let of_json (line : string) : event option =
           let* ptwrites = int "ptwrites" in
           let* switches = int "switches" in
           let* vm_instrs = int "vm_instrs" in
+          let* overwritten = int "overwritten" in
           let* elapsed = flt "elapsed" in
-          Some (Trace_captured { occurrence; bytes; packets; ptwrites; switches; vm_instrs; elapsed })
+          Some (Trace_captured { occurrence; bytes; packets; ptwrites; switches; vm_instrs; overwritten; elapsed })
       | Some "decode_failed" ->
           let* occurrence = int "occurrence" in
           let* error = str "error" in
@@ -420,6 +256,14 @@ let of_json (line : string) : event option =
           let* occurrence = int "occurrence" in
           let* reason = str "reason" in
           Some (Gave_up { occurrence; reason })
+      | Some "metrics_snapshot" ->
+          let* occurrence = int "occurrence" in
+          let* snapshot =
+            Option.bind
+              (List.assoc_opt "snapshot" fields)
+              Er_metrics.Snapshot.of_json_value
+          in
+          Some (Metrics_snapshot { occurrence; snapshot })
       | Some "pipeline_finished" ->
           let* runs = int "runs" in
           let* occurrences = int "occurrences" in
@@ -446,10 +290,10 @@ let pp ppf (e : event) =
         (match reason with
          | No_failure -> "tracked failure did not fire"
          | Different_failure -> "a different bug fired")
-  | Trace_captured { occurrence; bytes; packets; ptwrites; switches; vm_instrs; elapsed } ->
+  | Trace_captured { occurrence; bytes; packets; ptwrites; switches; vm_instrs; overwritten; elapsed } ->
       Fmt.pf ppf
-        "%-10s occurrence %d: %d bytes, %d packets, %d ptwrites, %d switches, %d instrs (%.3fs)"
-        stage occurrence bytes packets ptwrites switches vm_instrs elapsed
+        "%-10s occurrence %d: %d bytes, %d packets, %d ptwrites, %d switches, %d instrs, %d overwritten (%.3fs)"
+        stage occurrence bytes packets ptwrites switches vm_instrs overwritten elapsed
   | Decode_failed { occurrence; error } ->
       Fmt.pf ppf "%-10s occurrence %d: decode failed: %s" stage occurrence error
   | Symex_finished { occurrence; steps; solver_calls; solver_cost; graph_nodes; outcome; elapsed } ->
@@ -482,6 +326,11 @@ let pp ppf (e : event) =
         stage occurrence testcase_values
   | Gave_up { occurrence; reason } ->
       Fmt.pf ppf "%-10s gave up after occurrence %d: %s" stage occurrence reason
+  | Metrics_snapshot { occurrence; snapshot } ->
+      Fmt.pf ppf "%-10s occurrence %d: metrics snapshot (%d samples, %d spans)"
+        stage occurrence
+        (List.length snapshot.Er_metrics.Snapshot.samples)
+        (List.length snapshot.Er_metrics.Snapshot.spans)
   | Pipeline_finished { runs; occurrences; reproduced } ->
       Fmt.pf ppf "%-10s finished: %d runs, %d analyzed occurrences, reproduced=%b"
         stage runs occurrences reproduced

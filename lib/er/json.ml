@@ -1,0 +1,8 @@
+(* The shared JSON dialect, re-exported as [Er_core.Json].
+
+   The implementation lives in [Er_json] at the bottom of the library
+   graph so that [Er_metrics] (which the instrumented layers depend on,
+   and which er_core in turn depends on) can render snapshots without a
+   dependency cycle or a second copy of the codec. *)
+
+include Er_json

@@ -20,6 +20,14 @@
 open Er_ir.Types
 module Interp = Er_vm.Interp
 module Exec = Er_symex.Exec
+module M = Er_metrics
+
+(* The paper's key recording budget: ptwrite bytes (PTW packets are 9
+   bytes on the wire) per million instructions of the traced run. *)
+let m_bandwidth =
+  M.gauge
+    ~help:"Recording bandwidth of the last capture, in ptwrite bytes per            million instructions."
+    "er_select_recording_bytes_per_minstr"
 
 type config = {
   max_occurrences : int;           (* bound on production runs consumed *)
@@ -61,6 +69,7 @@ type capture = {
   cap_ptwrites : int;
   cap_switches : int;
   cap_vm_instrs : int;
+  cap_overwritten : int;                 (* ring bytes lost to wrap-around *)
   cap_split : Er_trace.Decoder.split;
   cap_failure : Er_vm.Failure.t;         (* instrumented coordinates *)
   cap_base_failure : Er_vm.Failure.t;    (* base-program coordinates *)
@@ -167,6 +176,7 @@ module Default_tracer : TRACER = struct
                     cap_ptwrites = stats.Er_trace.Encoder.ptwrites;
                     cap_switches = !switches;
                     cap_vm_instrs = vm.Interp.instr_count;
+                    cap_overwritten = Er_trace.Encoder.overwritten enc;
                     cap_split = Er_trace.Decoder.split events;
                     cap_failure = failure;
                     cap_base_failure = base_failure;
@@ -215,6 +225,7 @@ type iteration = {
   trace_packets : int;
   ptwrites_recorded : int;
   vm_instrs : int;
+  ring_overwritten : int;      (* trace bytes lost to ring wrap-around *)
   trace_time : float;          (* tracer stage wall clock *)
   symex_steps : int;
   symex_time : float;          (* shepherd stage wall clock *)
@@ -258,6 +269,7 @@ let iterations_of_events (evs : Events.event list) : iteration list =
       trace_packets = 0;
       ptwrites_recorded = 0;
       vm_instrs = 0;
+      ring_overwritten = 0;
       trace_time = 0.0;
       symex_steps = 0;
       symex_time = 0.0;
@@ -280,7 +292,8 @@ let iterations_of_events (evs : Events.event list) : iteration list =
          match ev with
          | Events.Occurrence_started _ -> (flush acc cur, None, total)
          | Events.Trace_captured
-             { occurrence; bytes; packets; ptwrites; vm_instrs; elapsed; _ } ->
+             { occurrence; bytes; packets; ptwrites; vm_instrs; overwritten;
+               elapsed; _ } ->
              ( acc,
                Some
                  { (blank occurrence total) with
@@ -288,6 +301,7 @@ let iterations_of_events (evs : Events.event list) : iteration list =
                    trace_packets = packets;
                    ptwrites_recorded = ptwrites;
                    vm_instrs;
+                   ring_overwritten = overwritten;
                    trace_time = elapsed },
                total )
          | Events.Symex_finished
@@ -345,7 +359,7 @@ let iterations_of_events (evs : Events.event list) : iteration list =
              (acc, Option.map upd cur, total)
          | Events.Run_skipped _ | Events.Decode_failed _
          | Events.Budget_escalated _ | Events.Reproduced _ | Events.Gave_up _
-         | Events.Pipeline_finished _ ->
+         | Events.Metrics_snapshot _ | Events.Pipeline_finished _ ->
              (acc, cur, total))
       ([], None, 0) evs
   in
@@ -372,7 +386,8 @@ struct
     let base_indexed = Er_ir.Prog.of_program base_prog in
     let buffer, buffered = Events.buffer () in
     let emit = Events.tee buffer events in
-    let occurrence_step (st : state) : state =
+    let occurrence_body (st : state) : state =
+      M.with_span "occurrence" @@ fun () ->
       let occ = st.st_run + 1 in
       emit (Events.Occurrence_started { occurrence = occ });
       let inst_prog, mapper =
@@ -383,8 +398,9 @@ struct
       (* --- stage 1: production run under tracing --- *)
       let t0 = Sys.time () in
       match
-        T.capture ~config ~prog:inst_indexed ~mapper ~tracked:st.st_tracked
-          ~inputs ~sched_seed
+        M.with_span "trace" (fun () ->
+            T.capture ~config ~prog:inst_indexed ~mapper
+              ~tracked:st.st_tracked ~inputs ~sched_seed)
       with
       | No_failure ->
           emit
@@ -406,7 +422,13 @@ struct
                { occurrence = occ; bytes = cap.cap_bytes;
                  packets = cap.cap_packets; ptwrites = cap.cap_ptwrites;
                  switches = cap.cap_switches; vm_instrs = cap.cap_vm_instrs;
+                 overwritten = cap.cap_overwritten;
                  elapsed = Sys.time () -. t0 });
+          if cap.cap_vm_instrs > 0 then
+            M.set m_bandwidth
+              (float_of_int (cap.cap_ptwrites * 9)
+               *. 1e6
+               /. float_of_int cap.cap_vm_instrs);
           let tracked =
             match st.st_tracked with
             | Some _ as t -> t
@@ -415,8 +437,9 @@ struct
           (* --- stage 2: shepherded symbolic execution --- *)
           let t1 = Sys.time () in
           let sx =
-            Sh.analyze ~config:st.st_exec_config ~prog:inst_indexed
-              ~capture:cap
+            M.with_span "symex" (fun () ->
+                Sh.analyze ~config:st.st_exec_config ~prog:inst_indexed
+                  ~capture:cap)
           in
           let symex_time = Sys.time () -. t1 in
           let finished outcome ~graph_nodes =
@@ -443,10 +466,12 @@ struct
                 if config.verify then begin
                   let t2 = Sys.time () in
                   let v =
-                    V.verify ~base_prog:base_indexed ~testcase
-                      ~expected_failure:cap.cap_base_failure
-                      ~expected_branches:cap.cap_split.Er_trace.Decoder.branches
-                      ~sched_seed
+                    M.with_span "verify" (fun () ->
+                        V.verify ~base_prog:base_indexed ~testcase
+                          ~expected_failure:cap.cap_base_failure
+                          ~expected_branches:
+                            cap.cap_split.Er_trace.Decoder.branches
+                          ~sched_seed)
                   in
                   emit
                     (Events.Verified
@@ -470,7 +495,8 @@ struct
               (* --- stage 3: key data value selection --- *)
               let t2 = Sys.time () in
               let sel =
-                Sel.select ~stall ~mapper ~existing:st.st_points
+                M.with_span "select" (fun () ->
+                    Sel.select ~stall ~mapper ~existing:st.st_points)
               in
               let selection_time = Sys.time () -. t2 in
               emit
@@ -509,6 +535,17 @@ struct
               finished `Diverged ~graph_nodes:0;
               emit (Events.Diverged { occurrence = occ; reason = msg });
               { st with st_run = occ; st_tracked = tracked })
+    in
+    let occurrence_step (st : state) : state =
+      let st' = occurrence_body st in
+      (* one registry snapshot per iteration, on the bus like any other
+         stage report — only when somebody turned metrics on, so JSONL
+         streams stay lean by default *)
+      if M.enabled M.default then
+        emit
+          (Events.Metrics_snapshot
+             { occurrence = st'.st_run; snapshot = M.snapshot () });
+      st'
     in
     let rec fold st =
       match st.st_final with
@@ -563,20 +600,21 @@ let run = Default.run
 (* Machine-readable rendering of a result                            *)
 (* ---------------------------------------------------------------- *)
 
-let point_to_json (p : point) : Events.Json.t =
-  Events.Json.Obj
-    [ ("func", Events.Json.Str p.p_func);
-      ("block", Events.Json.Str p.p_block);
-      ("index", Events.Json.Int p.p_index) ]
+let point_to_json (p : point) : Json.t =
+  Json.Obj
+    [ ("func", Json.Str p.p_func);
+      ("block", Json.Str p.p_block);
+      ("index", Json.Int p.p_index) ]
 
-let iteration_to_json (it : iteration) : Events.Json.t =
-  let open Events.Json in
+let iteration_to_json (it : iteration) : Json.t =
+  let open Json in
   Obj
     [ ("occurrence", Int it.occurrence);
       ("trace_bytes", Int it.trace_bytes);
       ("trace_packets", Int it.trace_packets);
       ("ptwrites_recorded", Int it.ptwrites_recorded);
       ("vm_instrs", Int it.vm_instrs);
+      ("ring_overwritten", Int it.ring_overwritten);
       ("trace_time", Float it.trace_time);
       ("symex_steps", Int it.symex_steps);
       ("symex_time", Float it.symex_time);
@@ -600,7 +638,7 @@ let iteration_to_json (it : iteration) : Events.Json.t =
       ("verify_time", Float it.verify_time) ]
 
 let result_to_json (r : result) : string =
-  let open Events.Json in
+  let open Json in
   let status =
     match r.status with
     | Reproduced { testcase; verified; _ } ->

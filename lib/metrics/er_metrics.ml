@@ -1,0 +1,670 @@
+(* Cross-layer metrics and profiling registry.
+
+   ER's argument is quantitative — overhead, trace bytes, recording
+   bandwidth and solver cost must stay within budget — so every layer
+   of the reproduction (vm, trace, smt, symex, select) reports into
+   this registry: labelled counters, gauges, fixed-bucket histograms
+   and hierarchical timing spans.
+
+   Hot-path discipline:
+     - handles are pre-registered once ([counter] / [gauge] /
+       [histogram] at module-init time); the instrumented code holds
+       the handle, never a name;
+     - recording into a handle is a single mutable-cell update with no
+       allocation — int cells for counters, one-element [float array]s
+       for gauges/histogram sums so the float stays unboxed;
+     - when the owning registry is disabled every record operation is
+       one load + one branch.
+
+   The registry clock is injectable ([set_clock]) so span timings and
+   histogram observations are deterministic under test.  The process
+   default registry starts *disabled*: an uninstrumented run pays only
+   the branch.
+
+   Naming convention (see DESIGN.md "Observability"):
+   [er_<layer>_<thing>_total] for counters, [er_<layer>_<thing>] for
+   gauges, histogram base names like [er_smt_query_seconds]. *)
+
+type labels = (string * string) list
+
+type registry = {
+  mutable r_enabled : bool;
+  mutable r_clock : unit -> float;
+  (* registration order, for deterministic snapshots *)
+  mutable r_rev : metric list;
+  r_index : (string, metric) Hashtbl.t;
+  r_spans : (string, span_cell) Hashtbl.t;
+  mutable r_span_stack : string list; (* full paths, innermost first *)
+}
+
+and metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+and counter = {
+  c_name : string;
+  c_help : string;
+  c_labels : labels;
+  mutable c_value : int;
+  c_reg : registry;
+}
+
+and gauge = {
+  g_name : string;
+  g_help : string;
+  g_labels : labels;
+  g_cell : float array; (* length 1: unboxed float without a boxed record field *)
+  g_reg : registry;
+}
+
+and histogram = {
+  h_name : string;
+  h_help : string;
+  h_labels : labels;
+  h_bounds : float array; (* strictly increasing finite upper bounds *)
+  h_counts : int array; (* length = Array.length h_bounds + 1 (+Inf) *)
+  h_sum : float array; (* length 1 *)
+  h_reg : registry;
+}
+
+and span_cell = { mutable s_calls : int; mutable s_seconds : float }
+
+let default_clock () = Unix.gettimeofday ()
+
+let create ?(enabled = true) ?(clock = default_clock) () =
+  {
+    r_enabled = enabled;
+    r_clock = clock;
+    r_rev = [];
+    r_index = Hashtbl.create 64;
+    r_spans = Hashtbl.create 16;
+    r_span_stack = [];
+  }
+
+(* The process-wide registry.  Disabled until someone opts in
+   ([er_cli --metrics], bench, tests): library instrumentation must be
+   free for callers that never asked for metrics. *)
+let default = create ~enabled:false ()
+
+let enabled r = r.r_enabled
+let set_enabled r b = r.r_enabled <- b
+let set_clock r clock = r.r_clock <- clock
+let now r = r.r_clock ()
+
+let reset r =
+  List.iter
+    (function
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_cell.(0) <- 0.
+      | Histogram h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum.(0) <- 0.)
+    r.r_rev;
+  Hashtbl.reset r.r_spans;
+  r.r_span_stack <- []
+
+(* --- registration (cold path) -------------------------------------- *)
+
+let canonical_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let key name labels =
+  name
+  ^ String.concat ""
+      (List.map (fun (k, v) -> "\x00" ^ k ^ "\x01" ^ v) labels)
+
+let register r name m =
+  r.r_rev <- m :: r.r_rev;
+  Hashtbl.replace r.r_index name m;
+  m
+
+let counter ?(registry = default) ?(labels = []) ~help name =
+  let labels = canonical_labels labels in
+  let k = key name labels in
+  match Hashtbl.find_opt registry.r_index k with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Er_metrics.counter: " ^ name ^ " is not a counter")
+  | None ->
+      let c =
+        { c_name = name; c_help = help; c_labels = labels; c_value = 0;
+          c_reg = registry }
+      in
+      ignore (register registry k (Counter c));
+      c
+
+let gauge ?(registry = default) ?(labels = []) ~help name =
+  let labels = canonical_labels labels in
+  let k = key name labels in
+  match Hashtbl.find_opt registry.r_index k with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg ("Er_metrics.gauge: " ^ name ^ " is not a gauge")
+  | None ->
+      let g =
+        { g_name = name; g_help = help; g_labels = labels;
+          g_cell = [| 0. |]; g_reg = registry }
+      in
+      ignore (register registry k (Gauge g));
+      g
+
+let histogram ?(registry = default) ?(labels = []) ~help ~buckets name =
+  let labels = canonical_labels labels in
+  let k = key name labels in
+  match Hashtbl.find_opt registry.r_index k with
+  | Some (Histogram h) -> h
+  | Some _ ->
+      invalid_arg ("Er_metrics.histogram: " ^ name ^ " is not a histogram")
+  | None ->
+      let bounds = Array.of_list buckets in
+      let ok = ref (Array.length bounds > 0) in
+      Array.iteri
+        (fun i b ->
+           if not (Float.is_finite b) then ok := false;
+           if i > 0 && b <= bounds.(i - 1) then ok := false)
+        bounds;
+      if not !ok then
+        invalid_arg
+          ("Er_metrics.histogram: " ^ name
+           ^ ": buckets must be non-empty, finite, strictly increasing");
+      let h =
+        { h_name = name; h_help = help; h_labels = labels; h_bounds = bounds;
+          h_counts = Array.make (Array.length bounds + 1) 0;
+          h_sum = [| 0. |]; h_reg = registry }
+      in
+      ignore (register registry k (Histogram h));
+      h
+
+(* --- recording (hot path) ------------------------------------------ *)
+
+let inc c = if c.c_reg.r_enabled then c.c_value <- c.c_value + 1
+let add c n = if c.c_reg.r_enabled then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+let set g v = if g.g_reg.r_enabled then g.g_cell.(0) <- v
+let gauge_value g = g.g_cell.(0)
+
+let observe h v =
+  if h.h_reg.r_enabled then begin
+    let n = Array.length h.h_bounds in
+    (* buckets are few (<= ~16); a linear scan beats binary search here *)
+    let i = ref 0 in
+    while !i < n && v > h.h_bounds.(!i) do
+      incr i
+    done;
+    h.h_counts.(!i) <- h.h_counts.(!i) + 1;
+    h.h_sum.(0) <- h.h_sum.(0) +. v
+  end
+
+(* --- hierarchical timing spans ------------------------------------- *)
+
+let span_cell r path =
+  match Hashtbl.find_opt r.r_spans path with
+  | Some c -> c
+  | None ->
+      let c = { s_calls = 0; s_seconds = 0. } in
+      Hashtbl.add r.r_spans path c;
+      c
+
+let with_span ?(registry = default) name f =
+  if not registry.r_enabled then f ()
+  else begin
+    let path =
+      match registry.r_span_stack with
+      | [] -> name
+      | parent :: _ -> parent ^ "/" ^ name
+    in
+    registry.r_span_stack <- path :: registry.r_span_stack;
+    let t0 = registry.r_clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = registry.r_clock () -. t0 in
+        (match registry.r_span_stack with
+         | p :: rest when p == path -> registry.r_span_stack <- rest
+         | stack ->
+             (* an inner span leaked (exception skipped its finally);
+                drop frames down to ours rather than corrupt the tree *)
+             let rec unwind = function
+               | p :: rest when p == path -> rest
+               | _ :: rest -> unwind rest
+               | [] -> []
+             in
+             registry.r_span_stack <- unwind stack);
+        let c = span_cell registry path in
+        c.s_calls <- c.s_calls + 1;
+        c.s_seconds <- c.s_seconds +. dt)
+      f
+  end
+
+(* ==================================================================== *)
+(* Snapshots: an immutable copy of the registry state, with the three
+   renderers (human table / JSON / Prometheus text exposition). *)
+(* ==================================================================== *)
+
+module Snapshot = struct
+  type sample =
+    | Counter of {
+        name : string;
+        help : string;
+        labels : labels;
+        value : int;
+      }
+    | Gauge of { name : string; help : string; labels : labels; value : float }
+    | Histogram of {
+        name : string;
+        help : string;
+        labels : labels;
+        bounds : float array;
+        counts : int array; (* per-bucket, not cumulative *)
+        sum : float;
+      }
+
+  type span = { path : string; calls : int; seconds : float }
+  type t = { samples : sample list; spans : span list }
+
+  let sample_name = function
+    | Counter { name; _ } | Gauge { name; _ } | Histogram { name; _ } -> name
+
+  let sample_labels = function
+    | Counter { labels; _ } | Gauge { labels; _ } | Histogram { labels; _ } ->
+        labels
+
+  let take registry =
+    let samples =
+      List.rev_map
+        (function
+          | (Counter c : metric) ->
+              Counter
+                { name = c.c_name; help = c.c_help; labels = c.c_labels;
+                  value = c.c_value }
+          | Gauge g ->
+              Gauge
+                { name = g.g_name; help = g.g_help; labels = g.g_labels;
+                  value = g.g_cell.(0) }
+          | Histogram h ->
+              Histogram
+                { name = h.h_name; help = h.h_help; labels = h.h_labels;
+                  bounds = Array.copy h.h_bounds;
+                  counts = Array.copy h.h_counts; sum = h.h_sum.(0) })
+        registry.r_rev
+    in
+    let spans =
+      Hashtbl.fold
+        (fun path (c : span_cell) acc ->
+           { path; calls = c.s_calls; seconds = c.s_seconds } :: acc)
+        registry.r_spans []
+      |> List.sort (fun a b -> compare a.path b.path)
+    in
+    { samples; spans }
+
+  (* --- aggregate lookups (tests, fleet columns) -------------------- *)
+
+  let counter_total t name =
+    List.fold_left
+      (fun acc s ->
+         match s with
+         | Counter { name = n; value; _ } when n = name -> acc + value
+         | _ -> acc)
+      0 t.samples
+
+  let gauge_value t ?(labels = []) name =
+    let labels = canonical_labels labels in
+    List.find_map
+      (function
+        | Gauge { name = n; labels = l; value; _ }
+          when n = name && l = labels -> Some value
+        | _ -> None)
+      t.samples
+
+  let histogram_count t name =
+    List.fold_left
+      (fun acc s ->
+         match s with
+         | Histogram { name = n; counts; _ } when n = name ->
+             Array.fold_left ( + ) acc counts
+         | _ -> acc)
+      0 t.samples
+
+  (* Quantile estimate from one histogram sample: find the bucket
+     holding rank [q * total] and interpolate linearly inside it.  The
+     first bucket interpolates from 0 (all our observations are
+     non-negative); the +Inf bucket reports the last finite bound. *)
+  let quantile_of ~bounds ~counts q =
+    let total = Array.fold_left ( + ) 0 counts in
+    if total = 0 then None
+    else begin
+      let rank = q *. float_of_int total in
+      let nb = Array.length bounds in
+      let rec go i cum =
+        if i > nb then Some bounds.(nb - 1)
+        else
+          let cum' = cum + counts.(i) in
+          if float_of_int cum' >= rank && counts.(i) > 0 then
+            if i = nb then Some bounds.(nb - 1)
+            else
+              let lo = if i = 0 then 0. else bounds.(i - 1) in
+              let hi = bounds.(i) in
+              let frac =
+                (rank -. float_of_int cum) /. float_of_int counts.(i)
+              in
+              Some (lo +. ((hi -. lo) *. Float.max 0. (Float.min 1. frac)))
+          else go (i + 1) cum'
+      in
+      go 0 0
+    end
+
+  let quantile t name q =
+    List.find_map
+      (function
+        | Histogram { name = n; bounds; counts; _ } when n = name ->
+            quantile_of ~bounds ~counts q
+        | _ -> None)
+      t.samples
+
+  (* --- JSON --------------------------------------------------------- *)
+
+  module J = Er_json
+
+  let labels_to_json labels =
+    J.Obj (List.map (fun (k, v) -> (k, J.Str v)) labels)
+
+  let labels_of_json = function
+    | J.Obj fields ->
+        let ok =
+          List.for_all (function _, J.Str _ -> true | _ -> false) fields
+        in
+        if ok then
+          Some
+            (List.map
+               (function
+                 | k, J.Str v -> (k, v)
+                 | _ -> assert false)
+               fields)
+        else None
+    | _ -> None
+
+  let sample_to_json = function
+    | Counter { name; help; labels; value } ->
+        J.Obj
+          [ ("kind", J.Str "counter"); ("name", J.Str name);
+            ("help", J.Str help); ("labels", labels_to_json labels);
+            ("value", J.Int value) ]
+    | Gauge { name; help; labels; value } ->
+        J.Obj
+          [ ("kind", J.Str "gauge"); ("name", J.Str name);
+            ("help", J.Str help); ("labels", labels_to_json labels);
+            ("value", J.Float value) ]
+    | Histogram { name; help; labels; bounds; counts; sum } ->
+        J.Obj
+          [ ("kind", J.Str "histogram"); ("name", J.Str name);
+            ("help", J.Str help); ("labels", labels_to_json labels);
+            ("bounds",
+             J.List (Array.to_list (Array.map (fun b -> J.Float b) bounds)));
+            ("counts",
+             J.List (Array.to_list (Array.map (fun c -> J.Int c) counts)));
+            ("sum", J.Float sum) ]
+
+  let to_json_value t =
+    J.Obj
+      [ ("samples", J.List (List.map sample_to_json t.samples));
+        ("spans",
+         J.List
+           (List.map
+              (fun s ->
+                 J.Obj
+                   [ ("path", J.Str s.path); ("calls", J.Int s.calls);
+                     ("seconds", J.Float s.seconds) ])
+              t.spans)) ]
+
+  let to_json t = J.to_string (to_json_value t)
+
+  let ( let* ) = Option.bind
+
+  let sample_of_json j =
+    let* kind = Option.bind (J.member "kind" j) J.to_str in
+    let* name = Option.bind (J.member "name" j) J.to_str in
+    let* help = Option.bind (J.member "help" j) J.to_str in
+    let* labels = Option.bind (J.member "labels" j) labels_of_json in
+    match kind with
+    | "counter" ->
+        let* value = Option.bind (J.member "value" j) J.to_int in
+        Some (Counter { name; help; labels; value })
+    | "gauge" ->
+        let* value = Option.bind (J.member "value" j) J.to_float in
+        Some (Gauge { name; help; labels; value })
+    | "histogram" ->
+        let* bounds = Option.bind (J.member "bounds" j) J.to_list in
+        let* counts = Option.bind (J.member "counts" j) J.to_list in
+        let* sum = Option.bind (J.member "sum" j) J.to_float in
+        let* bounds =
+          List.fold_left
+            (fun acc b ->
+               let* acc = acc in
+               let* b = J.to_float b in
+               Some (b :: acc))
+            (Some []) bounds
+        in
+        let* counts =
+          List.fold_left
+            (fun acc c ->
+               let* acc = acc in
+               let* c = J.to_int c in
+               Some (c :: acc))
+            (Some []) counts
+        in
+        Some
+          (Histogram
+             { name; help; labels;
+               bounds = Array.of_list (List.rev bounds);
+               counts = Array.of_list (List.rev counts); sum })
+    | _ -> None
+
+  let of_json_value j =
+    let* samples = Option.bind (J.member "samples" j) J.to_list in
+    let* spans = Option.bind (J.member "spans" j) J.to_list in
+    let* samples =
+      List.fold_left
+        (fun acc s ->
+           let* acc = acc in
+           let* s = sample_of_json s in
+           Some (s :: acc))
+        (Some []) samples
+    in
+    let* spans =
+      List.fold_left
+        (fun acc s ->
+           let* acc = acc in
+           let* path = Option.bind (J.member "path" s) J.to_str in
+           let* calls = Option.bind (J.member "calls" s) J.to_int in
+           let* seconds = Option.bind (J.member "seconds" s) J.to_float in
+           Some ({ path; calls; seconds } :: acc))
+        (Some []) spans
+    in
+    Some { samples = List.rev samples; spans = List.rev spans }
+
+  let of_json s = Option.bind (J.parse s) of_json_value
+
+  (* --- Prometheus text exposition ---------------------------------- *)
+
+  (* Prometheus values: integral floats render bare, others with enough
+     digits to round-trip; the exposition format has no exponent
+     restrictions so %.9g is fine. *)
+  let prom_float f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.9g" f
+
+  let prom_label_value v =
+    let buf = Buffer.create (String.length v + 4) in
+    String.iter
+      (fun c ->
+         match c with
+         | '\\' -> Buffer.add_string buf "\\\\"
+         | '"' -> Buffer.add_string buf "\\\""
+         | '\n' -> Buffer.add_string buf "\\n"
+         | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let prom_labels = function
+    | [] -> ""
+    | labels ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) ->
+                  Printf.sprintf "%s=\"%s\"" k (prom_label_value v))
+               labels)
+        ^ "}"
+
+  (* labels plus one extra pair already rendered (for histogram [le]) *)
+  let prom_labels_with labels extra =
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_label_value v))
+           labels
+         @ [ extra ])
+    ^ "}"
+
+  let to_prometheus t =
+    let buf = Buffer.create 1024 in
+    (* group samples into families preserving first-appearance order *)
+    let seen = Hashtbl.create 16 in
+    let families =
+      List.filter_map
+        (fun s ->
+           let n = sample_name s in
+           if Hashtbl.mem seen n then None
+           else begin
+             Hashtbl.add seen n ();
+             Some n
+           end)
+        t.samples
+    in
+    List.iter
+      (fun fam ->
+         let members = List.filter (fun s -> sample_name s = fam) t.samples in
+         (match members with
+          | [] -> ()
+          | first :: _ ->
+              let help, ty =
+                match first with
+                | Counter { help; _ } -> (help, "counter")
+                | Gauge { help; _ } -> (help, "gauge")
+                | Histogram { help; _ } -> (help, "histogram")
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" fam help fam ty));
+         List.iter
+           (fun s ->
+              match s with
+              | Counter { name; labels; value; _ } ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s%s %d\n" name (prom_labels labels)
+                       value)
+              | Gauge { name; labels; value; _ } ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s%s %s\n" name (prom_labels labels)
+                       (prom_float value))
+              | Histogram { name; labels; bounds; counts; sum; _ } ->
+                  let cum = ref 0 in
+                  Array.iteri
+                    (fun i b ->
+                       cum := !cum + counts.(i);
+                       Buffer.add_string buf
+                         (Printf.sprintf "%s_bucket%s %d\n" name
+                            (prom_labels_with labels
+                               (Printf.sprintf "le=\"%s\"" (prom_float b)))
+                            !cum))
+                    bounds;
+                  cum := !cum + counts.(Array.length counts - 1);
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s %d\n" name
+                       (prom_labels_with labels "le=\"+Inf\"")
+                       !cum);
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_sum%s %s\n" name (prom_labels labels)
+                       (prom_float sum));
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_count%s %d\n" name
+                       (prom_labels labels) !cum))
+           members)
+      families;
+    if t.spans <> [] then begin
+      Buffer.add_string buf
+        "# HELP er_span_seconds_total Cumulative wall time per span path.\n\
+         # TYPE er_span_seconds_total counter\n";
+      List.iter
+        (fun s ->
+           Buffer.add_string buf
+             (Printf.sprintf "er_span_seconds_total{span=\"%s\"} %s\n"
+                (prom_label_value s.path)
+                (prom_float s.seconds)))
+        t.spans;
+      Buffer.add_string buf
+        "# HELP er_span_calls_total Calls per span path.\n\
+         # TYPE er_span_calls_total counter\n";
+      List.iter
+        (fun s ->
+           Buffer.add_string buf
+             (Printf.sprintf "er_span_calls_total{span=\"%s\"} %d\n"
+                (prom_label_value s.path) s.calls))
+        t.spans
+    end;
+    Buffer.contents buf
+
+  (* --- human table --------------------------------------------------- *)
+
+  let to_table t =
+    let buf = Buffer.create 1024 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    let labelled name labels =
+      name
+      ^
+      match labels with
+      | [] -> ""
+      | l ->
+          "{"
+          ^ String.concat ","
+              (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+          ^ "}"
+    in
+    let metrics =
+      List.filter
+        (function
+          | Counter { value = 0; _ } -> false
+          | Histogram { counts; _ } -> Array.exists (fun c -> c > 0) counts
+          | _ -> true)
+        t.samples
+    in
+    if metrics <> [] then begin
+      line "%-58s %16s" "metric" "value";
+      List.iter
+        (fun s ->
+           match s with
+           | Counter { name; labels; value; _ } ->
+               line "%-58s %16d" (labelled name labels) value
+           | Gauge { name; labels; value; _ } ->
+               line "%-58s %16s" (labelled name labels) (prom_float value)
+           | Histogram { name; labels; bounds; counts; sum; _ } ->
+               let n = Array.fold_left ( + ) 0 counts in
+               let q p =
+                 match quantile_of ~bounds ~counts p with
+                 | Some v -> prom_float v
+                 | None -> "-"
+               in
+               line "%-58s %16s"
+                 (labelled name labels)
+                 (Printf.sprintf "n=%d sum=%s p50=%s p99=%s" n
+                    (prom_float sum) (q 0.5) (q 0.99)))
+        metrics
+    end;
+    if t.spans <> [] then begin
+      if metrics <> [] then line "";
+      line "%-58s %7s %10s" "span" "calls" "seconds";
+      List.iter
+        (fun s -> line "%-58s %7d %10.4f" s.path s.calls s.seconds)
+        t.spans
+    end;
+    Buffer.contents buf
+end
+
+let snapshot ?(registry = default) () = Snapshot.take registry

@@ -14,6 +14,23 @@
 module Expr = Er_smt.Expr
 module Symmem = Er_symex.Symmem
 module Cgraph = Er_symex.Cgraph
+module M = Er_metrics
+
+let m_selections =
+  M.counter ~help:"Key-data-value selection rounds run."
+    "er_select_selections_total"
+
+let m_candidates =
+  M.counter ~help:"Bottleneck-set candidate terms across all rounds."
+    "er_select_candidates_total"
+
+let m_graph_nodes =
+  M.gauge ~help:"Constraint-graph nodes at the last selection round."
+    "er_select_graph_nodes"
+
+let m_graph_edges =
+  M.gauge ~help:"Constraint-graph edges at the last selection round."
+    "er_select_graph_edges"
 
 type t = {
   elements : Expr.t list;          (* deduplicated symbolic terms *)
@@ -59,17 +76,27 @@ let fallback_elements (graph : Cgraph.t) =
   |> List.sort (fun a b -> Int.compare (Expr.id a) (Expr.id b))
 
 let compute (graph : Cgraph.t) (mem : Symmem.t) : t =
+  let finish (t : t) =
+    if M.enabled M.default then begin
+      M.inc m_selections;
+      M.add m_candidates (List.length t.elements);
+      M.set m_graph_nodes (float_of_int (Cgraph.node_count graph));
+      M.set m_graph_edges (float_of_int (Cgraph.edge_count graph))
+    end;
+    t
+  in
   let objs =
     List.filter (fun o -> Symmem.sym_chain_length o > 0) (Symmem.objects mem)
   in
   match objs with
   | [] ->
-      {
-        elements = dedup (fallback_elements graph);
-        longest_chain = 0;
-        largest_object_bytes = 0;
-        chain_objects = [];
-      }
+      finish
+        {
+          elements = dedup (fallback_elements graph);
+          longest_chain = 0;
+          largest_object_bytes = 0;
+          chain_objects = [];
+        }
   | _ ->
       let by_chain =
         List.fold_left
@@ -88,9 +115,10 @@ let compute (graph : Cgraph.t) (mem : Symmem.t) : t =
         if by_chain.Symmem.s_id = by_size.Symmem.s_id then [ by_chain ]
         else [ by_chain; by_size ]
       in
-      {
-        elements = dedup (List.concat_map chain_elements chosen);
-        longest_chain = Symmem.sym_chain_length by_chain;
-        largest_object_bytes = Symmem.size_bytes by_size;
-        chain_objects = List.map (fun o -> o.Symmem.s_id) chosen;
-      }
+      finish
+        {
+          elements = dedup (List.concat_map chain_elements chosen);
+          longest_chain = Symmem.sym_chain_length by_chain;
+          largest_object_bytes = Symmem.size_bytes by_size;
+          chain_objects = List.map (fun o -> o.Symmem.s_id) chosen;
+        }

@@ -14,6 +14,11 @@
 open Er_ir.Types
 module Expr = Er_smt.Expr
 module Cgraph = Er_symex.Cgraph
+module M = Er_metrics
+
+let m_points =
+  M.counter ~help:"Fresh recording points added to the recording set."
+    "er_select_points_total"
 
 type item = {
   it_point : point;       (* where to insert the ptwrite *)
@@ -156,7 +161,11 @@ let points plan = List.map (fun it -> it.it_point) plan.items
    — the increment the pipeline's selector hands back each iteration. *)
 let fresh ~existing pts =
   let mem p l = List.exists (fun q -> Er_ir.Types.point_compare p q = 0) l in
-  List.rev
-    (List.fold_left
-       (fun acc p -> if mem p existing || mem p acc then acc else p :: acc)
-       [] pts)
+  let added =
+    List.rev
+      (List.fold_left
+         (fun acc p -> if mem p existing || mem p acc then acc else p :: acc)
+         [] pts)
+  in
+  M.add m_points (List.length added);
+  added

@@ -141,6 +141,8 @@ type t = {
   mutable ok : bool;                      (* false once UNSAT at level 0 *)
   mutable propagations : int;
   mutable conflicts : int;
+  mutable decisions : int;
+  mutable restarts : int;
   seen : Veci.t;                          (* scratch for analyze *)
   mutable seen_flags : bool array;
 }
@@ -165,6 +167,8 @@ let create () =
     ok = true;
     propagations = 0;
     conflicts = 0;
+    decisions = 0;
+    restarts = 0;
     seen = Veci.create ();
     seen_flags = Array.make 16 false;
   }
@@ -429,6 +433,7 @@ let decide s =
   let v = pick () in
   if v = -1 then -1
   else begin
+    s.decisions <- s.decisions + 1;
     Veci.push s.trail_lim (Veci.len s.trail);
     let l = if s.phase.(v) then 2 * v else (2 * v) + 1 in
     enqueue s l (-1);
@@ -479,6 +484,7 @@ let solve ?(budget = max_int) s =
               var_decay s
             end
           end else if !conflicts_here >= conflict_budget then begin
+            s.restarts <- s.restarts + 1;
             cancel_until s 0;
             break := true
           end else if not (budget_left ()) then begin
@@ -504,4 +510,6 @@ let value s extvar =
   s.assigns.(v) = 1
 
 let stats s = (s.propagations, s.conflicts, s.nclauses)
+let decisions s = s.decisions
+let restarts s = s.restarts
 let num_vars s = s.nvars

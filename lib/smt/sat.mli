@@ -26,6 +26,12 @@ val value : t -> int -> bool
 (** (propagations, conflicts, clauses) *)
 val stats : t -> int * int * int
 
+(** Branching decisions taken so far. *)
+val decisions : t -> int
+
+(** Luby restarts performed so far. *)
+val restarts : t -> int
+
 val num_vars : t -> int
 
 (** Test hook: observe each learned clause (internal literal encoding),

@@ -16,18 +16,58 @@ type stats = {
   gates : int;
   propagations : int;
   conflicts : int;
+  decisions : int;
+  restarts : int;
   clauses : int;
 }
 
 let last_stats = ref None
+
+module M = Er_metrics
+
+let query_counter res =
+  M.counter
+    ~labels:[ ("result", res) ]
+    ~help:"SMT queries, by result." "er_smt_queries_total"
+
+let m_q_sat = query_counter "sat"
+and m_q_unsat = query_counter "unsat"
+and m_q_unknown = query_counter "unknown"
+
+let m_decisions =
+  M.counter ~help:"SAT branching decisions." "er_smt_sat_decisions_total"
+
+let m_propagations =
+  M.counter ~help:"SAT unit propagations." "er_smt_sat_propagations_total"
+
+let m_conflicts =
+  M.counter ~help:"SAT conflicts analyzed." "er_smt_sat_conflicts_total"
+
+let m_restarts =
+  M.counter ~help:"SAT Luby restarts." "er_smt_sat_restarts_total"
+
+let m_gates =
+  M.counter ~help:"Bit-blast gates built." "er_smt_bitblast_gates_total"
+
+let m_clauses =
+  M.counter ~help:"CNF clauses built (bit-blasting + learning)."
+    "er_smt_bitblast_clauses_total"
+
+let m_vars =
+  M.counter ~help:"SAT variables allocated by bit-blasting."
+    "er_smt_bitblast_vars_total"
+
+let m_query_seconds =
+  M.histogram ~help:"Per-query solve wall time."
+    ~buckets:[ 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. ]
+    "er_smt_query_seconds"
 
 (* Default budgets: generous enough for well-conditioned queries, small
    enough that ite towers from long write chains exhaust them. *)
 let default_budget = 4_000_000
 let default_gate_budget = 400_000
 
-let check ?(budget = default_budget) ?(gate_budget = default_gate_budget)
-    (assertions : Expr.t list) : outcome =
+let check_core ~budget ~gate_budget (assertions : Expr.t list) : outcome =
   (* fast path on literal constants *)
   let assertions = List.filter (fun e -> not (Expr.is_true e)) assertions in
   if List.exists Expr.is_false assertions then Unsat
@@ -39,10 +79,12 @@ let check ?(budget = default_budget) ?(gate_budget = default_gate_budget)
     match List.iter (Bitblast.assert_true ctx) flat with
     | exception Bitblast.Too_large ->
         last_stats := None;
+        M.add m_gates (Bitblast.gate_count ctx);
         Unknown "gate budget exhausted during bit-blasting"
     | () -> (
         let res = Sat.solve ~budget sat in
         let propagations, conflicts, clauses = Sat.stats sat in
+        let decisions = Sat.decisions sat and restarts = Sat.restarts sat in
         last_stats :=
           Some
             {
@@ -50,8 +92,17 @@ let check ?(budget = default_budget) ?(gate_budget = default_gate_budget)
               gates = Bitblast.gate_count ctx;
               propagations;
               conflicts;
+              decisions;
+              restarts;
               clauses;
             };
+        M.add m_propagations propagations;
+        M.add m_conflicts conflicts;
+        M.add m_decisions decisions;
+        M.add m_restarts restarts;
+        M.add m_gates (Bitblast.gate_count ctx);
+        M.add m_clauses clauses;
+        M.add m_vars (Sat.num_vars sat);
         match res with
         | Sat.Unsat -> Unsat
         | Sat.Unknown -> Unknown "propagation budget exhausted during search"
@@ -74,6 +125,20 @@ let check ?(budget = default_budget) ?(gate_budget = default_gate_budget)
                  | _ -> assert false)
               witnesses;
             Sat m)
+  end
+
+let check ?(budget = default_budget) ?(gate_budget = default_gate_budget)
+    (assertions : Expr.t list) : outcome =
+  if not (M.enabled M.default) then check_core ~budget ~gate_budget assertions
+  else begin
+    let t0 = M.now M.default in
+    let res = check_core ~budget ~gate_budget assertions in
+    M.observe m_query_seconds (M.now M.default -. t0);
+    (match res with
+     | Sat _ -> M.inc m_q_sat
+     | Unsat -> M.inc m_q_unsat
+     | Unknown _ -> M.inc m_q_unknown);
+    res
   end
 
 (* Convenience wrappers used by the symbolic executor. *)

@@ -16,6 +16,8 @@ type stats = {
   gates : int;
   propagations : int;
   conflicts : int;
+  decisions : int;
+  restarts : int;
   clauses : int;
 }
 

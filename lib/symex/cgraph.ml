@@ -49,6 +49,12 @@ let cost_of t e =
 let node_count t =
   Expr.fold_subterms (fun n _ -> n + 1) 0 t.assertions
 
+(* Edges of the term DAG: one per operand slot of each distinct node. *)
+let edge_count t =
+  Expr.fold_subterms
+    (fun n e -> n + List.length (Expr.children e))
+    0 t.assertions
+
 let pp_element t ppf e =
   match provenance t e with
   | Some p ->

@@ -17,6 +17,37 @@ open Er_ir.Types
 module Expr = Er_smt.Expr
 module Solver = Er_smt.Solver
 module Failure_ = Er_vm.Failure
+module M = Er_metrics
+
+(* Shepherding metrics; recorded once per [run] (not per step), so the
+   hot loop is untouched. *)
+let m_steps =
+  M.counter ~help:"Shepherded symbolic-execution steps." "er_symex_steps_total"
+
+let m_forks_avoided =
+  M.counter
+    ~help:"Conditional branches resolved by a trace TNT bit instead of a fork."
+    "er_symex_forks_avoided_total"
+
+let m_stalls =
+  M.counter ~help:"Shepherded runs that stalled on a solver budget."
+    "er_symex_stalls_total"
+
+let m_divergences =
+  M.counter ~help:"Shepherded runs that diverged from the trace."
+    "er_symex_divergences_total"
+
+let m_completions =
+  M.counter ~help:"Shepherded runs that reached the failure and solved it."
+    "er_symex_completions_total"
+
+let m_path_constraints =
+  M.gauge ~help:"Path-constraint count at the end of the last run."
+    "er_symex_path_constraints"
+
+let m_stall_depth =
+  M.gauge ~help:"Call-stack depth at the last stall."
+    "er_symex_stall_depth"
 
 type config = {
   solver_budget : int;
@@ -643,6 +674,15 @@ let run ?(config = default_config) (prog : Er_ir.Prog.t)
     | None -> raise (Diverge (Printf.sprintf "schedule names unknown thread %d" tid))
   in
   let finish outcome =
+    if M.enabled M.default then begin
+      M.add m_steps st.clock;
+      M.add m_forks_avoided st.branch_i;
+      M.set m_path_constraints (float_of_int (List.length st.path));
+      match outcome with
+      | Complete _ -> M.inc m_completions
+      | Stalled _ -> M.inc m_stalls
+      | Diverged _ -> M.inc m_divergences
+    end;
     {
       outcome;
       steps = st.clock;
@@ -733,6 +773,7 @@ let run ?(config = default_config) (prog : Er_ir.Prog.t)
    | Diverge msg -> finish (Diverged msg)
    | Stall { at; reason } ->
        Cgraph.set_assertions st.graph st.path;
+       M.set m_stall_depth (float_of_int (List.length (!cur).stack));
        finish
          (Stalled
             { graph = st.graph; memory = st.mem; stalled_at = at;

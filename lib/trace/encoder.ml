@@ -4,6 +4,64 @@
    calls [branch]/[thread_switch]/[ptwrite] from its hot loop, so the cost
    of this module is the online monitoring overhead that Fig. 6 measures. *)
 
+module M = Er_metrics
+
+(* Pre-registered handles on the process registry; every record below is
+   one branch when metrics are off. *)
+let m_branches =
+  M.counter ~help:"Conditional-branch outcomes traced."
+    "er_trace_branches_total"
+
+let packet_counter ty =
+  M.counter
+    ~labels:[ ("type", ty) ]
+    ~help:"Trace packets emitted, by packet type." "er_trace_packets_total"
+
+let byte_counter ty =
+  M.counter
+    ~labels:[ ("type", ty) ]
+    ~help:"Trace bytes emitted, by packet type." "er_trace_bytes_total"
+
+let m_pk_psb = packet_counter "psb"
+and m_pk_tnt = packet_counter "tnt"
+and m_pk_tip = packet_counter "tip"
+and m_pk_ptw = packet_counter "ptw"
+and m_pk_mtc = packet_counter "mtc"
+and m_pk_ovf = packet_counter "ovf"
+
+let m_by_psb = byte_counter "psb"
+and m_by_tnt = byte_counter "tnt"
+and m_by_tip = byte_counter "tip"
+and m_by_ptw = byte_counter "ptw"
+and m_by_mtc = byte_counter "mtc"
+and m_by_ovf = byte_counter "ovf"
+
+let m_ring_overwritten =
+  M.counter ~help:"Ring-buffer bytes lost to wrap-around."
+    "er_trace_ring_overwritten_bytes_total"
+
+let m_ring_ovf =
+  M.counter ~help:"Captures that ended with an overflowed (lossy) ring."
+    "er_trace_ring_ovf_total"
+
+let m_compression =
+  M.gauge
+    ~help:"Branch outcomes encoded per trace byte in the last capture."
+    "er_trace_compression_ratio"
+
+let count_packet pkt =
+  let pk, by =
+    match (pkt : Packet.t) with
+    | Packet.Psb -> (m_pk_psb, m_by_psb)
+    | Packet.Tnt _ -> (m_pk_tnt, m_by_tnt)
+    | Packet.Tip _ -> (m_pk_tip, m_by_tip)
+    | Packet.Ptw _ -> (m_pk_ptw, m_by_ptw)
+    | Packet.Mtc _ -> (m_pk_mtc, m_by_mtc)
+    | Packet.Ovf -> (m_pk_ovf, m_by_ovf)
+  in
+  M.inc pk;
+  M.add by (Packet.size pkt)
+
 type stats = {
   mutable branches : int;
   mutable ptwrites : int;
@@ -37,7 +95,8 @@ let emit t pkt =
   Packet.append_bytes t.scratch pkt;
   Ring.write_bytes t.ring (Buffer.to_bytes t.scratch);
   t.stats.packets <- t.stats.packets + 1;
-  t.stats.bytes <- t.stats.bytes + Packet.size pkt
+  t.stats.bytes <- t.stats.bytes + Packet.size pkt;
+  if M.enabled M.default then count_packet pkt
 
 let flush_tnt t =
   if t.pending_n > 0 then begin
@@ -48,6 +107,8 @@ let flush_tnt t =
     Ring.write_byte t.ring byte;
     t.stats.packets <- t.stats.packets + 1;
     t.stats.bytes <- t.stats.bytes + 1;
+    M.inc m_pk_tnt;
+    M.inc m_by_tnt;
     t.pending_bits <- 0;
     t.pending_n <- 0
   end
@@ -57,6 +118,7 @@ let start t =
 
 let branch t taken =
   t.stats.branches <- t.stats.branches + 1;
+  M.inc m_branches;
   t.pending_bits <- (t.pending_bits lsl 1) lor (if taken then 1 else 0);
   t.pending_n <- t.pending_n + 1;
   if t.pending_n = Packet.max_tnt_bits then flush_tnt t
@@ -80,8 +142,17 @@ let ptwrite t v =
    the analysis engine when the failure fires). *)
 let finish t =
   flush_tnt t;
+  if M.enabled M.default then begin
+    M.add m_ring_overwritten (Ring.overwritten t.ring);
+    if Ring.overflowed t.ring then M.inc m_ring_ovf;
+    if t.stats.bytes > 0 then
+      M.set m_compression
+        (float_of_int t.stats.branches /. float_of_int t.stats.bytes)
+  end;
   Ring.contents t.ring
 
 let overflowed t = Ring.overflowed t.ring
+let overwritten t = Ring.overwritten t.ring
+let wraps t = Ring.wraps t.ring
 let stats t = t.stats
 let bytes_emitted t = t.stats.bytes

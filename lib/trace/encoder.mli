@@ -37,5 +37,12 @@ val ptwrite : t -> int64 -> unit
 val finish : t -> Bytes.t
 
 val overflowed : t -> bool
+
+(** Ring bytes lost to wrap-around so far (0 unless [overflowed]). *)
+val overwritten : t -> int
+
+(** Times the ring head wrapped back to offset 0. *)
+val wraps : t -> int
+
 val stats : t -> stats
 val bytes_emitted : t -> int

@@ -8,20 +8,31 @@ type t = {
   capacity : int;
   mutable head : int;     (* next write position *)
   mutable written : int;  (* total bytes ever written *)
+  mutable wraps : int;    (* times the head wrapped back to 0 *)
 }
 
 let create capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
-  { data = Bytes.create capacity; capacity; head = 0; written = 0 }
+  { data = Bytes.create capacity; capacity; head = 0; written = 0; wraps = 0 }
 
 let capacity t = t.capacity
 let total_written t = t.written
 let overflowed t = t.written > t.capacity
 
+(* Bytes lost to wrap-around: everything written beyond one capacity's
+   worth has clobbered the oldest data.  The ring stays silent about it
+   on the write path (as the hardware does) — observers ask after the
+   fact. *)
+let overwritten t = max 0 (t.written - t.capacity)
+let wraps t = t.wraps
+
 let write_byte t b =
   Bytes.unsafe_set t.data t.head (Char.unsafe_chr (b land 0xFF));
   t.head <- t.head + 1;
-  if t.head = t.capacity then t.head <- 0;
+  if t.head = t.capacity then begin
+    t.head <- 0;
+    t.wraps <- t.wraps + 1
+  end;
   t.written <- t.written + 1
 
 let write_bytes t (s : Bytes.t) =
@@ -42,4 +53,5 @@ let contents t =
 
 let clear t =
   t.head <- 0;
-  t.written <- 0
+  t.written <- 0;
+  t.wraps <- 0

@@ -16,6 +16,57 @@
 
 open Er_ir.Types
 module Sem = Er_smt.Expr     (* shared concrete semantics *)
+module M = Er_metrics
+
+(* Retirement counters on the process registry; [step_thread] checks
+   [M.enabled] once per step, so a metrics-off run pays one branch. *)
+let instr_counter cls =
+  M.counter
+    ~labels:[ ("class", cls) ]
+    ~help:"Instructions retired, by opcode class." "er_vm_instructions_total"
+
+let m_i_alu = instr_counter "alu"
+and m_i_load = instr_counter "load"
+and m_i_store = instr_counter "store"
+and m_i_mem = instr_counter "mem"
+and m_i_call = instr_counter "call"
+and m_i_io = instr_counter "io"
+and m_i_sync = instr_counter "sync"
+and m_i_branch = instr_counter "branch"
+and m_i_other = instr_counter "other"
+
+let m_loads = M.counter ~help:"Memory loads executed." "er_vm_loads_total"
+let m_stores = M.counter ~help:"Memory stores executed." "er_vm_stores_total"
+
+let m_branches =
+  M.counter ~help:"Conditional branches executed." "er_vm_branches_total"
+
+let m_switches =
+  M.counter ~help:"Chunk-scheduler thread switches." "er_vm_switches_total"
+
+let count_instr (i : instr) =
+  match i with
+  | Bin _ | Cmp _ | Select _ | Cast _ | Gep _ -> M.inc m_i_alu
+  | Load _ ->
+      M.inc m_i_load;
+      M.inc m_loads
+  | Store _ ->
+      M.inc m_i_store;
+      M.inc m_stores
+  | Alloc _ | Free _ -> M.inc m_i_mem
+  | Call _ -> M.inc m_i_call
+  | Input _ | Output _ | Ptwrite _ -> M.inc m_i_io
+  | Spawn _ | Join | Lock _ | Unlock _ -> M.inc m_i_sync
+  | Assert _ -> M.inc m_i_other
+
+let count_term (t : terminator) =
+  match t with
+  | Br _ -> M.inc m_i_branch
+  | Cond_br _ ->
+      M.inc m_i_branch;
+      M.inc m_branches
+  | Ret _ -> M.inc m_i_call
+  | Abort _ | Unreachable -> M.inc m_i_other
 
 type hooks = {
   on_branch : (bool -> unit) option;
@@ -457,9 +508,15 @@ let step_thread st (th : thread) : step =
       th.status <- Done_t;
       Thread_done
   | fr :: _ ->
-      if fr.fr_ip < Array.length fr.fr_block.instrs then
-        step_instr st th fr fr.fr_block.instrs.(fr.fr_ip)
-      else step_term st th fr fr.fr_block.term
+      if fr.fr_ip < Array.length fr.fr_block.instrs then begin
+        let i = fr.fr_block.instrs.(fr.fr_ip) in
+        if M.enabled M.default then count_instr i;
+        step_instr st th fr i
+      end
+      else begin
+        if M.enabled M.default then count_term fr.fr_block.term;
+        step_term st th fr fr.fr_block.term
+      end
 
 (* --- scheduler ------------------------------------------------------------ *)
 
@@ -507,6 +564,7 @@ let run ?(config = default_config) (prog : Er_ir.Prog.t) (inputs : Inputs.t) :
   let turn = ref 0 in
   let cur = ref main_thread in
   let emit_switch th =
+    M.inc m_switches;
     match config.hooks.on_switch with
     | Some f -> f ~tid:th.tid ~clock:st.clock
     | None -> ()

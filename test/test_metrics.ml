@@ -1,0 +1,330 @@
+(* Tests for the cross-layer metrics registry (Er_metrics): hot-path
+   counters and label isolation, histogram bucket semantics and quantile
+   estimates, the three renderers (golden Prometheus exposition with an
+   injected clock), the disabled no-op mode, snapshot JSON round trips,
+   and the end-to-end wiring through all five instrumented layers. *)
+
+module M = Er_metrics
+module S = M.Snapshot
+
+let fresh ?(enabled = true) ?clock () =
+  match clock with
+  | Some clock -> M.create ~enabled ~clock ()
+  | None -> M.create ~enabled ()
+
+let hist_counts snap name =
+  List.find_map
+    (function
+      | S.Histogram { name = n; counts; _ } when n = name -> Some counts
+      | _ -> None)
+    snap.S.samples
+
+(* --- counters ------------------------------------------------------- *)
+
+let test_counter_monotonic_labels () =
+  let r = fresh () in
+  let a = M.counter ~registry:r ~labels:[ ("k", "a") ] ~help:"h" "t_total" in
+  let b = M.counter ~registry:r ~labels:[ ("k", "b") ] ~help:"h" "t_total" in
+  M.inc a;
+  M.inc a;
+  M.add a 3;
+  M.inc b;
+  Alcotest.(check int) "a accumulated" 5 (M.counter_value a);
+  Alcotest.(check int) "b isolated from a" 1 (M.counter_value b);
+  (* registration is idempotent: same name+labels yields the same cell,
+     and label order does not matter *)
+  let a' = M.counter ~registry:r ~labels:[ ("k", "a") ] ~help:"h" "t_total" in
+  M.inc a';
+  Alcotest.(check int) "same cell" 6 (M.counter_value a);
+  let c1 =
+    M.counter ~registry:r ~labels:[ ("x", "1"); ("y", "2") ] ~help:"h" "m_total"
+  in
+  let c2 =
+    M.counter ~registry:r ~labels:[ ("y", "2"); ("x", "1") ] ~help:"h" "m_total"
+  in
+  M.inc c1;
+  Alcotest.(check int) "canonical label order" 1 (M.counter_value c2);
+  let snap = M.snapshot ~registry:r () in
+  Alcotest.(check int) "total across labels" 7 (S.counter_total snap "t_total")
+
+(* --- disabled mode -------------------------------------------------- *)
+
+let test_disabled_records_nothing () =
+  let r = fresh ~enabled:false () in
+  let c = M.counter ~registry:r ~help:"h" "c_total" in
+  let g = M.gauge ~registry:r ~help:"h" "g" in
+  let h = M.histogram ~registry:r ~help:"h" ~buckets:[ 1.; 2. ] "h" in
+  M.inc c;
+  M.add c 5;
+  M.set g 3.;
+  M.observe h 1.5;
+  let ran = ref false in
+  let x =
+    M.with_span ~registry:r "s"
+      (fun () ->
+         ran := true;
+         42)
+  in
+  Alcotest.(check int) "with_span passes the result through" 42 x;
+  Alcotest.(check bool) "span body ran" true !ran;
+  let snap = M.snapshot ~registry:r () in
+  Alcotest.(check int) "counter untouched" 0 (S.counter_total snap "c_total");
+  Alcotest.(check (option (float 0.)))
+    "gauge untouched" (Some 0.)
+    (S.gauge_value snap "g");
+  Alcotest.(check int) "histogram empty" 0 (S.histogram_count snap "h");
+  Alcotest.(check int) "no spans" 0 (List.length snap.S.spans)
+
+(* --- histograms ----------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  let r = fresh () in
+  let h = M.histogram ~registry:r ~help:"h" ~buckets:[ 1.; 2.; 5. ] "hist" in
+  M.observe h 0.5;
+  M.observe h 1.0;     (* le semantics: exactly on a bound stays below *)
+  M.observe h 1.5;
+  M.observe h 5.0;
+  M.observe h 7.0;     (* overflow bucket *)
+  let snap = M.snapshot ~registry:r () in
+  (match hist_counts snap "hist" with
+   | Some counts ->
+       Alcotest.(check (array int))
+         "per-bucket counts" [| 2; 1; 1; 1 |] counts
+   | None -> Alcotest.fail "histogram sample missing");
+  Alcotest.(check int) "count" 5 (S.histogram_count snap "hist");
+  (* a single populated bucket interpolates linearly from its lower edge *)
+  let r2 = fresh () in
+  let h2 = M.histogram ~registry:r2 ~help:"h" ~buckets:[ 10. ] "h2" in
+  for _ = 1 to 4 do
+    M.observe h2 3.
+  done;
+  let snap2 = M.snapshot ~registry:r2 () in
+  Alcotest.(check (option (float 1e-9)))
+    "median of one bucket" (Some 5.0)
+    (S.quantile snap2 "h2" 0.5);
+  (* bad bucket specs are rejected at registration *)
+  Alcotest.check_raises "empty buckets" (Invalid_argument
+    "Er_metrics.histogram: bad: buckets must be non-empty, finite, strictly \
+     increasing")
+    (fun () -> ignore (M.histogram ~registry:r ~help:"h" ~buckets:[] "bad"))
+
+let qcheck_histogram_partition =
+  let bounds = [ 1.; 2.; 5.; 10.; 50. ] in
+  QCheck2.Test.make ~name:"histogram buckets partition the observations"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.))
+    (fun obs ->
+       let r = fresh () in
+       let h = M.histogram ~registry:r ~help:"h" ~buckets:bounds "q" in
+       List.iter (M.observe h) obs;
+       let snap = M.snapshot ~registry:r () in
+       let counts =
+         match hist_counts snap "q" with Some c -> c | None -> [||]
+       in
+       (* cumulative count at each bound equals the number of
+          observations at or below it *)
+       let cum = ref 0 in
+       let bucket_ok =
+         List.for_all2
+           (fun b i ->
+              cum := !cum + counts.(i);
+              !cum = List.length (List.filter (fun v -> v <= b) obs))
+           bounds
+           (List.init (List.length bounds) Fun.id)
+       in
+       let total_ok =
+         Array.fold_left ( + ) 0 counts = List.length obs
+         && S.histogram_count snap "q" = List.length obs
+       in
+       (* quantile estimates are monotone in q and within range *)
+       let quantile_ok =
+         match
+           (S.quantile snap "q" 0.1, S.quantile snap "q" 0.5,
+            S.quantile snap "q" 0.9)
+         with
+         | Some a, Some b, Some c ->
+             a <= b && b <= c && a >= 0. && c <= 50.
+         | _ -> false
+       in
+       bucket_ok && total_ok && quantile_ok)
+
+(* --- golden Prometheus exposition ----------------------------------- *)
+
+let test_prometheus_golden () =
+  let t = ref 0.0 in
+  let clock () =
+    let v = !t in
+    t := v +. 0.25;
+    v
+  in
+  let r = fresh ~clock () in
+  let c_alu =
+    M.counter ~registry:r ~labels:[ ("class", "alu") ]
+      ~help:"Instructions executed." "vm_instructions_total"
+  in
+  let c_load =
+    M.counter ~registry:r ~labels:[ ("class", "load") ]
+      ~help:"Instructions executed." "vm_instructions_total"
+  in
+  let g = M.gauge ~registry:r ~help:"Live graph nodes." "graph_nodes" in
+  let h =
+    M.histogram ~registry:r ~help:"Query seconds." ~buckets:[ 0.01; 0.1; 1.0 ]
+      "query_seconds"
+  in
+  M.inc c_alu;
+  M.inc c_alu;
+  M.inc c_load;
+  M.set g 42.;
+  M.observe h 0.005;
+  M.observe h 0.05;
+  M.observe h 0.5;
+  M.observe h 5.0;
+  M.with_span ~registry:r "occurrence" (fun () ->
+      M.with_span ~registry:r "symex" (fun () -> ()));
+  let golden =
+    "# HELP vm_instructions_total Instructions executed.\n\
+     # TYPE vm_instructions_total counter\n\
+     vm_instructions_total{class=\"alu\"} 2\n\
+     vm_instructions_total{class=\"load\"} 1\n\
+     # HELP graph_nodes Live graph nodes.\n\
+     # TYPE graph_nodes gauge\n\
+     graph_nodes 42\n\
+     # HELP query_seconds Query seconds.\n\
+     # TYPE query_seconds histogram\n\
+     query_seconds_bucket{le=\"0.01\"} 1\n\
+     query_seconds_bucket{le=\"0.1\"} 2\n\
+     query_seconds_bucket{le=\"1\"} 3\n\
+     query_seconds_bucket{le=\"+Inf\"} 4\n\
+     query_seconds_sum 5.555\n\
+     query_seconds_count 4\n\
+     # HELP er_span_seconds_total Cumulative wall time per span path.\n\
+     # TYPE er_span_seconds_total counter\n\
+     er_span_seconds_total{span=\"occurrence\"} 0.75\n\
+     er_span_seconds_total{span=\"occurrence/symex\"} 0.25\n\
+     # HELP er_span_calls_total Calls per span path.\n\
+     # TYPE er_span_calls_total counter\n\
+     er_span_calls_total{span=\"occurrence\"} 1\n\
+     er_span_calls_total{span=\"occurrence/symex\"} 1\n"
+  in
+  Alcotest.(check string)
+    "prometheus exposition" golden
+    (S.to_prometheus (M.snapshot ~registry:r ()))
+
+(* --- JSON round trips ----------------------------------------------- *)
+
+let test_snapshot_json_roundtrip () =
+  let t = ref 0.0 in
+  let clock () =
+    let v = !t in
+    t := v +. 0.125;
+    v
+  in
+  let r = fresh ~clock () in
+  let c =
+    M.counter ~registry:r ~labels:[ ("type", "tnt") ] ~help:"packets"
+      "packets_total"
+  in
+  let g = M.gauge ~registry:r ~help:"ratio" "ratio" in
+  let h = M.histogram ~registry:r ~help:"s" ~buckets:[ 0.5; 1.5 ] "lat" in
+  M.add c 7;
+  M.set g 2.625;
+  M.observe h 0.25;
+  M.observe h 2.0;
+  M.with_span ~registry:r "a" (fun () -> M.with_span ~registry:r "b" ignore);
+  let snap = M.snapshot ~registry:r () in
+  let s1 = S.to_json snap in
+  match S.of_json s1 with
+  | None -> Alcotest.fail "snapshot JSON does not parse back"
+  | Some snap' ->
+      Alcotest.(check string) "stable re-serialization" s1 (S.to_json snap');
+      Alcotest.(check int) "counter survives" 7
+        (S.counter_total snap' "packets_total");
+      Alcotest.(check (option (float 0.)))
+        "gauge survives" (Some 2.625)
+        (S.gauge_value snap' "ratio");
+      Alcotest.(check int) "histogram survives" 2
+        (S.histogram_count snap' "lat");
+      Alcotest.(check int) "spans survive" 2 (List.length snap'.S.spans)
+
+let test_metrics_event_roundtrip () =
+  let r = fresh () in
+  let c = M.counter ~registry:r ~help:"h" "c_total" in
+  M.add c 3;
+  let snap = M.snapshot ~registry:r () in
+  let e = Er_core.Events.Metrics_snapshot { occurrence = 4; snapshot = snap } in
+  match Er_core.Events.of_json (Er_core.Events.to_json e) with
+  | Some e' -> Alcotest.(check bool) "round trips" true (e = e')
+  | None -> Alcotest.fail "Metrics_snapshot event does not parse back"
+
+(* --- end-to-end: all five layers feed the default registry ----------- *)
+
+let test_five_layers_nonzero () =
+  M.reset M.default;
+  M.set_enabled M.default true;
+  Fun.protect
+    ~finally:(fun () ->
+      M.set_enabled M.default false;
+      M.reset M.default)
+    (fun () ->
+       let s =
+         match Er_corpus.Registry.find "pbzip2" with
+         | Some s -> s
+         | None -> Alcotest.fail "pbzip2 missing from the corpus"
+       in
+       let events = ref [] in
+       let r =
+         Er_core.Pipeline.run ~config:s.Er_corpus.Bug.config
+           ~events:(fun e -> events := e :: !events)
+           ~base_prog:s.Er_corpus.Bug.program
+           ~workload:s.Er_corpus.Bug.failing_workload ()
+       in
+       (match r.Er_core.Pipeline.status with
+        | Er_core.Pipeline.Reproduced _ -> ()
+        | Er_core.Pipeline.Gave_up _ -> Alcotest.fail "pbzip2 not reproduced");
+       let snap = M.snapshot () in
+       let nz name =
+         Alcotest.(check bool)
+           (name ^ " is non-zero") true
+           (S.counter_total snap name > 0)
+       in
+       nz "er_vm_instructions_total";
+       nz "er_vm_branches_total";
+       nz "er_trace_packets_total";
+       nz "er_trace_branches_total";
+       nz "er_smt_queries_total";
+       nz "er_smt_sat_propagations_total";
+       nz "er_symex_steps_total";
+       nz "er_select_selections_total";
+       nz "er_select_points_total";
+       Alcotest.(check bool)
+         "occurrence spans recorded" true
+         (List.exists (fun sp -> sp.S.path = "occurrence") snap.S.spans);
+       Alcotest.(check bool)
+         "per-iteration snapshots on the bus" true
+         (List.exists
+            (function
+              | Er_core.Events.Metrics_snapshot _ -> true
+              | _ -> false)
+            !events))
+
+let suites =
+  [
+    ( "metrics",
+      [
+        Alcotest.test_case "counter monotonicity and label isolation" `Quick
+          test_counter_monotonic_labels;
+        Alcotest.test_case "disabled registry records nothing" `Quick
+          test_disabled_records_nothing;
+        Alcotest.test_case "histogram bucket boundaries and quantiles" `Quick
+          test_histogram_buckets;
+        QCheck_alcotest.to_alcotest qcheck_histogram_partition;
+        Alcotest.test_case "prometheus golden exposition" `Quick
+          test_prometheus_golden;
+        Alcotest.test_case "snapshot JSON round trip" `Quick
+          test_snapshot_json_roundtrip;
+        Alcotest.test_case "Metrics_snapshot event round trip" `Quick
+          test_metrics_event_roundtrip;
+        Alcotest.test_case "all five layers feed the registry" `Slow
+          test_five_layers_nonzero;
+      ] );
+  ]

@@ -137,7 +137,8 @@ let events_of_occurrence evs occ =
        | E.Budget_escalated { occurrence; _ }
        | E.Verified { occurrence; _ }
        | E.Reproduced { occurrence; _ }
-       | E.Gave_up { occurrence; _ } -> occurrence = occ
+       | E.Gave_up { occurrence; _ }
+       | E.Metrics_snapshot { occurrence; _ } -> occurrence = occ
        | E.Pipeline_finished _ -> false)
     evs
 

@@ -22,8 +22,15 @@ let test_ring_overwrite () =
     Ring.write_byte r i
   done;
   Alcotest.(check bool) "overflowed" true (Ring.overflowed r);
+  Alcotest.(check int) "overwritten counts lost bytes" 4 (Ring.overwritten r);
+  Alcotest.(check int) "wrapped once" 1 (Ring.wraps r);
   let c = Ring.contents r in
   Alcotest.(check int) "keeps capacity bytes" 8 (Bytes.length c);
+  (* a ring that never filled loses nothing *)
+  let r2 = Ring.create 8 in
+  Ring.write_byte r2 1;
+  Alcotest.(check int) "no loss before wrap" 0 (Ring.overwritten r2);
+  Alcotest.(check int) "no wraps" 0 (Ring.wraps r2);
   Alcotest.(check int) "oldest live byte is 4" 4 (Char.code (Bytes.get c 0));
   Alcotest.(check int) "newest byte is 11" 11
     (Char.code (Bytes.get c (Bytes.length c - 1)))
