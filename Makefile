@@ -23,7 +23,7 @@ ci:
 	dune runtest
 	$(MAKE) fmt
 	$(MAKE) bench-smoke
-	dune exec bench/main.exe -- --validate BENCH_2.json
+	dune exec bench/main.exe -- --validate BENCH_3.json --baseline BENCH_2.json
 
 # Run the whole bug corpus through the staged pipeline.
 fleet:

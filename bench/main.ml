@@ -16,10 +16,13 @@
 
    With no argument, everything runs in order.  [-o FILE] persists the
    collected per-bug trajectory (overhead %, trace bytes, solver cost,
-   iterations) as JSON — the committed BENCH_2.json is produced by
-   `table1 fig6 -o BENCH_2.json`.  [--validate FILE] re-parses such a
-   file with Er_core.Json and checks its shape, exiting non-zero on any
-   mismatch. *)
+   cache traffic, iterations) as JSON — the committed BENCH_3.json is
+   produced by `table1 fig6 -o BENCH_3.json`.  [--validate FILE]
+   re-parses such a file with Er_core.Json and checks its shape, exiting
+   non-zero on any mismatch.  [--baseline FILE] additionally gates the
+   validated trajectory's total solver_cost against FILE's: more than a
+   10% regression exits non-zero (the counters are deterministic, so the
+   gate is machine-independent). *)
 
 open Er_corpus
 
@@ -452,6 +455,8 @@ let bench_json () =
          ("trace_bytes", J.Int (sum (fun it -> it.Er_core.Pipeline.trace_bytes) r));
          ("solver_calls", J.Int (sum (fun it -> it.Er_core.Pipeline.solver_calls) r));
          ("solver_cost", J.Int (sum (fun it -> it.Er_core.Pipeline.solver_cost) r));
+         ("cache_hits", J.Int (sum (fun it -> it.Er_core.Pipeline.cache_hits) r));
+         ("cache_misses", J.Int (sum (fun it -> it.Er_core.Pipeline.cache_misses) r));
          ("recording_points",
           J.Int (List.length r.Er_core.Pipeline.recording_points));
          ("symex_time", J.Float r.Er_core.Pipeline.total_symex_time);
@@ -487,7 +492,7 @@ let bench_json () =
   in
   J.Obj
     [
-      ("bench", J.Int 2);
+      ("bench", J.Int 3);
       ("bugs", J.List (List.map bug_obj results));
       ( "totals",
         J.Obj
@@ -497,6 +502,8 @@ let bench_json () =
             ("trace_bytes", J.Int (total (fun it -> it.Er_core.Pipeline.trace_bytes)));
             ("solver_calls", J.Int (total (fun it -> it.Er_core.Pipeline.solver_calls)));
             ("solver_cost", J.Int (total (fun it -> it.Er_core.Pipeline.solver_cost)));
+            ("cache_hits", J.Int (total (fun it -> it.Er_core.Pipeline.cache_hits)));
+            ("cache_misses", J.Int (total (fun it -> it.Er_core.Pipeline.cache_misses)));
             ("mean_er_overhead_pct", mean (fun (_, e, _) -> e.mean));
             ("mean_rr_overhead_pct", mean (fun (_, _, r) -> r.mean));
           ] );
@@ -518,7 +525,7 @@ let validate_bench path =
   | Some doc ->
       let ok_version =
         match Option.bind (J.member "bench" doc) J.to_int with
-        | Some 2 -> true
+        | Some (2 | 3) -> true
         | _ ->
             Printf.eprintf "%s: missing or wrong \"bench\" version\n" path;
             false
@@ -546,6 +553,37 @@ let validate_bench path =
         true
       end
       else false
+
+(* The deterministic perf gate: the validated trajectory's total
+   solver_cost must stay within 10% of the baseline trajectory's.
+   solver_cost counts gates built plus propagations charged, so the
+   comparison is exact across machines — no wall-clock noise. *)
+let total_solver_cost path =
+  Option.bind (J.parse (read_file path)) (fun doc ->
+      Option.bind (J.member "totals" doc) (fun t ->
+          Option.bind (J.member "solver_cost" t) J.to_int))
+
+let check_baseline ~current ~baseline =
+  match (total_solver_cost current, total_solver_cost baseline) with
+  | Some cur, Some base ->
+      let limit = base + (base / 10) in
+      if cur > limit then begin
+        Printf.eprintf
+          "%s: total solver_cost %d regresses more than 10%% over %s (%d; limit %d)\n"
+          current cur baseline base limit;
+        false
+      end
+      else begin
+        Printf.printf "%s: total solver_cost %d within 10%% of %s (%d)\n"
+          current cur baseline base;
+        true
+      end
+  | None, _ ->
+      Printf.eprintf "%s: cannot read totals.solver_cost\n" current;
+      false
+  | _, None ->
+      Printf.eprintf "%s: cannot read totals.solver_cost\n" baseline;
+      false
 
 (* ------------------------------------------------------------------ *)
 (* Smoke: one bug end to end, cheap enough for every CI run            *)
@@ -673,14 +711,15 @@ let () =
       ("smoke", run_smoke);
     ]
   in
-  let rec parse (names, out, validate) = function
-    | [] -> (List.rev names, out, validate)
-    | "-o" :: f :: rest -> parse (names, Some f, validate) rest
-    | "--validate" :: f :: rest -> parse (names, out, Some f) rest
-    | n :: rest -> parse (n :: names, out, validate) rest
+  let rec parse (names, out, validate, baseline) = function
+    | [] -> (List.rev names, out, validate, baseline)
+    | "-o" :: f :: rest -> parse (names, Some f, validate, baseline) rest
+    | "--validate" :: f :: rest -> parse (names, out, Some f, baseline) rest
+    | "--baseline" :: f :: rest -> parse (names, out, validate, Some f) rest
+    | n :: rest -> parse (n :: names, out, validate, baseline) rest
   in
-  let names, out, validate =
-    parse ([], None, None) (List.tl (Array.to_list Sys.argv))
+  let names, out, validate, baseline =
+    parse ([], None, None, None) (List.tl (Array.to_list Sys.argv))
   in
   (match names, out, validate with
    | [], None, None -> List.iter (fun (_, f) -> f ()) jobs
@@ -704,6 +743,16 @@ let () =
        close_out oc;
        (* round-trip the file we just wrote through the shared parser *)
        if not (validate_bench path) then exit 1);
-  match validate with
+  (match validate with
+   | None -> ()
+   | Some path -> if not (validate_bench path) then exit 1);
+  match baseline with
   | None -> ()
-  | Some path -> if not (validate_bench path) then exit 1
+  | Some base -> (
+      (* gate the validated trajectory (or the one just written) *)
+      match validate, out with
+      | Some cur, _ | None, Some cur ->
+          if not (check_baseline ~current:cur ~baseline:base) then exit 1
+      | None, None ->
+          Printf.eprintf "--baseline needs --validate FILE or -o FILE\n";
+          exit 1)

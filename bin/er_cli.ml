@@ -168,10 +168,10 @@ let fleet_cmd =
       (0., 0., 0., 0.) r.Er_core.Pipeline.iterations
   in
   let run events_file metrics_out =
-    Printf.printf "%-22s %-8s %4s %4s %9s %9s %9s %9s %7s %12s %6s %4s\n" "bug"
-      "status" "occ" "runs" "trace(s)" "symex(s)" "select(s)" "verify(s)"
-      "squery" "solver-cost" "ringOW" "pts";
-    let totals = ref (0, 0, 0., 0., 0., 0., 0, 0) in
+    Printf.printf "%-22s %-8s %4s %4s %9s %9s %9s %9s %7s %12s %9s %6s %4s\n"
+      "bug" "status" "occ" "runs" "trace(s)" "symex(s)" "select(s)"
+      "verify(s)" "squery" "solver-cost" "cache" "ringOW" "pts";
+    let totals = ref (0, 0, 0., 0., 0., 0., 0, 0, 0, 0) in
     let reproduced = ref 0 in
     let n = List.length Er_corpus.Registry.table1 in
     with_events_sink events_file (fun events ->
@@ -179,12 +179,14 @@ let fleet_cmd =
           (fun (s : Er_corpus.Bug.spec) ->
              let r = run_pipeline s events in
              let tr, sy, se, ve = stage_times r in
-             let calls, cost =
+             let calls, cost, hits, misses =
                List.fold_left
-                 (fun (c, k) (it : Er_core.Pipeline.iteration) ->
+                 (fun (c, k, h, m) (it : Er_core.Pipeline.iteration) ->
                     ( c + it.Er_core.Pipeline.solver_calls,
-                      k + it.Er_core.Pipeline.solver_cost ))
-                 (0, 0) r.Er_core.Pipeline.iterations
+                      k + it.Er_core.Pipeline.solver_cost,
+                      h + it.Er_core.Pipeline.cache_hits,
+                      m + it.Er_core.Pipeline.cache_misses ))
+                 (0, 0, 0, 0) r.Er_core.Pipeline.iterations
              in
              let status =
                match r.Er_core.Pipeline.status with
@@ -196,11 +198,11 @@ let fleet_cmd =
                    "ok"
                | Er_core.Pipeline.Gave_up _ -> "GAVE-UP"
              in
-             let o, ru, a, b, c, d, e, f = !totals in
+             let o, ru, a, b, c, d, e, f, h, m = !totals in
              totals :=
                ( o + r.Er_core.Pipeline.occurrences,
                  ru + r.Er_core.Pipeline.runs, a +. tr, b +. sy, c +. se,
-                 d +. ve, e + calls, f + cost );
+                 d +. ve, e + calls, f + cost, h + hits, m + misses );
              let ring_ow =
                List.fold_left
                  (fun a (it : Er_core.Pipeline.iteration) ->
@@ -208,14 +210,19 @@ let fleet_cmd =
                  0 r.Er_core.Pipeline.iterations
              in
              Printf.printf
-               "%-22s %-8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d %6d %4d\n%!"
+               "%-22s %-8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d %9s %6d \
+                %4d\n\
+                %!"
                s.Er_corpus.Bug.name status r.Er_core.Pipeline.occurrences
-               r.Er_core.Pipeline.runs tr sy se ve calls cost ring_ow
+               r.Er_core.Pipeline.runs tr sy se ve calls cost
+               (Printf.sprintf "%d/%d" hits (hits + misses))
+               ring_ow
                (List.length r.Er_core.Pipeline.recording_points))
           Er_corpus.Registry.table1);
-    let o, ru, a, b, c, d, e, f = !totals in
-    Printf.printf "%-22s %-8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d\n"
-      "total" (Printf.sprintf "%d/%d" !reproduced n) o ru a b c d e f;
+    let o, ru, a, b, c, d, e, f, h, m = !totals in
+    Printf.printf "%-22s %-8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d %9s\n"
+      "total" (Printf.sprintf "%d/%d" !reproduced n) o ru a b c d e f
+      (Printf.sprintf "%d/%d" h (h + m));
     match metrics_out with
     | None -> ()
     | Some "-" ->

@@ -39,6 +39,8 @@ type event =
       steps : int;
       solver_calls : int;
       solver_cost : int;
+      cache_hits : int;         (* solver result-cache hits of this run *)
+      cache_misses : int;
       graph_nodes : int;
       outcome : [ `Complete | `Stalled | `Diverged ];
       elapsed : float;
@@ -117,10 +119,11 @@ let to_json_value (e : event) : Json.t =
           ("overwritten", Int overwritten); ("elapsed", Float elapsed) ]
   | Decode_failed { occurrence; error } ->
       obj "decode_failed" [ ("occurrence", Int occurrence); ("error", Str error) ]
-  | Symex_finished { occurrence; steps; solver_calls; solver_cost; graph_nodes; outcome; elapsed } ->
+  | Symex_finished { occurrence; steps; solver_calls; solver_cost; cache_hits; cache_misses; graph_nodes; outcome; elapsed } ->
       obj "symex_finished"
         [ ("occurrence", Int occurrence); ("steps", Int steps);
           ("solver_calls", Int solver_calls); ("solver_cost", Int solver_cost);
+          ("cache_hits", Int cache_hits); ("cache_misses", Int cache_misses);
           ("graph_nodes", Int graph_nodes);
           ( "outcome",
             Str
@@ -210,6 +213,9 @@ let of_json (line : string) : event option =
           let* steps = int "steps" in
           let* solver_calls = int "solver_calls" in
           let* solver_cost = int "solver_cost" in
+          (* absent in pre-session streams: treat as zero traffic *)
+          let cache_hits = Option.value (int "cache_hits") ~default:0 in
+          let cache_misses = Option.value (int "cache_misses") ~default:0 in
           let* graph_nodes = int "graph_nodes" in
           let* outcome =
             match str "outcome" with
@@ -219,7 +225,7 @@ let of_json (line : string) : event option =
             | _ -> None
           in
           let* elapsed = flt "elapsed" in
-          Some (Symex_finished { occurrence; steps; solver_calls; solver_cost; graph_nodes; outcome; elapsed })
+          Some (Symex_finished { occurrence; steps; solver_calls; solver_cost; cache_hits; cache_misses; graph_nodes; outcome; elapsed })
       | Some "diverged" ->
           let* occurrence = int "occurrence" in
           let* reason = str "reason" in
@@ -296,15 +302,16 @@ let pp ppf (e : event) =
         stage occurrence bytes packets ptwrites switches vm_instrs overwritten elapsed
   | Decode_failed { occurrence; error } ->
       Fmt.pf ppf "%-10s occurrence %d: decode failed: %s" stage occurrence error
-  | Symex_finished { occurrence; steps; solver_calls; solver_cost; graph_nodes; outcome; elapsed } ->
+  | Symex_finished { occurrence; steps; solver_calls; solver_cost; cache_hits; cache_misses; graph_nodes; outcome; elapsed } ->
       Fmt.pf ppf
-        "%-10s occurrence %d: %s after %d steps, %d solver calls (cost %d), graph %d nodes (%.3fs)"
+        "%-10s occurrence %d: %s after %d steps, %d solver calls (cost %d, cache %d/%d), graph %d nodes (%.3fs)"
         stage occurrence
         (match outcome with
          | `Complete -> "complete"
          | `Stalled -> "stalled"
          | `Diverged -> "diverged")
-        steps solver_calls solver_cost graph_nodes elapsed
+        steps solver_calls solver_cost cache_hits
+        (cache_hits + cache_misses) graph_nodes elapsed
   | Diverged { occurrence; reason } ->
       Fmt.pf ppf "%-10s occurrence %d: diverged — %s" stage occurrence reason
   | Stall { occurrence; reason; chain; object_bytes } ->

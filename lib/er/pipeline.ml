@@ -120,6 +120,7 @@ end
 
 module type VERIFIER = sig
   val verify :
+    solution:Exec.solution option ->
     base_prog:Er_ir.Prog.t ->
     testcase:Testcase.t ->
     expected_failure:Er_vm.Failure.t ->
@@ -209,10 +210,10 @@ module Default_selector : SELECTOR = struct
 end
 
 module Default_verifier : VERIFIER = struct
-  let verify ~base_prog ~testcase ~expected_failure ~expected_branches
-      ~sched_seed =
-    Verify.check ~base_prog ~testcase ~expected_failure ~expected_branches
-      ~sched_seed
+  let verify ~solution ~base_prog ~testcase ~expected_failure
+      ~expected_branches ~sched_seed =
+    Verify.check ~solution ~base_prog ~testcase ~expected_failure
+      ~expected_branches ~sched_seed
 end
 
 (* ---------------------------------------------------------------- *)
@@ -231,6 +232,8 @@ type iteration = {
   symex_time : float;          (* shepherd stage wall clock *)
   solver_calls : int;
   solver_cost : int;
+  cache_hits : int;            (* solver result-cache hits of this run *)
+  cache_misses : int;
   outcome : Outcome.step;
   recording_set_size : int;    (* accumulated points after this iteration *)
   graph_nodes : int;           (* constraint graph size at stall/finish *)
@@ -275,6 +278,8 @@ let iterations_of_events (evs : Events.event list) : iteration list =
       symex_time = 0.0;
       solver_calls = 0;
       solver_cost = 0;
+      cache_hits = 0;
+      cache_misses = 0;
       outcome = Outcome.Completed;
       recording_set_size = total_points;
       graph_nodes = 0;
@@ -305,13 +310,16 @@ let iterations_of_events (evs : Events.event list) : iteration list =
                    trace_time = elapsed },
                total )
          | Events.Symex_finished
-             { steps; solver_calls; solver_cost; graph_nodes; outcome; elapsed; _ } ->
+             { steps; solver_calls; solver_cost; cache_hits; cache_misses;
+               graph_nodes; outcome; elapsed; _ } ->
              let upd it =
                { it with
                  symex_steps = steps;
                  symex_time = elapsed;
                  solver_calls;
                  solver_cost;
+                 cache_hits;
+                 cache_misses;
                  graph_nodes;
                  outcome =
                    (match outcome with
@@ -447,7 +455,9 @@ struct
               (Events.Symex_finished
                  { occurrence = occ; steps = sx.Exec.steps;
                    solver_calls = sx.Exec.solver_calls;
-                   solver_cost = sx.Exec.solver_cost; graph_nodes; outcome;
+                   solver_cost = sx.Exec.solver_cost;
+                   cache_hits = sx.Exec.cache_hits;
+                   cache_misses = sx.Exec.cache_misses; graph_nodes; outcome;
                    elapsed = symex_time })
           in
           match sx.Exec.outcome with
@@ -467,7 +477,8 @@ struct
                   let t2 = Sys.time () in
                   let v =
                     M.with_span "verify" (fun () ->
-                        V.verify ~base_prog:base_indexed ~testcase
+                        V.verify ~solution:(Some solution)
+                          ~base_prog:base_indexed ~testcase
                           ~expected_failure:cap.cap_base_failure
                           ~expected_branches:
                             cap.cap_split.Er_trace.Decoder.branches
@@ -620,6 +631,8 @@ let iteration_to_json (it : iteration) : Json.t =
       ("symex_time", Float it.symex_time);
       ("solver_calls", Int it.solver_calls);
       ("solver_cost", Int it.solver_cost);
+      ("cache_hits", Int it.cache_hits);
+      ("cache_misses", Int it.cache_misses);
       ( "outcome",
         match it.outcome with
         | Outcome.Completed -> Obj [ ("kind", Str "complete") ]

@@ -8,8 +8,20 @@ type verdict = {
   ok : bool;
   same_failure : bool;
   same_control_flow : bool;
+  constraints_hold : bool option;
+      (* when the symbolic solution is supplied: does its model satisfy
+         every recorded path constraint?  Ground evaluation under the
+         model — a failed check means the solver handed back a model
+         inconsistent with its own path condition, which the two
+         re-execution checks above cannot distinguish from an
+         instrumentation bug.  Informational: does not affect [ok]. *)
   detail : string;
 }
+
+let solution_consistent (s : Er_symex.Exec.solution) =
+  List.for_all
+    (Er_smt.Model.holds s.Er_symex.Exec.model)
+    s.Er_symex.Exec.path_constraints
 
 let collect_branches prog inputs ~sched_seed =
   let branches = ref [] in
@@ -21,15 +33,17 @@ let collect_branches prog inputs ~sched_seed =
   let r = Er_vm.Interp.run ~config prog inputs in
   (r, Array.of_list (List.rev !branches))
 
-let check ~(base_prog : Er_ir.Prog.t) ~(testcase : Testcase.t)
+let check ~(solution : Er_symex.Exec.solution option)
+    ~(base_prog : Er_ir.Prog.t) ~(testcase : Testcase.t)
     ~(expected_failure : Er_vm.Failure.t) ~(expected_branches : bool array)
     ~(sched_seed : int) : verdict =
+  let constraints_hold = Option.map solution_consistent solution in
   let inputs = Testcase.to_inputs testcase in
   let r, branches = collect_branches base_prog inputs ~sched_seed in
   match r.Er_vm.Interp.outcome with
   | Er_vm.Interp.Finished _ ->
       { ok = false; same_failure = false; same_control_flow = false;
-        detail = "test case did not fail" }
+        constraints_hold; detail = "test case did not fail" }
   | Er_vm.Interp.Failed f ->
       let same_failure = Er_vm.Failure.same_failure f expected_failure in
       let same_control_flow = branches = expected_branches in
@@ -37,6 +51,7 @@ let check ~(base_prog : Er_ir.Prog.t) ~(testcase : Testcase.t)
         ok = same_failure && same_control_flow;
         same_failure;
         same_control_flow;
+        constraints_hold;
         detail =
           (if same_failure then "failure reproduced"
            else

@@ -10,7 +10,15 @@
    the paper (length of symbolic write chains, size of the accessed
    symbolic memory) translate into solver work: a read at the end of an
    n-write chain becomes an n-deep ite tower, and m reads of one array
-   become m^2/2 congruence constraints. *)
+   become m^2/2 congruence constraints.
+
+   The elimination state is persistent so that an incremental solver
+   session can eliminate assertions one at a time as they are pushed: the
+   structural memo, the per-array read lists and the witnesses all carry
+   over, and each new read is still paired with every earlier read of the
+   same array.  Congruence axioms are theory-valid (true in every model),
+   so a session may assert them permanently even if the assertion that
+   introduced them is later popped. *)
 
 type read_witness = {
   array : Expr.t;      (* the base array variable *)
@@ -23,20 +31,31 @@ type elim_result = {
   witnesses : read_witness list;
 }
 
-let fresh_read_counter = ref 0
-
-let fresh_read_var ~elt =
-  incr fresh_read_counter;
-  Expr.bv_var (Printf.sprintf "!read%d" !fresh_read_counter) ~width:elt
-
-let eliminate (assertions : Expr.t list) : elim_result =
-  let memo : (int, Expr.t) Hashtbl.t = Hashtbl.create 256 in
+type state = {
+  memo : (int, Expr.t) Hashtbl.t;
   (* per base array variable: list of (index, read var), newest first *)
-  let base_reads : (int, (Expr.t * Expr.t) list ref) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  let base_arrays : (int, Expr.t) Hashtbl.t = Hashtbl.create 16 in
-  let witnesses = ref [] in
+  base_reads : (int, (Expr.t * Expr.t) list ref) Hashtbl.t;
+  mutable st_witnesses : read_witness list;   (* newest first *)
+  mutable fresh : int;
+}
+
+let create_state () =
+  {
+    memo = Hashtbl.create 256;
+    base_reads = Hashtbl.create 16;
+    st_witnesses = [];
+    fresh = 0;
+  }
+
+let fresh_read_var st ~elt =
+  st.fresh <- st.fresh + 1;
+  Expr.bv_var (Printf.sprintf "!read%d" st.fresh) ~width:elt
+
+(* Eliminate one assertion against the persistent state.  Returns the
+   array-free assertion together with the congruence axioms introduced by
+   any new base-array reads (the axioms are not memoized into [e']
+   because they relate reads across assertions). *)
+let eliminate_one st (assertion : Expr.t) : Expr.t * Expr.t list =
   let extra = ref [] in
 
   (* Expand a read of [arr] at (already-eliminated) index [idx]. *)
@@ -53,19 +72,18 @@ let eliminate (assertions : Expr.t list) : elim_result =
     | Expr.Var _ ->
         let key = Expr.id arr in
         let reads =
-          match Hashtbl.find_opt base_reads key with
+          match Hashtbl.find_opt st.base_reads key with
           | Some r -> r
           | None ->
               let r = ref [] in
-              Hashtbl.add base_reads key r;
-              Hashtbl.add base_arrays key arr;
+              Hashtbl.add st.base_reads key r;
               r
         in
         (* reuse an existing witness for a structurally equal index *)
         (match List.find_opt (fun (i, _) -> Expr.equal i idx) !reads with
          | Some (_, rv) -> rv
          | None ->
-             let rv = fresh_read_var ~elt:(Expr.elt_width arr) in
+             let rv = fresh_read_var st ~elt:(Expr.elt_width arr) in
              (* congruence with every earlier read of the same array *)
              List.iter
                (fun (i', rv') ->
@@ -73,7 +91,8 @@ let eliminate (assertions : Expr.t list) : elim_result =
                     Expr.implies (Expr.eq idx i') (Expr.eq rv rv') :: !extra)
                !reads;
              reads := (idx, rv) :: !reads;
-             witnesses := { array = arr; index = idx; value = rv } :: !witnesses;
+             st.st_witnesses <-
+               { array = arr; index = idx; value = rv } :: st.st_witnesses;
              rv)
     | Expr.Ite (c, a, b) ->
         (* push reads through array-valued ite *)
@@ -83,7 +102,7 @@ let eliminate (assertions : Expr.t list) : elim_result =
         invalid_arg "Arrays.eliminate: ill-sorted array term"
 
   and elim e =
-    match Hashtbl.find_opt memo (Expr.id e) with
+    match Hashtbl.find_opt st.memo (Expr.id e) with
     | Some e' -> e'
     | None ->
         let e' =
@@ -99,8 +118,23 @@ let eliminate (assertions : Expr.t list) : elim_result =
           | Expr.Write { arr; idx; value } ->
               Expr.write (elim arr) (elim idx) (elim value)
         in
-        Hashtbl.add memo (Expr.id e) e';
+        Hashtbl.add st.memo (Expr.id e) e';
         e'
   in
-  let out = List.map elim assertions in
-  { assertions = out @ !extra; witnesses = !witnesses }
+  let out = elim assertion in
+  (out, List.rev !extra)
+
+let witnesses st = st.st_witnesses
+
+(* One-shot convenience: eliminate a whole assertion list against a
+   throwaway state. *)
+let eliminate (assertions : Expr.t list) : elim_result =
+  let st = create_state () in
+  let out =
+    List.concat_map
+      (fun a ->
+        let a', axioms = eliminate_one st a in
+        a' :: axioms)
+      assertions
+  in
+  { assertions = out; witnesses = st.st_witnesses }

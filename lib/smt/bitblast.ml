@@ -16,7 +16,7 @@ type ctx = {
   var_bits : (Expr.t * int array) list ref;(* for model extraction *)
   true_lit : int;
   mutable gates : int;
-  gate_budget : int;
+  mutable gate_limit : int;                (* raise Too_large past this *)
 }
 
 let create ?(gate_budget = max_int) sat =
@@ -28,14 +28,20 @@ let create ?(gate_budget = max_int) sat =
     var_bits = ref [];
     true_lit = t;
     gates = 0;
-    gate_budget;
+    gate_limit = gate_budget;
   }
 
 let gate_count ctx = ctx.gates
 
+(* Reset the absolute gate limit.  The gate counter itself carries over:
+   a session's budget is on the *total* encoding size, which is exactly
+   what one-shot re-blasting of the whole assertion set enforced, since
+   hash-consed blasting builds the same unique-gate set either way. *)
+let arm ctx ~gate_limit = ctx.gate_limit <- gate_limit
+
 let fresh ctx =
   ctx.gates <- ctx.gates + 1;
-  if ctx.gates > ctx.gate_budget then raise Too_large;
+  if ctx.gates > ctx.gate_limit then raise Too_large;
   Sat.new_var ctx.sat
 
 let tt ctx = ctx.true_lit
@@ -270,11 +276,16 @@ and compute ctx e =
   | Expr.Read _ | Expr.Write _ | Expr.Const_array _ ->
       raise (Unsupported "array term reached the bit-blaster")
 
-(* Assert a width-1 expression. *)
-let assert_true ctx e =
-  if Expr.width e <> 1 then invalid_arg "Bitblast.assert_true";
-  let b = bits_of ctx e in
-  Sat.add_clause ctx.sat [ b.(0) ]
+(* Blast a width-1 expression down to its single SAT literal, without
+   asserting anything.  This is what lets an incremental session guard an
+   assertion behind a selector: it adds [-sel; lit] itself and activates
+   the assertion per-check via solver assumptions. *)
+let lit_of ctx e =
+  if Expr.width e <> 1 then invalid_arg "Bitblast.lit_of";
+  (bits_of ctx e).(0)
+
+(* Assert a width-1 expression unconditionally. *)
+let assert_true ctx e = Sat.add_clause ctx.sat [ lit_of ctx e ]
 
 (* Variables encountered so far with their bit literals (model extraction). *)
 let blasted_vars ctx = !(ctx.var_bits)

@@ -1,0 +1,147 @@
+(** Hash-consed bitvector/array expressions.
+
+    Every expression is interned in a process-wide table: structurally
+    equal terms are physically equal and carry a unique, stable [id].
+    This is what the rest of the SMT stack leans on — the bit-blaster
+    memoizes by id so equal subterms are encoded once, array elimination
+    memoizes rewrites by id, and the solver's result cache keys whole
+    assertion sets by their sorted ids.  The table is owned by this
+    module; the only way to obtain a [t] is through the smart
+    constructors below, which also perform the constant folding and
+    width checking the downstream layers assume. *)
+
+type unop = Neg | Lognot
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Udiv
+  | Urem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Ashr
+
+type cmpop = Eq | Ult | Ule | Slt | Sle
+
+type t
+
+type node =
+  | Const of int64
+  | Var of string
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | Ite of t * t * t
+  | Extract of { hi : int; lo : int; arg : t }
+  | Concat of t * t
+  | Read of { arr : t; idx : t }
+  | Write of { arr : t; idx : t; value : t }
+  | Const_array of int64
+
+val node : t -> node
+val ty : t -> Ty.t
+
+(** Unique, dense interning id.  Stable for the lifetime of the process;
+    equal ids iff structurally equal terms. *)
+val id : t -> int
+
+(** Bit width of a bitvector-typed term ([Invalid_argument] on arrays). *)
+val width : t -> int
+
+(** Physical equality — sound because of hash-consing. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Number of live interned nodes (table size). *)
+val live_nodes : unit -> int
+
+(* --- constructors --------------------------------------------------- *)
+
+val const : width:int -> int64 -> t
+val bool_ : bool -> t
+val tru : t
+val fls : t
+val var : string -> Ty.t -> t
+val bv_var : string -> width:int -> t
+val arr_var : string -> idx:int -> elt:int -> t
+val const_array : idx:int -> elt:int -> int64 -> t
+
+(* --- predicates and projections -------------------------------------- *)
+
+val is_const : t -> bool
+val to_const : t -> int64 option
+val is_true : t -> bool
+val is_false : t -> bool
+val elt_width : t -> int
+val idx_width : t -> int
+
+(* --- concrete semantics (shared with {!Model}) ------------------------ *)
+
+val eval_unop : unop -> int -> int64 -> int64
+val eval_binop : binop -> int -> int64 -> int64 -> int64
+val eval_cmp : cmpop -> int -> int64 -> int64 -> bool
+
+(* --- operators (constant-folding smart constructors) ------------------ *)
+
+val unop : unop -> t -> t
+val binop : binop -> t -> t -> t
+val cmp : cmpop -> t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val udiv : t -> t -> t
+val urem : t -> t -> t
+val logand_ : t -> t -> t
+val logor_ : t -> t -> t
+val logxor_ : t -> t -> t
+val shl : t -> t -> t
+val lshr : t -> t -> t
+val ashr : t -> t -> t
+val neg : t -> t
+val lognot_ : t -> t
+val eq : t -> t -> t
+val ult : t -> t -> t
+val ule : t -> t -> t
+val slt : t -> t -> t
+val sle : t -> t -> t
+val not_ : t -> t
+val ne : t -> t -> t
+val ugt : t -> t -> t
+val uge : t -> t -> t
+val sgt : t -> t -> t
+val sge : t -> t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val implies : t -> t -> t
+val conj : t list -> t
+val ite : t -> t -> t -> t
+val extract : hi:int -> lo:int -> t -> t
+val concat : t -> t -> t
+val zero_extend : to_:int -> t -> t
+val sign_extend_e : to_:int -> t -> t
+val truncate : to_:int -> t -> t
+val write : t -> t -> t -> t
+val read : t -> t -> t
+
+(* --- traversal -------------------------------------------------------- *)
+
+val children : t -> t list
+val fold_subterms : ('a -> t -> 'a) -> 'a -> t list -> 'a
+val iter_subterms : (t -> unit) -> t list -> unit
+val size : t -> int
+
+(** Distinct variables of a term list, in first-occurrence order. *)
+val vars : t list -> t list
+
+val substitute : (t -> t option) -> t list -> t list
+
+(* --- printing --------------------------------------------------------- *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

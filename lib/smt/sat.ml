@@ -447,20 +447,65 @@ let rec luby i =
   let k = find 0 in
   if i = pow2 (k + 1) - 2 then pow2 k else luby (i - pow2 k + 1)
 
-let solve ?(budget = max_int) s =
+(* [solve ?budget ?assumptions s].
+
+   Assumptions are DIMACS literals assumed before any VSIDS decision: the
+   k-th pending assumption is decided at decision level k (an assumption
+   that is already true gets a dummy level so the level<->assumption
+   correspondence stays intact; MiniSat does the same).  A conflict that
+   forces an assumption false yields [Unsat] *under the assumptions* —
+   the solver itself stays usable ([s.ok] is untouched), which is what
+   lets an incremental session pop that assumption and continue.
+
+   The budget is relative to the work counters at entry, so that a
+   session issuing many [solve] calls on one solver gives each call the
+   same deterministic allowance a fresh solver would get. *)
+let solve ?(budget = max_int) ?(assumptions = []) s =
   if not s.ok then Unsat
   else begin
-    let budget_left () = s.propagations + (100 * s.conflicts) < budget in
+    let assum = Array.of_list (List.map lit_of_dimacs assumptions) in
+    let nassum = Array.length assum in
+    let p0 = s.propagations and c0 = s.conflicts in
+    let budget_left () =
+      s.propagations - p0 + (100 * (s.conflicts - c0)) < budget
+    in
+    (* 0 = progressed, 1 = all vars assigned (Sat), 2 = assumption
+       contradicted (Unsat under assumptions). *)
+    let decide_step () =
+      let dl = Veci.len s.trail_lim in
+      if dl < nassum then begin
+        let l = assum.(dl) in
+        match value_lit s l with
+        | 1 ->
+            Veci.push s.trail_lim (Veci.len s.trail);
+            0
+        | -1 -> 2
+        | _ ->
+            s.decisions <- s.decisions + 1;
+            Veci.push s.trail_lim (Veci.len s.trail);
+            enqueue s l (-1);
+            0
+      end
+      else if decide s = -1 then 1
+      else 0
+    in
     let restart_n = ref 0 in
     let result = ref None in
+    (* Normalize to root: a previous [Sat] answer leaves the trail in
+       place for [value] reads, so an incremental re-solve must not start
+       from those stale decisions. *)
+    cancel_until s 0;
     (match propagate s with
      | -1 -> ()
-     | _ -> s.ok <- false; result := Some Unsat);
+     | _ ->
+         s.ok <- false;
+         result := Some Unsat);
     while !result = None do
       if not (budget_left ()) then begin
         cancel_until s 0;
         result := Some Unknown
-      end else begin
+      end
+      else begin
         let conflict_budget = 64 * luby !restart_n in
         incr restart_n;
         let conflicts_here = ref 0 in
@@ -473,26 +518,45 @@ let solve ?(budget = max_int) s =
             if Veci.len s.trail_lim = 0 then begin
               s.ok <- false;
               result := Some Unsat
-            end else begin
+            end
+            else if Veci.len s.trail_lim <= nassum then begin
+              (* Conflict while only assumption levels are open: the
+                 assumption set is contradicted. *)
+              result := Some Unsat
+            end
+            else begin
               let learned, blevel = analyze s confl in
               cancel_until s blevel;
               (match Array.length learned with
-               | 1 -> enqueue s learned.(0) (-1)
+               | 1 ->
+                   (* A unit learned clause always backjumps to root and
+                      is implied by the clause database alone, so it is
+                      sound to keep across assumption changes. *)
+                   enqueue s learned.(0) (-1)
                | _ ->
                    let cid = add_clause_arena s learned in
                    enqueue s learned.(0) cid);
               var_decay s
             end
-          end else if !conflicts_here >= conflict_budget then begin
+          end
+          else if !conflicts_here >= conflict_budget then begin
             s.restarts <- s.restarts + 1;
-            cancel_until s 0;
+            (* Restart clears search decisions but keeps assumption
+               levels assigned — re-propagating the whole assertion set
+               after every restart would charge the budget for work a
+               unit-clause (one-shot) encoding does exactly once. *)
+            cancel_until s nassum;
             break := true
-          end else if not (budget_left ()) then begin
+          end
+          else if not (budget_left ()) then begin
             cancel_until s 0;
             result := Some Unknown
-          end else begin
-            let l = decide s in
-            if l = -1 then result := Some Sat
+          end
+          else begin
+            match decide_step () with
+            | 1 -> result := Some Sat
+            | 2 -> result := Some Unsat
+            | _ -> ()
           end
         done
       end
@@ -502,6 +566,12 @@ let solve ?(budget = max_int) s =
      | _ -> cancel_until s 0);
     match !result with Some r -> r | None -> assert false
   end
+
+(* Undo all decision levels, restoring the solver to its root state so
+   that new clauses can be added.  After a [Sat] answer the trail is left
+   in place for [value] reads; an incremental caller must backtrack
+   before growing the formula. *)
+let backtrack_root s = cancel_until s 0
 
 (* Model value of an external (1-based) variable after [Sat]. *)
 let value s extvar =

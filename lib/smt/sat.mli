@@ -16,9 +16,23 @@ val new_var : t -> int
     called at decision level zero (before or between [solve] calls). *)
 val add_clause : t -> int list -> unit
 
-(** [solve ~budget t] searches until a model or refutation is found, or
-    until the budget (propagations + weighted conflicts) is exhausted. *)
-val solve : ?budget:int -> t -> result
+(** [solve ~budget ~assumptions t] searches until a model or refutation
+    is found, or until the budget (propagations + weighted conflicts,
+    counted relative to the totals at entry so every call gets the same
+    deterministic allowance) is exhausted.
+
+    [assumptions] are DIMACS literals decided before any heuristic
+    decision.  If they are contradicted the answer is [Unsat] *under the
+    assumptions only*: the solver stays usable and a later call with
+    different assumptions may answer [Sat].  Learned clauses are implied
+    by the clause database alone and are retained across calls. *)
+val solve : ?budget:int -> ?assumptions:int list -> t -> result
+
+(** Undo all decision levels.  A [Sat] answer leaves the trail in place
+    so [value] can read the model; an incremental caller must backtrack
+    to root before adding clauses, or the new clauses would be simplified
+    against model values as if they were level-0 facts. *)
+val backtrack_root : t -> unit
 
 (** Model value of an external variable after [Sat]. *)
 val value : t -> int -> bool

@@ -1,10 +1,20 @@
-(* The budgeted check-sat entry point: array elimination, bit-blasting,
-   CDCL search, model reconstruction.
+(* Budgeted check-sat: array elimination, bit-blasting, CDCL search,
+   model reconstruction.
+
+   The public face is session-centric: {!Session.create} builds a
+   persistent incremental solving context with a push/pop assertion
+   stack, and {!Session.check} decides the current stack.  Pushed
+   assertions are encoded once — array elimination, Tseitin blasting and
+   CDCL learning all persist across checks — and each assertion is
+   guarded by a fresh selector variable so that [pop] can retire it
+   without invalidating anything the solver has already derived.
 
    [Unknown] is the solver-timeout outcome that drives ER's iterative
-   algorithm.  The budget is deterministic (gate count for blasting,
-   propagation count for search) so that "the solver stalls on this
-   formula" is a property of the formula, not of the machine. *)
+   algorithm.  Budgets are deterministic work counters (gate count for
+   blasting, propagation count for search) charged *per check*, relative
+   to the session's counters at entry, so that "the solver stalls on
+   this formula" remains a property of the formula, not of the machine
+   or of how much earlier work the session happens to carry. *)
 
 type outcome =
   | Sat of Model.t
@@ -20,8 +30,6 @@ type stats = {
   restarts : int;
   clauses : int;
 }
-
-let last_stats = ref None
 
 module M = Er_metrics
 
@@ -62,99 +70,309 @@ let m_query_seconds =
     ~buckets:[ 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. ]
     "er_smt_query_seconds"
 
+let cache_hit_counter kind =
+  M.counter
+    ~labels:[ ("kind", kind) ]
+    ~help:"Session result-cache hits, by fast path."
+    "er_smt_session_cache_hits_total"
+
+let m_cache_exact = cache_hit_counter "exact"
+and m_cache_subset = cache_hit_counter "subset_sat"
+and m_cache_superset = cache_hit_counter "superset_unsat"
+
+let m_cache_miss =
+  M.counter ~help:"Session result-cache misses."
+    "er_smt_session_cache_misses_total"
+
+let m_checks_fresh =
+  M.counter ~help:"Session checks that built their encoding from scratch."
+    "er_smt_session_checks_fresh_total"
+
+let m_checks_incremental =
+  M.counter ~help:"Session checks reusing a previously built encoding."
+    "er_smt_session_checks_incremental_total"
+
 (* Default budgets: generous enough for well-conditioned queries, small
    enough that ite towers from long write chains exhaust them. *)
 let default_budget = 4_000_000
 let default_gate_budget = 400_000
 
-let check_core ~budget ~gate_budget (assertions : Expr.t list) : outcome =
-  (* fast path on literal constants *)
-  let assertions = List.filter (fun e -> not (Expr.is_true e)) assertions in
-  if List.exists Expr.is_false assertions then Unsat
-  else if assertions = [] then Sat (Model.empty ())
-  else begin
-    let { Arrays.assertions = flat; witnesses } = Arrays.eliminate assertions in
+(* --- normalized-constraint-set result cache --------------------------- *)
+
+(* Keyed by the canonical form of the assertion set: the sorted,
+   deduplicated hash-consed ids of its (non-trivial) members.  Because
+   hash-consing is process-wide, so is the cache: Sat/Unsat are pure
+   properties of the formula, independent of which session (or which
+   budget) established them, so entries stay valid across sessions,
+   across pops, and across occurrences of the same failure.
+
+   [Unknown] is never cached — it is a budget artifact, not a property
+   of the formula.  Two fast paths fall out of keeping the sets around:
+   a cached UNSAT core refutes any superset, and a cached model of a
+   superset satisfies any subset. *)
+module Cache = struct
+  module ISet = Set.Make (Int)
+
+  type kind = Exact | Subset_sat | Superset_unsat
+
+  let exact : (int array, outcome) Hashtbl.t = Hashtbl.create 256
+  let sats : (ISet.t * Model.t) list ref = ref []
+  let unsats : ISet.t list ref = ref []
+
+  let clear () =
+    Hashtbl.reset exact;
+    sats := [];
+    unsats := []
+
+  let lookup key set =
+    match Hashtbl.find_opt exact key with
+    | Some o -> Some (o, Exact)
+    | None -> (
+        match List.find_opt (fun core -> ISet.subset core set) !unsats with
+        | Some _ -> Some (Unsat, Superset_unsat)
+        | None -> (
+            match
+              List.find_opt (fun (ids, _) -> ISet.subset set ids) !sats
+            with
+            | Some (_, m) -> Some (Sat m, Subset_sat)
+            | None -> None))
+
+  let store key set o =
+    if not (Hashtbl.mem exact key) then
+      match o with
+      | Sat m ->
+          Hashtbl.replace exact key o;
+          sats := (set, m) :: !sats
+      | Unsat ->
+          Hashtbl.replace exact key o;
+          unsats := set :: !unsats
+      | Unknown _ -> ()
+end
+
+let reset_cache = Cache.clear
+
+(* --- incremental sessions --------------------------------------------- *)
+
+module Session = struct
+  type frame = {
+    f_expr : Expr.t;
+    f_sel : int; (* selector DIMACS var; 0 when the assertion is [true] *)
+    mutable f_encoded : bool;
+  }
+
+  type t = {
+    sat : Sat.t;
+    blast : Bitblast.ctx;
+    elim : Arrays.state;
+    budget : int;
+    gate_budget : int;
+    mutable stack : frame list; (* newest first *)
+    mutable solves : int; (* checks that reached the SAT core *)
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  type cache_stats = { cache_hits : int; cache_misses : int }
+
+  let create ?(budget = default_budget) ?(gate_budget = default_gate_budget)
+      () =
     let sat = Sat.create () in
-    let ctx = Bitblast.create ~gate_budget sat in
-    match List.iter (Bitblast.assert_true ctx) flat with
-    | exception Bitblast.Too_large ->
-        last_stats := None;
-        M.add m_gates (Bitblast.gate_count ctx);
-        Unknown "gate budget exhausted during bit-blasting"
-    | () -> (
-        let res = Sat.solve ~budget sat in
-        let propagations, conflicts, clauses = Sat.stats sat in
-        let decisions = Sat.decisions sat and restarts = Sat.restarts sat in
-        last_stats :=
-          Some
-            {
-              sat_vars = Sat.num_vars sat;
-              gates = Bitblast.gate_count ctx;
-              propagations;
-              conflicts;
-              decisions;
-              restarts;
-              clauses;
-            };
-        M.add m_propagations propagations;
-        M.add m_conflicts conflicts;
-        M.add m_decisions decisions;
-        M.add m_restarts restarts;
-        M.add m_gates (Bitblast.gate_count ctx);
-        M.add m_clauses clauses;
-        M.add m_vars (Sat.num_vars sat);
-        match res with
-        | Sat.Unsat -> Unsat
-        | Sat.Unknown -> Unknown "propagation budget exhausted during search"
-        | Sat.Sat ->
-            let m = Model.empty () in
-            List.iter
-              (fun (var, bits) ->
-                 match Expr.node var with
-                 | Expr.Var name ->
-                     Model.set m name (Bitblast.value_of_bits sat bits)
-                 | _ -> assert false)
-              (Bitblast.blasted_vars ctx);
-            (* reconstruct array points from the read witnesses *)
-            List.iter
-              (fun { Arrays.array; index; value } ->
-                 match Expr.node array with
-                 | Expr.Var name ->
-                     Model.add_array_point m name ~index:(Model.eval m index)
-                       ~elt:(Model.eval m value)
-                 | _ -> assert false)
-              witnesses;
-            Sat m)
-  end
+    {
+      sat;
+      blast = Bitblast.create ~gate_budget sat;
+      elim = Arrays.create_state ();
+      budget;
+      gate_budget;
+      stack = [];
+      solves = 0;
+      hits = 0;
+      misses = 0;
+    }
 
-let check ?(budget = default_budget) ?(gate_budget = default_gate_budget)
-    (assertions : Expr.t list) : outcome =
-  if not (M.enabled M.default) then check_core ~budget ~gate_budget assertions
-  else begin
-    let t0 = M.now M.default in
-    let res = check_core ~budget ~gate_budget assertions in
-    M.observe m_query_seconds (M.now M.default -. t0);
-    (match res with
-     | Sat _ -> M.inc m_q_sat
-     | Unsat -> M.inc m_q_unsat
-     | Unknown _ -> M.inc m_q_unknown);
-    res
-  end
+  let push t e =
+    Sat.backtrack_root t.sat;
+    let sel = if Expr.is_true e then 0 else Sat.new_var t.sat in
+    t.stack <- { f_expr = e; f_sel = sel; f_encoded = sel = 0 } :: t.stack
 
-(* Convenience wrappers used by the symbolic executor. *)
+  let pop t =
+    match t.stack with
+    | [] -> invalid_arg "Solver.Session.pop: empty assertion stack"
+    | f :: rest ->
+        Sat.backtrack_root t.sat;
+        t.stack <- rest;
+        (* Permanently disable the frame's guarded clause.  The encoding,
+           its Tseitin definitions and anything the solver learned from
+           them remain — learned clauses are implied by the (guarded)
+           clause database alone, so they stay sound. *)
+        if f.f_encoded && f.f_sel <> 0 then Sat.add_clause t.sat [ -f.f_sel ]
+
+  let depth t = List.length t.stack
+  let assertions t = List.rev_map (fun f -> f.f_expr) t.stack
+  let cache_stats t = { cache_hits = t.hits; cache_misses = t.misses }
+
+  let stats_since t ~g0 ~p0 ~c0 ~d0 ~r0 ~cl0 =
+    let propagations, conflicts, clauses = Sat.stats t.sat in
+    {
+      sat_vars = Sat.num_vars t.sat;
+      gates = Bitblast.gate_count t.blast - g0;
+      propagations = propagations - p0;
+      conflicts = conflicts - c0;
+      decisions = Sat.decisions t.sat - d0;
+      restarts = Sat.restarts t.sat - r0;
+      clauses = clauses - cl0;
+    }
+
+  let zero_stats t =
+    {
+      sat_vars = Sat.num_vars t.sat;
+      gates = 0;
+      propagations = 0;
+      conflicts = 0;
+      decisions = 0;
+      restarts = 0;
+      clauses = 0;
+    }
+
+  (* Encode every still-pending frame, oldest first.  Raises
+     [Bitblast.Too_large] on gate-budget exhaustion; already-encoded
+     frames and the blasting memo survive the abort, so the next check
+     resumes where this one stopped. *)
+  let encode_pending t =
+    List.iter
+      (fun f ->
+        if not f.f_encoded then begin
+          let e', axioms = Arrays.eliminate_one t.elim f.f_expr in
+          (* Congruence axioms are theory-valid, hence asserted
+             unguarded: they may outlive the frame that introduced
+             them. *)
+          List.iter (Bitblast.assert_true t.blast) axioms;
+          let lit = Bitblast.lit_of t.blast e' in
+          Sat.add_clause t.sat [ -f.f_sel; lit ];
+          f.f_encoded <- true
+        end)
+      (List.rev t.stack)
+
+  let extract_model t =
+    let m = Model.empty () in
+    List.iter
+      (fun (var, bits) ->
+        match Expr.node var with
+        | Expr.Var name -> Model.set m name (Bitblast.value_of_bits t.sat bits)
+        | _ -> assert false)
+      (Bitblast.blasted_vars t.blast);
+    (* reconstruct array points from the read witnesses *)
+    List.iter
+      (fun { Arrays.array; index; value } ->
+        match Expr.node array with
+        | Expr.Var name ->
+            Model.add_array_point m name ~index:(Model.eval m index)
+              ~elt:(Model.eval m value)
+        | _ -> assert false)
+      (Arrays.witnesses t.elim);
+    m
+
+  let check_core ?budget ?gate_budget t : outcome * stats =
+    let budget = Option.value budget ~default:t.budget in
+    (* The propagation budget is a per-check allowance (relative to the
+       session's counters at entry); the gate budget is cumulative over
+       the session — see {!Bitblast.arm}. *)
+    (match gate_budget with
+    | Some g -> Bitblast.arm t.blast ~gate_limit:g
+    | None -> ());
+    let active = List.filter (fun f -> f.f_sel <> 0) t.stack in
+    if List.exists (fun f -> Expr.is_false f.f_expr) active then
+      (Unsat, zero_stats t)
+    else if active = [] then (Sat (Model.empty ()), zero_stats t)
+    else begin
+      let key =
+        let ids = List.map (fun f -> Expr.id f.f_expr) active in
+        Array.of_list (List.sort_uniq compare ids)
+      in
+      let set = Cache.ISet.of_list (Array.to_list key) in
+      match Cache.lookup key set with
+      | Some (o, kind) ->
+          t.hits <- t.hits + 1;
+          (match kind with
+          | Cache.Exact -> M.inc m_cache_exact
+          | Cache.Subset_sat -> M.inc m_cache_subset
+          | Cache.Superset_unsat -> M.inc m_cache_superset);
+          (o, zero_stats t)
+      | None ->
+          t.misses <- t.misses + 1;
+          M.inc m_cache_miss;
+          if t.solves = 0 then M.inc m_checks_fresh
+          else M.inc m_checks_incremental;
+          t.solves <- t.solves + 1;
+          Sat.backtrack_root t.sat;
+          let g0 = Bitblast.gate_count t.blast in
+          let p0, c0, cl0 = Sat.stats t.sat in
+          let d0 = Sat.decisions t.sat and r0 = Sat.restarts t.sat in
+          let finish o =
+            let st = stats_since t ~g0 ~p0 ~c0 ~d0 ~r0 ~cl0 in
+            M.add m_gates st.gates;
+            M.add m_propagations st.propagations;
+            M.add m_conflicts st.conflicts;
+            M.add m_decisions st.decisions;
+            M.add m_restarts st.restarts;
+            M.add m_clauses st.clauses;
+            (o, st)
+          in
+          (match encode_pending t with
+          | exception Bitblast.Too_large ->
+              finish (Unknown "gate budget exhausted during bit-blasting")
+          | () ->
+              M.add m_vars (Sat.num_vars t.sat);
+              (* oldest frame first, matching assertion order *)
+              let assumptions = List.rev_map (fun f -> f.f_sel) active in
+              let res = Sat.solve ~budget ~assumptions t.sat in
+              (match res with
+              | Sat.Unsat ->
+                  Cache.store key set Unsat;
+                  finish Unsat
+              | Sat.Unknown ->
+                  finish (Unknown "propagation budget exhausted during search")
+              | Sat.Sat ->
+                  let m = extract_model t in
+                  Cache.store key set (Sat m);
+                  finish (Sat m)))
+    end
+
+  let check ?budget ?gate_budget t : outcome * stats =
+    if not (M.enabled M.default) then check_core ?budget ?gate_budget t
+    else begin
+      let t0 = M.now M.default in
+      let ((res, _) as out) = check_core ?budget ?gate_budget t in
+      M.observe m_query_seconds (M.now M.default -. t0);
+      (match res with
+      | Sat _ -> M.inc m_q_sat
+      | Unsat -> M.inc m_q_unsat
+      | Unknown _ -> M.inc m_q_unknown);
+      out
+    end
+end
+
+(* --- one-shot conveniences -------------------------------------------- *)
+
+(* [check assertions] decides a conjunction with a throwaway session.
+   The returned stats are the work this call performed; on a result-cache
+   hit they are all zero. *)
+let check ?budget ?gate_budget (assertions : Expr.t list) : outcome * stats =
+  let s = Session.create ?budget ?gate_budget () in
+  List.iter (Session.push s) assertions;
+  Session.check s
 
 let is_satisfiable ?budget ?gate_budget assertions =
-  match check ?budget ?gate_budget assertions with
-  | Sat _ -> Some true
-  | Unsat -> Some false
-  | Unknown _ -> None
+  match fst (check ?budget ?gate_budget assertions) with
+  | Sat _ -> Ok true
+  | Unsat -> Ok false
+  | Unknown why -> Error why
 
 (* Is [e] forced true under [assumptions]?  (valid iff ¬e unsat) *)
 let must_be_true ?budget ?gate_budget assumptions e =
-  match check ?budget ?gate_budget (Expr.not_ e :: assumptions) with
-  | Unsat -> Some true
-  | Sat _ -> Some false
-  | Unknown _ -> None
+  match fst (check ?budget ?gate_budget (Expr.not_ e :: assumptions)) with
+  | Unsat -> Ok true
+  | Sat _ -> Ok false
+  | Unknown why -> Error why
 
 let pp_outcome ppf = function
   | Sat _ -> Fmt.string ppf "sat"

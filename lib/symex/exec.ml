@@ -90,6 +90,8 @@ type result = {
   steps : int;
   solver_calls : int;
   solver_cost : int;          (* deterministic: gates + propagations *)
+  cache_hits : int;           (* solver result-cache hits of this run *)
+  cache_misses : int;
   progress : progress_sample list;
 }
 
@@ -117,6 +119,7 @@ type st = {
   failure : Failure_.t;
   failure_clock : int;
   graph : Cgraph.t;
+  session : Solver.Session.t;   (* one incremental session per run *)
   mem : Symmem.t;
   globals : (string, int) Hashtbl.t;      (* name -> object id *)
   mutable threads : thread list;
@@ -141,25 +144,40 @@ exception Stall of { at : point; reason : string }
 let sample st =
   st.progress <- { ps_steps = st.clock; ps_solver_cost = st.solver_cost } :: st.progress
 
-let query st ~at extra =
+(* Extend the path constraint: mirror into the run's solver session so
+   only the new assertion needs encoding at the next query. *)
+let push_path st e =
+  st.path <- e :: st.path;
+  Solver.Session.push st.session e
+
+(* Query the session with [extra] assertions on top of the path.  With
+   [keep], a satisfiable [extra] becomes part of the path (the
+   [assert_feasible] protocol); otherwise the extras are popped again.
+   The per-query solver cost is the session's *marginal* work — gates
+   and propagations this check actually performed. *)
+let query st ~at ?(keep = false) extra =
   st.solver_calls <- st.solver_calls + 1;
-  let r =
-    Solver.check ~budget:st.cfg.solver_budget ~gate_budget:st.cfg.gate_budget
-      (extra @ st.path)
-  in
-  (match !Solver.last_stats with
-   | Some s -> st.solver_cost <- st.solver_cost + s.Solver.gates + s.Solver.propagations
-   | None -> st.solver_cost <- st.solver_cost + st.cfg.gate_budget);
+  List.iter (Solver.Session.push st.session) extra;
+  let r, stats = Solver.Session.check st.session in
+  st.solver_cost <-
+    st.solver_cost + stats.Solver.gates + stats.Solver.propagations;
   sample st;
   match r with
   | Solver.Unknown reason -> raise (Stall { at; reason })
-  | Solver.Sat m -> Some m
-  | Solver.Unsat -> None
+  | Solver.Sat m ->
+      if keep then
+        List.iter
+          (fun e -> if not (Expr.is_true e) then st.path <- e :: st.path)
+          extra
+      else List.iter (fun _ -> Solver.Session.pop st.session) extra;
+      Some m
+  | Solver.Unsat ->
+      if not keep then List.iter (fun _ -> Solver.Session.pop st.session) extra;
+      None
 
 let assert_feasible st ~at ~what extra =
-  match query st ~at extra with
-  | Some _ -> List.iter (fun e -> if not (Expr.is_true e) then
-                            st.path <- e :: st.path) extra
+  match query st ~at ~keep:true extra with
+  | Some _ -> ()
   | None -> raise (Diverge (Printf.sprintf "infeasible %s at %s" what
                               (point_to_string at)))
 
@@ -251,7 +269,7 @@ let resolve_addr st ~at (sv : Sval.t) : Symmem.sobj * Expr.t =
               let obj = Er_vm.Memory.ptr_obj v in
               let hi = Expr.extract ~hi:63 ~lo:32 e in
               let pin = Expr.eq hi (bvc ~width:32 (Int64.of_int obj)) in
-              st.path <- pin :: st.path;
+              push_path st pin;
               obj_of obj, Expr.extract ~hi:31 ~lo:0 e))
 
 (* A non-failing access must be in bounds; with a symbolic index this is
@@ -413,7 +431,7 @@ let step_instr st (th : thread) (fr : frame) (i : instr) : step =
            (* the production run did not crash here: divisor was nonzero *)
            if not (Expr.is_const eb) then begin
              let nz = Expr.ne eb (bvc ~width:(width_of_ty ty) 0L) in
-             st.path <- nz :: st.path
+             push_path st nz
            end
            else if Int64.equal (Option.get (Expr.to_const eb)) 0L then
              raise (Diverge "concrete division by zero mid-trace")
@@ -504,7 +522,7 @@ let step_instr st (th : thread) (fr : frame) (i : instr) : step =
       let recorded = next_data st in
       let c = bv I32 count in
       (if not (Expr.is_const c) then
-         st.path <- Expr.eq c (bvc ~width:32 recorded) :: st.path
+         push_path st (Expr.eq c (bvc ~width:32 recorded))
        else if not (Int64.equal (Option.get (Expr.to_const c)) recorded) then
          raise (Diverge "allocation size contradicts trace"));
       let n = Int64.to_int recorded in
@@ -558,7 +576,7 @@ let step_instr st (th : thread) (fr : frame) (i : instr) : step =
        | Sval.Bv e ->
            let c = bvc ~width:(Expr.width e) recorded in
            if not (Expr.is_const e) then begin
-             st.path <- Expr.eq e c :: st.path;
+             push_path st (Expr.eq e c);
              (* subsequent uses of the register see the concrete value *)
              (match v with
               | Reg r -> Hashtbl.replace fr.fr_regs r (Sval.Bv c)
@@ -568,7 +586,7 @@ let step_instr st (th : thread) (fr : frame) (i : instr) : step =
            let idx_c = Int64.of_int (Er_vm.Memory.ptr_index recorded) in
            let c = bvc ~width:32 idx_c in
            if not (Expr.is_const index) then begin
-             st.path <- Expr.eq index c :: st.path;
+             push_path st (Expr.eq index c);
              match v with
              | Reg r -> Hashtbl.replace fr.fr_regs r (Sval.Ptr { obj; index = c })
              | Imm _ | Global _ | Null -> ()
@@ -578,7 +596,7 @@ let step_instr st (th : thread) (fr : frame) (i : instr) : step =
   | Assert { cond; _ } ->
       (* mid-trace asserts passed in production *)
       let c = norm_expr I1 (Sval.expect_bv (ev cond)) in
-      if not (Expr.is_true c) then st.path <- c :: st.path;
+      if not (Expr.is_true c) then push_path st c;
       fr.fr_ip <- fr.fr_ip + 1;
       Stepped
   | Spawn { func; args } ->
@@ -608,7 +626,7 @@ let step_term st (th : thread) (fr : frame) (t : terminator) : step =
              raise (Diverge "concrete branch contradicts trace")
        | None ->
            let want = if taken then c else Expr.not_ c in
-           st.path <- want :: st.path);
+           push_path st want);
       jump st fr (if taken then if_true else if_false);
       Stepped
   | Ret v -> do_return st th (Option.map (eval_value st fr) v)
@@ -637,6 +655,9 @@ let run ?(config = default_config) (prog : Er_ir.Prog.t)
       failure;
       failure_clock;
       graph = Cgraph.create ();
+      session =
+        Solver.Session.create ~budget:config.solver_budget
+          ~gate_budget:config.gate_budget ();
       mem = Symmem.create ();
       globals = Hashtbl.create 16;
       threads = [];
@@ -683,11 +704,14 @@ let run ?(config = default_config) (prog : Er_ir.Prog.t)
       | Stalled _ -> M.inc m_stalls
       | Diverged _ -> M.inc m_divergences
     end;
+    let cs = Solver.Session.cache_stats st.session in
     {
       outcome;
       steps = st.clock;
       solver_calls = st.solver_calls;
       solver_cost = st.solver_cost;
+      cache_hits = cs.Solver.Session.cache_hits;
+      cache_misses = cs.Solver.Session.cache_misses;
       progress = List.rev st.progress;
     }
   in
@@ -736,7 +760,7 @@ let run ?(config = default_config) (prog : Er_ir.Prog.t)
                else None
              in
              let fc = failure_constraints st fr failing_instr in
-             st.path <- fc @ st.path;
+             List.iter (push_path st) (List.rev fc);
              (* final solve: compute failure-inducing inputs *)
              (match query st ~at:here [] with
               | None -> raise (Diverge "final path constraint unsatisfiable")

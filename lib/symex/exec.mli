@@ -14,7 +14,7 @@
 
 type config = {
   solver_budget : int;        (** SAT work budget per query *)
-  gate_budget : int;          (** bit-blasting budget per query *)
+  gate_budget : int;          (** bit-blasting budget for the whole run *)
   max_steps : int;
   progress_every : int;       (** Fig. 5 sampling period, in steps *)
 }
@@ -46,7 +46,12 @@ type result = {
   outcome : outcome;
   steps : int;
   solver_calls : int;
-  solver_cost : int;          (** deterministic: gates + propagations *)
+  solver_cost : int;
+      (** deterministic: gates + propagations actually charged — with the
+          incremental session this is the marginal work per query, not a
+          re-solve of the whole prefix *)
+  cache_hits : int;           (** solver result-cache hits of this run *)
+  cache_misses : int;
   progress : progress_sample list;
 }
 

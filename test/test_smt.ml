@@ -169,9 +169,9 @@ let qcheck_sat_random_3cnf =
 
 let solve_sat assertions =
   match Solver.check assertions with
-  | Solver.Sat m -> m
-  | Solver.Unsat -> Alcotest.fail "unexpected unsat"
-  | Solver.Unknown why -> Alcotest.fail ("unexpected unknown: " ^ why)
+  | Solver.Sat m, _ -> m
+  | Solver.Unsat, _ -> Alcotest.fail "unexpected unsat"
+  | Solver.Unknown why, _ -> Alcotest.fail ("unexpected unknown: " ^ why)
 
 let test_solver_linear () =
   let m = solve_sat [ Expr.eq (Expr.add x32 (i32 5)) (i32 12) ] in
@@ -181,7 +181,7 @@ let test_solver_unsat () =
   match
     Solver.check [ Expr.ult x32 (i32 5); Expr.ult (i32 10) x32 ]
   with
-  | Solver.Unsat -> ()
+  | Solver.Unsat, _ -> ()
   | _ -> Alcotest.fail "expected unsat"
 
 let test_solver_mul_inverse () =
@@ -215,10 +215,10 @@ let test_solver_shifts () =
 let test_solver_signed () =
   let neg1 = Expr.const ~width:32 0xFFFFFFFFL in
   (match Solver.check [ Expr.slt neg1 (i32 0) ] with
-   | Solver.Sat _ -> ()
+   | Solver.Sat _, _ -> ()
    | _ -> Alcotest.fail "-1 <s 0 should be sat");
   match Solver.check [ Expr.ult neg1 (i32 0) ] with
-  | Solver.Unsat -> ()
+  | Solver.Unsat, _ -> ()
   | _ -> Alcotest.fail "-1 <u 0 should be unsat"
 
 let test_solver_array_chain () =
@@ -250,7 +250,7 @@ let test_solver_ackermann () =
      Solver.check
        [ eq (read a i) (i32 1); eq (read a j) (i32 2); eq i j ]
    with
-   | Solver.Unsat -> ()
+   | Solver.Unsat, _ -> ()
    | _ -> Alcotest.fail "congruence violation should be unsat");
   let m =
     solve_sat [ eq (read a i) (i32 1); eq (read a j) (i32 2) ]
@@ -264,7 +264,7 @@ let test_solver_gate_budget () =
   let rec tower n acc = if n = 0 then acc else tower (n - 1) (Expr.mul acc acc) in
   let e = Expr.eq (tower 4 x) (Expr.const ~width:64 17L) in
   match Solver.check ~gate_budget:500 [ e ] with
-  | Solver.Unknown _ -> ()
+  | Solver.Unknown _, _ -> ()
   | _ -> Alcotest.fail "expected gate-budget timeout"
 
 (* Random ground-term property: build a term over two variables, pick
@@ -312,9 +312,160 @@ let qcheck_solver_vs_eval =
        let c = Model.eval ground e in
        let assertion = Expr.eq e (Expr.const ~width:8 c) in
        match Solver.check [ assertion ] with
-       | Solver.Sat m -> Model.holds m assertion
-       | Solver.Unsat -> false   (* ground witness exists, cannot be unsat *)
-       | Solver.Unknown _ -> QCheck2.assume_fail ())
+       | Solver.Sat m, _ -> Model.holds m assertion
+       | Solver.Unsat, _ -> false   (* ground witness exists, cannot be unsat *)
+       | Solver.Unknown _, _ -> QCheck2.assume_fail ())
+
+(* --- Solver.Session: push/pop, result cache, incrementality ---------- *)
+
+let zero_work (st : Solver.stats) = st.Solver.gates = 0 && st.Solver.propagations = 0
+
+(* Repeating an unchanged query must be answered from the result cache
+   with zero solver work. *)
+let test_session_cache_repeat () =
+  Solver.reset_cache ();
+  let s = Solver.Session.create () in
+  Solver.Session.push s (Expr.ult x32 (i32 5));
+  Solver.Session.push s (Expr.ult (i32 1) x32);
+  let o1, st1 = Solver.Session.check s in
+  (match o1 with Solver.Sat _ -> () | _ -> Alcotest.fail "expected sat");
+  Alcotest.(check bool) "first check does real work" false (zero_work st1);
+  let o2, st2 = Solver.Session.check s in
+  (match o2 with Solver.Sat _ -> () | _ -> Alcotest.fail "expected sat again");
+  Alcotest.(check bool) "repeat check is free" true (zero_work st2);
+  let cs = Solver.Session.cache_stats s in
+  Alcotest.(check int) "one hit" 1 cs.Solver.Session.cache_hits;
+  Alcotest.(check int) "one miss" 1 cs.Solver.Session.cache_misses
+
+(* A cached UNSAT core refutes any superset without touching the SAT
+   solver. *)
+let test_session_unsat_superset () =
+  Solver.reset_cache ();
+  let core = [ Expr.ult x32 (i32 5); Expr.ult (i32 10) x32 ] in
+  (match Solver.check core with
+   | Solver.Unsat, _ -> ()
+   | _ -> Alcotest.fail "core should be unsat");
+  let s = Solver.Session.create () in
+  List.iter (Solver.Session.push s) (core @ [ Expr.ult y32 (i32 3) ]);
+  (match Solver.Session.check s with
+   | Solver.Unsat, st ->
+       Alcotest.(check bool) "superset refuted for free" true (zero_work st)
+   | _ -> Alcotest.fail "superset of an unsat core must be unsat");
+  let cs = Solver.Session.cache_stats s in
+  Alcotest.(check int) "superset hit" 1 cs.Solver.Session.cache_hits
+
+(* A cached model of a superset satisfies any subset. *)
+let test_session_subset_sat () =
+  Solver.reset_cache ();
+  let a = Expr.ult x32 (i32 5) and b = Expr.eq y32 (Expr.add x32 (i32 1)) in
+  (match Solver.check [ a; b ] with
+   | Solver.Sat _, _ -> ()
+   | _ -> Alcotest.fail "expected sat");
+  let s = Solver.Session.create () in
+  Solver.Session.push s a;
+  match Solver.Session.check s with
+  | Solver.Sat m, st ->
+      Alcotest.(check bool) "subset answered for free" true (zero_work st);
+      Alcotest.(check bool) "cached model satisfies the subset" true
+        (Model.holds m a)
+  | _ -> Alcotest.fail "subset of a sat set must be sat"
+
+(* Popping the contradicting frame must drop the cached UNSAT verdict:
+   the remaining stack is satisfiable. *)
+let test_session_pop_invalidation () =
+  Solver.reset_cache ();
+  let a = Expr.ult x32 (i32 5) and b = Expr.ult (i32 10) x32 in
+  let s = Solver.Session.create () in
+  Solver.Session.push s a;
+  Solver.Session.push s b;
+  (match Solver.Session.check s with
+   | Solver.Unsat, _ -> ()
+   | _ -> Alcotest.fail "a ∧ b should be unsat");
+  Solver.Session.pop s;
+  Alcotest.(check int) "depth back to one" 1 (Solver.Session.depth s);
+  match Solver.Session.check s with
+  | Solver.Sat m, _ ->
+      Alcotest.(check bool) "model satisfies the survivor" true (Model.holds m a)
+  | _ -> Alcotest.fail "after pop the stack must be sat"
+
+(* Unknown is a budget artifact and must never be served from the cache. *)
+let test_session_unknown_not_cached () =
+  Solver.reset_cache ();
+  let x = Expr.bv_var "ux" ~width:64 in
+  let rec tower n acc = if n = 0 then acc else tower (n - 1) (Expr.mul acc acc) in
+  let e = Expr.eq (tower 4 x) (Expr.const ~width:64 17L) in
+  (match Solver.check ~gate_budget:500 [ e ] with
+   | Solver.Unknown _, _ -> ()
+   | _ -> Alcotest.fail "expected gate-budget stall");
+  match Solver.check [ e ] with
+  | Solver.Unknown _, _ -> Alcotest.fail "stall verdict must not be memoized"
+  | _ -> ()
+
+(* is_satisfiable / must_be_true surface the stall reason instead of
+   silently collapsing it into a boolean. *)
+let test_unknown_reason_surfaced () =
+  Solver.reset_cache ();
+  let x = Expr.bv_var "rx" ~width:64 in
+  let rec tower n acc = if n = 0 then acc else tower (n - 1) (Expr.mul acc acc) in
+  let e = Expr.eq (tower 4 x) (Expr.const ~width:64 17L) in
+  (match Solver.is_satisfiable ~gate_budget:500 [ e ] with
+   | Error reason ->
+       Alcotest.(check bool) "reason mentions the gate budget" true
+         (String.length reason > 0)
+   | Ok _ -> Alcotest.fail "expected a stall");
+  (match Solver.must_be_true ~gate_budget:500 [] e with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "expected a stall");
+  (match Solver.must_be_true [ Expr.ult x32 (i32 5) ] (Expr.ult x32 (i32 10)) with
+   | Ok true -> ()
+   | _ -> Alcotest.fail "x<5 entails x<10");
+  match Solver.must_be_true [] (Expr.ult x32 (i32 10)) with
+  | Ok false -> ()
+  | _ -> Alcotest.fail "x<10 is not valid"
+
+(* Property: after an arbitrary push/pop interleaving, [Session.check]
+   agrees with a one-shot [Solver.check] of the flattened stack — same
+   verdict, and a Sat model satisfies every live assertion. *)
+let qcheck_session_vs_oneshot =
+  let pool =
+    [|
+      Expr.ult x32 (i32 50);
+      Expr.ult (i32 10) x32;
+      Expr.eq y32 (Expr.add x32 (i32 1));
+      Expr.ult y32 (i32 12);
+      Expr.eq x32 (i32 7);
+      Expr.eq (Expr.logand_ x32 (i32 1)) (i32 1);
+    |]
+  in
+  let n = Array.length pool in
+  QCheck2.Test.make
+    ~name:"session agrees with one-shot check on the flattened stack"
+    ~count:50
+    QCheck2.Gen.(list_size (int_range 1 24) (int_bound (n + n / 2)))
+    (fun ops ->
+       Solver.reset_cache ();
+       let s = Solver.Session.create () in
+       let mirror = ref [] in
+       List.iter
+         (fun op ->
+            if op < n then begin
+              Solver.Session.push s pool.(op);
+              mirror := pool.(op) :: !mirror
+            end
+            else if !mirror <> [] then begin
+              Solver.Session.pop s;
+              mirror := List.tl !mirror
+            end)
+         ops;
+       let flat = List.rev !mirror in
+       let sv, _ = Solver.Session.check s in
+       Solver.reset_cache ();
+       let ov, _ = Solver.check flat in
+       match (sv, ov) with
+       | Solver.Sat m, Solver.Sat _ -> List.for_all (Model.holds m) flat
+       | Solver.Unsat, Solver.Unsat -> true
+       | Solver.Unknown _, _ | _, Solver.Unknown _ -> QCheck2.assume_fail ()
+       | _ -> false)
 
 let qcheck_of t = QCheck_alcotest.to_alcotest t
 
@@ -347,5 +498,20 @@ let suites =
         Alcotest.test_case "ackermann congruence" `Quick test_solver_ackermann;
         Alcotest.test_case "gate budget" `Quick test_solver_gate_budget;
         qcheck_of qcheck_solver_vs_eval;
+      ] );
+    ( "smt.session",
+      [
+        Alcotest.test_case "cache hit on repeat query" `Quick
+          test_session_cache_repeat;
+        Alcotest.test_case "unsat-core superset fast path" `Quick
+          test_session_unsat_superset;
+        Alcotest.test_case "sat subset fast path" `Quick test_session_subset_sat;
+        Alcotest.test_case "pop invalidates cached unsat" `Quick
+          test_session_pop_invalidation;
+        Alcotest.test_case "unknown is never cached" `Quick
+          test_session_unknown_not_cached;
+        Alcotest.test_case "stall reasons surfaced" `Quick
+          test_unknown_reason_surfaced;
+        qcheck_of qcheck_session_vs_oneshot;
       ] );
   ]
