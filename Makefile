@@ -1,7 +1,8 @@
 # Tier-1 verification in one command: `make ci` chains the build, the
-# full test suite, and (when ocamlformat is available) the format check.
+# full test suite, the format check, the one-bug bench smoke, the
+# fleet-determinism gate and the persisted-trajectory validation.
 
-.PHONY: all build test fmt ci fleet bench-smoke
+.PHONY: all build test fmt ci fleet fleet-determinism bench-smoke bench-fleet
 
 all: build
 
@@ -11,9 +12,15 @@ build:
 test:
 	dune runtest
 
+# Format check.  Local dev soft-skips when ocamlformat is not on PATH;
+# CI sets FMT_STRICT=1, which turns a missing ocamlformat into a hard
+# failure instead of a silent pass.
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 		dune build @fmt; \
+	elif [ -n "$(FMT_STRICT)" ]; then \
+		echo "FMT_STRICT set but ocamlformat is not installed" >&2; \
+		exit 1; \
 	else \
 		echo "ocamlformat not installed — skipping 'dune build @fmt'"; \
 	fi
@@ -23,13 +30,28 @@ ci:
 	dune runtest
 	$(MAKE) fmt
 	$(MAKE) bench-smoke
-	dune exec bench/main.exe -- --validate BENCH_3.json --baseline BENCH_2.json
+	$(MAKE) fleet-determinism
+	dune exec bench/main.exe -- --validate BENCH_4.json --baseline BENCH_3.json
 
-# Run the whole bug corpus through the staged pipeline.
+# Run the whole bug corpus through the staged pipeline on a domain pool.
 fleet:
 	dune exec bin/er_cli.exe -- fleet
+
+# The determinism contract, as a gate: the normalized fleet report
+# (per-bug iterations, solver costs, recorded values; wall clocks and
+# worker placement stripped) must be byte-identical at -j 1 and -j 4.
+fleet-determinism:
+	dune exec bin/er_cli.exe -- fleet -j 1 --json --normalize > /tmp/er_fleet_j1.json
+	dune exec bin/er_cli.exe -- fleet -j 4 --json --normalize > /tmp/er_fleet_j4.json
+	cmp /tmp/er_fleet_j1.json /tmp/er_fleet_j4.json
+	@echo "fleet-determinism: -j 1 and -j 4 normalized reports are byte-identical"
 
 # One-bug end-to-end bench: pipeline + recording overhead, persisted
 # trajectory written and re-parsed with the shared JSON reader.
 bench-smoke:
 	dune exec bench/main.exe -- smoke -o /tmp/er_bench_smoke.json
+
+# Regenerate the committed trajectory: full corpus + overheads + the
+# sequential-vs-parallel fleet trials.
+bench-fleet:
+	dune exec bench/main.exe -- table1 fig6 fleet -o BENCH_4.json

@@ -429,6 +429,12 @@ let run_casestudy () =
 
 module J = Er_core.Json
 
+(* Filled by [run_fleet]: (workers, wall seconds, cpu seconds) per
+   trial in run order, plus whether the -j 1 and -j 4 normalized
+   reports came out identical. *)
+let fleet_trials : (int * float * float) list ref = ref []
+let fleet_deterministic : bool option ref = ref None
+
 (* One row per bug from whatever jobs ran: pipeline work from [table1]
    (or [smoke]), recording overheads from [fig6] when available. *)
 let bench_json () =
@@ -490,9 +496,31 @@ let bench_json () =
           (List.fold_left (fun a x -> a +. sel x) 0.0 xs
            /. float_of_int (List.length xs))
   in
+  let fleet_section =
+    match List.rev !fleet_trials with
+    | [] -> []
+    | trials ->
+        [ ( "fleet",
+            J.Obj
+              [ ( "trials",
+                  J.List
+                    (List.map
+                       (fun (jobs, wall, cpu) ->
+                          J.Obj
+                            [ ("jobs", J.Int jobs); ("wall", J.Float wall);
+                              ("cpu", J.Float cpu);
+                              ( "speedup",
+                                J.Float (if wall > 0. then cpu /. wall else 1.)
+                              ) ])
+                       trials) );
+                ( "deterministic",
+                  match !fleet_deterministic with
+                  | Some b -> J.Bool b
+                  | None -> J.Null ) ] ) ]
+  in
   J.Obj
-    [
-      ("bench", J.Int 3);
+    ([
+      ("bench", J.Int 4);
       ("bugs", J.List (List.map bug_obj results));
       ( "totals",
         J.Obj
@@ -508,6 +536,7 @@ let bench_json () =
             ("mean_rr_overhead_pct", mean (fun (_, _, r) -> r.mean));
           ] );
     ]
+     @ fleet_section)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -525,7 +554,7 @@ let validate_bench path =
   | Some doc ->
       let ok_version =
         match Option.bind (J.member "bench" doc) J.to_int with
-        | Some (2 | 3) -> true
+        | Some (2 | 3 | 4) -> true
         | _ ->
             Printf.eprintf "%s: missing or wrong \"bench\" version\n" path;
             false
@@ -609,6 +638,45 @@ let run_smoke () =
     "%s: reproduced=%b occurrences=%d ER overhead %.1f%% rr overhead %.1f%%\n"
     s.Bug.name reproduced r.Er_core.Pipeline.occurrences er.mean rr.mean;
   if not reproduced then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Fleet: domain-parallel corpus trajectory (sequential vs parallel)   *)
+(* ------------------------------------------------------------------ *)
+
+let run_fleet () =
+  section "Fleet: Table 1 corpus on a domain pool, -j 1 vs -j 4";
+  let fleet_jobs () =
+    List.map
+      (fun (s : Bug.spec) ->
+         {
+           Er_core.Fleet.job_name = s.Bug.name;
+           job_run =
+             (fun () ->
+                Er_core.Pipeline.run ~config:s.Bug.config
+                  ~base_prog:s.Bug.program
+                  ~workload:s.Bug.failing_workload ());
+         })
+      Registry.table1
+  in
+  let trial n =
+    let rep = Er_core.Fleet.run ~jobs:n (fleet_jobs ()) in
+    Printf.printf "  -j %-2d (%d worker(s)): wall %.3fs  cpu %.3fs  speedup %.2fx\n%!"
+      n rep.Er_core.Fleet.jobs rep.Er_core.Fleet.wall rep.Er_core.Fleet.cpu
+      (Er_core.Fleet.speedup rep);
+    fleet_trials :=
+      (rep.Er_core.Fleet.jobs, rep.Er_core.Fleet.wall, rep.Er_core.Fleet.cpu)
+      :: !fleet_trials;
+    rep
+  in
+  let norm rep =
+    J.to_string (Er_core.Fleet.report_to_json_value ~normalize:true rep)
+  in
+  let r1 = trial 1 in
+  let r4 = trial 4 in
+  let same = String.equal (norm r1) (norm r4) in
+  fleet_deterministic := Some same;
+  Printf.printf "  normalized reports identical (-j 1 vs -j 4): %b\n%!" same;
+  if not same then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                     *)
@@ -709,6 +777,7 @@ let () =
       ("casestudy", run_casestudy);
       ("micro", run_micro);
       ("smoke", run_smoke);
+      ("fleet", run_fleet);
     ]
   in
   let rec parse (names, out, validate, baseline) = function

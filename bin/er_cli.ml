@@ -154,9 +154,12 @@ let reproduce_cmd =
   Cmd.v (Cmd.info "reproduce" ~doc:"Reconstruct one corpus failure")
     Term.(const run $ spec_arg $ verbose $ events_file $ json $ metrics)
 
-(* Fleet mode: the whole Table 1 corpus through the staged pipeline, with
-   an aggregated per-bug, per-stage summary — the first step from one-bug
-   reproduction toward a service that processes many failures. *)
+(* Fleet mode: the whole Table 1 corpus through the staged pipeline on a
+   Domain pool ([-j N], default = recommended domain count), with an
+   aggregated per-bug, per-stage summary.  Per-bug numbers are
+   deterministic across [-j] settings (see Fleet); only wall clocks and
+   worker placement vary, and [--json --normalize] strips exactly those,
+   which is what the CI fleet-determinism gate diffs. *)
 let fleet_cmd =
   let stage_times (r : Er_core.Pipeline.result) =
     List.fold_left
@@ -167,17 +170,24 @@ let fleet_cmd =
            ve +. it.Er_core.Pipeline.verify_time ))
       (0., 0., 0., 0.) r.Er_core.Pipeline.iterations
   in
-  let run events_file metrics_out =
-    Printf.printf "%-22s %-8s %4s %4s %9s %9s %9s %9s %7s %12s %9s %6s %4s\n"
-      "bug" "status" "occ" "runs" "trace(s)" "symex(s)" "select(s)"
-      "verify(s)" "squery" "solver-cost" "cache" "ringOW" "pts";
+  let print_table (report : Er_core.Fleet.report) =
+    Printf.printf
+      "%-22s %-8s %3s %8s %4s %4s %9s %9s %9s %9s %7s %12s %9s %6s %4s\n"
+      "bug" "status" "wkr" "wall(s)" "occ" "runs" "trace(s)" "symex(s)"
+      "select(s)" "verify(s)" "squery" "solver-cost" "cache" "ringOW" "pts";
     let totals = ref (0, 0, 0., 0., 0., 0., 0, 0, 0, 0) in
     let reproduced = ref 0 in
-    let n = List.length Er_corpus.Registry.table1 in
-    with_events_sink events_file (fun events ->
-        List.iter
-          (fun (s : Er_corpus.Bug.spec) ->
-             let r = run_pipeline s events in
+    let crashed = ref 0 in
+    let n = List.length report.Er_core.Fleet.rows in
+    List.iter
+      (fun (row : Er_core.Fleet.row) ->
+         match row.Er_core.Fleet.row_outcome with
+         | Er_core.Fleet.Worker_crashed { exn; _ } ->
+             incr crashed;
+             Printf.printf "%-22s %-8s %3d %8.3f %s\n"
+               row.Er_core.Fleet.row_name "CRASHED"
+               row.Er_core.Fleet.row_worker row.Er_core.Fleet.row_wall exn
+         | Er_core.Fleet.Finished r ->
              let tr, sy, se, ve = stage_times r in
              let calls, cost, hits, misses =
                List.fold_left
@@ -210,19 +220,44 @@ let fleet_cmd =
                  0 r.Er_core.Pipeline.iterations
              in
              Printf.printf
-               "%-22s %-8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d %9s %6d \
-                %4d\n\
-                %!"
-               s.Er_corpus.Bug.name status r.Er_core.Pipeline.occurrences
+               "%-22s %-8s %3d %8.3f %4d %4d %9.3f %9.3f %9.4f %9.3f %7d \
+                %12d %9s %6d %4d\n"
+               row.Er_core.Fleet.row_name status row.Er_core.Fleet.row_worker
+               row.Er_core.Fleet.row_wall r.Er_core.Pipeline.occurrences
                r.Er_core.Pipeline.runs tr sy se ve calls cost
                (Printf.sprintf "%d/%d" hits (hits + misses))
                ring_ow
                (List.length r.Er_core.Pipeline.recording_points))
-          Er_corpus.Registry.table1);
+      report.Er_core.Fleet.rows;
     let o, ru, a, b, c, d, e, f, h, m = !totals in
-    Printf.printf "%-22s %-8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d %9s\n"
-      "total" (Printf.sprintf "%d/%d" !reproduced n) o ru a b c d e f
+    Printf.printf
+      "%-22s %-8s %3s %8s %4d %4d %9.3f %9.3f %9.4f %9.3f %7d %12d %9s\n"
+      "total"
+      (Printf.sprintf "%d/%d" !reproduced n)
+      "" "" o ru a b c d e f
       (Printf.sprintf "%d/%d" h (h + m));
+    if !crashed > 0 then Printf.printf "crashed: %d\n" !crashed;
+    Printf.printf "fleet: %d job(s), wall %.3fs, cpu %.3fs, speedup %.2fx\n"
+      report.Er_core.Fleet.jobs report.Er_core.Fleet.wall
+      report.Er_core.Fleet.cpu
+      (Er_core.Fleet.speedup report)
+  in
+  let run jobs json normalize events_file metrics_out =
+    with_events_sink events_file (fun events ->
+        (* one sink shared by all workers: serialize so JSONL lines from
+           concurrent bugs never interleave *)
+        let events = Er_core.Events.serialize events in
+        let fleet_jobs =
+          List.map
+            (fun (s : Er_corpus.Bug.spec) ->
+               { Er_core.Fleet.job_name = s.Er_corpus.Bug.name;
+                 job_run = (fun () -> run_pipeline s events) })
+            Er_corpus.Registry.table1
+        in
+        let report = Er_core.Fleet.run ?jobs fleet_jobs in
+        if json then
+          print_endline (Er_core.Fleet.report_to_json ~normalize report)
+        else print_table report);
     match metrics_out with
     | None -> ()
     | Some "-" ->
@@ -239,9 +274,35 @@ let fleet_cmd =
           ~finally:(fun () -> close_out oc)
           (fun () -> render_metrics `Json oc)
   in
-  let run events_file metrics_out =
+  let run jobs json normalize events_file metrics_out =
     with_metrics (Option.is_some metrics_out) (fun () ->
-        run events_file metrics_out)
+        run jobs json normalize events_file metrics_out)
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Run bugs on $(docv) worker domains (default: the \
+                recommended domain count of this machine).  Per-bug \
+                results are identical for every $(docv).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the fleet report (per-bug results, worker placement, \
+                wall clocks, speedup) as machine-readable JSON instead of \
+                the human table.")
+  in
+  let normalize =
+    Arg.(
+      value & flag
+      & info [ "normalize" ]
+          ~doc:"With $(b,--json): strip wall clocks, worker placement and \
+                job count, leaving only the deterministic per-bug content. \
+                Reports from different $(b,-j) settings must then be \
+                byte-identical; CI diffs them.")
   in
   let events_file =
     Arg.(
@@ -249,7 +310,8 @@ let fleet_cmd =
       & opt (some string) None
       & info [ "events" ] ~docv:"FILE"
           ~doc:"Append every bug's event stream as JSON Lines to $(docv) \
-                (use - for stdout).")
+                (use - for stdout).  The sink is serialized across \
+                workers; event order between bugs depends on scheduling.")
   in
   let metrics_out =
     Arg.(
@@ -262,8 +324,9 @@ let fleet_cmd =
   in
   Cmd.v
     (Cmd.info "fleet"
-       ~doc:"Run the whole bug corpus through the staged pipeline")
-    Term.(const run $ events_file $ metrics_out)
+       ~doc:"Run the whole bug corpus through the staged pipeline on a \
+             domain pool")
+    Term.(const run $ jobs $ json $ normalize $ events_file $ metrics_out)
 
 let show_cmd =
   let run spec =

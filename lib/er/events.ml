@@ -353,14 +353,26 @@ let null : sink = fun _ -> ()
 let tee (a : sink) (b : sink) : sink = fun e -> a e; b e
 
 (* In-memory buffer: returns the sink and a function reading the events
-   collected so far, in emission order. *)
+   collected so far, in emission order.  Single-domain by construction
+   (each pipeline run owns its buffer); share one across domains only
+   through [serialize]. *)
 let buffer () : sink * (unit -> event list) =
   let evs = ref [] in
   ((fun e -> evs := e :: !evs), fun () -> List.rev !evs)
 
+(* Serialize a sink: events from concurrent domains are delivered one at
+   a time.  Fleet mode wraps any sink shared between workers in this, so
+   a JSONL stream (or a human log) never interleaves mid-line. *)
+let serialize (s : sink) : sink =
+  let m = Mutex.create () in
+  fun e ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> s e)
+
 let human ppf : sink = fun e -> Fmt.pf ppf "%a@." pp e
 
-let jsonl oc : sink =
-  fun e ->
-    output_string oc (to_json e);
-    output_char oc '\n'
+(* One [output_string] per event: the line (payload + newline) is built
+   in full first, so even an unserialized stderr/O_APPEND stream gets
+   whole lines.  Concurrent writers to the same channel must still be
+   wrapped in [serialize] — channel buffers are not domain-safe. *)
+let jsonl oc : sink = fun e -> output_string oc (to_json e ^ "\n")

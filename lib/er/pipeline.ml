@@ -650,7 +650,7 @@ let iteration_to_json (it : iteration) : Json.t =
       ("selection_time", Float it.selection_time);
       ("verify_time", Float it.verify_time) ]
 
-let result_to_json (r : result) : string =
+let result_to_json_value (r : result) : Json.t =
   let open Json in
   let status =
     match r.status with
@@ -677,11 +677,12 @@ let result_to_json (r : result) : string =
           [ ("kind", Str "gave_up");
             ("reason", Str (Outcome.give_up_to_string g)) ]
   in
-  to_string
-    (Obj
-       [ ("status", status);
-         ("occurrences", Int r.occurrences);
-         ("runs", Int r.runs);
-         ("total_symex_time", Float r.total_symex_time);
-         ("recording_points", List (List.map point_to_json r.recording_points));
-         ("iterations", List (List.map iteration_to_json r.iterations)) ])
+  Obj
+    [ ("status", status);
+      ("occurrences", Int r.occurrences);
+      ("runs", Int r.runs);
+      ("total_symex_time", Float r.total_symex_time);
+      ("recording_points", List (List.map point_to_json r.recording_points));
+      ("iterations", List (List.map iteration_to_json r.iterations)) ]
+
+let result_to_json (r : result) : string = Json.to_string (result_to_json_value r)

@@ -21,6 +21,22 @@
    default registry starts *disabled*: an uninstrumented run pays only
    the branch.
 
+   Domain safety (fleet mode runs bugs on concurrent domains, all
+   reporting into the default registry):
+     - counters are [Atomic.t] ints — increments from any domain are
+       exact, never lost or torn;
+     - gauges stay plain unboxed float cells: [set] is a single
+       word-sized store (no tearing on 64-bit), last writer wins, which
+       is the right semantics for a level;
+     - histograms take a per-histogram mutex per [observe] (observations
+       are orders of magnitude rarer than counter bumps);
+     - span trees are per-domain — each domain nests its own stack and
+       accumulates into its own cells — and snapshots merge the
+       per-domain trees by path, so concurrent bugs never corrupt each
+       other's nesting;
+     - registration and the per-domain span-state table are guarded by
+       the registry mutex (cold paths).
+
    Naming convention (see DESIGN.md "Observability"):
    [er_<layer>_<thing>_total] for counters, [er_<layer>_<thing>] for
    gauges, histogram base names like [er_smt_query_seconds]. *)
@@ -33,8 +49,9 @@ type registry = {
   (* registration order, for deterministic snapshots *)
   mutable r_rev : metric list;
   r_index : (string, metric) Hashtbl.t;
-  r_spans : (string, span_cell) Hashtbl.t;
-  mutable r_span_stack : string list; (* full paths, innermost first *)
+  r_mutex : Mutex.t; (* guards r_rev/r_index/r_domains (cold paths) *)
+  (* one span state per domain that ever opened a span here *)
+  mutable r_domains : (int * domain_spans) list;
 }
 
 and metric =
@@ -46,7 +63,7 @@ and counter = {
   c_name : string;
   c_help : string;
   c_labels : labels;
-  mutable c_value : int;
+  c_value : int Atomic.t;
   c_reg : registry;
 }
 
@@ -65,10 +82,21 @@ and histogram = {
   h_bounds : float array; (* strictly increasing finite upper bounds *)
   h_counts : int array; (* length = Array.length h_bounds + 1 (+Inf) *)
   h_sum : float array; (* length 1 *)
+  h_mutex : Mutex.t;
   h_reg : registry;
 }
 
 and span_cell = { mutable s_calls : int; mutable s_seconds : float }
+
+(* Span nesting and accumulation for one domain.  Only the owning domain
+   ever writes; snapshots from other domains read the cells racily,
+   which can observe a slightly stale call count — acceptable for a
+   monitoring read, and exact once the domain has quiesced (fleet
+   snapshots after joining its workers see everything). *)
+and domain_spans = {
+  ds_spans : (string, span_cell) Hashtbl.t;
+  mutable ds_stack : string list; (* full paths, innermost first *)
+}
 
 let default_clock () = Unix.gettimeofday ()
 
@@ -78,8 +106,8 @@ let create ?(enabled = true) ?(clock = default_clock) () =
     r_clock = clock;
     r_rev = [];
     r_index = Hashtbl.create 64;
-    r_spans = Hashtbl.create 16;
-    r_span_stack = [];
+    r_mutex = Mutex.create ();
+    r_domains = [];
   }
 
 (* The process-wide registry.  Disabled until someone opts in
@@ -95,14 +123,15 @@ let now r = r.r_clock ()
 let reset r =
   List.iter
     (function
-      | Counter c -> c.c_value <- 0
+      | Counter c -> Atomic.set c.c_value 0
       | Gauge g -> g.g_cell.(0) <- 0.
       | Histogram h ->
           Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
           h.h_sum.(0) <- 0.)
     r.r_rev;
-  Hashtbl.reset r.r_spans;
-  r.r_span_stack <- []
+  Mutex.lock r.r_mutex;
+  r.r_domains <- [];
+  Mutex.unlock r.r_mutex
 
 (* --- registration (cold path) -------------------------------------- *)
 
@@ -114,71 +143,84 @@ let key name labels =
   ^ String.concat ""
       (List.map (fun (k, v) -> "\x00" ^ k ^ "\x01" ^ v) labels)
 
-let register r name m =
-  r.r_rev <- m :: r.r_rev;
-  Hashtbl.replace r.r_index name m;
-  m
+(* Registration is idempotent per (name, labels); the double-checked
+   shape keeps the common find on the uncontended fast path while making
+   concurrent first-registrations race-free. *)
+let registered r k make cast err =
+  let get m = match cast m with Some v -> v | None -> err () in
+  match Hashtbl.find_opt r.r_index k with
+  | Some m -> get m
+  | None ->
+      Mutex.lock r.r_mutex;
+      let m =
+        match Hashtbl.find_opt r.r_index k with
+        | Some m -> m
+        | None -> (
+            match make () with
+            | m ->
+                r.r_rev <- m :: r.r_rev;
+                Hashtbl.replace r.r_index k m;
+                m
+            | exception e ->
+                Mutex.unlock r.r_mutex;
+                raise e)
+      in
+      Mutex.unlock r.r_mutex;
+      get m
 
 let counter ?(registry = default) ?(labels = []) ~help name =
   let labels = canonical_labels labels in
   let k = key name labels in
-  match Hashtbl.find_opt registry.r_index k with
-  | Some (Counter c) -> c
-  | Some _ -> invalid_arg ("Er_metrics.counter: " ^ name ^ " is not a counter")
-  | None ->
-      let c =
-        { c_name = name; c_help = help; c_labels = labels; c_value = 0;
-          c_reg = registry }
-      in
-      ignore (register registry k (Counter c));
-      c
+  registered registry k
+    (fun () ->
+       Counter
+         { c_name = name; c_help = help; c_labels = labels;
+           c_value = Atomic.make 0; c_reg = registry })
+    (function Counter c -> Some c | _ -> None)
+    (fun () ->
+       invalid_arg ("Er_metrics.counter: " ^ name ^ " is not a counter"))
 
 let gauge ?(registry = default) ?(labels = []) ~help name =
   let labels = canonical_labels labels in
   let k = key name labels in
-  match Hashtbl.find_opt registry.r_index k with
-  | Some (Gauge g) -> g
-  | Some _ -> invalid_arg ("Er_metrics.gauge: " ^ name ^ " is not a gauge")
-  | None ->
-      let g =
-        { g_name = name; g_help = help; g_labels = labels;
-          g_cell = [| 0. |]; g_reg = registry }
-      in
-      ignore (register registry k (Gauge g));
-      g
+  registered registry k
+    (fun () ->
+       Gauge
+         { g_name = name; g_help = help; g_labels = labels;
+           g_cell = [| 0. |]; g_reg = registry })
+    (function Gauge g -> Some g | _ -> None)
+    (fun () -> invalid_arg ("Er_metrics.gauge: " ^ name ^ " is not a gauge"))
 
 let histogram ?(registry = default) ?(labels = []) ~help ~buckets name =
   let labels = canonical_labels labels in
   let k = key name labels in
-  match Hashtbl.find_opt registry.r_index k with
-  | Some (Histogram h) -> h
-  | Some _ ->
-      invalid_arg ("Er_metrics.histogram: " ^ name ^ " is not a histogram")
-  | None ->
-      let bounds = Array.of_list buckets in
-      let ok = ref (Array.length bounds > 0) in
-      Array.iteri
-        (fun i b ->
-           if not (Float.is_finite b) then ok := false;
-           if i > 0 && b <= bounds.(i - 1) then ok := false)
-        bounds;
-      if not !ok then
-        invalid_arg
-          ("Er_metrics.histogram: " ^ name
-           ^ ": buckets must be non-empty, finite, strictly increasing");
-      let h =
-        { h_name = name; h_help = help; h_labels = labels; h_bounds = bounds;
-          h_counts = Array.make (Array.length bounds + 1) 0;
-          h_sum = [| 0. |]; h_reg = registry }
-      in
-      ignore (register registry k (Histogram h));
-      h
+  let make () =
+    let bounds = Array.of_list buckets in
+    let ok = ref (Array.length bounds > 0) in
+    Array.iteri
+      (fun i b ->
+         if not (Float.is_finite b) then ok := false;
+         if i > 0 && b <= bounds.(i - 1) then ok := false)
+      bounds;
+    if not !ok then
+      invalid_arg
+        ("Er_metrics.histogram: " ^ name
+         ^ ": buckets must be non-empty, finite, strictly increasing");
+    Histogram
+      { h_name = name; h_help = help; h_labels = labels; h_bounds = bounds;
+        h_counts = Array.make (Array.length bounds + 1) 0;
+        h_sum = [| 0. |]; h_mutex = Mutex.create (); h_reg = registry }
+  in
+  registered registry k make
+    (function Histogram h -> Some h | _ -> None)
+    (fun () ->
+       invalid_arg ("Er_metrics.histogram: " ^ name ^ " is not a histogram"))
 
 (* --- recording (hot path) ------------------------------------------ *)
 
-let inc c = if c.c_reg.r_enabled then c.c_value <- c.c_value + 1
-let add c n = if c.c_reg.r_enabled then c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+let inc c = if c.c_reg.r_enabled then Atomic.incr c.c_value
+let add c n = if c.c_reg.r_enabled then ignore (Atomic.fetch_and_add c.c_value n)
+let counter_value c = Atomic.get c.c_value
 let set g v = if g.g_reg.r_enabled then g.g_cell.(0) <- v
 let gauge_value g = g.g_cell.(0)
 
@@ -190,35 +232,58 @@ let observe h v =
     while !i < n && v > h.h_bounds.(!i) do
       incr i
     done;
+    Mutex.lock h.h_mutex;
     h.h_counts.(!i) <- h.h_counts.(!i) + 1;
-    h.h_sum.(0) <- h.h_sum.(0) +. v
+    h.h_sum.(0) <- h.h_sum.(0) +. v;
+    Mutex.unlock h.h_mutex
   end
 
 (* --- hierarchical timing spans ------------------------------------- *)
 
-let span_cell r path =
-  match Hashtbl.find_opt r.r_spans path with
+(* The current domain's span state; created on first use.  Only the
+   owning domain reads/writes ds_stack, so no lock is needed past the
+   lookup. *)
+let domain_spans r =
+  let did = (Domain.self () :> int) in
+  match List.assq_opt did r.r_domains with
+  | Some ds -> ds
+  | None ->
+      Mutex.lock r.r_mutex;
+      let ds =
+        match List.assq_opt did r.r_domains with
+        | Some ds -> ds
+        | None ->
+            let ds = { ds_spans = Hashtbl.create 16; ds_stack = [] } in
+            r.r_domains <- (did, ds) :: r.r_domains;
+            ds
+      in
+      Mutex.unlock r.r_mutex;
+      ds
+
+let span_cell ds path =
+  match Hashtbl.find_opt ds.ds_spans path with
   | Some c -> c
   | None ->
       let c = { s_calls = 0; s_seconds = 0. } in
-      Hashtbl.add r.r_spans path c;
+      Hashtbl.add ds.ds_spans path c;
       c
 
 let with_span ?(registry = default) name f =
   if not registry.r_enabled then f ()
   else begin
+    let ds = domain_spans registry in
     let path =
-      match registry.r_span_stack with
+      match ds.ds_stack with
       | [] -> name
       | parent :: _ -> parent ^ "/" ^ name
     in
-    registry.r_span_stack <- path :: registry.r_span_stack;
+    ds.ds_stack <- path :: ds.ds_stack;
     let t0 = registry.r_clock () in
     Fun.protect
       ~finally:(fun () ->
         let dt = registry.r_clock () -. t0 in
-        (match registry.r_span_stack with
-         | p :: rest when p == path -> registry.r_span_stack <- rest
+        (match ds.ds_stack with
+         | p :: rest when p == path -> ds.ds_stack <- rest
          | stack ->
              (* an inner span leaked (exception skipped its finally);
                 drop frames down to ours rather than corrupt the tree *)
@@ -227,8 +292,8 @@ let with_span ?(registry = default) name f =
                | _ :: rest -> unwind rest
                | [] -> []
              in
-             registry.r_span_stack <- unwind stack);
-        let c = span_cell registry path in
+             ds.ds_stack <- unwind stack);
+        let c = span_cell ds path in
         c.s_calls <- c.s_calls + 1;
         c.s_seconds <- c.s_seconds +. dt)
       f
@@ -274,23 +339,45 @@ module Snapshot = struct
           | (Counter c : metric) ->
               Counter
                 { name = c.c_name; help = c.c_help; labels = c.c_labels;
-                  value = c.c_value }
+                  value = Atomic.get c.c_value }
           | Gauge g ->
               Gauge
                 { name = g.g_name; help = g.g_help; labels = g.g_labels;
                   value = g.g_cell.(0) }
           | Histogram h ->
+              Mutex.lock h.h_mutex;
+              let counts = Array.copy h.h_counts and sum = h.h_sum.(0) in
+              Mutex.unlock h.h_mutex;
               Histogram
                 { name = h.h_name; help = h.h_help; labels = h.h_labels;
-                  bounds = Array.copy h.h_bounds;
-                  counts = Array.copy h.h_counts; sum = h.h_sum.(0) })
+                  bounds = Array.copy h.h_bounds; counts; sum })
         registry.r_rev
     in
+    (* merge the per-domain span trees by path: same path on several
+       domains sums its calls and seconds, which is what the combined
+       tree would have shown had everything run on one domain *)
     let spans =
+      Mutex.lock registry.r_mutex;
+      let domains = registry.r_domains in
+      Mutex.unlock registry.r_mutex;
+      let merged : (string, span_cell) Hashtbl.t = Hashtbl.create 32 in
+      List.iter
+        (fun (_, ds) ->
+           Hashtbl.iter
+             (fun path (c : span_cell) ->
+                match Hashtbl.find_opt merged path with
+                | Some m ->
+                    m.s_calls <- m.s_calls + c.s_calls;
+                    m.s_seconds <- m.s_seconds +. c.s_seconds
+                | None ->
+                    Hashtbl.add merged path
+                      { s_calls = c.s_calls; s_seconds = c.s_seconds })
+             ds.ds_spans)
+        domains;
       Hashtbl.fold
         (fun path (c : span_cell) acc ->
            { path; calls = c.s_calls; seconds = c.s_seconds } :: acc)
-        registry.r_spans []
+        merged []
       |> List.sort (fun a b -> compare a.path b.path)
     in
     { samples; spans }

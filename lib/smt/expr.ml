@@ -1,12 +1,31 @@
 (* Hash-consed term DAG for the ER constraint language.
 
    Every term is interned, so structural equality is physical equality and
-   each node has a unique small integer id.  Smart constructors perform
+   each node has a unique integer id.  Smart constructors perform
    constant folding and the local rewrites that a solver front-end such as
    STP would apply (read-over-write at equal/distinct constant indices,
-   neutral elements, ite collapsing, ...).  Ids are allocated from a global
-   counter; the whole library is single-threaded, as is the analysis
-   pipeline of the paper. *)
+   neutral elements, ite collapsing, ...).
+
+   Interning is organized into {e spaces} so that independent failure
+   reconstructions — the unit of work of fleet mode — are bit-for-bit
+   deterministic regardless of how many domains run concurrently:
+
+   - each space owns its own intern table, guarded by a mutex, so a
+     space shared between domains stays consistent;
+   - ids come from one process-wide atomic counter, so they are unique
+     across *all* spaces (two distinct terms never share an id, which
+     keeps id-keyed caches and id-deduplicated traversals sound even
+     when terms from different spaces meet);
+   - within one space, the *relative* order of two ids depends only on
+     the interning order of that space's client.  A fleet worker that
+     runs a bug inside a fresh space therefore reproduces the exact
+     id ordering — and hence the exact equality orientation, blasting
+     structure and solver trajectory — of a sequential run, no matter
+     what the other domains are interning in their own spaces.
+
+   The default space is created at module init (it owns [tru], [fls] and
+   everything a non-fleet caller builds); [in_fresh_space] scopes a
+   computation to a brand-new empty space on the current domain. *)
 
 type unop =
   | Neg                              (* two's complement negation *)
@@ -94,23 +113,59 @@ end
 
 module Table = Hashtbl.Make (Key)
 
-let table : t Table.t = Table.create 65_536
-let next_id = ref 0
+(* Ids are unique across every space for the lifetime of the process. *)
+let next_id = Atomic.make 0
+
+(* Space stamps distinguish interning spaces (the solver shards its
+   result cache by stamp, so cache entries never cross spaces). *)
+let next_stamp = Atomic.make 0
+
+type space = {
+  sp_stamp : int;
+  sp_mutex : Mutex.t;
+  sp_table : t Table.t;
+}
+
+let create_space () =
+  {
+    sp_stamp = Atomic.fetch_and_add next_stamp 1;
+    sp_mutex = Mutex.create ();
+    sp_table = Table.create 65_536;
+  }
+
+(* The space terms are interned into, per domain.  Every domain starts
+   in the shared default space; fleet workers switch to a fresh space
+   per task via [with_space] / [in_fresh_space]. *)
+let default_space = create_space ()
+let current : space Domain.DLS.key = Domain.DLS.new_key (fun () -> default_space)
+
+let space_stamp () = (Domain.DLS.get current).sp_stamp
+
+let with_space sp f =
+  let prev = Domain.DLS.get current in
+  Domain.DLS.set current sp;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
+
+let in_fresh_space f = with_space (create_space ()) f
 
 let intern ty n =
+  let sp = Domain.DLS.get current in
   let hkey = hash_node ty n in
   let probe = { node = n; ty; id = -1; hkey } in
-  match Table.find_opt table probe with
-  | Some e -> e
+  Mutex.lock sp.sp_mutex;
+  match Table.find_opt sp.sp_table probe with
+  | Some e ->
+      Mutex.unlock sp.sp_mutex;
+      e
   | None ->
-      let e = { probe with id = !next_id } in
-      incr next_id;
-      Table.add table e e;
+      let e = { probe with id = Atomic.fetch_and_add next_id 1 } in
+      Table.add sp.sp_table e e;
+      Mutex.unlock sp.sp_mutex;
       e
 
-(* Number of distinct terms ever created; used by the offline-overhead
-   experiment of section 5.3. *)
-let live_nodes () = !next_id
+(* Number of distinct terms ever created (across all spaces); used by
+   the offline-overhead experiment of section 5.3. *)
+let live_nodes () = Atomic.get next_id
 
 (* ------------------------------------------------------------------ *)
 (* Constructors                                                        *)

@@ -1,14 +1,22 @@
 (** Hash-consed bitvector/array expressions.
 
-    Every expression is interned in a process-wide table: structurally
-    equal terms are physically equal and carry a unique, stable [id].
-    This is what the rest of the SMT stack leans on — the bit-blaster
-    memoizes by id so equal subterms are encoded once, array elimination
-    memoizes rewrites by id, and the solver's result cache keys whole
-    assertion sets by their sorted ids.  The table is owned by this
-    module; the only way to obtain a [t] is through the smart
+    Every expression is interned: structurally equal terms (within one
+    interning space) are physically equal and carry a unique, stable
+    [id].  This is what the rest of the SMT stack leans on — the
+    bit-blaster memoizes by id so equal subterms are encoded once, array
+    elimination memoizes rewrites by id, and the solver's result cache
+    keys whole assertion sets by their sorted ids.  The tables are owned
+    by this module; the only way to obtain a [t] is through the smart
     constructors below, which also perform the constant folding and
-    width checking the downstream layers assume. *)
+    width checking the downstream layers assume.
+
+    Interning is organized into {e spaces} (see {!in_fresh_space}): each
+    space has its own mutex-guarded table, while ids stay unique across
+    all spaces.  Running a computation in a fresh space makes its
+    interning order — and everything downstream that depends on id
+    order — independent of whatever other domains or earlier
+    computations interned, which is how fleet mode keeps per-bug results
+    bit-identical between sequential and parallel runs. *)
 
 type unop = Neg | Lognot
 
@@ -45,9 +53,34 @@ type node =
 val node : t -> node
 val ty : t -> Ty.t
 
-(** Unique, dense interning id.  Stable for the lifetime of the process;
-    equal ids iff structurally equal terms. *)
+(** Unique interning id.  Stable for the lifetime of the process and
+    unique across all interning spaces; within one space, equal ids iff
+    structurally equal terms. *)
 val id : t -> int
+
+(* --- interning spaces ------------------------------------------------- *)
+
+(** An interning space: one mutex-guarded hash-cons table.  Safe to
+    share between domains. *)
+type space
+
+(** A brand-new empty space. *)
+val create_space : unit -> space
+
+(** [with_space sp f] interns everything [f] builds on this domain into
+    [sp], restoring the previous space afterwards. *)
+val with_space : space -> (unit -> 'a) -> 'a
+
+(** [in_fresh_space f] = [with_space (create_space ()) f]: runs [f] in
+    an isolated interning space, making its id ordering (hence the whole
+    downstream solver trajectory) independent of any other computation
+    in the process.  Fleet workers wrap each bug reconstruction in this. *)
+val in_fresh_space : (unit -> 'a) -> 'a
+
+(** Stamp of the current domain's space (distinct per space); the solver
+    shards its result cache by this, so cached outcomes never leak
+    between spaces. *)
+val space_stamp : unit -> int
 
 (** Bit width of a bitvector-typed term ([Invalid_argument] on arrays). *)
 val width : t -> int
@@ -58,7 +91,7 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 
-(** Number of live interned nodes (table size). *)
+(** Number of distinct terms ever interned, across all spaces. *)
 val live_nodes : unit -> int
 
 (* --- constructors --------------------------------------------------- *)

@@ -100,11 +100,20 @@ let default_gate_budget = 400_000
 (* --- normalized-constraint-set result cache --------------------------- *)
 
 (* Keyed by the canonical form of the assertion set: the sorted,
-   deduplicated hash-consed ids of its (non-trivial) members.  Because
-   hash-consing is process-wide, so is the cache: Sat/Unsat are pure
-   properties of the formula, independent of which session (or which
-   budget) established them, so entries stay valid across sessions,
-   across pops, and across occurrences of the same failure.
+   deduplicated hash-consed ids of its (non-trivial) members.  Sat/Unsat
+   are pure properties of the formula, independent of which session (or
+   which budget) established them, so entries stay valid across
+   sessions, across pops, and across occurrences of the same failure.
+
+   The cache is sharded by interning space ({!Expr.space_stamp}): ids
+   are only comparable within one space, and sharding by space is also
+   what keeps fleet mode deterministic — a bug running in its own fresh
+   space can only ever hit entries produced by its own (deterministic)
+   query sequence, never entries another domain happened to store first.
+   Each shard is guarded by a mutex so that sessions on different
+   domains may share one space (and hence one shard) safely; hit/miss
+   accounting lives in the session, whose counters are only touched by
+   the domain running it, so the tallies stay exact under concurrency.
 
    [Unknown] is never cached — it is a budget artifact, not a property
    of the formula.  Two fast paths fall out of keeping the sets around:
@@ -115,37 +124,72 @@ module Cache = struct
 
   type kind = Exact | Subset_sat | Superset_unsat
 
-  let exact : (int array, outcome) Hashtbl.t = Hashtbl.create 256
-  let sats : (ISet.t * Model.t) list ref = ref []
-  let unsats : ISet.t list ref = ref []
+  type shard = {
+    sh_mutex : Mutex.t;
+    sh_exact : (int array, outcome) Hashtbl.t;
+    mutable sh_sats : (ISet.t * Model.t) list;
+    mutable sh_unsats : ISet.t list;
+  }
+
+  (* space stamp -> shard; the table itself is touched only under
+     [shards_mutex] (shard creation is rare — once per space). *)
+  let shards : (int, shard) Hashtbl.t = Hashtbl.create 16
+  let shards_mutex = Mutex.create ()
+
+  let shard_for_current_space () =
+    let stamp = Expr.space_stamp () in
+    Mutex.lock shards_mutex;
+    let sh =
+      match Hashtbl.find_opt shards stamp with
+      | Some sh -> sh
+      | None ->
+          let sh =
+            { sh_mutex = Mutex.create ();
+              sh_exact = Hashtbl.create 256;
+              sh_sats = [];
+              sh_unsats = [] }
+          in
+          Hashtbl.add shards stamp sh;
+          sh
+    in
+    Mutex.unlock shards_mutex;
+    sh
 
   let clear () =
-    Hashtbl.reset exact;
-    sats := [];
-    unsats := []
+    Mutex.lock shards_mutex;
+    Hashtbl.reset shards;
+    Mutex.unlock shards_mutex
 
-  let lookup key set =
-    match Hashtbl.find_opt exact key with
+  let locked sh f =
+    Mutex.lock sh.sh_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock sh.sh_mutex) f
+
+  let lookup sh key set =
+    locked sh @@ fun () ->
+    match Hashtbl.find_opt sh.sh_exact key with
     | Some o -> Some (o, Exact)
     | None -> (
-        match List.find_opt (fun core -> ISet.subset core set) !unsats with
+        match
+          List.find_opt (fun core -> ISet.subset core set) sh.sh_unsats
+        with
         | Some _ -> Some (Unsat, Superset_unsat)
         | None -> (
             match
-              List.find_opt (fun (ids, _) -> ISet.subset set ids) !sats
+              List.find_opt (fun (ids, _) -> ISet.subset set ids) sh.sh_sats
             with
             | Some (_, m) -> Some (Sat m, Subset_sat)
             | None -> None))
 
-  let store key set o =
-    if not (Hashtbl.mem exact key) then
+  let store sh key set o =
+    locked sh @@ fun () ->
+    if not (Hashtbl.mem sh.sh_exact key) then
       match o with
       | Sat m ->
-          Hashtbl.replace exact key o;
-          sats := (set, m) :: !sats
+          Hashtbl.replace sh.sh_exact key o;
+          sh.sh_sats <- (set, m) :: sh.sh_sats
       | Unsat ->
-          Hashtbl.replace exact key o;
-          unsats := set :: !unsats
+          Hashtbl.replace sh.sh_exact key o;
+          sh.sh_unsats <- set :: sh.sh_unsats
       | Unknown _ -> ()
 end
 
@@ -164,6 +208,7 @@ module Session = struct
     sat : Sat.t;
     blast : Bitblast.ctx;
     elim : Arrays.state;
+    cache : Cache.shard; (* the shard of the creating space *)
     budget : int;
     gate_budget : int;
     mutable stack : frame list; (* newest first *)
@@ -181,6 +226,7 @@ module Session = struct
       sat;
       blast = Bitblast.create ~gate_budget sat;
       elim = Arrays.create_state ();
+      cache = Cache.shard_for_current_space ();
       budget;
       gate_budget;
       stack = [];
@@ -289,7 +335,7 @@ module Session = struct
         Array.of_list (List.sort_uniq compare ids)
       in
       let set = Cache.ISet.of_list (Array.to_list key) in
-      match Cache.lookup key set with
+      match Cache.lookup t.cache key set with
       | Some (o, kind) ->
           t.hits <- t.hits + 1;
           (match kind with
@@ -327,13 +373,13 @@ module Session = struct
               let res = Sat.solve ~budget ~assumptions t.sat in
               (match res with
               | Sat.Unsat ->
-                  Cache.store key set Unsat;
+                  Cache.store t.cache key set Unsat;
                   finish Unsat
               | Sat.Unknown ->
                   finish (Unknown "propagation budget exhausted during search")
               | Sat.Sat ->
                   let m = extract_model t in
-                  Cache.store key set (Sat m);
+                  Cache.store t.cache key set (Sat m);
                   finish (Sat m)))
     end
 

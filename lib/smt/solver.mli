@@ -47,11 +47,17 @@ val default_gate_budget : int
     solver assumptions, so [pop] retires the newest assertion without
     discarding its encoding or anything learned from it.
 
-    Results are memoized in a process-wide cache keyed by the canonical
-    (sorted, deduplicated) hash-consed ids of the asserted set.  Besides
-    exact hits, a cached UNSAT core refutes any superset and a cached
-    model of a superset satisfies any subset; [Unknown] results are
-    budget artifacts and are never cached.
+    Results are memoized in a result cache keyed by the canonical
+    (sorted, deduplicated) hash-consed ids of the asserted set.  The
+    cache is sharded by interning space ({!Expr.space_stamp}): sessions
+    created in the same space share a mutex-protected shard, sessions in
+    different spaces never see each other's entries (ids from different
+    spaces denote different terms, so a cross-space hit would be
+    unsound).  Each session tallies its own hits and misses exactly,
+    even under concurrent domains.  Besides exact hits, a cached UNSAT
+    core refutes any superset and a cached model of a superset satisfies
+    any subset; [Unknown] results are budget artifacts and are never
+    cached.
 
     Budgets stay deterministic because the work counters carry over
     across incremental calls.  The propagation budget is a per-check
@@ -109,7 +115,7 @@ val is_satisfiable :
 val must_be_true :
   ?budget:int -> ?gate_budget:int -> Expr.t list -> Expr.t -> (bool, string) result
 
-(** Drop every entry of the process-wide result cache (test isolation). *)
+(** Drop every shard of the result cache (test isolation). *)
 val reset_cache : unit -> unit
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,196 @@
+(* Tests for domain-parallel fleet execution (Er_core.Fleet) and the
+   domain-safety work underneath it: the determinism contract between
+   -j settings, per-bug crash isolation, and exact solver result-cache
+   accounting when one shared cache is hammered from several domains. *)
+
+module Fleet = Er_core.Fleet
+module Pipeline = Er_core.Pipeline
+module Bug = Er_corpus.Bug
+module Registry = Er_corpus.Registry
+
+(* A cheap corpus subset so the suite stays fast; names must exist. *)
+let subset_names =
+  [ "bash-108885"; "libpng-2004-0597"; "pbzip2"; "python-2018-1000030" ]
+
+let subset () =
+  List.map
+    (fun n ->
+       match Registry.find n with
+       | Some s -> s
+       | None -> Alcotest.failf "corpus bug %s disappeared" n)
+    subset_names
+
+let job_of_spec (s : Bug.spec) =
+  {
+    Fleet.job_name = s.Bug.name;
+    job_run =
+      (fun () ->
+         Pipeline.run ~config:s.Bug.config ~base_prog:s.Bug.program
+           ~workload:s.Bug.failing_workload ());
+  }
+
+(* --- determinism: -j 1 and -j 4 agree byte for byte ----------------- *)
+
+let test_determinism () =
+  let norm jobs =
+    let report = Fleet.run ~jobs (List.map job_of_spec (subset ())) in
+    (* rows come back in submission order regardless of completion order *)
+    Alcotest.(check (list string))
+      "row order is submission order" subset_names
+      (List.map (fun r -> r.Fleet.row_name) report.Fleet.rows);
+    Fleet.report_to_json ~normalize:true report
+  in
+  let j1 = norm 1 and j4 = norm 4 in
+  Alcotest.(check string) "normalized -j1 = -j4" j1 j4
+
+(* --- crash isolation ------------------------------------------------ *)
+
+(* A synthetic corpus bug whose workload raises while the pipeline is
+   driving it: the fleet must report a structured [Worker_crashed] row
+   for it and still complete every other bug. *)
+let test_crash_isolation () =
+  let good = List.map job_of_spec (subset ()) in
+  let sick = Registry.running_example in
+  let crashing =
+    {
+      Fleet.job_name = "synthetic-crasher";
+      job_run =
+        (fun () ->
+           Pipeline.run ~config:sick.Bug.config ~base_prog:sick.Bug.program
+             ~workload:(fun ~occurrence:_ ->
+               failwith "synthetic mid-reconstruction fault")
+             ());
+    }
+  in
+  (* crasher in the middle, so healthy jobs surround it in every deque *)
+  let jobs =
+    match good with a :: rest -> a :: crashing :: rest | [] -> [ crashing ]
+  in
+  let report = Fleet.run ~jobs:4 jobs in
+  let crashed, finished =
+    List.partition
+      (fun r ->
+         match r.Fleet.row_outcome with
+         | Fleet.Worker_crashed _ -> true
+         | Fleet.Finished _ -> false)
+      report.Fleet.rows
+  in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (match crashed with
+   | [ { Fleet.row_name = "synthetic-crasher"; row_outcome; _ } ] -> (
+       match row_outcome with
+       | Fleet.Worker_crashed { exn; _ } ->
+           Alcotest.(check bool) "exception text preserved" true
+             (contains ~sub:"synthetic" exn)
+       | Fleet.Finished _ -> assert false)
+   | rows ->
+       Alcotest.failf "expected exactly the synthetic crash, got %d crashes"
+         (List.length rows));
+  Alcotest.(check int) "every other bug completed" (List.length good)
+    (List.length finished);
+  List.iter
+    (fun r ->
+       match r.Fleet.row_outcome with
+       | Fleet.Finished res -> (
+           match res.Pipeline.status with
+           | Pipeline.Reproduced _ -> ()
+           | Pipeline.Gave_up _ ->
+               Alcotest.failf "%s should reproduce" r.Fleet.row_name)
+       | Fleet.Worker_crashed _ -> assert false)
+    finished
+
+(* --- concurrent access to one shared solver cache ------------------- *)
+
+(* Four domains share one interning space (hence one result-cache
+   shard) and fire sessions at it concurrently.  Exact accounting must
+   survive: every nontrivial check is exactly one cache hit or one
+   cache miss, both per session and in the atomic registry counters. *)
+let concurrent_cache_prop picks =
+  Er_smt.Solver.reset_cache ();
+  let sp = Er_smt.Expr.create_space () in
+  let pool =
+    Er_smt.Expr.with_space sp (fun () ->
+        let x = Er_smt.Expr.bv_var "cc_x" ~width:16 in
+        Array.init 8 (fun i ->
+            Er_smt.Expr.eq
+              (Er_smt.Expr.urem x
+                 (Er_smt.Expr.const ~width:16 (Int64.of_int (i + 2))))
+              (Er_smt.Expr.const ~width:16 1L)))
+  in
+  let workloads = Array.make 4 [] in
+  List.iteri
+    (fun i pick -> workloads.(i mod 4) <- pick :: workloads.(i mod 4))
+    picks;
+  let registry = Er_metrics.default in
+  Er_metrics.reset registry;
+  Er_metrics.set_enabled registry true;
+  let stats =
+    Fun.protect
+      ~finally:(fun () -> Er_metrics.set_enabled registry false)
+      (fun () ->
+        let hammer w () =
+          Er_smt.Expr.with_space sp (fun () ->
+              let s = Er_smt.Solver.Session.create () in
+              List.iter
+                (fun pick ->
+                   Er_smt.Solver.Session.push s pool.(pick);
+                   ignore (Er_smt.Solver.Session.check s);
+                   Er_smt.Solver.Session.pop s)
+                w;
+              Er_smt.Solver.Session.cache_stats s)
+        in
+        let domains =
+          Array.map (fun w -> Domain.spawn (hammer w)) workloads
+        in
+        Array.to_list (Array.map Domain.join domains))
+  in
+  let queries = List.length picks in
+  let hits =
+    List.fold_left
+      (fun a s -> a + s.Er_smt.Solver.Session.cache_hits)
+      0 stats
+  and misses =
+    List.fold_left
+      (fun a s -> a + s.Er_smt.Solver.Session.cache_misses)
+      0 stats
+  in
+  let session_exact =
+    List.for_all2
+      (fun s w ->
+         s.Er_smt.Solver.Session.cache_hits
+         + s.Er_smt.Solver.Session.cache_misses
+         = List.length w)
+      stats (Array.to_list workloads)
+  in
+  (* the registry counters saw the same traffic, with no torn updates *)
+  let snap = Er_metrics.snapshot ~registry () in
+  let m_hits =
+    Er_metrics.Snapshot.counter_total snap "er_smt_session_cache_hits_total"
+  and m_misses =
+    Er_metrics.Snapshot.counter_total snap "er_smt_session_cache_misses_total"
+  in
+  session_exact && hits + misses = queries
+  && m_hits = hits && m_misses = misses
+
+let test_concurrent_cache =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:15
+       ~name:"4 domains, one shared cache: hits+misses = queries"
+       QCheck.(list_of_size Gen.(int_range 4 40) (int_range 0 7))
+       concurrent_cache_prop)
+
+let suites =
+  [
+    ( "fleet",
+      [
+        Alcotest.test_case "-j1 and -j4 normalized reports identical" `Slow
+          test_determinism;
+        Alcotest.test_case "worker crash isolates to its row" `Slow
+          test_crash_isolation;
+        test_concurrent_cache;
+      ] );
+  ]
