@@ -2,7 +2,8 @@
 # full test suite, the format check, the one-bug bench smoke, the
 # fleet-determinism gate and the persisted-trajectory validation.
 
-.PHONY: all build test fmt ci fleet fleet-determinism bench-smoke bench-fleet
+.PHONY: all build test fmt ci fleet fleet-determinism bench-smoke bench-vm \
+	bench-fleet
 
 all: build
 
@@ -30,8 +31,9 @@ ci:
 	dune runtest
 	$(MAKE) fmt
 	$(MAKE) bench-smoke
+	$(MAKE) bench-vm
 	$(MAKE) fleet-determinism
-	dune exec bench/main.exe -- --validate BENCH_4.json --baseline BENCH_3.json
+	dune exec bench/main.exe -- --validate BENCH_5.json --baseline BENCH_4.json --baseline-exact
 
 # Run the whole bug corpus through the staged pipeline on a domain pool.
 fleet:
@@ -51,7 +53,14 @@ fleet-determinism:
 bench-smoke:
 	dune exec bench/main.exe -- smoke -o /tmp/er_bench_smoke.json
 
+# Pre-lowered engine vs reference interpreter on the Table 1 perf
+# workloads.  The gate compares speedup ratios, not raw instr/sec, so
+# it holds across machines: below 2x, or >10% under the committed
+# trajectory's recorded speedup, fails.
+bench-vm:
+	dune exec bench/main.exe -- vm -o /tmp/er_bench_vm.json --vm-baseline BENCH_5.json
+
 # Regenerate the committed trajectory: full corpus + overheads + the
-# sequential-vs-parallel fleet trials.
+# sequential-vs-parallel fleet trials + the vm engine comparison.
 bench-fleet:
-	dune exec bench/main.exe -- table1 fig6 fleet -o BENCH_4.json
+	dune exec bench/main.exe -- table1 fig6 fleet vm -o BENCH_5.json

@@ -13,16 +13,21 @@
      casestudy  sec. 5.4 — invariant-based failure localization (od, pr)
      micro      Bechamel micro-benchmarks
      smoke      one-bug pipeline + overhead run, for CI
+     vm         pre-lowered engine vs reference interpreter, instr/sec
+     fleet      Table 1 corpus on a domain pool, -j 1 vs -j 4
 
    With no argument, everything runs in order.  [-o FILE] persists the
    collected per-bug trajectory (overhead %, trace bytes, solver cost,
-   cache traffic, iterations) as JSON — the committed BENCH_3.json is
-   produced by `table1 fig6 -o BENCH_3.json`.  [--validate FILE]
+   cache traffic, iterations) as JSON — the committed BENCH_5.json is
+   produced by `table1 fig6 fleet vm -o BENCH_5.json`.  [--validate FILE]
    re-parses such a file with Er_core.Json and checks its shape, exiting
    non-zero on any mismatch.  [--baseline FILE] additionally gates the
    validated trajectory's total solver_cost against FILE's: more than a
    10% regression exits non-zero (the counters are deterministic, so the
-   gate is machine-independent). *)
+   gate is machine-independent); [--baseline-exact] tightens that to
+   exact equality.  [--vm-baseline FILE] gates the [vm] job's
+   lowered-vs-reference speedup: below 2x, or more than 10% under
+   FILE's recorded speedup, exits non-zero. *)
 
 open Er_corpus
 
@@ -145,6 +150,52 @@ let run_fig6 () =
   Printf.printf "%-22s %11.1f%%       %11.1f%%\n" "average"
     (avg (fun (_, e, _) -> e.mean))
     (avg (fun (_, _, r) -> r.mean))
+
+(* ------------------------------------------------------------------ *)
+(* bench vm: pre-lowered engine vs reference interpreter               *)
+(* ------------------------------------------------------------------ *)
+
+(* (name, instrs, reference seconds, lowered seconds) per Table 1
+   performance workload; the two engines retire identical instruction
+   streams (the differential suite pins that down), so instr/sec
+   compares directly. *)
+let vm_results : (string * int * float * float) list ref = ref []
+
+let run_vm () =
+  section "bench vm: pre-lowered engine vs reference interpreter";
+  Printf.printf "%-22s %10s %10s %11s %12s %12s %8s\n" "Application" "#Instr"
+    "ref (s)" "lowered (s)" "ref ips" "lowered ips" "speedup";
+  let runs = 5 in
+  List.iter
+    (fun (s : Bug.spec) ->
+       let prog = Er_ir.Prog.of_program s.Bug.program in
+       (* compile into the code cache outside the timed region — the
+          lowering is a one-time cost amortized over every replay *)
+       ignore (Er_ir.Prog.lowered prog);
+       let inputs = s.Bug.perf_inputs () in
+       let instrs = (Er_vm.Interp.run prog inputs).Er_vm.Interp.instr_count in
+       let lm, _ =
+         measure_runs (fun () -> ignore (Er_vm.Interp.run prog inputs)) ~runs
+       in
+       let rm, _ =
+         measure_runs
+           (fun () -> ignore (Er_vm.Interp.run_reference prog inputs))
+           ~runs
+       in
+       vm_results := (s.Bug.name, instrs, rm, lm) :: !vm_results;
+       let ips t = if t > 0. then float_of_int instrs /. t else 0. in
+       Printf.printf "%-22s %10d %10.4f %11.4f %12.0f %12.0f %7.2fx\n%!"
+         s.Bug.name instrs rm lm (ips rm) (ips lm)
+         (if lm > 0. then rm /. lm else 1.))
+    Registry.table1;
+  let ti = List.fold_left (fun a (_, i, _, _) -> a + i) 0 !vm_results in
+  let tr = List.fold_left (fun a (_, _, r, _) -> a +. r) 0.0 !vm_results in
+  let tl = List.fold_left (fun a (_, _, _, l) -> a +. l) 0.0 !vm_results in
+  Printf.printf "%-22s %10d %10.4f %11.4f %12.0f %12.0f %7.2fx\n" "total" ti
+    tr tl
+    (if tr > 0. then float_of_int ti /. tr else 0.)
+    (if tl > 0. then float_of_int ti /. tl else 0.)
+    (if tl > 0. then tr /. tl else 1.)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 5: benefits of data value recording on symex progress           *)
@@ -496,6 +547,33 @@ let bench_json () =
           (List.fold_left (fun a x -> a +. sel x) 0.0 xs
            /. float_of_int (List.length xs))
   in
+  let vm_section =
+    match List.rev !vm_results with
+    | [] -> []
+    | rows ->
+        let ti = List.fold_left (fun a (_, i, _, _) -> a + i) 0 rows in
+        let tr = List.fold_left (fun a (_, _, r, _) -> a +. r) 0.0 rows in
+        let tl = List.fold_left (fun a (_, _, _, l) -> a +. l) 0.0 rows in
+        [ ( "vm",
+            J.Obj
+              [ ( "bugs",
+                  J.List
+                    (List.map
+                       (fun (n, i, r, l) ->
+                          J.Obj
+                            [ ("name", J.Str n); ("instrs", J.Int i);
+                              ("reference_s", J.Float r);
+                              ("lowered_s", J.Float l);
+                              ( "speedup",
+                                J.Float (if l > 0. then r /. l else 1.) ) ])
+                       rows) );
+                ("total_instrs", J.Int ti);
+                ( "reference_ips",
+                  J.Float (if tr > 0. then float_of_int ti /. tr else 0.) );
+                ( "lowered_ips",
+                  J.Float (if tl > 0. then float_of_int ti /. tl else 0.) );
+                ("speedup", J.Float (if tl > 0. then tr /. tl else 1.)) ] ) ]
+  in
   let fleet_section =
     match List.rev !fleet_trials with
     | [] -> []
@@ -520,7 +598,7 @@ let bench_json () =
   in
   J.Obj
     ([
-      ("bench", J.Int 4);
+      ("bench", J.Int 5);
       ("bugs", J.List (List.map bug_obj results));
       ( "totals",
         J.Obj
@@ -536,7 +614,7 @@ let bench_json () =
             ("mean_rr_overhead_pct", mean (fun (_, _, r) -> r.mean));
           ] );
     ]
-     @ fleet_section)
+     @ vm_section @ fleet_section)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -554,7 +632,7 @@ let validate_bench path =
   | Some doc ->
       let ok_version =
         match Option.bind (J.member "bench" doc) J.to_int with
-        | Some (2 | 3 | 4) -> true
+        | Some (2 | 3 | 4 | 5) -> true
         | _ ->
             Printf.eprintf "%s: missing or wrong \"bench\" version\n" path;
             false
@@ -563,7 +641,8 @@ let validate_bench path =
         Option.bind (J.member "bugs" doc) J.to_list |> Option.value ~default:[]
       in
       let ok_bugs =
-        bugs <> []
+        (* a vm-only trajectory (CI's `vm -o FILE`) has no pipeline rows *)
+        (bugs <> [] || Option.is_some (J.member "vm" doc))
         && List.for_all
              (fun b ->
                 let has k conv = Option.is_some (Option.bind (J.member k b) conv) in
@@ -592,8 +671,21 @@ let total_solver_cost path =
       Option.bind (J.member "totals" doc) (fun t ->
           Option.bind (J.member "solver_cost" t) J.to_int))
 
-let check_baseline ~current ~baseline =
+let check_baseline ~exact ~current ~baseline =
   match (total_solver_cost current, total_solver_cost baseline) with
+  | Some cur, Some base when exact ->
+      if cur <> base then begin
+        Printf.eprintf
+          "%s: total solver_cost %d differs from %s (%d); the counters are \
+           deterministic, so any drift is a real behavior change\n"
+          current cur baseline base;
+        false
+      end
+      else begin
+        Printf.printf "%s: total solver_cost %d exactly matches %s\n" current
+          cur baseline;
+        true
+      end
   | Some cur, Some base ->
       let limit = base + (base / 10) in
       if cur > limit then begin
@@ -613,6 +705,39 @@ let check_baseline ~current ~baseline =
   | _, None ->
       Printf.eprintf "%s: cannot read totals.solver_cost\n" baseline;
       false
+
+(* The [vm] job's perf gate: the lowered engine must stay at least 2x
+   over the reference interpreter, and within 10% of the committed
+   trajectory's recorded speedup.  The gate compares speedup ratios,
+   not raw instr/sec, so it transfers across machines. *)
+let vm_speedup path =
+  Option.bind (J.parse (read_file path)) (fun doc ->
+      Option.bind (J.member "vm" doc) (fun v ->
+          Option.bind (J.member "speedup" v) J.to_float))
+
+let check_vm_baseline ~current ~baseline =
+  match vm_speedup current with
+  | None ->
+      Printf.eprintf "%s: cannot read vm.speedup\n" current;
+      false
+  | Some cur ->
+      let floor_speedup =
+        match vm_speedup baseline with
+        | Some base -> Float.max 2.0 (0.9 *. base)
+        | None -> 2.0 (* pre-lowering trajectories carry no vm section *)
+      in
+      if cur < floor_speedup then begin
+        Printf.eprintf
+          "%s: vm speedup %.2fx is below the regression floor %.2fx \
+           (baseline %s)\n"
+          current cur floor_speedup baseline;
+        false
+      end
+      else begin
+        Printf.printf "%s: vm speedup %.2fx (floor %.2fx from %s)\n" current
+          cur floor_speedup baseline;
+        true
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Smoke: one bug end to end, cheap enough for every CI run            *)
@@ -777,14 +902,23 @@ let () =
       ("casestudy", run_casestudy);
       ("micro", run_micro);
       ("smoke", run_smoke);
+      ("vm", run_vm);
       ("fleet", run_fleet);
     ]
   in
+  let exact = ref false in
+  let vm_base = ref None in
   let rec parse (names, out, validate, baseline) = function
     | [] -> (List.rev names, out, validate, baseline)
     | "-o" :: f :: rest -> parse (names, Some f, validate, baseline) rest
     | "--validate" :: f :: rest -> parse (names, out, Some f, baseline) rest
     | "--baseline" :: f :: rest -> parse (names, out, validate, Some f) rest
+    | "--baseline-exact" :: rest ->
+        exact := true;
+        parse (names, out, validate, baseline) rest
+    | "--vm-baseline" :: f :: rest ->
+        vm_base := Some f;
+        parse (names, out, validate, baseline) rest
     | n :: rest -> parse (n :: names, out, validate, baseline) rest
   in
   let names, out, validate, baseline =
@@ -815,13 +949,23 @@ let () =
   (match validate with
    | None -> ()
    | Some path -> if not (validate_bench path) then exit 1);
-  match baseline with
+  (match baseline with
+   | None -> ()
+   | Some base -> (
+       (* gate the validated trajectory (or the one just written) *)
+       match validate, out with
+       | Some cur, _ | None, Some cur ->
+           if not (check_baseline ~exact:!exact ~current:cur ~baseline:base)
+           then exit 1
+       | None, None ->
+           Printf.eprintf "--baseline needs --validate FILE or -o FILE\n";
+           exit 1));
+  match !vm_base with
   | None -> ()
   | Some base -> (
-      (* gate the validated trajectory (or the one just written) *)
       match validate, out with
       | Some cur, _ | None, Some cur ->
-          if not (check_baseline ~current:cur ~baseline:base) then exit 1
+          if not (check_vm_baseline ~current:cur ~baseline:base) then exit 1
       | None, None ->
-          Printf.eprintf "--baseline needs --validate FILE or -o FILE\n";
+          Printf.eprintf "--vm-baseline needs --validate FILE or -o FILE\n";
           exit 1)

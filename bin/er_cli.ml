@@ -160,6 +160,42 @@ let reproduce_cmd =
    deterministic across [-j] settings (see Fleet); only wall clocks and
    worker placement vary, and [--json --normalize] strips exactly those,
    which is what the CI fleet-determinism gate diffs. *)
+(* The committed bench trajectory's sequential fleet wall clock: the
+   jobs=1 trial of the newest BENCH_*.json in the working directory.
+   Absent file or section (running outside the repo root, say) simply
+   disables the comparison. *)
+let baseline_sequential_wall () =
+  let module J = Er_core.Json in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let wall_of path =
+    if not (Sys.file_exists path) then None
+    else
+      Option.bind (J.parse (read_file path)) (fun doc ->
+          Option.bind (J.member "fleet" doc) (fun f ->
+              Option.bind (J.member "trials" f) (fun t ->
+                  Option.bind (J.to_list t) (fun trials ->
+                      List.find_map
+                        (fun trial ->
+                           match
+                             Option.bind (J.member "jobs" trial) J.to_int
+                           with
+                           | Some 1 ->
+                               Option.bind
+                                 (Option.bind (J.member "wall" trial)
+                                    J.to_float)
+                                 (fun w -> Some (path, w))
+                           | Some _ | None -> None)
+                        trials))))
+  in
+  match wall_of "BENCH_5.json" with
+  | Some r -> Some r
+  | None -> wall_of "BENCH_4.json"
+
 let fleet_cmd =
   let stage_times (r : Er_core.Pipeline.result) =
     List.fold_left
@@ -240,7 +276,19 @@ let fleet_cmd =
     Printf.printf "fleet: %d job(s), wall %.3fs, cpu %.3fs, speedup %.2fx\n"
       report.Er_core.Fleet.jobs report.Er_core.Fleet.wall
       report.Er_core.Fleet.cpu
-      (Er_core.Fleet.speedup report)
+      (Er_core.Fleet.speedup report);
+    (* wall-clock speedup against the committed sequential trajectory:
+       the jobs=1 fleet trial persisted in BENCH_*.json.  Table mode
+       only — the normalized JSON report must stay free of wall clocks
+       so the determinism gate keeps diffing byte-identical output. *)
+    match baseline_sequential_wall () with
+    | Some (file, base_wall) when report.Er_core.Fleet.wall > 0. ->
+        Printf.printf
+          "fleet: %.2fx wall speedup vs committed sequential baseline \
+           (%s: %.3fs)\n"
+          (base_wall /. report.Er_core.Fleet.wall)
+          file base_wall
+    | Some _ | None -> ()
   in
   let run jobs json normalize events_file metrics_out =
     with_events_sink events_file (fun events ->

@@ -8,6 +8,7 @@ type t = {
   funcs : (string, func) Hashtbl.t;
   blocks : (string * string, block) Hashtbl.t;  (* (func, label) *)
   globals : (string, global) Hashtbl.t;
+  mutable low : Lower.t option;  (* lowered form, built on first demand *)
 }
 
 let of_program (program : program) : t =
@@ -19,7 +20,21 @@ let of_program (program : program) : t =
       List.iter (fun b -> Hashtbl.replace blocks (f.fname, b.label) b) f.blocks)
     program.funcs;
   List.iter (fun g -> Hashtbl.replace globals g.gname g) program.globals;
-  { program; funcs; blocks; globals }
+  { program; funcs; blocks; globals; low = None }
+
+(* The lowered code cache.  A [Prog.t] is immutable after construction
+   (instrumentation builds a new program, hence a new [Prog.t]), so the
+   cache never needs invalidation.  The benign race on [low] is safe:
+   concurrent domains would at worst each compile once and one result
+   wins — [Lower.compile] is pure — but in practice each fleet job
+   constructs its own [Prog.t]. *)
+let lowered t =
+  match t.low with
+  | Some l -> l
+  | None ->
+      let l = Lower.compile t.program in
+      t.low <- Some l;
+      l
 
 let func t name =
   match Hashtbl.find_opt t.funcs name with

@@ -58,8 +58,24 @@ type result = {
 (** [run prog ~trace ~failure ~failure_clock] shepherds symbolic
     execution along [trace] until the instruction at [failure_clock]
     (which must match [failure]'s program point), then solves for
-    failure-inducing inputs. *)
+    failure-inducing inputs.
+
+    [run] dispatches over the pre-lowered code cache
+    ({!Er_ir.Lower}); {!run_reference} interprets the raw IR with
+    string-keyed register files.  Both produce identical outcomes,
+    path constraints, and (deterministic) solver costs — the
+    differential suite pins this down. *)
 val run :
+  ?config:config ->
+  Er_ir.Prog.t ->
+  trace:Er_trace.Decoder.split ->
+  failure:Er_vm.Failure.t ->
+  failure_clock:int ->
+  result
+
+(** The retained reference engine, used by the differential tests and
+    the [bench vm] reference timing. *)
+val run_reference :
   ?config:config ->
   Er_ir.Prog.t ->
   trace:Er_trace.Decoder.split ->

@@ -176,6 +176,7 @@ type tstatus = Runnable | Blocked_lock of int64 | Waiting_join | Done_t
 type thread = {
   tid : int;
   mutable stack : frame list;       (* innermost first *)
+  mutable depth : int;              (* cached [List.length stack] *)
   mutable status : tstatus;
 }
 
@@ -247,8 +248,10 @@ let eval_cmp op w a b =
 
 (* --- setup ---------------------------------------------------------------- *)
 
-let alloc_global st (g : global) =
-  match Memory.alloc st.mem ~elt_ty:g.g_elt_ty ~size:g.g_size ~heap:true with
+(* Shared by both engines so global allocation order — hence object ids
+   and packed pointers — is identical. *)
+let alloc_global_mem mem (g : global) : int64 =
+  match Memory.alloc mem ~elt_ty:g.g_elt_ty ~size:g.g_size ~heap:true with
   | None -> invalid_arg ("Interp: global too large: " ^ g.gname)
   | Some p ->
       (match g.g_init with
@@ -257,14 +260,17 @@ let alloc_global st (g : global) =
            Array.iteri
              (fun i v ->
                 match
-                  Memory.store st.mem
+                  Memory.store mem
                     (Memory.ptr ~obj:(Memory.ptr_obj p) ~index:i)
                     ~ty:g.g_elt_ty (norm g.g_elt_ty v)
                 with
                 | Ok _ -> ()
                 | Error _ -> assert false)
              init);
-      Hashtbl.replace st.globals g.gname p
+      p
+
+let alloc_global st (g : global) =
+  Hashtbl.replace st.globals g.gname (alloc_global_mem st.mem g)
 
 let make_frame (f : func) (args : int64 list) ~dst =
   let regs = Hashtbl.create 16 in
@@ -297,6 +303,7 @@ let do_return st (th : thread) v : step =
        | None -> ());
       List.iter (Memory.release_stack st.mem) fr.fr_stack_objs;
       th.stack <- rest;
+      th.depth <- th.depth - 1;
       (match rest with
        | [] ->
            th.status <- Done_t;
@@ -397,7 +404,7 @@ let step_instr st (th : thread) (fr : frame) (i : instr) : step =
       fr.fr_ip <- fr.fr_ip + 1;
       Stepped
   | Call { dst; func; args } ->
-      if List.length th.stack >= st.cfg.max_call_depth then
+      if th.depth >= st.cfg.max_call_depth then
         raise (Crash Failure.Stack_overflow);
       let f = Er_ir.Prog.func st.prog func in
       let vargs = List.map ev args in
@@ -406,6 +413,7 @@ let step_instr st (th : thread) (fr : frame) (i : instr) : step =
        | None -> ());
       fr.fr_ip <- fr.fr_ip + 1;    (* return to the next instruction *)
       th.stack <- make_frame f vargs ~dst :: th.stack;
+      th.depth <- th.depth + 1;
       Stepped
   | Input { dst; ty; stream } ->
       (match Inputs.read st.inputs stream with
@@ -438,7 +446,7 @@ let step_instr st (th : thread) (fr : frame) (i : instr) : step =
       let vargs = List.map ev args in
       let t =
         { tid = st.next_tid; stack = [ make_frame f vargs ~dst:None ];
-          status = Runnable }
+          depth = 1; status = Runnable }
       in
       st.next_tid <- st.next_tid + 1;
       st.threads <- st.threads @ [ t ];
@@ -526,8 +534,8 @@ let chunk_quantum cfg turn =
   let j = if cfg.quantum_jitter = 0 then 0 else (h mod (2 * cfg.quantum_jitter)) - cfg.quantum_jitter in
   max 8 (cfg.quantum + j)
 
-let run ?(config = default_config) (prog : Er_ir.Prog.t) (inputs : Inputs.t) :
-  run_result =
+let run_reference ?(config = default_config) (prog : Er_ir.Prog.t)
+    (inputs : Inputs.t) : run_result =
   Inputs.reset inputs;
   let st =
     {
@@ -547,7 +555,8 @@ let run ?(config = default_config) (prog : Er_ir.Prog.t) (inputs : Inputs.t) :
   List.iter (alloc_global st) prog.program.globals;
   let main_func = Er_ir.Prog.main prog in
   let main_thread =
-    { tid = 0; stack = [ make_frame main_func [] ~dst:None ]; status = Runnable }
+    { tid = 0; stack = [ make_frame main_func [] ~dst:None ]; depth = 1;
+      status = Runnable }
   in
   st.threads <- [ main_thread ];
   let finish outcome =
@@ -662,6 +671,541 @@ let run ?(config = default_config) (prog : Er_ir.Prog.t) (inputs : Inputs.t) :
                       (Failed
                          { Failure.kind = Failure.Deadlock; point;
                            stack; thread = victim.tid }))
+             end))
+  done;
+  match !result with Some r -> r | None -> assert false
+
+(* ======================================================================== *)
+(* Lowered engine                                                           *)
+(* ======================================================================== *)
+
+(* The production interpreter: dispatch over the pre-lowered code cache
+   ({!Er_ir.Lower}).  Register files are dense [int64 array]s indexed by
+   slot, control flow and call targets are array indices, the call-depth
+   check is a cached counter, and per-class retirement metrics are
+   flushed one batched [M.add] per retired block.  Every observable —
+   hook invocations and their order, failure reports, outputs, metric
+   totals — matches [run_reference] bit for bit; the differential suite
+   in test/test_lower.ml pins this down. *)
+
+module L = Er_ir.Lower
+
+type lframe = {
+  lfr_func : L.lfunc;
+  mutable lfr_block : L.lblock;
+  mutable lfr_ip : int;
+  lfr_regs : int64 array;
+  lfr_defined : Bytes.t;   (* per-slot definedness; length 0 when untracked *)
+  lfr_dst : int option;    (* caller slot for the return value *)
+  mutable lfr_stack_objs : int list;
+}
+
+type lthread = {
+  ltid : int;
+  mutable lstack : lframe list;    (* innermost first *)
+  mutable ldepth : int;            (* cached [List.length lstack] *)
+  mutable lstatus : tstatus;
+}
+
+type lst = {
+  llow : L.t;
+  lmem : Memory.t;
+  linputs : Inputs.t;
+  lcfg : config;
+  lglobal_ptrs : int64 array;      (* indexed like [llow.l_globals] *)
+  lmutexes : (int64, int) Hashtbl.t;
+  mutable lthreads : lthread list;
+  mutable lnext_tid : int;
+  mutable lclock : int;
+  mutable lbranches : int;
+  mutable loutputs : int64 list;
+}
+
+let lpoint_of (fr : lframe) =
+  { p_func = fr.lfr_func.L.lf_name; p_block = fr.lfr_block.L.lb_label;
+    p_index = fr.lfr_ip }
+
+let lstack_of (th : lthread) = List.map lpoint_of th.lstack
+
+let ev_operand st (fr : lframe) (o : L.operand) : int64 =
+  match o with
+  | L.Oslot s -> Array.unsafe_get fr.lfr_regs s
+  | L.Oimm { v; _ } -> v
+  | L.Onull -> Memory.null
+  | L.Oglobal i -> st.lglobal_ptrs.(i)
+  | L.Ocheck { slot; reg } ->
+      if Bytes.get fr.lfr_defined slot = '\001' then fr.lfr_regs.(slot)
+      else
+        invalid_arg
+          (Printf.sprintf "Interp: read of undefined register %s in %s" reg
+             fr.lfr_func.L.lf_name)
+
+(* Slot write without the on_def hook: return values and parameter
+   binding, mirroring the plain [set_reg] of the reference engine. *)
+let lset_slot (fr : lframe) slot v =
+  fr.lfr_regs.(slot) <- v;
+  if Bytes.length fr.lfr_defined <> 0 then Bytes.set fr.lfr_defined slot '\001'
+
+let empty_defined = Bytes.create 0
+
+let make_lframe (lf : L.lfunc) (args : int64 list) ~dst =
+  let regs = Array.make lf.L.lf_nslots 0L in
+  let defined =
+    if lf.L.lf_tracked then Bytes.make lf.L.lf_nslots '\000' else empty_defined
+  in
+  let fr =
+    { lfr_func = lf; lfr_block = lf.L.lf_blocks.(0); lfr_ip = 0;
+      lfr_regs = regs; lfr_defined = defined; lfr_dst = dst;
+      lfr_stack_objs = [] }
+  in
+  if List.length args <> Array.length lf.L.lf_params then
+    invalid_arg (Printf.sprintf "Interp: arity mismatch calling %s" lf.L.lf_name);
+  List.iteri
+    (fun i v ->
+       let slot, ty = lf.L.lf_params.(i) in
+       lset_slot fr slot (norm ty v))
+    args;
+  fr
+
+(* One batched add per counter class for a fully retired block
+   (instructions + terminator). *)
+let flush_delta (d : L.delta) =
+  if d.L.d_alu > 0 then M.add m_i_alu d.L.d_alu;
+  if d.L.d_load > 0 then begin
+    M.add m_i_load d.L.d_load;
+    M.add m_loads d.L.d_load
+  end;
+  if d.L.d_store > 0 then begin
+    M.add m_i_store d.L.d_store;
+    M.add m_stores d.L.d_store
+  end;
+  if d.L.d_mem > 0 then M.add m_i_mem d.L.d_mem;
+  if d.L.d_call > 0 then M.add m_i_call d.L.d_call;
+  if d.L.d_io > 0 then M.add m_i_io d.L.d_io;
+  if d.L.d_sync > 0 then M.add m_i_sync d.L.d_sync;
+  if d.L.d_branch > 0 then M.add m_i_branch d.L.d_branch;
+  if d.L.d_other > 0 then M.add m_i_other d.L.d_other;
+  if d.L.d_cond > 0 then M.add m_branches d.L.d_cond
+
+(* At run end, account the partially retired block of every live frame
+   so totals equal the reference engine's per-instruction counts.  For
+   the frame that raised [Crash] at an instruction, the crashing
+   instruction itself was "counted before execution" by the reference
+   engine, so include it; a crash at a terminator was already covered by
+   the pre-terminator [flush_delta].  A pending-but-never-attempted
+   instruction (hang check, blocked sync op) is excluded, again like the
+   reference, whose per-attempt counts for blocked ops are instead added
+   at each [Blocked] step. *)
+let flush_partial st ~(crashed : lthread option) =
+  if M.enabled M.default then
+    List.iter
+      (fun th ->
+         List.iteri
+           (fun fi fr ->
+              let src = fr.lfr_block.L.lb_src in
+              let len = Array.length src.instrs in
+              let crashed_top =
+                (match crashed with Some t -> t == th | None -> false)
+                && fi = 0
+              in
+              let stop =
+                if crashed_top then
+                  if fr.lfr_ip < len then fr.lfr_ip + 1 else 0
+                else min fr.lfr_ip len
+              in
+              for k = 0 to stop - 1 do
+                count_instr src.instrs.(k)
+              done)
+           th.lstack)
+      st.lthreads
+
+let ldo_return st (th : lthread) v : step =
+  match th.lstack with
+  | [] -> assert false
+  | fr :: rest ->
+      (match st.lcfg.hooks.on_ret with
+       | Some h -> h ~func:fr.lfr_func.L.lf_name ~value:v
+       | None -> ());
+      List.iter (Memory.release_stack st.lmem) fr.lfr_stack_objs;
+      th.lstack <- rest;
+      th.ldepth <- th.ldepth - 1;
+      (match rest with
+       | [] ->
+           th.lstatus <- Done_t;
+           if th.ltid = 0 then Program_done v else Thread_done
+       | caller :: _ ->
+           (match fr.lfr_dst, v with
+            | Some dst, Some value ->
+                lset_slot caller dst
+                  (Er_smt.Ty.truncate fr.lfr_func.L.lf_ret_w value)
+            | Some dst, None -> lset_slot caller dst 0L
+            | None, _ -> ());
+           Stepped)
+
+(* Slot write with the on_def hook, the lowered [set_reg]; a top-level
+   function so the per-instruction step allocates no closures. *)
+let[@inline] lset_reg st (fr : lframe) slot v =
+  (match st.lcfg.hooks.on_def with
+   | Some h ->
+       h (lpoint_of fr) ~reg:fr.lfr_func.L.lf_reg_of_slot.(slot) ~value:v
+   | None -> ());
+  lset_slot fr slot v
+
+(* Evaluate a call/spawn argument array without the intermediate array
+   of [Array.map] — one list allocation, same element order. *)
+let ev_args st (fr : lframe) (args : L.operand array) =
+  Array.fold_right (fun o acc -> ev_operand st fr o :: acc) args []
+
+let lstep_instr st (th : lthread) (fr : lframe) (i : L.linstr) : step =
+  match i with
+  | L.LBin { dst; op; w; a; b; _ } ->
+      let va = ev_operand st fr a and vb = ev_operand st fr b in
+      (match op with
+       | Udiv | Urem when Int64.equal (Er_smt.Ty.truncate w vb) 0L ->
+           raise (Crash Failure.Div_by_zero)
+       | _ -> ());
+      lset_reg st fr dst
+        (Sem.eval_binop (smt_binop op) w (Er_smt.Ty.truncate w va)
+           (Er_smt.Ty.truncate w vb));
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LCmp { dst; op; w; a; b; _ } ->
+      let r =
+        eval_cmp op w (Er_smt.Ty.truncate w (ev_operand st fr a)) (Er_smt.Ty.truncate w (ev_operand st fr b))
+      in
+      lset_reg st fr dst (if r then 1L else 0L);
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LSelect { dst; w; cond; if_true; if_false; _ } ->
+      let c = ev_operand st fr cond in
+      lset_reg st fr dst
+        (Er_smt.Ty.truncate w
+           (if Int64.equal (Er_smt.Ty.truncate 1 c) 1L then ev_operand st fr if_true
+            else ev_operand st fr if_false));
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LCast { dst; kind; to_w; from_w; v; _ } ->
+      let value = Er_smt.Ty.truncate from_w (ev_operand st fr v) in
+      let out =
+        match kind with
+        | Zext | Ptrtoint | Inttoptr | Trunc -> Er_smt.Ty.truncate to_w value
+        | Sext ->
+            Er_smt.Ty.truncate to_w (Er_smt.Ty.sign_extend from_w value)
+      in
+      lset_reg st fr dst out;
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LLoad { dst; ty; addr } ->
+      (match Memory.load st.lmem (ev_operand st fr addr) ~ty with
+       | Error k -> raise (Crash k)
+       | Ok v ->
+           lset_reg st fr dst v;
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LStore { ty; w; v; addr } ->
+      let value = Er_smt.Ty.truncate w (ev_operand st fr v) in
+      (match Memory.store st.lmem (ev_operand st fr addr) ~ty value with
+       | Error k -> raise (Crash k)
+       | Ok (obj, index, old_value) ->
+           (match st.lcfg.hooks.on_store with
+            | Some f -> f ~obj ~index ~old_value ~new_value:value
+            | None -> ());
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LAlloc { dst; elt_ty; count; heap } ->
+      let n = Int64.to_int (ev_operand st fr count) in
+      (match st.lcfg.hooks.on_alloc with
+       | Some f -> f (Int64.of_int n)
+       | None -> ());
+      (match Memory.alloc st.lmem ~elt_ty ~size:n ~heap with
+       | None -> raise (Crash (Failure.Access_type_error "allocation too large"))
+       | Some p ->
+           if not heap then
+             fr.lfr_stack_objs <- Memory.ptr_obj p :: fr.lfr_stack_objs;
+           lset_reg st fr dst p;
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LFree { addr } ->
+      (match Memory.free st.lmem (ev_operand st fr addr) with
+       | Error k -> raise (Crash k)
+       | Ok () ->
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LGep { dst; base; idx } ->
+      let p = ev_operand st fr base in
+      let i = Int64.to_int (Er_smt.Ty.sign_extend 64 (ev_operand st fr idx)) in
+      lset_reg st fr dst
+        (Memory.ptr ~obj:(Memory.ptr_obj p) ~index:(Memory.ptr_index p + i));
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LCall { dst; fidx; args } ->
+      if th.ldepth >= st.lcfg.max_call_depth then
+        raise (Crash Failure.Stack_overflow);
+      let lf = st.llow.L.l_funcs.(fidx) in
+      let vargs = ev_args st fr args in
+      (match st.lcfg.hooks.on_enter with
+       | Some h -> h ~func:lf.L.lf_name ~args:vargs
+       | None -> ());
+      fr.lfr_ip <- fr.lfr_ip + 1;    (* return to the next instruction *)
+      th.lstack <- make_lframe lf vargs ~dst :: th.lstack;
+      th.ldepth <- th.ldepth + 1;
+      Stepped
+  | L.LInput { dst; ty; stream } ->
+      (match Inputs.read st.linputs stream with
+       | None -> raise (Crash (Failure.Input_exhausted stream))
+       | Some v ->
+           let v = norm ty v in
+           (match st.lcfg.hooks.on_input with
+            | Some f -> f ~stream ~value:v
+            | None -> ());
+           lset_reg st fr dst v;
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LOutput { v } ->
+      st.loutputs <- ev_operand st fr v :: st.loutputs;
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LPtwrite { v } ->
+      (match st.lcfg.hooks.on_ptwrite with
+       | Some f -> f (ev_operand st fr v)
+       | None -> ());
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped_free
+  | L.LAssert { cond; msg } ->
+      if Int64.equal (Er_smt.Ty.truncate 1 (ev_operand st fr cond)) 0L then
+        raise (Crash (Failure.Assert_failed msg));
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LSpawn { fidx; args } ->
+      let lf = st.llow.L.l_funcs.(fidx) in
+      let vargs = ev_args st fr args in
+      let t =
+        { ltid = st.lnext_tid; lstack = [ make_lframe lf vargs ~dst:None ];
+          ldepth = 1; lstatus = Runnable }
+      in
+      st.lnext_tid <- st.lnext_tid + 1;
+      st.lthreads <- st.lthreads @ [ t ];
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LJoin ->
+      let others_done =
+        List.for_all
+          (fun t -> t.ltid = th.ltid || t.lstatus = Done_t)
+          st.lthreads
+      in
+      if others_done then begin
+        fr.lfr_ip <- fr.lfr_ip + 1;
+        Stepped
+      end
+      else begin
+        th.lstatus <- Waiting_join;
+        Blocked
+      end
+  | L.LLock { addr } ->
+      let a = ev_operand st fr addr in
+      (match Hashtbl.find_opt st.lmutexes a with
+       | Some owner when owner = th.ltid ->
+           raise (Crash (Failure.Lock_error "recursive lock"))
+       | Some _ ->
+           th.lstatus <- Blocked_lock a;
+           Blocked
+       | None ->
+           Hashtbl.replace st.lmutexes a th.ltid;
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LUnlock { addr } ->
+      let a = ev_operand st fr addr in
+      (match Hashtbl.find_opt st.lmutexes a with
+       | Some owner when owner = th.ltid ->
+           Hashtbl.remove st.lmutexes a;
+           List.iter
+             (fun t ->
+                match t.lstatus with
+                | Blocked_lock a' when Int64.equal a a' -> t.lstatus <- Runnable
+                | Blocked_lock _ | Runnable | Waiting_join | Done_t -> ())
+             st.lthreads;
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped
+       | Some _ | None ->
+           raise (Crash (Failure.Lock_error "unlock of mutex not held")))
+
+let lstep_term st (th : lthread) (fr : lframe) (t : L.lterm) : step =
+  match t with
+  | L.LBr i ->
+      fr.lfr_block <- fr.lfr_func.L.lf_blocks.(i);
+      fr.lfr_ip <- 0;
+      Stepped
+  | L.LCond_br { cond; if_true; if_false } ->
+      let c = Int64.equal (Er_smt.Ty.truncate 1 (ev_operand st fr cond)) 1L in
+      st.lbranches <- st.lbranches + 1;
+      (match st.lcfg.hooks.on_branch with Some f -> f c | None -> ());
+      fr.lfr_block <-
+        fr.lfr_func.L.lf_blocks.(if c then if_true else if_false);
+      fr.lfr_ip <- 0;
+      Stepped
+  | L.LRet v -> ldo_return st th (Option.map (ev_operand st fr) v)
+  | L.LAbort msg -> raise (Crash (Failure.Abort_called msg))
+  | L.LUnreachable -> raise (Crash Failure.Unreachable_reached)
+
+let lstep_thread st (th : lthread) : step =
+  match th.lstack with
+  | [] ->
+      th.lstatus <- Done_t;
+      Thread_done
+  | fr :: _ ->
+      let b = fr.lfr_block in
+      if fr.lfr_ip < Array.length b.L.lb_instrs then begin
+        let i = Array.unsafe_get b.L.lb_instrs fr.lfr_ip in
+        match lstep_instr st th fr i with
+        | Blocked ->
+            (* the reference engine counts a blocked op once per attempt;
+               the block delta will cover only the successful retirement *)
+            if M.enabled M.default then
+              count_instr b.L.lb_src.instrs.(fr.lfr_ip);
+            Blocked
+        | s -> s
+      end
+      else begin
+        (* whole block retires with this terminator: one batched add per
+           class, before execution, like the reference's count-then-step *)
+        if M.enabled M.default then flush_delta b.L.lb_delta;
+        lstep_term st th fr b.L.lb_term
+      end
+
+let run ?(config = default_config) (prog : Er_ir.Prog.t) (inputs : Inputs.t) :
+  run_result =
+  Inputs.reset inputs;
+  let low = Er_ir.Prog.lowered prog in
+  let mem = Memory.create () in
+  let st =
+    {
+      llow = low;
+      lmem = mem;
+      linputs = inputs;
+      lcfg = config;
+      lglobal_ptrs = Array.map (alloc_global_mem mem) low.L.l_globals;
+      lmutexes = Hashtbl.create 8;
+      lthreads = [];
+      lnext_tid = 1;
+      lclock = 0;
+      lbranches = 0;
+      loutputs = [];
+    }
+  in
+  let main_thread =
+    { ltid = 0;
+      lstack = [ make_lframe low.L.l_funcs.(low.L.l_main) [] ~dst:None ];
+      ldepth = 1; lstatus = Runnable }
+  in
+  st.lthreads <- [ main_thread ];
+  let finish ?crashed outcome =
+    flush_partial st ~crashed;
+    {
+      outcome;
+      instr_count = st.lclock;
+      branch_count = st.lbranches;
+      outputs = List.rev st.loutputs;
+      peak_mem_cells = Memory.peak_cells st.lmem;
+      final_mem = st.lmem;
+    }
+  in
+  let result = ref None in
+  let turn = ref 0 in
+  let cur = ref main_thread in
+  let emit_switch th =
+    M.inc m_switches;
+    match config.hooks.on_switch with
+    | Some f -> f ~tid:th.ltid ~clock:st.lclock
+    | None -> ()
+  in
+  let pick_next after =
+    List.iter
+      (fun t ->
+         if
+           t.lstatus = Waiting_join
+           && List.for_all
+                (fun u -> u.ltid = t.ltid || u.lstatus = Done_t)
+                st.lthreads
+         then t.lstatus <- Runnable)
+      st.lthreads;
+    let runnable = List.filter (fun t -> t.lstatus = Runnable) st.lthreads in
+    match runnable with
+    | [] -> None
+    | _ ->
+        let later = List.filter (fun t -> t.ltid > after) runnable in
+        Some (match later with t :: _ -> t | [] -> List.hd runnable)
+  in
+  while !result = None do
+    let th = !cur in
+    let quantum = chunk_quantum config !turn in
+    incr turn;
+    let steps = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !steps < quantum && !result = None do
+      if st.lclock >= config.max_instrs then begin
+        let fr = List.hd th.lstack in
+        result :=
+          Some
+            (finish
+               (Failed
+                  { Failure.kind = Failure.Hang; point = lpoint_of fr;
+                    stack = lstack_of th; thread = th.ltid }))
+      end
+      else begin
+        match lstep_thread st th with
+        | exception Crash kind ->
+            let fr = List.hd th.lstack in
+            result :=
+              Some
+                (finish ~crashed:th
+                   (Failed
+                      { Failure.kind; point = lpoint_of fr;
+                        stack = lstack_of th; thread = th.ltid }))
+        | Stepped ->
+            st.lclock <- st.lclock + 1;
+            incr steps
+        | Stepped_free -> ()
+        | Blocked -> stop := true
+        | Thread_done -> stop := true
+        | Program_done v ->
+            st.lclock <- st.lclock + 1;
+            result := Some (finish (Finished v))
+      end
+    done;
+    (match !result with
+     | Some _ -> ()
+     | None -> (
+         match pick_next th.ltid with
+         | Some next ->
+             if next.ltid <> th.ltid || th.lstatus <> Runnable then begin
+               cur := next;
+               if next.ltid <> th.ltid then emit_switch next
+             end
+             else cur := next
+         | None ->
+             if List.for_all (fun t -> t.lstatus = Done_t) st.lthreads then
+               result := Some (finish (Finished None))
+             else begin
+               let victim =
+                 match
+                   List.find_opt (fun t -> t.lstatus <> Done_t) st.lthreads
+                 with
+                 | Some t -> t
+                 | None -> assert false
+               in
+               let point, stack =
+                 match victim.lstack with
+                 | fr :: _ -> lpoint_of fr, lstack_of victim
+                 | [] ->
+                     ( { p_func = low.L.l_src.main; p_block = "entry";
+                         p_index = 0 }, [] )
+               in
+               result :=
+                 Some
+                   (finish
+                      (Failed
+                         { Failure.kind = Failure.Deadlock; point;
+                           stack; thread = victim.ltid }))
              end))
   done;
   match !result with Some r -> r | None -> assert false

@@ -1,0 +1,694 @@
+(* Differential tests for the pre-lowered code cache (lib/ir/lower.ml).
+
+   The lowered VM and shepherded-symex engines must be observationally
+   identical to the retained reference engines on every program: same
+   outcome, same outputs, same packet stream, same branch-outcome
+   sequence, same metric counters, and — for symex — the same
+   deterministic solver trajectory. *)
+
+open Er_ir.Types
+module Prog = Er_ir.Prog
+module Lower = Er_ir.Lower
+module Interp = Er_vm.Interp
+module Exec = Er_symex.Exec
+module Bug = Er_corpus.Bug
+module M = Er_metrics
+
+let mk_block label instrs term =
+  { label; instrs = Array.of_list instrs; term }
+
+let mk_func fname params ret_ty blocks = { fname; params; ret_ty; blocks }
+let mk_prog ?(globals = []) funcs main = { globals; funcs; main }
+
+(* --- lowering unit tests ------------------------------------------------ *)
+
+let test_slot_assignment () =
+  let f =
+    mk_func "main" [ ("%p", I64); ("%q", I32) ] (Some I64)
+      [
+        mk_block "entry"
+          [
+            Bin { dst = "%a"; op = Add; ty = I64; a = Reg "%p"; b = Reg "%q" };
+            Bin { dst = "%b"; op = Add; ty = I64; a = Reg "%a"; b = Imm (1L, I64) };
+          ]
+          (Ret (Some (Reg "%b")));
+      ]
+  in
+  let low = Lower.compile (mk_prog [ f ] "main") in
+  let lf = Lower.func_by_name low "main" in
+  Alcotest.(check int) "nslots" 4 lf.Lower.lf_nslots;
+  Alcotest.(check (array string))
+    "slots are params then first occurrence"
+    [| "%p"; "%q"; "%a"; "%b" |]
+    lf.Lower.lf_reg_of_slot;
+  Array.iteri
+    (fun i r ->
+       Alcotest.(check int) ("slot_of_reg " ^ r) i
+         (Hashtbl.find lf.Lower.lf_slot_of_reg r))
+    lf.Lower.lf_reg_of_slot;
+  Alcotest.(check bool) "always-defined function is untracked" false
+    lf.Lower.lf_tracked;
+  Alcotest.(check int) "entry is block 0" 0 lf.Lower.lf_blocks.(0).Lower.lb_index;
+  let d = lf.Lower.lf_blocks.(0).Lower.lb_delta in
+  Alcotest.(check int) "two alu instrs" 2 d.Lower.d_alu;
+  Alcotest.(check int) "ret retires in the call class" 1 d.Lower.d_call
+
+let test_maybe_undefined_is_tracked () =
+  (* %x is defined only on the true path but read after the join: the
+     must-defined analysis demotes its use to a checked slot *)
+  let p =
+    mk_prog
+      [
+        mk_func "main" [] None
+          [
+            mk_block "entry"
+              [ Cmp { dst = "%c"; op = Eq; ty = I64; a = Imm (0L, I64); b = Imm (0L, I64) } ]
+              (Cond_br { cond = Reg "%c"; if_true = "def"; if_false = "skip" });
+            mk_block "def"
+              [ Bin { dst = "%x"; op = Add; ty = I64; a = Imm (1L, I64); b = Imm (2L, I64) } ]
+              (Br "use");
+            mk_block "skip" [] (Br "use");
+            mk_block "use" [ Output { v = Reg "%x" } ] (Ret None);
+          ];
+      ]
+      "main"
+  in
+  let lf = Lower.func_by_name (Lower.compile p) "main" in
+  Alcotest.(check bool) "tracked" true lf.Lower.lf_tracked;
+  let use_block =
+    Array.to_list lf.Lower.lf_blocks
+    |> List.find (fun b -> String.equal b.Lower.lb_label "use")
+  in
+  (match use_block.Lower.lb_instrs.(0) with
+   | Lower.LOutput { v = Lower.Ocheck { reg; _ } } ->
+       Alcotest.(check string) "checked reg name" "%x" reg
+   | _ -> Alcotest.fail "expected a checked operand");
+  (* the cond in entry is defined in its own block: a plain slot *)
+  match lf.Lower.lf_blocks.(0).Lower.lb_term with
+  | Lower.LCond_br { cond = Lower.Oslot _; _ } -> ()
+  | _ -> Alcotest.fail "expected a plain slot for the entry cond"
+
+let test_unknown_callee_rejected () =
+  let p =
+    mk_prog
+      [
+        mk_func "main" [] None
+          [ mk_block "entry" [ Call { dst = None; func = "nope"; args = [] } ] (Ret None) ];
+      ]
+      "main"
+  in
+  match Lower.compile p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown callee must be rejected at compile time"
+
+let test_cache_physical_equality () =
+  let s = List.hd Er_corpus.Registry.table1 in
+  let p = Prog.of_program s.Bug.program in
+  Alcotest.(check bool) "lowering is compiled once and cached" true
+    (Prog.lowered p == Prog.lowered p)
+
+(* --- VM observation harness -------------------------------------------- *)
+
+type vm_obs = {
+  o_outcome : Interp.outcome;
+  o_instrs : int;
+  o_branches : int;
+  o_outputs : int64 list;
+  o_peak : int;
+  o_trace : string;  (* finished encoder packet bytes *)
+  o_bits : bool list;  (* conditional-branch outcome sequence *)
+}
+
+let observe
+    (run :
+       ?config:Interp.config -> Prog.t -> Er_vm.Inputs.t -> Interp.run_result)
+    prog inputs ~seed ~config =
+  let enc = Er_trace.Encoder.create () in
+  Er_trace.Encoder.start enc;
+  let bits = ref [] in
+  let hooks =
+    {
+      Interp.no_hooks with
+      Interp.on_branch =
+        Some
+          (fun b ->
+             bits := b :: !bits;
+             Er_trace.Encoder.branch enc b);
+      on_switch =
+        Some (fun ~tid ~clock -> Er_trace.Encoder.thread_switch enc ~tid ~clock);
+      on_ptwrite = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
+      on_alloc = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
+    }
+  in
+  let config = { config with Interp.sched_seed = seed; hooks } in
+  let r = run ~config prog inputs in
+  {
+    o_outcome = r.Interp.outcome;
+    o_instrs = r.Interp.instr_count;
+    o_branches = r.Interp.branch_count;
+    o_outputs = r.Interp.outputs;
+    o_peak = r.Interp.peak_mem_cells;
+    o_trace = Bytes.to_string (Er_trace.Encoder.finish enc);
+    o_bits = List.rev !bits;
+  }
+
+let outcome_str = function
+  | Interp.Finished None -> "finished"
+  | Interp.Finished (Some v) -> Printf.sprintf "finished %Ld" v
+  | Interp.Failed f -> "failed: " ^ Er_vm.Failure.to_string f
+
+let check_same_obs name (a : vm_obs) (b : vm_obs) =
+  Alcotest.(check string)
+    (name ^ ": outcome")
+    (outcome_str a.o_outcome) (outcome_str b.o_outcome);
+  Alcotest.(check bool) (name ^ ": outcome (structural)") true
+    (a.o_outcome = b.o_outcome);
+  Alcotest.(check int) (name ^ ": instr_count") a.o_instrs b.o_instrs;
+  Alcotest.(check int) (name ^ ": branch_count") a.o_branches b.o_branches;
+  Alcotest.(check (list int64)) (name ^ ": outputs") a.o_outputs b.o_outputs;
+  Alcotest.(check int) (name ^ ": peak_mem_cells") a.o_peak b.o_peak;
+  Alcotest.(check string) (name ^ ": packet bytes") a.o_trace b.o_trace;
+  Alcotest.(check (list bool)) (name ^ ": branch outcomes") a.o_bits b.o_bits
+
+let obs_equal (a : vm_obs) (b : vm_obs) =
+  a.o_outcome = b.o_outcome && a.o_instrs = b.o_instrs
+  && a.o_branches = b.o_branches && a.o_outputs = b.o_outputs
+  && a.o_peak = b.o_peak
+  && String.equal a.o_trace b.o_trace
+  && a.o_bits = b.o_bits
+
+(* --- corpus differential: VM ------------------------------------------- *)
+
+let test_corpus_vm_differential () =
+  List.iter
+    (fun (s : Bug.spec) ->
+       let prog = Prog.of_program s.Bug.program in
+       for occ = 1 to 2 do
+         let name = Printf.sprintf "%s occ %d" s.Bug.name occ in
+         let inputs, seed = s.Bug.failing_workload ~occurrence:occ in
+         let a =
+           observe Interp.run_reference prog inputs ~seed
+             ~config:Interp.default_config
+         in
+         let inputs, seed = s.Bug.failing_workload ~occurrence:occ in
+         let b =
+           observe Interp.run prog inputs ~seed ~config:Interp.default_config
+         in
+         check_same_obs name a b
+       done)
+    Er_corpus.Registry.table1
+
+(* --- corpus differential: shepherded symex ------------------------------ *)
+
+(* Replicates Pipeline.Default_tracer: capture the first failing
+   occurrence's packet stream and failure clock. *)
+let trace_failure prog (s : Bug.spec) =
+  let rec go occ =
+    if occ > 8 then None
+    else
+      let inputs, seed = s.Bug.failing_workload ~occurrence:occ in
+      let enc = Er_trace.Encoder.create () in
+      Er_trace.Encoder.start enc;
+      let hooks =
+        {
+          Interp.no_hooks with
+          Interp.on_branch = Some (fun b -> Er_trace.Encoder.branch enc b);
+          on_switch =
+            Some
+              (fun ~tid ~clock -> Er_trace.Encoder.thread_switch enc ~tid ~clock);
+          on_ptwrite = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
+          on_alloc = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
+        }
+      in
+      let config = { Interp.default_config with sched_seed = seed; hooks } in
+      let r = Interp.run ~config prog inputs in
+      match r.Interp.outcome with
+      | Interp.Failed failure -> (
+          match Er_trace.Decoder.decode (Er_trace.Encoder.finish enc) with
+          | Error _ -> None
+          | Ok events ->
+              Some
+                (Er_trace.Decoder.split events, failure, r.Interp.instr_count))
+      | Interp.Finished _ -> go (occ + 1)
+  in
+  go 1
+
+let exec_outcome_str = function
+  | Exec.Complete sol ->
+      Printf.sprintf "complete pcs=%d inputs=%s"
+        (List.length sol.Exec.path_constraints)
+        (String.concat "," (List.map fst sol.Exec.input_log))
+  | Exec.Stalled st ->
+      Printf.sprintf "stalled at %s: %s"
+        (point_to_string st.Exec.stalled_at)
+        st.Exec.stall_reason
+  | Exec.Diverged why -> "diverged: " ^ why
+
+let check_same_exec name (a : Exec.result) (b : Exec.result) =
+  Alcotest.(check string)
+    (name ^ ": outcome")
+    (exec_outcome_str a.Exec.outcome)
+    (exec_outcome_str b.Exec.outcome);
+  Alcotest.(check int) (name ^ ": steps") a.Exec.steps b.Exec.steps;
+  Alcotest.(check int) (name ^ ": solver_calls") a.Exec.solver_calls
+    b.Exec.solver_calls;
+  Alcotest.(check int) (name ^ ": solver_cost") a.Exec.solver_cost
+    b.Exec.solver_cost;
+  Alcotest.(check int) (name ^ ": cache_hits") a.Exec.cache_hits
+    b.Exec.cache_hits;
+  Alcotest.(check int) (name ^ ": cache_misses") a.Exec.cache_misses
+    b.Exec.cache_misses
+
+let test_corpus_symex_differential () =
+  List.iter
+    (fun (s : Bug.spec) ->
+       let prog = Prog.of_program s.Bug.program in
+       match trace_failure prog s with
+       | None -> Alcotest.fail (s.Bug.name ^ ": no failing trace captured")
+       | Some (split, failure, clock) ->
+           let config = s.Bug.config.Er_core.Driver.exec_config in
+           (* each engine runs in a fresh interning space: identical
+              Expr ids, an isolated solver-cache shard, and therefore a
+              bit-identical deterministic solver trajectory *)
+           let run_one
+               (run :
+                  ?config:Exec.config ->
+                  Prog.t ->
+                  trace:Er_trace.Decoder.split ->
+                  failure:Er_vm.Failure.t ->
+                  failure_clock:int ->
+                  Exec.result)
+               =
+             Er_smt.Expr.in_fresh_space (fun () ->
+                 run ~config prog ~trace:split ~failure ~failure_clock:clock)
+           in
+           let a = run_one Exec.run_reference in
+           let b = run_one Exec.run in
+           check_same_exec s.Bug.name a b)
+    Er_corpus.Registry.table1
+
+(* --- randomized differential: VM ---------------------------------------- *)
+
+(* Random DAG programs: the entry block allocates a buffer, reads a
+   register pool from a finite input stream (exhaustion crashes are part
+   of the state space), and body blocks branch strictly forward.  Body
+   instructions use pool registers, masked and raw memory indices (raw
+   ones crash out of bounds), unsigned division (by zero), asserts,
+   calls, globals, and ptwrites. *)
+let gen_prog_and_inputs =
+  let open QCheck2.Gen in
+  let pool = [ "%x0"; "%x1"; "%x2"; "%x3" ] in
+  let pool_reg = oneofl (List.map (fun r -> Reg r) pool) in
+  let operand =
+    oneof
+      [ pool_reg; map (fun v -> Imm (Int64.of_int v, I64)) (int_range (-4) 40) ]
+  in
+  let binop = oneofl [ Add; Sub; Mul; And; Or; Xor; Shl; Lshr; Udiv; Urem ] in
+  let cmpop = oneofl [ Eq; Ne; Ult; Ule; Slt; Sge ] in
+  let body_instr i j =
+    let dst = Printf.sprintf "%%t%d_%d" i j in
+    oneof
+      [
+        (let* op = binop in
+         let* a = operand and* b = operand in
+         return [ Bin { dst; op; ty = I64; a; b } ]);
+        (let* op = cmpop in
+         let* a = operand and* b = operand in
+         return [ Cmp { dst; op; ty = I64; a; b } ]);
+        (let* a = pool_reg and* b = pool_reg in
+         return
+           [
+             Cmp { dst; op = Ult; ty = I64; a; b = Imm (7L, I64) };
+             Select
+               { dst = dst ^ "s"; ty = I64; cond = Reg dst; if_true = a; if_false = b };
+           ]);
+        (let* v = pool_reg in
+         let* kind, from_ty, to_ty =
+           oneofl [ (Trunc, I64, I8); (Trunc, I64, I16); (Zext, I8, I64); (Sext, I8, I64) ]
+         in
+         return [ Cast { dst; kind; to_ty; v; from_ty } ]);
+        (* masked (usually safe) and raw (usually crashing) memory ops
+           against the stack buffer or the global *)
+        (let* base = oneofl [ Reg "%buf"; Global "g" ] in
+         let* masked = frequency [ (4, return true); (1, return false) ] in
+         let* idx = pool_reg in
+         let* store = bool in
+         let pre, addr_idx =
+           if masked then
+             ( [ Bin { dst = dst ^ "m"; op = And; ty = I64; a = idx; b = Imm (3L, I64) } ],
+               Reg (dst ^ "m") )
+           else ([], idx)
+         in
+         let gep = Gep { dst = dst ^ "g"; base; idx = addr_idx } in
+         let op =
+           if store then
+             Store { ty = I64; v = idx; addr = Reg (dst ^ "g") }
+           else Load { dst = dst ^ "l"; ty = I64; addr = Reg (dst ^ "g") }
+         in
+         return (pre @ [ gep; op ]));
+        (let* v = pool_reg in
+         return [ Output { v } ]);
+        (let* v = pool_reg in
+         return [ Ptwrite { v } ]);
+        (let* a = operand in
+         return
+           [
+             Cmp { dst; op = Ult; ty = I64; a; b = Imm (1000L, I64) };
+             Assert { cond = Reg dst; msg = "random assert" };
+           ]);
+        (let* a = pool_reg and* b = operand in
+         return [ Call { dst = Some (dst ^ "c"); func = "helper"; args = [ a; b ] } ]);
+      ]
+  in
+  let* nblocks = int_range 1 5 in
+  let* bodies =
+    flatten_l
+      (List.init nblocks (fun i ->
+           let* nins = int_range 0 5 in
+           let* seqs = flatten_l (List.init nins (fun j -> body_instr (i + 1) j)) in
+           return (List.concat seqs)))
+  in
+  let* terms =
+    flatten_l
+      (List.init nblocks (fun i ->
+           let bi = i + 1 in
+           if bi = nblocks then
+             oneof
+               [
+                 return (Ret (Some (Reg "%x2")));
+                 return (Ret None);
+                 frequency [ (1, return (Abort "generated abort")); (9, return (Ret None)) ];
+               ]
+           else
+             let targets = List.init (nblocks - bi) (fun k -> Printf.sprintf "b%d" (bi + 1 + k)) in
+             oneof
+               [
+                 map (fun l -> Br l) (oneofl targets);
+                 (let* t = oneofl targets and* f = oneofl targets in
+                  return (Cond_br { cond = Reg "%c"; if_true = t; if_false = f }));
+               ]))
+  in
+  let entry =
+    mk_block "entry"
+      ([ Alloc { dst = "%buf"; elt_ty = I64; count = Imm (4L, I64); heap = false } ]
+       @ List.map
+           (fun r -> Input { dst = r; ty = I64; stream = "s" })
+           pool
+       @ [ Cmp { dst = "%c"; op = Slt; ty = I64; a = Reg "%x0"; b = Reg "%x1" } ])
+      (Br "b1")
+  in
+  let body_blocks =
+    List.mapi
+      (fun i (instrs, term) -> mk_block (Printf.sprintf "b%d" (i + 1)) instrs term)
+      (List.combine bodies terms)
+  in
+  let helper =
+    mk_func "helper" [ ("%a", I64); ("%b", I64) ] (Some I64)
+      [
+        mk_block "entry"
+          [
+            Bin { dst = "%s"; op = Add; ty = I64; a = Reg "%a"; b = Reg "%b" };
+            Output { v = Reg "%s" };
+          ]
+          (Ret (Some (Reg "%s")));
+      ]
+  in
+  let g = { gname = "g"; g_elt_ty = I64; g_size = 4; g_init = None } in
+  let program =
+    mk_prog ~globals:[ g ]
+      [ mk_func "main" [] None (entry :: body_blocks); helper ]
+      "main"
+  in
+  let* inputs = list_size (int_range 0 6) (map Int64.of_int (int_range (-50) 50)) in
+  let* seed = int_range 0 1000 in
+  return (program, inputs, seed)
+
+let qcheck_vm_differential =
+  QCheck2.Test.make ~name:"lowered VM matches reference on random programs"
+    ~count:150 gen_prog_and_inputs
+    (fun (program, input_vals, seed) ->
+       let prog = Prog.of_program program in
+       let mk_inputs () = Er_vm.Inputs.make [ ("s", input_vals) ] in
+       let a =
+         observe Interp.run_reference prog (mk_inputs ()) ~seed
+           ~config:Interp.default_config
+       in
+       let b =
+         observe Interp.run prog (mk_inputs ()) ~seed
+           ~config:Interp.default_config
+       in
+       obs_equal a b)
+
+(* --- handwritten parity cases ------------------------------------------- *)
+
+let undef_read_prog take_def_path =
+  mk_prog
+    [
+      mk_func "main" [] None
+        [
+          mk_block "entry"
+            [
+              Cmp
+                {
+                  dst = "%c";
+                  op = Eq;
+                  ty = I64;
+                  a = Imm (0L, I64);
+                  b = Imm ((if take_def_path then 0L else 1L), I64);
+                };
+            ]
+            (Cond_br { cond = Reg "%c"; if_true = "def"; if_false = "skip" });
+          mk_block "def"
+            [ Bin { dst = "%x"; op = Add; ty = I64; a = Imm (1L, I64); b = Imm (2L, I64) } ]
+            (Br "use");
+          mk_block "skip" [] (Br "use");
+          mk_block "use" [ Output { v = Reg "%x" } ] (Ret None);
+        ];
+    ]
+    "main"
+
+let test_undefined_read_parity () =
+  (* defined path: both engines agree on outputs *)
+  let p = Prog.of_program (undef_read_prog true) in
+  let a =
+    observe Interp.run_reference p (Er_vm.Inputs.make []) ~seed:0
+      ~config:Interp.default_config
+  in
+  let b =
+    observe Interp.run p (Er_vm.Inputs.make []) ~seed:0
+      ~config:Interp.default_config
+  in
+  check_same_obs "undef/defined path" a b;
+  (* undefined path: both engines raise the same Invalid_argument *)
+  let p = Prog.of_program (undef_read_prog false) in
+  let catch
+      (run :
+         ?config:Interp.config -> Prog.t -> Er_vm.Inputs.t -> Interp.run_result)
+      =
+    try
+      ignore (run ~config:Interp.default_config p (Er_vm.Inputs.make []));
+      "no exception"
+    with Invalid_argument m -> m
+  in
+  let ma = catch Interp.run_reference and mb = catch Interp.run in
+  Alcotest.(check string) "undefined-read message parity" ma mb;
+  Alcotest.(check bool) "reference raised" true
+    (ma <> "no exception")
+
+let test_stack_overflow_parity () =
+  let p =
+    Prog.of_program
+      (mk_prog
+         [
+           mk_func "main" [] None
+             [ mk_block "entry" [ Call { dst = None; func = "f"; args = [] } ] (Ret None) ];
+           mk_func "f" [] None
+             [ mk_block "entry" [ Call { dst = None; func = "f"; args = [] } ] (Ret None) ];
+         ]
+         "main")
+  in
+  let config = { Interp.default_config with max_call_depth = 40 } in
+  let a = observe Interp.run_reference p (Er_vm.Inputs.make []) ~seed:0 ~config in
+  let b = observe Interp.run p (Er_vm.Inputs.make []) ~seed:0 ~config in
+  (match a.o_outcome with
+   | Interp.Failed { Er_vm.Failure.kind = Er_vm.Failure.Stack_overflow; _ } -> ()
+   | _ -> Alcotest.fail "expected a stack overflow");
+  check_same_obs "stack overflow" a b
+
+(* A spinning main holding a lock while a spawned worker repeatedly
+   blocks on it: per-attempt sync retirement counts, thread switches,
+   and join blocking must all match. *)
+let mt_lock_prog =
+  mk_prog
+    ~globals:[ { gname = "m"; g_elt_ty = I64; g_size = 1; g_init = None } ]
+    [
+      mk_func "main" [] None
+        [
+          mk_block "entry"
+            [
+              Lock { addr = Global "m" };
+              Spawn { func = "w"; args = [] };
+              Bin { dst = "%i"; op = Add; ty = I64; a = Imm (0L, I64); b = Imm (0L, I64) };
+            ]
+            (Br "loop");
+          mk_block "loop"
+            [
+              Bin { dst = "%i"; op = Add; ty = I64; a = Reg "%i"; b = Imm (1L, I64) };
+              Cmp { dst = "%c"; op = Ult; ty = I64; a = Reg "%i"; b = Imm (200L, I64) };
+            ]
+            (Cond_br { cond = Reg "%c"; if_true = "loop"; if_false = "rest" });
+          mk_block "rest"
+            [ Unlock { addr = Global "m" }; Join; Output { v = Imm (7L, I64) } ]
+            (Ret None);
+        ];
+      mk_func "w" [] None
+        [
+          mk_block "entry"
+            [
+              Lock { addr = Global "m" };
+              Output { v = Imm (1L, I64) };
+              Unlock { addr = Global "m" };
+            ]
+            (Ret None);
+        ];
+    ]
+    "main"
+
+let test_mt_lock_parity () =
+  let p = Prog.of_program mt_lock_prog in
+  let a =
+    observe Interp.run_reference p (Er_vm.Inputs.make []) ~seed:3
+      ~config:Interp.default_config
+  in
+  let b =
+    observe Interp.run p (Er_vm.Inputs.make []) ~seed:3
+      ~config:Interp.default_config
+  in
+  check_same_obs "mt lock" a b
+
+(* --- metrics parity ------------------------------------------------------ *)
+
+let vm_counters =
+  [
+    ("alu", Interp.m_i_alu);
+    ("load", Interp.m_i_load);
+    ("store", Interp.m_i_store);
+    ("mem", Interp.m_i_mem);
+    ("call", Interp.m_i_call);
+    ("io", Interp.m_i_io);
+    ("sync", Interp.m_i_sync);
+    ("branch", Interp.m_i_branch);
+    ("other", Interp.m_i_other);
+    ("loads", Interp.m_loads);
+    ("stores", Interp.m_stores);
+    ("branches", Interp.m_branches);
+    ("switches", Interp.m_switches);
+  ]
+
+(* Run [f] with the default registry enabled and return the counter
+   snapshot it produced; always disable and reset afterwards so other
+   suites see pristine metrics. *)
+let metered f =
+  M.reset M.default;
+  M.set_enabled M.default true;
+  Fun.protect
+    ~finally:(fun () ->
+      M.set_enabled M.default false;
+      M.reset M.default)
+    (fun () ->
+       ignore (f ());
+       List.map (fun (n, c) -> (n, M.counter_value c)) vm_counters)
+
+let check_metric_parity name prog inputs_of ~seed ~config =
+  let a =
+    metered (fun () -> Interp.run_reference ~config prog (inputs_of ()))
+  in
+  let b = metered (fun () -> Interp.run ~config prog (inputs_of ())) in
+  List.iter2
+    (fun (n, va) (_, vb) ->
+       Alcotest.(check int) (Printf.sprintf "%s: %s" name n) va vb)
+    a b;
+  ignore seed
+
+let test_metrics_parity () =
+  let no_inputs () = Er_vm.Inputs.make [] in
+  (* multithreaded with per-attempt Blocked sync counts *)
+  check_metric_parity "mt lock metrics"
+    (Prog.of_program mt_lock_prog)
+    no_inputs ~seed:3 ~config:Interp.default_config;
+  (* a mid-block crash: the partial flush must count exactly the
+     retired prefix of the crashed frame *)
+  let crash =
+    Prog.of_program
+      (mk_prog
+         [
+           mk_func "main" [] None
+             [
+               mk_block "entry"
+                 [
+                   Bin { dst = "%a"; op = Add; ty = I64; a = Imm (1L, I64); b = Imm (2L, I64) };
+                   Bin { dst = "%d"; op = Udiv; ty = I64; a = Reg "%a"; b = Imm (0L, I64) };
+                   Bin { dst = "%z"; op = Add; ty = I64; a = Reg "%d"; b = Imm (1L, I64) };
+                 ]
+                 (Ret None);
+             ];
+         ]
+         "main")
+  in
+  check_metric_parity "div-zero crash metrics" crash no_inputs ~seed:0
+    ~config:Interp.default_config;
+  (* a hang: the instruction budget expires mid-block *)
+  let spin =
+    Prog.of_program
+      (mk_prog
+         [
+           mk_func "main" [] None
+             [
+               mk_block "entry"
+                 [ Bin { dst = "%i"; op = Add; ty = I64; a = Imm (0L, I64); b = Imm (0L, I64) } ]
+                 (Br "loop");
+               mk_block "loop"
+                 [ Bin { dst = "%i"; op = Add; ty = I64; a = Reg "%i"; b = Imm (1L, I64) } ]
+                 (Br "loop");
+             ];
+         ]
+         "main")
+  in
+  check_metric_parity "hang metrics" spin no_inputs ~seed:0
+    ~config:{ Interp.default_config with max_instrs = 500 };
+  (* a real corpus bug exercises every instruction class *)
+  let s = List.hd Er_corpus.Registry.table1 in
+  let prog = Prog.of_program s.Bug.program in
+  let inputs_of () = fst (s.Bug.failing_workload ~occurrence:1) in
+  let _, seed = s.Bug.failing_workload ~occurrence:1 in
+  check_metric_parity (s.Bug.name ^ " metrics") prog inputs_of ~seed
+    ~config:{ Interp.default_config with sched_seed = seed }
+
+let suites =
+  [
+    ( "lower",
+      [
+        Alcotest.test_case "slot assignment" `Quick test_slot_assignment;
+        Alcotest.test_case "maybe-undefined regs are tracked" `Quick
+          test_maybe_undefined_is_tracked;
+        Alcotest.test_case "unknown callee rejected" `Quick
+          test_unknown_callee_rejected;
+        Alcotest.test_case "lowering cached per program" `Quick
+          test_cache_physical_equality;
+        Alcotest.test_case "undefined-read parity" `Quick
+          test_undefined_read_parity;
+        Alcotest.test_case "stack-overflow parity" `Quick
+          test_stack_overflow_parity;
+        Alcotest.test_case "multithreaded lock parity" `Quick
+          test_mt_lock_parity;
+        Alcotest.test_case "metrics parity" `Quick test_metrics_parity;
+        QCheck_alcotest.to_alcotest qcheck_vm_differential;
+      ] );
+    ( "lower corpus differential",
+      [
+        Alcotest.test_case "VM: all Table 1 bugs" `Slow
+          test_corpus_vm_differential;
+        Alcotest.test_case "symex: all Table 1 bugs" `Slow
+          test_corpus_symex_differential;
+      ] );
+  ]

@@ -124,12 +124,72 @@ let test_stats_counting () =
   (* 100 branches = 16 full TNT packets + 1 partial + PSB *)
   Alcotest.(check int) "packets" 18 st.Encoder.packets
 
+(* --- write_bytes blit vs byte-loop oracle ------------------------------- *)
+
+(* The pre-blit implementation, kept as the oracle: one write_byte per
+   byte, re-checking the wrap each time. *)
+let oracle_write_bytes r (s : Bytes.t) =
+  for i = 0 to Bytes.length s - 1 do
+    Ring.write_byte r (Char.code (Bytes.get s i))
+  done
+
+let rings_agree name (a : Ring.t) (b : Ring.t) =
+  Alcotest.(check int) (name ^ ": written") (Ring.total_written a)
+    (Ring.total_written b);
+  Alcotest.(check int) (name ^ ": wraps") (Ring.wraps a) (Ring.wraps b);
+  Alcotest.(check bool) (name ^ ": overflowed") (Ring.overflowed a)
+    (Ring.overflowed b);
+  Alcotest.(check string) (name ^ ": contents")
+    (Bytes.to_string (Ring.contents a))
+    (Bytes.to_string (Ring.contents b))
+
+let test_write_bytes_multiwrap () =
+  (* one blit call larger than twice the capacity: several wraps at once *)
+  let cap = 8 in
+  let blit = Ring.create cap and loop = Ring.create cap in
+  let payload = Bytes.init (3 * cap + 5) (fun i -> Char.chr (i land 0xFF)) in
+  Ring.write_bytes blit payload;
+  oracle_write_bytes loop payload;
+  Alcotest.(check int) "three wraps" 3 (Ring.wraps blit);
+  rings_agree "multiwrap" blit loop;
+  (* landing exactly on the wrap boundary *)
+  let b2 = Ring.create cap and l2 = Ring.create cap in
+  Ring.write_bytes b2 (Bytes.make 3 'x');
+  oracle_write_bytes l2 (Bytes.make 3 'x');
+  Ring.write_bytes b2 (Bytes.make (cap - 3) 'y');
+  oracle_write_bytes l2 (Bytes.make (cap - 3) 'y');
+  Alcotest.(check int) "boundary write wraps once" 1 (Ring.wraps b2);
+  rings_agree "boundary" b2 l2
+
+let qcheck_write_bytes_blit_oracle =
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 1 17)
+        (small_list (string_size ~gen:printable (int_range 0 40))))
+  in
+  QCheck2.Test.make ~name:"write_bytes blit matches byte loop" ~count:500 gen
+    (fun (cap, chunks) ->
+       let blit = Ring.create cap and loop = Ring.create cap in
+       List.iter
+         (fun s ->
+            let s = Bytes.of_string s in
+            Ring.write_bytes blit s;
+            oracle_write_bytes loop s)
+         chunks;
+       Ring.total_written blit = Ring.total_written loop
+       && Ring.wraps blit = Ring.wraps loop
+       && Ring.overflowed blit = Ring.overflowed loop
+       && Bytes.equal (Ring.contents blit) (Ring.contents loop))
+
 let suites =
   [
     ( "trace",
       [
         Alcotest.test_case "TNT byte round trip" `Quick test_tnt_byte_roundtrip;
         Alcotest.test_case "ring overwrite" `Quick test_ring_overwrite;
+        Alcotest.test_case "ring write_bytes multi-wrap" `Quick
+          test_write_bytes_multiwrap;
+        QCheck_alcotest.to_alcotest qcheck_write_bytes_blit_oracle;
         Alcotest.test_case "decoder requires PSB" `Quick test_decoder_needs_psb;
         Alcotest.test_case "mixed stream decode" `Quick test_encode_decode_mixed;
         Alcotest.test_case "MTC clock widening" `Quick test_clock_widening;
