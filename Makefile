@@ -3,7 +3,7 @@
 # fleet-determinism gate and the persisted-trajectory validation.
 
 .PHONY: all build test fmt ci fleet fleet-determinism bench-smoke bench-vm \
-	bench-fleet
+	bench-fleet bench-long-trace
 
 all: build
 
@@ -32,8 +32,9 @@ ci:
 	$(MAKE) fmt
 	$(MAKE) bench-smoke
 	$(MAKE) bench-vm
+	$(MAKE) bench-long-trace
 	$(MAKE) fleet-determinism
-	dune exec bench/main.exe -- --validate BENCH_5.json --baseline BENCH_4.json --baseline-exact
+	dune exec bench/main.exe -- --validate BENCH_6.json --baseline BENCH_5.json --baseline-exact
 
 # Run the whole bug corpus through the staged pipeline on a domain pool.
 fleet:
@@ -58,9 +59,16 @@ bench-smoke:
 # it holds across machines: below 2x, or >10% under the committed
 # trajectory's recorded speedup, fails.
 bench-vm:
-	dune exec bench/main.exe -- vm -o /tmp/er_bench_vm.json --vm-baseline BENCH_5.json
+	dune exec bench/main.exe -- vm -o /tmp/er_bench_vm.json --vm-baseline BENCH_6.json
+
+# The long-trace workload family: the incremental tracer must beat
+# from-scratch tracing end-to-end by at least 1.5x (the job self-gates),
+# with identical reconstruction results between the two modes.
+bench-long-trace:
+	dune exec bench/main.exe -- longtrace -o /tmp/er_bench_longtrace.json
 
 # Regenerate the committed trajectory: full corpus + overheads + the
-# sequential-vs-parallel fleet trials + the vm engine comparison.
+# sequential-vs-parallel fleet trials + the vm engine comparison + the
+# long-trace incremental-tracing family.
 bench-fleet:
-	dune exec bench/main.exe -- table1 fig6 fleet vm -o BENCH_5.json
+	dune exec bench/main.exe -- table1 fig6 fleet vm longtrace -o BENCH_6.json

@@ -15,11 +15,13 @@
      smoke      one-bug pipeline + overhead run, for CI
      vm         pre-lowered engine vs reference interpreter, instr/sec
      fleet      Table 1 corpus on a domain pool, -j 1 vs -j 4
+     longtrace  long-trace family: checkpoint/resume vs from-scratch
 
    With no argument, everything runs in order.  [-o FILE] persists the
    collected per-bug trajectory (overhead %, trace bytes, solver cost,
-   cache traffic, iterations) as JSON — the committed BENCH_5.json is
-   produced by `table1 fig6 fleet vm -o BENCH_5.json`.  [--validate FILE]
+   cache traffic, iterations) as JSON — the committed BENCH_6.json is
+   produced by `table1 fig6 fleet vm longtrace -o BENCH_6.json`.
+   [--validate FILE]
    re-parses such a file with Er_core.Json and checks its shape, exiting
    non-zero on any mismatch.  [--baseline FILE] additionally gates the
    validated trajectory's total solver_cost against FILE's: more than a
@@ -486,6 +488,11 @@ module J = Er_core.Json
 let fleet_trials : (int * float * float) list ref = ref []
 let fleet_deterministic : bool option ref = ref None
 
+(* Filled by [run_longtrace]: best wall per tracer mode plus the
+   incremental run's checkpoint counters. *)
+let longtrace_stats :
+  (float * float * Er_core.Pipeline.ckpt_stats) option ref = ref None
+
 (* One row per bug from whatever jobs ran: pipeline work from [table1]
    (or [smoke]), recording overheads from [fig6] when available. *)
 let bench_json () =
@@ -596,9 +603,24 @@ let bench_json () =
                   | Some b -> J.Bool b
                   | None -> J.Null ) ] ) ]
   in
+  let longtrace_section =
+    match !longtrace_stats with
+    | None -> []
+    | Some (wi, ws, ck) ->
+        [ ( "long_trace",
+            J.Obj
+              [ ("wall_incremental", J.Float wi);
+                ("wall_scratch", J.Float ws);
+                ("speedup", J.Float (if wi > 0. then ws /. wi else 1.));
+                ("checkpoints_taken", J.Int ck.Er_core.Pipeline.ck_taken);
+                ("resumes", J.Int ck.Er_core.Pipeline.ck_resumes);
+                ("saved_instrs", J.Int ck.Er_core.Pipeline.ck_saved_instrs);
+                ( "executed_instrs",
+                  J.Int ck.Er_core.Pipeline.ck_executed_instrs ) ] ) ]
+  in
   J.Obj
     ([
-      ("bench", J.Int 5);
+      ("bench", J.Int 6);
       ("bugs", J.List (List.map bug_obj results));
       ( "totals",
         J.Obj
@@ -614,7 +636,7 @@ let bench_json () =
             ("mean_rr_overhead_pct", mean (fun (_, _, r) -> r.mean));
           ] );
     ]
-     @ vm_section @ fleet_section)
+     @ vm_section @ fleet_section @ longtrace_section)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -632,7 +654,7 @@ let validate_bench path =
   | Some doc ->
       let ok_version =
         match Option.bind (J.member "bench" doc) J.to_int with
-        | Some (2 | 3 | 4 | 5) -> true
+        | Some (2 | 3 | 4 | 5 | 6) -> true
         | _ ->
             Printf.eprintf "%s: missing or wrong \"bench\" version\n" path;
             false
@@ -641,8 +663,11 @@ let validate_bench path =
         Option.bind (J.member "bugs" doc) J.to_list |> Option.value ~default:[]
       in
       let ok_bugs =
-        (* a vm-only trajectory (CI's `vm -o FILE`) has no pipeline rows *)
-        (bugs <> [] || Option.is_some (J.member "vm" doc))
+        (* a single-job trajectory (CI's `vm -o FILE` or
+           `longtrace -o FILE`) has no pipeline rows *)
+        (bugs <> []
+         || Option.is_some (J.member "vm" doc)
+         || Option.is_some (J.member "long_trace" doc))
         && List.for_all
              (fun b ->
                 let has k conv = Option.is_some (Option.bind (J.member k b) conv) in
@@ -804,6 +829,69 @@ let run_fleet () =
   if not same then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Long-trace family: incremental checkpoint/resume vs from-scratch    *)
+(* ------------------------------------------------------------------ *)
+
+let run_longtrace () =
+  section
+    "bench longtrace: incremental checkpoint/resume vs from-scratch tracing";
+  let s = Registry.long_trace in
+  let run ~incremental =
+    (* both modes start from a cold solver cache so the comparison is fair *)
+    Er_smt.Solver.reset_cache ();
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Er_core.Pipeline.run
+        ~config:{ s.Bug.config with Er_core.Pipeline.incremental }
+        ~base_prog:s.Bug.program ~workload:s.Bug.failing_workload ()
+    in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  (* warm the code cache once, then keep the best of three walls/mode *)
+  ignore (run ~incremental:true);
+  let best incremental =
+    List.fold_left
+      (fun (bw, br) () ->
+         let w, r = run ~incremental in
+         if w < bw then (w, Some r) else (bw, br))
+      (infinity, None)
+      [ (); (); () ]
+  in
+  let wi, ri = best true in
+  let ws, rs = best false in
+  let ri = Option.get ri and rs = Option.get rs in
+  let cost (r : Er_core.Pipeline.result) =
+    List.fold_left
+      (fun a it -> a + it.Er_core.Pipeline.solver_cost)
+      0 r.Er_core.Pipeline.iterations
+  in
+  let ck = ri.Er_core.Pipeline.ckpt in
+  let speedup = if wi > 0. then ws /. wi else 1. in
+  Printf.printf
+    "  incremental : wall %.3fs  (%d checkpoints, %d resumes, %d instrs \
+     saved, %d executed)\n"
+    wi ck.Er_core.Pipeline.ck_taken ck.Er_core.Pipeline.ck_resumes
+    ck.Er_core.Pipeline.ck_saved_instrs ck.Er_core.Pipeline.ck_executed_instrs;
+  Printf.printf "  from-scratch: wall %.3fs\n" ws;
+  Printf.printf "  end-to-end speedup: %.2fx (gate: >= 1.5x)\n%!" speedup;
+  (* identical reconstruction is a hard invariant, not a perf number *)
+  if cost ri <> cost rs then begin
+    Printf.eprintf "longtrace: solver cost diverges between modes (%d vs %d)\n"
+      (cost ri) (cost rs);
+    exit 1
+  end;
+  if ck.Er_core.Pipeline.ck_resumes = 0 then begin
+    Printf.eprintf "longtrace: incremental tracer never resumed\n";
+    exit 1
+  end;
+  if speedup < 1.5 then begin
+    Printf.eprintf
+      "longtrace: %.2fx is below the 1.5x incremental-tracing gate\n" speedup;
+    exit 1
+  end;
+  longtrace_stats := Some (wi, ws, ck)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -904,6 +992,7 @@ let () =
       ("smoke", run_smoke);
       ("vm", run_vm);
       ("fleet", run_fleet);
+      ("longtrace", run_longtrace);
     ]
   in
   let exact = ref false in

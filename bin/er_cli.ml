@@ -6,6 +6,8 @@
                                      --json for a machine-readable result)
      er_cli fleet                   run the whole corpus, print a per-bug,
                                     per-stage timing/solver-cost table
+     er_cli inspect <bug>           time-travel one production run: revert
+                                    to a checkpoint, dump registers/memory
      er_cli show <bug>              print a bug's EIR program
      er_cli parse <file.eir>        parse and validate a textual EIR file
      er_cli run <file.eir> k=v,...  run a textual EIR program concretely *)
@@ -61,10 +63,27 @@ let with_events_sink events_file f =
         ~finally:(fun () -> close_out oc)
         (fun () -> f (Er_core.Events.jsonl oc))
 
-let run_pipeline (spec : Er_corpus.Bug.spec) events =
-  Er_core.Pipeline.run ~config:spec.Er_corpus.Bug.config ~events
-    ~base_prog:spec.Er_corpus.Bug.program
+let run_pipeline ?(incremental = true) (spec : Er_corpus.Bug.spec) events =
+  let config =
+    if incremental then spec.Er_corpus.Bug.config
+    else
+      { spec.Er_corpus.Bug.config with Er_core.Pipeline.incremental = false }
+  in
+  Er_core.Pipeline.run ~config ~events ~base_prog:spec.Er_corpus.Bug.program
     ~workload:spec.Er_corpus.Bug.failing_workload ()
+
+(* Escape hatch shared by [reproduce] and [fleet]: trace every production
+   run from scratch instead of resuming from checkpoints.  Both modes
+   produce identical occurrence streams, solver costs and iteration
+   trajectories; the flag exists for differential benchmarking and as a
+   belt-and-braces fallback. *)
+let no_incremental_flag =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:"Disable checkpoint/resume: trace every production run from \
+              scratch.  The reconstruction result is identical either way; \
+              only tracing wall clock differs.")
 
 (* Metrics plumbing shared by [reproduce --metrics] and
    [fleet --metrics-out].  The default registry is off unless a command
@@ -92,10 +111,11 @@ let render_metrics fmt oc =
   | `Prometheus -> output_string oc (Er_metrics.Snapshot.to_prometheus snap)
 
 let reproduce_cmd =
-  let run spec verbose events_file json metrics =
+  let run spec verbose events_file json metrics no_incremental =
     let r =
       with_metrics (Option.is_some metrics) (fun () ->
-          with_events_sink events_file (run_pipeline spec))
+          with_events_sink events_file
+            (run_pipeline ~incremental:(not no_incremental) spec))
     in
     if json then print_endline (Er_core.Pipeline.result_to_json r)
     else begin
@@ -106,6 +126,13 @@ let reproduce_cmd =
              (Fmt.str "%a" Er_core.Outcome.pp_step it.Er_core.Pipeline.outcome)
              it.Er_core.Pipeline.solver_calls it.Er_core.Pipeline.graph_nodes)
         r.Er_core.Pipeline.iterations;
+      let ck = r.Er_core.Pipeline.ckpt in
+      if ck.Er_core.Pipeline.ck_taken > 0 then
+        Printf.printf
+          "checkpoints: %d taken, %d resume(s), %d instrs saved, %d executed\n"
+          ck.Er_core.Pipeline.ck_taken ck.Er_core.Pipeline.ck_resumes
+          ck.Er_core.Pipeline.ck_saved_instrs
+          ck.Er_core.Pipeline.ck_executed_instrs;
       match r.Er_core.Pipeline.status with
       | Er_core.Pipeline.Reproduced { testcase; verified; _ } ->
           Printf.printf "reproduced after %d failure occurrence(s)\n"
@@ -152,7 +179,9 @@ let reproduce_cmd =
                 or prometheus.")
   in
   Cmd.v (Cmd.info "reproduce" ~doc:"Reconstruct one corpus failure")
-    Term.(const run $ spec_arg $ verbose $ events_file $ json $ metrics)
+    Term.(
+      const run $ spec_arg $ verbose $ events_file $ json $ metrics
+      $ no_incremental_flag)
 
 (* Fleet mode: the whole Table 1 corpus through the staged pipeline on a
    Domain pool ([-j N], default = recommended domain count), with an
@@ -192,9 +221,7 @@ let baseline_sequential_wall () =
                            | Some _ | None -> None)
                         trials))))
   in
-  match wall_of "BENCH_5.json" with
-  | Some r -> Some r
-  | None -> wall_of "BENCH_4.json"
+  List.find_map wall_of [ "BENCH_6.json"; "BENCH_5.json"; "BENCH_4.json" ]
 
 let fleet_cmd =
   let stage_times (r : Er_core.Pipeline.result) =
@@ -212,6 +239,7 @@ let fleet_cmd =
       "bug" "status" "wkr" "wall(s)" "occ" "runs" "trace(s)" "symex(s)"
       "select(s)" "verify(s)" "squery" "solver-cost" "cache" "ringOW" "pts";
     let totals = ref (0, 0, 0., 0., 0., 0., 0, 0, 0, 0) in
+    let ck_totals = ref (0, 0, 0) in
     let reproduced = ref 0 in
     let crashed = ref 0 in
     let n = List.length report.Er_core.Fleet.rows in
@@ -249,6 +277,12 @@ let fleet_cmd =
                ( o + r.Er_core.Pipeline.occurrences,
                  ru + r.Er_core.Pipeline.runs, a +. tr, b +. sy, c +. se,
                  d +. ve, e + calls, f + cost, h + hits, m + misses );
+             let ck = r.Er_core.Pipeline.ckpt in
+             let ckt, ckr, cks = !ck_totals in
+             ck_totals :=
+               ( ckt + ck.Er_core.Pipeline.ck_taken,
+                 ckr + ck.Er_core.Pipeline.ck_resumes,
+                 cks + ck.Er_core.Pipeline.ck_saved_instrs );
              let ring_ow =
                List.fold_left
                  (fun a (it : Er_core.Pipeline.iteration) ->
@@ -273,6 +307,11 @@ let fleet_cmd =
       "" "" o ru a b c d e f
       (Printf.sprintf "%d/%d" h (h + m));
     if !crashed > 0 then Printf.printf "crashed: %d\n" !crashed;
+    (let ckt, ckr, cks = !ck_totals in
+     if ckt > 0 then
+       Printf.printf
+         "fleet: checkpoints %d taken, %d resume(s), %d instrs saved\n" ckt
+         ckr cks);
     Printf.printf "fleet: %d job(s), wall %.3fs, cpu %.3fs, speedup %.2fx\n"
       report.Er_core.Fleet.jobs report.Er_core.Fleet.wall
       report.Er_core.Fleet.cpu
@@ -290,21 +329,25 @@ let fleet_cmd =
           file base_wall
     | Some _ | None -> ()
   in
-  let run jobs json normalize events_file metrics_out =
+  let run jobs json normalize events_file metrics_out no_incremental =
     with_events_sink events_file (fun events ->
         (* one sink shared by all workers: serialize so JSONL lines from
            concurrent bugs never interleave *)
         let events = Er_core.Events.serialize events in
+        let incremental = not no_incremental in
         let fleet_jobs =
           List.map
             (fun (s : Er_corpus.Bug.spec) ->
                { Er_core.Fleet.job_name = s.Er_corpus.Bug.name;
-                 job_run = (fun () -> run_pipeline s events) })
+                 job_run = (fun () -> run_pipeline ~incremental s events) })
             Er_corpus.Registry.table1
         in
         let report = Er_core.Fleet.run ?jobs fleet_jobs in
         if json then
-          print_endline (Er_core.Fleet.report_to_json ~normalize report)
+          print_endline
+            (Er_core.Fleet.report_to_json ~normalize
+               ?baseline:(baseline_sequential_wall ())
+               report)
         else print_table report);
     match metrics_out with
     | None -> ()
@@ -322,9 +365,9 @@ let fleet_cmd =
           ~finally:(fun () -> close_out oc)
           (fun () -> render_metrics `Json oc)
   in
-  let run jobs json normalize events_file metrics_out =
+  let run jobs json normalize events_file metrics_out no_incremental =
     with_metrics (Option.is_some metrics_out) (fun () ->
-        run jobs json normalize events_file metrics_out)
+        run jobs json normalize events_file metrics_out no_incremental)
   in
   let jobs =
     Arg.(
@@ -340,8 +383,9 @@ let fleet_cmd =
       value & flag
       & info [ "json" ]
           ~doc:"Emit the fleet report (per-bug results, worker placement, \
-                wall clocks, speedup) as machine-readable JSON instead of \
-                the human table.")
+                wall clocks, speedup, and the wall-speedup comparison \
+                against the committed sequential baseline) as \
+                machine-readable JSON instead of the human table.")
   in
   let normalize =
     Arg.(
@@ -374,7 +418,155 @@ let fleet_cmd =
     (Cmd.info "fleet"
        ~doc:"Run the whole bug corpus through the staged pipeline on a \
              domain pool")
-    Term.(const run $ jobs $ json $ normalize $ events_file $ metrics_out)
+    Term.(
+      const run $ jobs $ json $ normalize $ events_file $ metrics_out
+      $ no_incremental_flag)
+
+(* Time travel over one production run of a corpus bug: drive the
+   resumable engine with periodic snapshots, revert to the deepest
+   checkpoint at or before --clock, and dump the paused machine —
+   per-thread call stacks with registers, plus a memory window.  The
+   same checkpoints the incremental pipeline resumes from, exposed
+   interactively. *)
+let inspect_cmd =
+  let module Vs = Er_vm.Vm_state in
+  let run (spec : Er_corpus.Bug.spec) occurrence interval clock_opt mem_opt =
+    let inputs, sched_seed =
+      spec.Er_corpus.Bug.failing_workload ~occurrence
+    in
+    let prog = Er_ir.Prog.of_program spec.Er_corpus.Bug.program in
+    let config =
+      { spec.Er_corpus.Bug.config.Er_core.Pipeline.vm_config with
+        Er_vm.Interp.sched_seed }
+    in
+    let vm =
+      Vs.create ~config
+        ~plan:(Vs.empty_plan (Er_ir.Prog.lowered prog))
+        prog inputs
+    in
+    (* checkpoint sweep: clock 0, then every --interval instructions *)
+    let cks = ref [ Vs.snapshot vm ] in
+    let rec drive at =
+      match Vs.run ~pause_at:at vm with
+      | Some r -> r
+      | None ->
+          cks := Vs.snapshot vm :: !cks;
+          drive (Vs.clock vm + interval)
+    in
+    let r = drive interval in
+    let final_clock = Vs.clock vm in
+    (* the state at the failure (or exit) is itself inspectable *)
+    cks := Vs.snapshot vm :: !cks;
+    Printf.printf "run: %s after %d instructions; %d checkpoint(s) every \
+                   %d instrs\n"
+      (match r.Vs.outcome with
+       | Vs.Finished _ -> "finished"
+       | Vs.Failed f -> "FAILED — " ^ Er_vm.Failure.to_string f)
+      r.Vs.instr_count (List.length !cks) interval;
+    let target =
+      match clock_opt with Some c -> c | None -> final_clock
+    in
+    (* [cks] is deepest-first, so this picks the deepest valid one *)
+    match
+      List.find_opt
+        (fun ck -> Vs.clock_of_checkpoint ck <= target)
+        !cks
+    with
+    | None ->
+        Printf.printf "no checkpoint at or before clock %d\n" target
+    | Some ck ->
+        Vs.revert vm ck;
+        Printf.printf "reverted to checkpoint at clock %d (run ends at %d)\n"
+          (Vs.clock vm) final_clock;
+        List.iter
+          (fun (tv : Vs.thread_view) ->
+             Printf.printf "thread %d: %s\n" tv.Vs.tv_tid
+               (match tv.Vs.tv_status with
+                | Vs.Runnable -> "runnable"
+                | Vs.Blocked_lock l ->
+                    Printf.sprintf "blocked on lock %Ld" l
+                | Vs.Waiting_join -> "waiting on join"
+                | Vs.Done_t -> "done");
+             List.iteri
+               (fun i (fv : Vs.frame_view) ->
+                  Printf.printf "  #%d %s @ %s[%d]%s\n" i fv.Vs.fv_func
+                    fv.Vs.fv_block fv.Vs.fv_ip
+                    (match fv.Vs.fv_pending with
+                     | Some reg -> " (pending ptwrite: " ^ reg ^ ")"
+                     | None -> "");
+                  List.iter
+                    (fun (reg, v) ->
+                       Printf.printf "      %-12s = %Ld\n" reg v)
+                    fv.Vs.fv_regs)
+               tv.Vs.tv_frames)
+          (Vs.threads vm);
+        let mem = Vs.memory vm in
+        (match mem_opt with
+         | None ->
+             Printf.printf "memory: %d object(s)\n"
+               (Er_vm.Memory.object_count mem);
+             List.iter
+               (fun (id, size, ty, freed) ->
+                  Printf.printf "  obj %d: %d x %s%s\n" id size
+                    (Er_ir.Types.ty_name ty)
+                    (if freed then " (freed)" else ""))
+               (Er_vm.Memory.objects mem)
+         | Some (obj, index, len) ->
+             for i = index to index + len - 1 do
+               match Er_vm.Memory.peek mem ~obj ~index:i with
+               | Some v -> Printf.printf "  obj %d[%d] = %Ld\n" obj i v
+               | None ->
+                   Printf.printf "  obj %d[%d] = <out of bounds>\n" obj i
+             done)
+  in
+  let occurrence =
+    Arg.(
+      value & opt int 1
+      & info [ "occurrence" ] ~docv:"K"
+          ~doc:"Inspect the run of the $(docv)-th failure occurrence's \
+                workload (default 1).")
+  in
+  let interval =
+    Arg.(
+      value & opt int 1000
+      & info [ "interval" ] ~docv:"N"
+          ~doc:"Snapshot every $(docv) instructions (default 1000), \
+                matching the pipeline's checkpoint interval.")
+  in
+  let clock =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "clock" ] ~docv:"C"
+          ~doc:"Revert to the deepest checkpoint at or before clock \
+                $(docv) (default: the final state, at the failure or \
+                exit).")
+  in
+  let mem_conv =
+    Arg.conv
+      ( (fun s ->
+           match
+             String.split_on_char ':' s |> List.map int_of_string_opt
+           with
+           | [ Some o ] -> Ok (o, 0, 8)
+           | [ Some o; Some i ] -> Ok (o, i, 8)
+           | [ Some o; Some i; Some l ] -> Ok (o, i, l)
+           | _ -> Error (`Msg "expected OBJ[:INDEX[:LEN]]")),
+        fun ppf (o, i, l) -> Fmt.pf ppf "%d:%d:%d" o i l )
+  in
+  let mem =
+    Arg.(
+      value
+      & opt (some mem_conv) None
+      & info [ "mem" ] ~docv:"OBJ[:INDEX[:LEN]]"
+          ~doc:"Dump $(docv) cells of one memory object at the reverted \
+                state (default: list all objects).")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Time-travel one production run: revert to a checkpoint and \
+             dump registers and memory")
+    Term.(const run $ spec_arg $ occurrence $ interval $ clock $ mem)
 
 let show_cmd =
   let run spec =
@@ -446,4 +638,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; reproduce_cmd; fleet_cmd; show_cmd; parse_cmd; run_cmd ]))
+          [ list_cmd; reproduce_cmd; fleet_cmd; inspect_cmd; show_cmd;
+            parse_cmd; run_cmd ]))

@@ -1,0 +1,160 @@
+(* The long-trace workload family: a service whose every run begins with
+   a long input-free warmup (table construction) before it touches a
+   request.  From-scratch tracing pays the warmup on every production
+   run; the incremental tracer checkpoints past it once and resumes each
+   later run from the deepest checkpoint still valid — the family the
+   `bench longtrace` job measures and gates (incremental >= 1.5x).
+
+   Phase 2 reuses the running example's chained-write abort, so the
+   reconstruction stalls once and grows the recording set mid-flight.
+   The selected points land in blocks first executed *after* the warmup,
+   which is exactly what keeps the warmup checkpoints valid across
+   iterations; and the failure only fires on every fourth occurrence, so
+   most production runs are traced, found clean, and skipped — the runs
+   where resuming pays the most. *)
+
+open Er_ir.Types
+module B = Er_ir.Builder
+
+let warmup_iters = 40_000
+
+let program : program =
+  let t = B.create () in
+  B.global t ~name:"V" ~ty:I32 ~size:256 ();
+  B.global t ~name:"T" ~ty:I32 ~size:1024 ();
+  (* phase 1: input-free table build; dominates every run's trace *)
+  B.func t ~name:"warmup" ~params:[] (fun fb ->
+      let k = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) k;
+      B.br fb "wloop";
+      B.block fb "wloop";
+      let kv = B.load fb I32 k in
+      let more = B.ult fb I32 kv (B.i32 warmup_iters) in
+      B.condbr fb more "wbody" "wdone";
+      B.block fb "wbody";
+      let idx = B.and_ fb I32 kv (B.i32 1023) in
+      let mixed = B.mul fb I32 kv (B.i32 2654435761) in
+      let p = B.gep fb (B.glob "T") idx in
+      B.store fb I32 mixed p;
+      let next = B.add fb I32 kv (B.i32 1) in
+      B.store fb I32 next k;
+      B.br fb "wloop";
+      B.block fb "wdone";
+      B.ret_void fb);
+  (* phase 2: the running example's request handler, verbatim — chained
+     writes through V that stall control-flow-only symex *)
+  B.func t ~name:"handle"
+    ~params:[ ("a", I32); ("b", I32); ("c", I32); ("d", I32) ]
+    (fun fb ->
+       let a = B.reg "a" and b = B.reg "b" in
+       let c = B.reg "c" and d = B.reg "d" in
+       let x = B.add fb I32 a b in
+       let cx = B.ult fb I32 x (B.i32 256) in
+       B.condbr fb cx "check_c" "out";
+       B.block fb "check_c";
+       let cc = B.ult fb I32 c (B.i32 256) in
+       B.condbr fb cc "check_d" "out";
+       B.block fb "check_d";
+       let cd = B.ult fb I32 d (B.i32 256) in
+       B.condbr fb cd "body" "out";
+       B.block fb "body";
+       let px = B.gep fb (B.glob "V") x in
+       B.store fb I32 (B.i32 1) px;
+       let pc = B.gep fb (B.glob "V") c in
+       let vc = B.load fb I32 pc in
+       let z = B.eq fb I32 vc (B.i32 0) in
+       B.condbr fb z "set_c" "after_c";
+       B.block fb "set_c";
+       B.store fb I32 (B.i32 512) pc;
+       B.br fb "after_c";
+       B.block fb "after_c";
+       let vx = B.load fb I32 px in
+       let pvx = B.gep fb (B.glob "V") vx in
+       B.store fb I32 x pvx;
+       let lt = B.ult fb I32 c d in
+       B.condbr fb lt "check_vd" "out";
+       B.block fb "check_vd";
+       let pd = B.gep fb (B.glob "V") d in
+       let vd = B.load fb I32 pd in
+       let pvd = B.gep fb (B.glob "V") vd in
+       let vvd = B.load fb I32 pvd in
+       let hit = B.eq fb I32 vvd x in
+       B.condbr fb hit "boom" "out";
+       B.block fb "boom";
+       B.abort fb "V[V[d]] == x";
+       B.block fb "out";
+       B.ret_void fb);
+  B.func t ~name:"main" ~params:[] (fun fb ->
+      B.call_void fb "warmup" [];
+      let n = B.input fb I32 "argv" in
+      let i = B.alloca fb I32 (B.i32 1) in
+      B.store fb I32 (B.i32 0) i;
+      B.br fb "loop";
+      B.block fb "loop";
+      let iv = B.load fb I32 i in
+      let more = B.ult fb I32 iv n in
+      B.condbr fb more "body" "done";
+      B.block fb "body";
+      let a = B.input fb I32 "argv" in
+      let b = B.input fb I32 "argv" in
+      let c = B.input fb I32 "argv" in
+      let d = B.input fb I32 "argv" in
+      B.call_void fb "handle" [ a; b; c; d ];
+      let iv' = B.load fb I32 i in
+      let next = B.add fb I32 iv' (B.i32 1) in
+      B.store fb I32 next i;
+      B.br fb "loop";
+      B.block fb "done";
+      B.ret_void fb);
+  B.program t ~main:"main"
+
+(* The failure fires on every 24th occurrence; the many runs in between
+   see ordinary traffic with different request values each time (c > d
+   keeps the abort branch unreachable), so the tracer records them in
+   full and the pipeline skips them — exactly the runs resuming saves.
+   The rare-failure rate is what makes re-execution cost dominate: symex
+   only analyzes the two failing occurrences, while tracing touches all
+   ~48 production runs.  Single-threaded, so the varying scheduler seed
+   is immaterial. *)
+let failure_period = 24
+
+let failing_workload ~occurrence =
+  let inputs =
+    if occurrence mod failure_period = 0 then
+      Er_vm.Inputs.make [ ("argv", [ 1L; 0L; 2L; 0L; 2L ]) ]
+    else begin
+      let v = Int64.of_int (occurrence * 7 mod 97) in
+      Er_vm.Inputs.make
+        [ ( "argv",
+            [ 1L; v; Int64.add v 1L; Int64.add v 5L; Int64.add v 2L ] ) ]
+    end
+  in
+  (inputs, occurrence)
+
+(* Performance workload: the warmup followed by many benign requests. *)
+let perf_inputs () =
+  let vals =
+    List.concat_map
+      (fun i ->
+         let i = Int64.of_int (i mod 200) in
+         [ i; Int64.add i 1L; Int64.add i 5L; Int64.add i 2L ])
+      (List.init 200 Fun.id)
+  in
+  Er_vm.Inputs.make [ ("argv", Int64.of_int 200 :: vals) ]
+
+let spec : Bug.spec =
+  {
+    Bug.name = "long-trace";
+    models = "long-trace service (warmup-dominated runs)";
+    bug_type = "abort via chained symbolic writes";
+    multithreaded = false;
+    program;
+    failing_workload;
+    perf_inputs;
+    (* fig3's budgets, so symex stalls on the write chain and the
+       recording set grows across iterations; the occurrence bound
+       leaves room for two failure periods of mostly-skipped runs *)
+    config =
+      Bug.config_with ~max_occurrences:64 ~solver_budget:2_500
+        ~gate_budget:1_000 ();
+  }

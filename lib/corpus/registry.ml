@@ -25,7 +25,12 @@ let running_example = Running_example.spec
 (* Section 5.4 case-study programs (not part of Table 1). *)
 let case_studies : Bug.spec list = [ Coreutils_od.spec; Coreutils_pr.spec ]
 
-let all = table1 @ case_studies @ [ running_example ]
+(* The long-trace workload family: warmup-dominated runs that the
+   incremental tracer resumes past.  Benchmarked by `bench longtrace`;
+   deliberately not part of Table 1, whose gates it would skew. *)
+let long_trace = Long_trace.spec
+
+let all = table1 @ case_studies @ [ running_example; long_trace ]
 
 let find_any name =
   List.find_opt (fun (s : Bug.spec) -> String.equal s.Bug.name name) all

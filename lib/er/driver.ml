@@ -17,6 +17,8 @@ type config = Pipeline.config = {
   vm_config : Interp.config;
   ring_bytes : int;
   verify : bool;
+  incremental : bool;
+  checkpoint_interval : int;
 }
 
 let default_config = Pipeline.default_config

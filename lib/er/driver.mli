@@ -17,6 +17,9 @@ type config = Pipeline.config = {
   vm_config : Er_vm.Interp.config;
   ring_bytes : int;                (** trace ring buffer size *)
   verify : bool;                   (** re-execute the generated test case *)
+  incremental : bool;              (** resume production runs from CoW
+                                       checkpoints of the previous one *)
+  checkpoint_interval : int;       (** instructions between checkpoints *)
 }
 
 val default_config : config

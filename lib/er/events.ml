@@ -23,6 +23,10 @@ type skip_reason = No_failure | Different_failure
 type event =
   | Occurrence_started of { occurrence : int }
   | Run_skipped of { occurrence : int; reason : skip_reason }
+  | Checkpoint_resumed of {
+      occurrence : int;
+      at_clock : int;    (* instructions of shared prefix not re-executed *)
+    }
   | Trace_captured of {
       occurrence : int;
       bytes : int;
@@ -81,7 +85,8 @@ type event =
 (* The stage that emitted an event; [None] for pipeline control events. *)
 let stage_of = function
   | Occurrence_started _ -> None
-  | Run_skipped _ | Trace_captured _ | Decode_failed _ -> Some Trace
+  | Run_skipped _ | Checkpoint_resumed _ | Trace_captured _ | Decode_failed _ ->
+      Some Trace
   | Symex_finished _ | Diverged _ -> Some Symex
   | Stall _ | Points_added _ | Budget_escalated _ -> Some Select
   | Verified _ -> Some Verify
@@ -111,6 +116,9 @@ let to_json_value (e : event) : Json.t =
               (match reason with
                | No_failure -> "no_failure"
                | Different_failure -> "different_failure") ) ]
+  | Checkpoint_resumed { occurrence; at_clock } ->
+      obj "checkpoint_resumed"
+        [ ("occurrence", Int occurrence); ("at_clock", Int at_clock) ]
   | Trace_captured { occurrence; bytes; packets; ptwrites; switches; vm_instrs; overwritten; elapsed } ->
       obj "trace_captured"
         [ ("occurrence", Int occurrence); ("bytes", Int bytes);
@@ -194,6 +202,10 @@ let of_json (line : string) : event option =
             | _ -> None
           in
           Some (Run_skipped { occurrence; reason })
+      | Some "checkpoint_resumed" ->
+          let* occurrence = int "occurrence" in
+          let* at_clock = int "at_clock" in
+          Some (Checkpoint_resumed { occurrence; at_clock })
       | Some "trace_captured" ->
           let* occurrence = int "occurrence" in
           let* bytes = int "bytes" in
@@ -296,6 +308,10 @@ let pp ppf (e : event) =
         (match reason with
          | No_failure -> "tracked failure did not fire"
          | Different_failure -> "a different bug fired")
+  | Checkpoint_resumed { occurrence; at_clock } ->
+      Fmt.pf ppf
+        "%-10s occurrence %d: resumed from checkpoint at clock %d" stage
+        occurrence at_clock
   | Trace_captured { occurrence; bytes; packets; ptwrites; switches; vm_instrs; overwritten; elapsed } ->
       Fmt.pf ppf
         "%-10s occurrence %d: %d bytes, %d packets, %d ptwrites, %d switches, %d instrs, %d overwritten (%.3fs)"

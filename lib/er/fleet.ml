@@ -210,15 +210,28 @@ let row_to_json ~normalize (r : row) : Json.t =
 
 (* [~normalize:true] is the determinism view: per-bug content only, no
    wall clocks, no worker placement, no job count.  Two reports from the
-   same corpus at different [-j] must render byte-identically. *)
-let report_to_json_value ?(normalize = false) (r : report) : Json.t =
+   same corpus at different [-j] must render byte-identically.
+   [?baseline:(file, wall)] adds the committed sequential baseline the
+   human table compares against; it never appears in the normalized
+   view, which must stay free of wall clocks. *)
+let report_to_json_value ?(normalize = false) ?baseline (r : report) :
+    Json.t =
   let open Json in
   let rows = List (List.map (row_to_json ~normalize) r.rows) in
   if normalize then Obj [ ("rows", rows) ]
   else
+    let baseline_fields =
+      match baseline with
+      | Some (file, base_wall) when r.wall > 0. ->
+          [ ("baseline_file", Str file);
+            ("baseline_wall", Float base_wall);
+            ("baseline_speedup", Float (base_wall /. r.wall)) ]
+      | Some _ | None -> []
+    in
     Obj
-      [ ("jobs", Int r.jobs); ("wall", Float r.wall); ("cpu", Float r.cpu);
-        ("speedup", Float (speedup r)); ("rows", rows) ]
+      ([ ("jobs", Int r.jobs); ("wall", Float r.wall); ("cpu", Float r.cpu);
+         ("speedup", Float (speedup r)); ("rows", rows) ]
+       @ baseline_fields)
 
-let report_to_json ?normalize r =
-  Json.to_string (report_to_json_value ?normalize r)
+let report_to_json ?normalize ?baseline r =
+  Json.to_string (report_to_json_value ?normalize ?baseline r)

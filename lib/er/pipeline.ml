@@ -35,6 +35,8 @@ type config = {
   vm_config : Interp.config;
   ring_bytes : int;                (* trace ring buffer size *)
   verify : bool;                   (* re-execute the generated test case *)
+  incremental : bool;              (* resume runs from CoW checkpoints *)
+  checkpoint_interval : int;       (* instructions between checkpoints *)
 }
 
 let default_config =
@@ -44,6 +46,8 @@ let default_config =
     vm_config = Interp.default_config;
     ring_bytes = 1 lsl 22;
     verify = true;
+    incremental = true;
+    checkpoint_interval = 1000;
   }
 
 (* A workload produces the inputs (and scheduler seed) of the k-th
@@ -56,6 +60,15 @@ let map_failure (mapper : Er_select.Instrument.mapper) (f : Er_vm.Failure.t) :
   { f with
     Er_vm.Failure.point = map_pt f.Er_vm.Failure.point;
     stack = List.map map_pt f.Er_vm.Failure.stack }
+
+(* The forward direction: the plan-driven tracer reports failures in
+   base-program coordinates; the analysis stages think in instrumented
+   ones. *)
+let forward_failure (fwd : point -> point) (f : Er_vm.Failure.t) :
+  Er_vm.Failure.t =
+  { f with
+    Er_vm.Failure.point = fwd f.Er_vm.Failure.point;
+    stack = List.map fwd f.Er_vm.Failure.stack }
 
 (* ---------------------------------------------------------------- *)
 (* Stage interfaces                                                  *)
@@ -83,18 +96,46 @@ type trace_outcome =
   | Different_failure          (* an unrelated bug fired; keep waiting *)
   | Decode_failed of string    (* snapshot shipped but unusable *)
 
+(* Checkpoint accounting of a whole reconstruction. *)
+type ckpt_stats = {
+  ck_taken : int;              (* checkpoints captured *)
+  ck_resumes : int;            (* production runs resumed from one *)
+  ck_saved_instrs : int;       (* shared-prefix instructions not re-executed *)
+  ck_executed_instrs : int;    (* instructions the tracer actually executed *)
+}
+
+let no_ckpt_stats =
+  { ck_taken = 0; ck_resumes = 0; ck_saved_instrs = 0; ck_executed_instrs = 0 }
+
 module type TRACER = sig
-  (* One production run of the instrumented program under tracing.
+  (* A tracer session persists across the occurrences of one
+     reconstruction, so consecutive production runs can share state —
+     the default tracer keeps one resumable VM plus the encoder and
+     resumes each run from the deepest checkpoint still valid for the
+     next occurrence's recording set, inputs and scheduler seed. *)
+  type session
+
+  val start : config:config -> base_prog:Er_ir.Prog.t -> session
+
+  (* One production run of the base program under tracing, recording
+     [points] (base coordinates; must extend the previous run's set).
+     [forward] maps base to instrumented coordinates — the shipped
+     failure context is what an instrumented binary would have reported.
      [tracked] is the failure identity ER is keyed on (base coordinates);
-     [None] until the first occurrence pins it down. *)
+     [None] until the first occurrence pins it down.  The second
+     component is the resume clock when the run continued from a
+     checkpoint instead of starting over. *)
   val capture :
+    session:session ->
     config:config ->
-    prog:Er_ir.Prog.t ->
-    mapper:Er_select.Instrument.mapper ->
+    points:point list ->
+    forward:(point -> point) ->
     tracked:Er_vm.Failure.t option ->
     inputs:Er_vm.Inputs.t ->
     sched_seed:int ->
-    trace_outcome
+    trace_outcome * int option
+
+  val stats : session -> ckpt_stats
 end
 
 module type SHEPHERD = sig
@@ -133,57 +174,186 @@ end
 (* Default stage implementations                                     *)
 (* ---------------------------------------------------------------- *)
 
+(* The default tracer runs the *base* program with a recording plan
+   (virtual ptwrites fired by the VM at plan-marked definitions) instead
+   of an instrumented copy.  The executed program is therefore constant
+   across iterations, which is what makes checkpoints reusable when the
+   recording set grows: a checkpoint taken under iteration N's plan can
+   seed iteration N+1 whenever
+
+     - the new recording set extends the old one (always true: the
+       selector appends),
+     - the scheduler seed matches, or the program is spawn-free and
+       cannot observe the seed,
+     - the input values consumed up to the checkpoint are unchanged
+       ([Vm_state.inputs_prefix_ok]), and
+     - every *new* point lands in a block first executed at or after the
+       checkpoint ([Vm_state.first_exec_clock]) — so no virtual ptwrite
+       of the new plan falls inside the shared prefix, and the resumed
+       packet stream stays bit-identical to a from-scratch run's.
+
+   The encoder is checkpointed in lockstep with the VM (ring position,
+   mid-TNT pending bits, cumulative stats), so a resumed capture
+   continues the packet stream exactly where the checkpoint left it. *)
 module Default_tracer : TRACER = struct
-  let capture ~config ~prog ~mapper ~tracked ~inputs ~sched_seed =
-    let enc = Er_trace.Encoder.create ~ring_bytes:config.ring_bytes () in
-    Er_trace.Encoder.start enc;
-    let switches = ref 0 in
-    let trace_hooks =
+  module Vs = Er_vm.Vm_state
+  module Enc = Er_trace.Encoder
+
+  type session = {
+    s_prog : Er_ir.Prog.t;               (* the base program; never rewritten *)
+    s_enc : Enc.t;
+    s_hooks : Interp.hooks;
+    mutable s_vm : Vs.t option;          (* state of the last production run *)
+    mutable s_seed : int;                (* scheduler seed that run used *)
+    mutable s_points : point list;       (* recording set it ran under *)
+    (* checkpoints of the last run, deepest (highest clock) first *)
+    mutable s_cks : (Vs.checkpoint * Enc.checkpoint) list;
+    mutable s_taken : int;
+    mutable s_resumes : int;
+    mutable s_saved : int;
+    mutable s_executed : int;
+  }
+
+  let start ~config ~base_prog =
+    let enc = Enc.create ~ring_bytes:config.ring_bytes () in
+    let hooks =
       {
         Interp.no_hooks with
-        Interp.on_branch = Some (fun b -> Er_trace.Encoder.branch enc b);
-        on_switch =
-          Some (fun ~tid ~clock -> Er_trace.Encoder.thread_switch enc ~tid ~clock);
-        on_ptwrite = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
-        on_alloc = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
+        Interp.on_branch = Some (fun b -> Enc.branch enc b);
+        on_switch = Some (fun ~tid ~clock -> Enc.thread_switch enc ~tid ~clock);
+        on_ptwrite = Some (fun v -> Enc.ptwrite enc v);
+        on_alloc = Some (fun v -> Enc.ptwrite enc v);
       }
     in
-    let count_hooks =
-      { Interp.no_hooks with
-        Interp.on_switch = Some (fun ~tid:_ ~clock:_ -> incr switches) }
+    { s_prog = base_prog; s_enc = enc; s_hooks = hooks; s_vm = None;
+      s_seed = 0; s_points = []; s_cks = []; s_taken = 0; s_resumes = 0;
+      s_saved = 0; s_executed = 0 }
+
+  (* Deepest checkpoint of the previous run still valid for a run with
+     [points]/[inputs]/[sched_seed], per the conditions above. *)
+  let resume_candidate s ~points ~inputs ~sched_seed =
+    match s.s_vm with
+    | None -> None
+    | Some vm ->
+        if not (Er_select.Recording.is_prefix s.s_points points) then None
+        else if sched_seed <> s.s_seed && not (Vs.seed_independent vm) then None
+        else begin
+          let rec added = function
+            | _ :: ps, _ :: qs -> added (ps, qs)
+            | [], rest -> rest
+            | _, [] -> []
+          in
+          let fresh_points = added (s.s_points, points) in
+          let valid (vck, eck) =
+            let c = Vs.clock_of_checkpoint vck in
+            Vs.inputs_prefix_ok vm vck ~fresh:inputs
+            && Enc.can_revert s.s_enc eck
+            && List.for_all
+                 (fun pt ->
+                    match Vs.first_exec_clock vm pt with
+                    | None -> true        (* block never ran: not in the prefix *)
+                    | Some fc -> c <= fc)
+                 fresh_points
+          in
+          Option.map (fun ck -> (vm, ck)) (List.find_opt valid s.s_cks)
+        end
+
+  (* Ready the VM for one production run: resume the persistent state
+     from the deepest valid checkpoint, or rebuild from scratch. *)
+  let arm s ~config ~points ~inputs ~sched_seed =
+    let plan () = Vs.plan_of_points (Er_ir.Prog.lowered s.s_prog) points in
+    let resume =
+      if config.incremental then resume_candidate s ~points ~inputs ~sched_seed
+      else None
     in
-    let hooks = Interp.compose_hooks trace_hooks count_hooks in
-    let vm_config = { config.vm_config with Interp.sched_seed; hooks } in
-    let vm = Interp.run ~config:vm_config prog inputs in
-    match vm.Interp.outcome with
-    | Interp.Finished _ -> No_failure
-    | Interp.Failed failure -> (
-        let base_failure = map_failure mapper failure in
-        match tracked with
-        | Some f0 when not (Er_vm.Failure.same_failure f0 base_failure) ->
-            (* ER keys on the failing program counter and call stack and
-               waits for the tracked failure to reoccur *)
-            Different_failure
-        | _ -> (
-            let raw = Er_trace.Encoder.finish enc in
-            let stats = Er_trace.Encoder.stats enc in
-            match Er_trace.Decoder.decode raw with
-            | Error e -> Decode_failed (Er_trace.Decoder.error_to_string e)
-            | Ok events ->
-                Captured
-                  {
-                    cap_bytes = Bytes.length raw;
-                    cap_packets = stats.Er_trace.Encoder.packets;
-                    cap_ptwrites = stats.Er_trace.Encoder.ptwrites;
-                    cap_switches = !switches;
-                    cap_vm_instrs = vm.Interp.instr_count;
-                    cap_overwritten = Er_trace.Encoder.overwritten enc;
-                    cap_split = Er_trace.Decoder.split events;
-                    cap_failure = failure;
-                    cap_base_failure = base_failure;
-                    cap_failure_clock = vm.Interp.instr_count;
-                    cap_sched_seed = sched_seed;
-                  }))
+    match resume with
+    | Some (vm, (vck, eck)) ->
+        let at = Vs.clock_of_checkpoint vck in
+        Vs.revert vm vck;
+        if not (Enc.revert s.s_enc eck) then
+          failwith "Pipeline: encoder refused a validated checkpoint";
+        Vs.swap_inputs vm inputs;
+        Vs.set_plan vm (plan ());
+        (* checkpoints beyond the resume point describe the abandoned
+           suffix of the previous run *)
+        s.s_cks <-
+          List.filter (fun (v, _) -> Vs.clock_of_checkpoint v <= at) s.s_cks;
+        s.s_points <- points;
+        s.s_resumes <- s.s_resumes + 1;
+        s.s_saved <- s.s_saved + at;
+        (vm, Some at)
+    | None ->
+        Enc.reset s.s_enc;
+        Enc.start s.s_enc;
+        let vm_config =
+          { config.vm_config with Interp.sched_seed; hooks = s.s_hooks }
+        in
+        let vm = Vs.create ~config:vm_config ~plan:(plan ()) s.s_prog inputs in
+        s.s_vm <- Some vm;
+        s.s_seed <- sched_seed;
+        s.s_points <- points;
+        s.s_cks <- [];
+        (vm, None)
+
+  (* Run to the end, pausing at quantum boundaries every
+     [checkpoint_interval] instructions to snapshot VM and encoder
+     together.  Pausing commutes with execution, so the checkpointed run
+     is step-identical to an uninterrupted one. *)
+  let run_traced s ~config vm =
+    if not config.incremental then Vs.run_to_end vm
+    else begin
+      let interval = max 1 config.checkpoint_interval in
+      let rec drive target =
+        match Vs.run ~pause_at:target vm with
+        | Some r -> r
+        | None ->
+            s.s_cks <- (Vs.snapshot vm, Enc.checkpoint s.s_enc) :: s.s_cks;
+            s.s_taken <- s.s_taken + 1;
+            drive (Vs.clock vm + interval)
+      in
+      drive (Vs.clock vm + interval)
+    end
+
+  let capture ~session:s ~config ~points ~forward ~tracked ~inputs ~sched_seed =
+    let vm, resumed = arm s ~config ~points ~inputs ~sched_seed in
+    let c0 = Vs.clock vm in
+    let r = run_traced s ~config vm in
+    s.s_executed <- s.s_executed + (r.Interp.instr_count - c0);
+    let outcome =
+      match r.Interp.outcome with
+      | Interp.Finished _ -> No_failure
+      | Interp.Failed base_failure -> (
+          match tracked with
+          | Some f0 when not (Er_vm.Failure.same_failure f0 base_failure) ->
+              (* ER keys on the failing program counter and call stack and
+                 waits for the tracked failure to reoccur *)
+              Different_failure
+          | _ -> (
+              let raw = Enc.finish s.s_enc in
+              let stats = Enc.stats s.s_enc in
+              match Er_trace.Decoder.decode raw with
+              | Error e -> Decode_failed (Er_trace.Decoder.error_to_string e)
+              | Ok events ->
+                  Captured
+                    {
+                      cap_bytes = Bytes.length raw;
+                      cap_packets = stats.Er_trace.Encoder.packets;
+                      cap_ptwrites = stats.Er_trace.Encoder.ptwrites;
+                      cap_switches = stats.Er_trace.Encoder.switches;
+                      cap_vm_instrs = r.Interp.instr_count;
+                      cap_overwritten = Enc.overwritten s.s_enc;
+                      cap_split = Er_trace.Decoder.split events;
+                      cap_failure = forward_failure forward base_failure;
+                      cap_base_failure = base_failure;
+                      cap_failure_clock = r.Interp.instr_count;
+                      cap_sched_seed = sched_seed;
+                    }))
+    in
+    (outcome, resumed)
+
+  let stats s =
+    { ck_taken = s.s_taken; ck_resumes = s.s_resumes;
+      ck_saved_instrs = s.s_saved; ck_executed_instrs = s.s_executed }
 end
 
 module Default_shepherd : SHEPHERD = struct
@@ -257,6 +427,7 @@ type result = {
   total_symex_time : float;
   recording_points : point list;  (* base-program coordinates *)
   failure : Er_vm.Failure.t option;
+  ckpt : ckpt_stats;           (* tracer checkpoint/resume accounting *)
   events : Events.event list;  (* the full buffered event stream *)
 }
 
@@ -365,9 +536,13 @@ let iterations_of_events (evs : Events.event list) : iteration list =
          | Events.Verified { elapsed; _ } ->
              let upd it = { it with verify_time = elapsed } in
              (acc, Option.map upd cur, total)
-         | Events.Run_skipped _ | Events.Decode_failed _
-         | Events.Budget_escalated _ | Events.Reproduced _ | Events.Gave_up _
-         | Events.Metrics_snapshot _ | Events.Pipeline_finished _ ->
+         (* [Checkpoint_resumed] is deliberately ignored: incremental and
+            from-scratch reconstructions must derive identical iteration
+            trajectories. *)
+         | Events.Run_skipped _ | Events.Checkpoint_resumed _
+         | Events.Decode_failed _ | Events.Budget_escalated _
+         | Events.Reproduced _ | Events.Gave_up _ | Events.Metrics_snapshot _
+         | Events.Pipeline_finished _ ->
              (acc, cur, total))
       ([], None, 0) evs
   in
@@ -392,24 +567,27 @@ struct
   let run ?(config = default_config) ?(events = Events.null)
       ~(base_prog : program) ~(workload : workload) () : result =
     let base_indexed = Er_ir.Prog.of_program base_prog in
+    let session = T.start ~config ~base_prog:base_indexed in
     let buffer, buffered = Events.buffer () in
     let emit = Events.tee buffer events in
     let occurrence_body (st : state) : state =
       M.with_span "occurrence" @@ fun () ->
       let occ = st.st_run + 1 in
       emit (Events.Occurrence_started { occurrence = occ });
-      let inst_prog, mapper =
-        Er_select.Instrument.apply base_prog st.st_points
-      in
-      let inst_indexed = Er_ir.Prog.of_program inst_prog in
       let inputs, sched_seed = workload ~occurrence:occ in
       (* --- stage 1: production run under tracing --- *)
       let t0 = Sys.time () in
-      match
+      let outcome, resumed =
         M.with_span "trace" (fun () ->
-            T.capture ~config ~prog:inst_indexed ~mapper
+            T.capture ~session ~config ~points:st.st_points
+              ~forward:(Er_select.Instrument.forward base_prog st.st_points)
               ~tracked:st.st_tracked ~inputs ~sched_seed)
-      with
+      in
+      (match resumed with
+       | Some at_clock ->
+           emit (Events.Checkpoint_resumed { occurrence = occ; at_clock })
+       | None -> ());
+      match outcome with
       | No_failure ->
           emit
             (Events.Run_skipped
@@ -425,6 +603,13 @@ struct
           { st with st_run = occ;
             st_final = Some (Gave_up (Outcome.Decode_error e)) }
       | Captured cap -> (
+          (* The analysis stages think in instrumented coordinates, so the
+             instrumented program is still materialized — but only for
+             captures, never for the production run itself. *)
+          let inst_prog, mapper =
+            Er_select.Instrument.apply base_prog st.st_points
+          in
+          let inst_indexed = Er_ir.Prog.of_program inst_prog in
           emit
             (Events.Trace_captured
                { occurrence = occ; bytes = cap.cap_bytes;
@@ -597,6 +782,7 @@ struct
         List.fold_left (fun a it -> a +. it.symex_time) 0.0 iterations;
       recording_points = st.st_points;
       failure = st.st_tracked;
+      ckpt = T.stats session;
       events = buffered ();
     }
 end
@@ -683,6 +869,12 @@ let result_to_json_value (r : result) : Json.t =
       ("runs", Int r.runs);
       ("total_symex_time", Float r.total_symex_time);
       ("recording_points", List (List.map point_to_json r.recording_points));
+      ( "checkpoints",
+        Obj
+          [ ("taken", Int r.ckpt.ck_taken);
+            ("resumes", Int r.ckpt.ck_resumes);
+            ("saved_instrs", Int r.ckpt.ck_saved_instrs);
+            ("executed_instrs", Int r.ckpt.ck_executed_instrs) ] );
       ("iterations", List (List.map iteration_to_json r.iterations)) ]
 
 let result_to_json (r : result) : string = Json.to_string (result_to_json_value r)

@@ -75,6 +75,58 @@ let apply (p : program) (points : point list) : program * mapper =
   in
   ({ p with funcs }, mapper)
 
+(* The forward direction of [apply]'s mapper: base-program coordinates
+   to instrumented coordinates, without building the instrumented
+   program.  A base index shifts by the number of ptwrites [apply] would
+   insert earlier in the same block — marked indices that are in range
+   and define a register; the terminator position (index = block length)
+   shifts past all of them.  The plan-driven tracer runs the *base*
+   program, so its failure reports are forward-mapped before the
+   analysis stages, which think in instrumented coordinates. *)
+let forward (p : program) (points : point list) : point -> point =
+  let by_block : (string * string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun pt ->
+       let key = (pt.p_func, pt.p_block) in
+       let l =
+         match Hashtbl.find_opt by_block key with
+         | Some l -> l
+         | None ->
+             let l = ref [] in
+             Hashtbl.add by_block key l;
+             l
+       in
+       if not (List.mem pt.p_index !l) then l := pt.p_index :: !l)
+    points;
+  let actual : (string * string, int array) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+       List.iter
+         (fun (b : block) ->
+            match Hashtbl.find_opt by_block (f.fname, b.label) with
+            | None -> ()
+            | Some l ->
+                let keep =
+                  List.filter
+                    (fun i ->
+                       i >= 0 && i < Array.length b.instrs
+                       && def_of_instr b.instrs.(i) <> None)
+                    !l
+                in
+                Hashtbl.replace actual (f.fname, b.label) (Array.of_list keep))
+         f.blocks)
+    p.funcs;
+  fun pt ->
+    match Hashtbl.find_opt actual (pt.p_func, pt.p_block) with
+    | None -> pt
+    | Some inserts ->
+        let shift =
+          Array.fold_left
+            (fun n j -> if j < pt.p_index then n + 1 else n)
+            0 inserts
+        in
+        { pt with p_index = pt.p_index + shift }
+
 (* Count of ptwrite instructions in a program (reporting). *)
 let ptwrite_count (p : program) =
   List.fold_left

@@ -157,6 +157,27 @@ let reduce (graph : Cgraph.t) (bottleneck : Expr.t list) : plan =
 
 let points plan = List.map (fun it -> it.it_point) plan.items
 
+(* Recording-point sets grow monotonically across ER iterations (each
+   selection round appends its fresh points), so consecutive sets relate
+   by list prefix.  The incremental pipeline uses these to decide whether
+   a checkpointed run — taken under the previous iteration's set — can be
+   resumed under the next one. *)
+
+let is_prefix (pre : point list) (full : point list) : bool =
+  let rec go = function
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | p :: ps, q :: qs -> point_compare p q = 0 && go (ps, qs)
+  in
+  go (pre, full)
+
+let common_prefix (a : point list) (b : point list) : point list =
+  let rec go acc = function
+    | p :: ps, q :: qs when point_compare p q = 0 -> go (p :: acc) (ps, qs)
+    | _ -> List.rev acc
+  in
+  go [] (a, b)
+
 (* Points not already in [existing], deduplicated and in first-seen order
    — the increment the pipeline's selector hands back each iteration. *)
 let fresh ~existing pts =

@@ -36,3 +36,12 @@ val points : plan -> point list
     [existing], deduplicated, in first-seen order — the recording-set
     increment one selection round contributes. *)
 val fresh : existing:point list -> point list -> point list
+
+(** [is_prefix pre full]: recording-point sets grow by appending, so
+    consecutive iterations' sets relate by list prefix; the incremental
+    pipeline asserts this before reusing checkpoints. *)
+val is_prefix : point list -> point list -> bool
+
+(** Longest common prefix of two point lists (pointwise
+    [point_compare]). *)
+val common_prefix : point list -> point list -> point list

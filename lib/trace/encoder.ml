@@ -151,6 +151,56 @@ let finish t =
   end;
   Ring.contents t.ring
 
+(* --- checkpoint / revert ----------------------------------------------- *)
+
+(* A checkpoint records the ring position plus the pending (unflushed)
+   TNT bits and the cumulative stats, so a resumed capture continues the
+   packet stream bit-identically to the run the checkpoint was taken
+   from — mid-TNT-packet included. *)
+
+type checkpoint = {
+  ck_ring : Ring.checkpoint;
+  ck_pending_bits : int;
+  ck_pending_n : int;
+  ck_stats : stats;                (* a copy, not an alias *)
+}
+
+let checkpoint t =
+  {
+    ck_ring = Ring.checkpoint t.ring;
+    ck_pending_bits = t.pending_bits;
+    ck_pending_n = t.pending_n;
+    ck_stats = { t.stats with branches = t.stats.branches };
+  }
+
+let can_revert t ck = Ring.can_revert t.ring ck.ck_ring
+
+(* [false] when post-checkpoint writes wrapped into the bytes that were
+   live at the checkpoint — the stream can no longer be reconstructed. *)
+let revert t ck =
+  Ring.revert t.ring ck.ck_ring
+  && begin
+    t.pending_bits <- ck.ck_pending_bits;
+    t.pending_n <- ck.ck_pending_n;
+    t.stats.branches <- ck.ck_stats.branches;
+    t.stats.ptwrites <- ck.ck_stats.ptwrites;
+    t.stats.switches <- ck.ck_stats.switches;
+    t.stats.packets <- ck.ck_stats.packets;
+    t.stats.bytes <- ck.ck_stats.bytes;
+    true
+  end
+
+(* Full reset: a from-scratch capture reusing the same buffer. *)
+let reset t =
+  Ring.clear t.ring;
+  t.pending_bits <- 0;
+  t.pending_n <- 0;
+  t.stats.branches <- 0;
+  t.stats.ptwrites <- 0;
+  t.stats.switches <- 0;
+  t.stats.packets <- 0;
+  t.stats.bytes <- 0
+
 let overflowed t = Ring.overflowed t.ring
 let overwritten t = Ring.overwritten t.ring
 let wraps t = Ring.wraps t.ring

@@ -36,6 +36,23 @@ val ptwrite : t -> int64 -> unit
     runtime ships to the analysis engine when the failure fires. *)
 val finish : t -> Bytes.t
 
+(** {1 Checkpoint / revert}
+
+    A checkpoint records the ring position, the pending (unflushed) TNT
+    bits and the cumulative stats; {!revert} resumes the packet stream
+    bit-identically mid-capture.  Reverting fails (returns [false]) when
+    post-checkpoint writes wrapped into bytes that were live at the
+    checkpoint, or when the ring had already overflowed. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+val can_revert : t -> checkpoint -> bool
+val revert : t -> checkpoint -> bool
+
+(** Full reset for a from-scratch capture reusing the same buffer. *)
+val reset : t -> unit
+
 val overflowed : t -> bool
 
 (** Ring bytes lost to wrap-around so far (0 unless [overflowed]). *)

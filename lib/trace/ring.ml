@@ -78,3 +78,30 @@ let clear t =
   t.head <- 0;
   t.written <- 0;
   t.wraps <- 0
+
+(* --- checkpoint / revert ----------------------------------------------- *)
+
+(* A checkpoint is just the write position: reverting only has to move
+   the head back, *provided* the bytes that were live at the checkpoint
+   have not been clobbered by post-checkpoint writes wrapping into them.
+   [can_revert] is that validity test; an overflowed-at-checkpoint ring
+   never reverts (its whole buffer was live). *)
+
+type checkpoint = { ck_head : int; ck_written : int; ck_wraps : int }
+
+let checkpoint t = { ck_head = t.head; ck_written = t.written; ck_wraps = t.wraps }
+
+let can_revert t ck =
+  let since = t.written - ck.ck_written in
+  since >= 0
+  && (if ck.ck_written >= t.capacity then since = 0
+      else since <= t.capacity - ck.ck_head)
+
+let revert t ck =
+  if can_revert t ck then begin
+    t.head <- ck.ck_head;
+    t.written <- ck.ck_written;
+    t.wraps <- ck.ck_wraps;
+    true
+  end
+  else false

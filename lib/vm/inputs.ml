@@ -47,6 +47,52 @@ let read t stream =
 
 let consumed t = List.rev t.consumed
 
+(* --- checkpoint support ------------------------------------------------ *)
+
+type checkpoint = {
+  ck_cursors : (string * int) list;
+  ck_consumed : (string * int64) list;   (* immutable list: shared, not copied *)
+}
+
+let checkpoint t =
+  {
+    ck_cursors = Hashtbl.fold (fun s c acc -> (s, !c) :: acc) t.cursors [];
+    ck_consumed = t.consumed;
+  }
+
+let restore t ck =
+  Hashtbl.reset t.cursors;
+  List.iter (fun (s, v) -> Hashtbl.replace t.cursors s (ref v)) ck.ck_cursors;
+  t.consumed <- ck.ck_consumed
+
+(* Swap in another workload's stream contents while keeping cursor
+   positions: how an incremental run resumes a checkpointed prefix under
+   the next occurrence's inputs. *)
+let replace_streams t (src : t) =
+  Hashtbl.reset t.streams;
+  Hashtbl.iter (fun name arr -> Hashtbl.replace t.streams name arr) src.streams
+
+(* A checkpoint taken while consuming [old] streams describes a valid
+   prefix of a run over [fresh] streams iff every stream read so far is
+   identical up to its cursor in both workloads. *)
+let prefix_ok ~old ~fresh (ck : checkpoint) =
+  List.for_all
+    (fun (stream, cursor) ->
+       cursor = 0
+       ||
+       match Hashtbl.find_opt old.streams stream,
+             Hashtbl.find_opt fresh.streams stream with
+       | Some a, Some b ->
+           Array.length a >= cursor
+           && Array.length b >= cursor
+           && (let same = ref true in
+               for i = 0 to cursor - 1 do
+                 if not (Int64.equal a.(i) b.(i)) then same := false
+               done;
+               !same)
+       | _ -> false)
+    ck.ck_cursors
+
 let stream_values t stream =
   match Hashtbl.find_opt t.streams stream with
   | None -> []

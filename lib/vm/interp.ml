@@ -12,125 +12,58 @@
    failure occurrences exhibit different interleavings, the way distinct
    production runs would.  Chunk boundaries invoke the [on_switch] hook,
    which the PT-like encoder turns into TIP+MTC packets — the coarse
-   timestamps of section 3.4. *)
+   timestamps of section 3.4.
+
+   Two engines implement this semantics.  The production one lives in
+   {!Vm_state}: it dispatches over the pre-lowered code cache, keeps all
+   run state behind a resumable value with checkpoint/revert, and is
+   what [run] delegates to.  This module keeps the tree-walking
+   *reference* engine ([run_reference]) — string-keyed register tables,
+   name-resolved jumps — whose bit-for-bit agreement with the lowered
+   engine the differential suite in test/test_lower.ml enforces.  The
+   shared pieces (hooks, config, metrics, evaluation helpers) are
+   defined once in {!Vm_state} and re-exported here under their
+   historical names. *)
 
 open Er_ir.Types
 module Sem = Er_smt.Expr     (* shared concrete semantics *)
 module M = Er_metrics
 
-(* Retirement counters on the process registry; [step_thread] checks
-   [M.enabled] once per step, so a metrics-off run pays one branch. *)
-let instr_counter cls =
-  M.counter
-    ~labels:[ ("class", cls) ]
-    ~help:"Instructions retired, by opcode class." "er_vm_instructions_total"
+(* --- re-exports from the production engine ------------------------------- *)
 
-let m_i_alu = instr_counter "alu"
-and m_i_load = instr_counter "load"
-and m_i_store = instr_counter "store"
-and m_i_mem = instr_counter "mem"
-and m_i_call = instr_counter "call"
-and m_i_io = instr_counter "io"
-and m_i_sync = instr_counter "sync"
-and m_i_branch = instr_counter "branch"
-and m_i_other = instr_counter "other"
+let m_i_alu = Vm_state.m_i_alu
+let m_i_load = Vm_state.m_i_load
+let m_i_store = Vm_state.m_i_store
+let m_i_mem = Vm_state.m_i_mem
+let m_i_call = Vm_state.m_i_call
+let m_i_io = Vm_state.m_i_io
+let m_i_sync = Vm_state.m_i_sync
+let m_i_branch = Vm_state.m_i_branch
+let m_i_other = Vm_state.m_i_other
+let m_loads = Vm_state.m_loads
+let m_stores = Vm_state.m_stores
+let m_branches = Vm_state.m_branches
+let m_switches = Vm_state.m_switches
+let count_instr = Vm_state.count_instr
+let count_term = Vm_state.count_term
 
-let m_loads = M.counter ~help:"Memory loads executed." "er_vm_loads_total"
-let m_stores = M.counter ~help:"Memory stores executed." "er_vm_stores_total"
-
-let m_branches =
-  M.counter ~help:"Conditional branches executed." "er_vm_branches_total"
-
-let m_switches =
-  M.counter ~help:"Chunk-scheduler thread switches." "er_vm_switches_total"
-
-let count_instr (i : instr) =
-  match i with
-  | Bin _ | Cmp _ | Select _ | Cast _ | Gep _ -> M.inc m_i_alu
-  | Load _ ->
-      M.inc m_i_load;
-      M.inc m_loads
-  | Store _ ->
-      M.inc m_i_store;
-      M.inc m_stores
-  | Alloc _ | Free _ -> M.inc m_i_mem
-  | Call _ -> M.inc m_i_call
-  | Input _ | Output _ | Ptwrite _ -> M.inc m_i_io
-  | Spawn _ | Join | Lock _ | Unlock _ -> M.inc m_i_sync
-  | Assert _ -> M.inc m_i_other
-
-let count_term (t : terminator) =
-  match t with
-  | Br _ -> M.inc m_i_branch
-  | Cond_br _ ->
-      M.inc m_i_branch;
-      M.inc m_branches
-  | Ret _ -> M.inc m_i_call
-  | Abort _ | Unreachable -> M.inc m_i_other
-
-type hooks = {
+type hooks = Vm_state.hooks = {
   on_branch : (bool -> unit) option;
   on_switch : (tid:int -> clock:int -> unit) option;
   on_ptwrite : (int64 -> unit) option;
   on_input : (stream:string -> value:int64 -> unit) option;
   on_store :
     (obj:int -> index:int -> old_value:int64 -> new_value:int64 -> unit) option;
-  (* allocation sizes are always traced: the analysis engine needs the
-     concrete heap layout to replay memory accesses *)
   on_alloc : (int64 -> unit) option;
-  (* every register definition with its concrete value: ground truth for
-     the REPT accuracy experiment *)
   on_def : (Er_ir.Types.point -> reg:string -> value:int64 -> unit) option;
-  (* function boundaries: used by the invariant-inference case study *)
   on_enter : (func:string -> args:int64 list -> unit) option;
   on_ret : (func:string -> value:int64 option -> unit) option;
 }
 
-let no_hooks =
-  { on_branch = None; on_switch = None; on_ptwrite = None; on_input = None;
-    on_store = None; on_alloc = None; on_def = None; on_enter = None;
-    on_ret = None }
+let no_hooks = Vm_state.no_hooks
+let compose_hooks = Vm_state.compose_hooks
 
-(* Run two hook sets side by side ([a] first).  Lets the pipeline attach
-   event-accounting observers next to the trace encoder hooks without
-   either knowing about the other. *)
-let compose_hooks (a : hooks) (b : hooks) : hooks =
-  let fuse f g wrap =
-    match f, g with
-    | None, h | h, None -> h
-    | Some f, Some g -> Some (wrap f g)
-  in
-  {
-    on_branch = fuse a.on_branch b.on_branch (fun f g x -> f x; g x);
-    on_switch =
-      fuse a.on_switch b.on_switch (fun f g ~tid ~clock ->
-          f ~tid ~clock;
-          g ~tid ~clock);
-    on_ptwrite = fuse a.on_ptwrite b.on_ptwrite (fun f g x -> f x; g x);
-    on_input =
-      fuse a.on_input b.on_input (fun f g ~stream ~value ->
-          f ~stream ~value;
-          g ~stream ~value);
-    on_store =
-      fuse a.on_store b.on_store (fun f g ~obj ~index ~old_value ~new_value ->
-          f ~obj ~index ~old_value ~new_value;
-          g ~obj ~index ~old_value ~new_value);
-    on_alloc = fuse a.on_alloc b.on_alloc (fun f g x -> f x; g x);
-    on_def =
-      fuse a.on_def b.on_def (fun f g p ~reg ~value ->
-          f p ~reg ~value;
-          g p ~reg ~value);
-    on_enter =
-      fuse a.on_enter b.on_enter (fun f g ~func ~args ->
-          f ~func ~args;
-          g ~func ~args);
-    on_ret =
-      fuse a.on_ret b.on_ret (fun f g ~func ~value ->
-          f ~func ~value;
-          g ~func ~value);
-  }
-
-type config = {
+type config = Vm_state.config = {
   max_instrs : int;
   max_call_depth : int;
   quantum : int;
@@ -139,19 +72,13 @@ type config = {
   hooks : hooks;
 }
 
-let default_config =
-  {
-    max_instrs = 50_000_000;
-    max_call_depth = 512;
-    quantum = 60;
-    quantum_jitter = 24;
-    sched_seed = 0;
-    hooks = no_hooks;
-  }
+let default_config = Vm_state.default_config
 
-type outcome = Finished of int64 option | Failed of Failure.t
+type outcome = Vm_state.outcome =
+  | Finished of int64 option
+  | Failed of Failure.t
 
-type run_result = {
+type run_result = Vm_state.run_result = {
   outcome : outcome;
   instr_count : int;
   branch_count : int;
@@ -159,6 +86,37 @@ type run_result = {
   peak_mem_cells : int;
   final_mem : Memory.t;    (* the core dump available post-mortem *)
 }
+
+type tstatus = Vm_state.tstatus =
+  | Runnable
+  | Blocked_lock of int64
+  | Waiting_join
+  | Done_t
+
+(* Outcome of stepping one thread by one instruction.  [Stepped_free]
+   executes without advancing the clock: ptwrite is hardware tracing work,
+   not program work, so instrumentation must not perturb the schedule. *)
+type step = Vm_state.step =
+  | Stepped
+  | Stepped_free
+  | Blocked
+  | Thread_done
+  | Program_done of int64 option
+
+exception Crash = Vm_state.Crash
+
+let norm = Vm_state.norm
+let smt_binop = Vm_state.smt_binop
+let eval_cmp = Vm_state.eval_cmp
+let chunk_quantum = Vm_state.chunk_quantum
+let alloc_global_mem = Vm_state.alloc_global_mem
+
+(* The production entry point: lowered dispatch, resumable state. *)
+let run ?config prog inputs = Vm_state.run_program ?config prog inputs
+
+(* ======================================================================== *)
+(* Reference engine                                                         *)
+(* ======================================================================== *)
 
 (* --- execution state ---------------------------------------------------- *)
 
@@ -171,16 +129,12 @@ type frame = {
   mutable fr_stack_objs : int list; (* alloca'd objects, released on return *)
 }
 
-type tstatus = Runnable | Blocked_lock of int64 | Waiting_join | Done_t
-
 type thread = {
   tid : int;
   mutable stack : frame list;       (* innermost first *)
   mutable depth : int;              (* cached [List.length stack] *)
   mutable status : tstatus;
 }
-
-exception Crash of Failure.kind
 
 type st = {
   prog : Er_ir.Prog.t;
@@ -209,8 +163,6 @@ let stack_of (th : thread) =
 
 (* --- value evaluation ---------------------------------------------------- *)
 
-let norm ty v = Er_smt.Ty.truncate (width_of_ty ty) v
-
 let eval_value st (fr : frame) = function
   | Imm (v, _) -> v
   | Null -> Memory.null
@@ -227,47 +179,7 @@ let eval_value st (fr : frame) = function
 
 let set_reg (fr : frame) r v = Hashtbl.replace fr.fr_regs r v
 
-let smt_binop : binop -> Sem.binop = function
-  | Add -> Sem.Add | Sub -> Sem.Sub | Mul -> Sem.Mul | Udiv -> Sem.Udiv
-  | Urem -> Sem.Urem | And -> Sem.And | Or -> Sem.Or | Xor -> Sem.Xor
-  | Shl -> Sem.Shl | Lshr -> Sem.Lshr | Ashr -> Sem.Ashr
-
-let eval_cmp op w a b =
-  let base o = Sem.eval_cmp o w a b in
-  match op with
-  | Eq -> base Sem.Eq
-  | Ne -> not (base Sem.Eq)
-  | Ult -> base Sem.Ult
-  | Ule -> base Sem.Ule
-  | Ugt -> not (base Sem.Ule)
-  | Uge -> not (base Sem.Ult)
-  | Slt -> base Sem.Slt
-  | Sle -> base Sem.Sle
-  | Sgt -> not (base Sem.Sle)
-  | Sge -> not (base Sem.Slt)
-
 (* --- setup ---------------------------------------------------------------- *)
-
-(* Shared by both engines so global allocation order — hence object ids
-   and packed pointers — is identical. *)
-let alloc_global_mem mem (g : global) : int64 =
-  match Memory.alloc mem ~elt_ty:g.g_elt_ty ~size:g.g_size ~heap:true with
-  | None -> invalid_arg ("Interp: global too large: " ^ g.gname)
-  | Some p ->
-      (match g.g_init with
-       | None -> ()
-       | Some init ->
-           Array.iteri
-             (fun i v ->
-                match
-                  Memory.store mem
-                    (Memory.ptr ~obj:(Memory.ptr_obj p) ~index:i)
-                    ~ty:g.g_elt_ty (norm g.g_elt_ty v)
-                with
-                | Ok _ -> ()
-                | Error _ -> assert false)
-             init);
-      p
 
 let alloc_global st (g : global) =
   Hashtbl.replace st.globals g.gname (alloc_global_mem st.mem g)
@@ -284,11 +196,6 @@ let make_frame (f : func) (args : int64 list) ~dst =
         fr_stack_objs = [] }
 
 (* --- single-step execution ----------------------------------------------- *)
-
-(* Outcome of stepping one thread by one instruction.  [Stepped_free]
-   executes without advancing the clock: ptwrite is hardware tracing work,
-   not program work, so instrumentation must not perturb the schedule. *)
-type step = Stepped | Stepped_free | Blocked | Thread_done | Program_done of int64 option
 
 let jump st (fr : frame) label =
   fr.fr_block <- Er_ir.Prog.block st.prog ~func:fr.fr_func.fname ~label;
@@ -528,12 +435,6 @@ let step_thread st (th : thread) : step =
 
 (* --- scheduler ------------------------------------------------------------ *)
 
-(* Deterministic per-(seed, chunk#) quantum jitter. *)
-let chunk_quantum cfg turn =
-  let h = Hashtbl.hash (cfg.sched_seed, turn) in
-  let j = if cfg.quantum_jitter = 0 then 0 else (h mod (2 * cfg.quantum_jitter)) - cfg.quantum_jitter in
-  max 8 (cfg.quantum + j)
-
 let run_reference ?(config = default_config) (prog : Er_ir.Prog.t)
     (inputs : Inputs.t) : run_result =
   Inputs.reset inputs;
@@ -671,541 +572,6 @@ let run_reference ?(config = default_config) (prog : Er_ir.Prog.t)
                       (Failed
                          { Failure.kind = Failure.Deadlock; point;
                            stack; thread = victim.tid }))
-             end))
-  done;
-  match !result with Some r -> r | None -> assert false
-
-(* ======================================================================== *)
-(* Lowered engine                                                           *)
-(* ======================================================================== *)
-
-(* The production interpreter: dispatch over the pre-lowered code cache
-   ({!Er_ir.Lower}).  Register files are dense [int64 array]s indexed by
-   slot, control flow and call targets are array indices, the call-depth
-   check is a cached counter, and per-class retirement metrics are
-   flushed one batched [M.add] per retired block.  Every observable —
-   hook invocations and their order, failure reports, outputs, metric
-   totals — matches [run_reference] bit for bit; the differential suite
-   in test/test_lower.ml pins this down. *)
-
-module L = Er_ir.Lower
-
-type lframe = {
-  lfr_func : L.lfunc;
-  mutable lfr_block : L.lblock;
-  mutable lfr_ip : int;
-  lfr_regs : int64 array;
-  lfr_defined : Bytes.t;   (* per-slot definedness; length 0 when untracked *)
-  lfr_dst : int option;    (* caller slot for the return value *)
-  mutable lfr_stack_objs : int list;
-}
-
-type lthread = {
-  ltid : int;
-  mutable lstack : lframe list;    (* innermost first *)
-  mutable ldepth : int;            (* cached [List.length lstack] *)
-  mutable lstatus : tstatus;
-}
-
-type lst = {
-  llow : L.t;
-  lmem : Memory.t;
-  linputs : Inputs.t;
-  lcfg : config;
-  lglobal_ptrs : int64 array;      (* indexed like [llow.l_globals] *)
-  lmutexes : (int64, int) Hashtbl.t;
-  mutable lthreads : lthread list;
-  mutable lnext_tid : int;
-  mutable lclock : int;
-  mutable lbranches : int;
-  mutable loutputs : int64 list;
-}
-
-let lpoint_of (fr : lframe) =
-  { p_func = fr.lfr_func.L.lf_name; p_block = fr.lfr_block.L.lb_label;
-    p_index = fr.lfr_ip }
-
-let lstack_of (th : lthread) = List.map lpoint_of th.lstack
-
-let ev_operand st (fr : lframe) (o : L.operand) : int64 =
-  match o with
-  | L.Oslot s -> Array.unsafe_get fr.lfr_regs s
-  | L.Oimm { v; _ } -> v
-  | L.Onull -> Memory.null
-  | L.Oglobal i -> st.lglobal_ptrs.(i)
-  | L.Ocheck { slot; reg } ->
-      if Bytes.get fr.lfr_defined slot = '\001' then fr.lfr_regs.(slot)
-      else
-        invalid_arg
-          (Printf.sprintf "Interp: read of undefined register %s in %s" reg
-             fr.lfr_func.L.lf_name)
-
-(* Slot write without the on_def hook: return values and parameter
-   binding, mirroring the plain [set_reg] of the reference engine. *)
-let lset_slot (fr : lframe) slot v =
-  fr.lfr_regs.(slot) <- v;
-  if Bytes.length fr.lfr_defined <> 0 then Bytes.set fr.lfr_defined slot '\001'
-
-let empty_defined = Bytes.create 0
-
-let make_lframe (lf : L.lfunc) (args : int64 list) ~dst =
-  let regs = Array.make lf.L.lf_nslots 0L in
-  let defined =
-    if lf.L.lf_tracked then Bytes.make lf.L.lf_nslots '\000' else empty_defined
-  in
-  let fr =
-    { lfr_func = lf; lfr_block = lf.L.lf_blocks.(0); lfr_ip = 0;
-      lfr_regs = regs; lfr_defined = defined; lfr_dst = dst;
-      lfr_stack_objs = [] }
-  in
-  if List.length args <> Array.length lf.L.lf_params then
-    invalid_arg (Printf.sprintf "Interp: arity mismatch calling %s" lf.L.lf_name);
-  List.iteri
-    (fun i v ->
-       let slot, ty = lf.L.lf_params.(i) in
-       lset_slot fr slot (norm ty v))
-    args;
-  fr
-
-(* One batched add per counter class for a fully retired block
-   (instructions + terminator). *)
-let flush_delta (d : L.delta) =
-  if d.L.d_alu > 0 then M.add m_i_alu d.L.d_alu;
-  if d.L.d_load > 0 then begin
-    M.add m_i_load d.L.d_load;
-    M.add m_loads d.L.d_load
-  end;
-  if d.L.d_store > 0 then begin
-    M.add m_i_store d.L.d_store;
-    M.add m_stores d.L.d_store
-  end;
-  if d.L.d_mem > 0 then M.add m_i_mem d.L.d_mem;
-  if d.L.d_call > 0 then M.add m_i_call d.L.d_call;
-  if d.L.d_io > 0 then M.add m_i_io d.L.d_io;
-  if d.L.d_sync > 0 then M.add m_i_sync d.L.d_sync;
-  if d.L.d_branch > 0 then M.add m_i_branch d.L.d_branch;
-  if d.L.d_other > 0 then M.add m_i_other d.L.d_other;
-  if d.L.d_cond > 0 then M.add m_branches d.L.d_cond
-
-(* At run end, account the partially retired block of every live frame
-   so totals equal the reference engine's per-instruction counts.  For
-   the frame that raised [Crash] at an instruction, the crashing
-   instruction itself was "counted before execution" by the reference
-   engine, so include it; a crash at a terminator was already covered by
-   the pre-terminator [flush_delta].  A pending-but-never-attempted
-   instruction (hang check, blocked sync op) is excluded, again like the
-   reference, whose per-attempt counts for blocked ops are instead added
-   at each [Blocked] step. *)
-let flush_partial st ~(crashed : lthread option) =
-  if M.enabled M.default then
-    List.iter
-      (fun th ->
-         List.iteri
-           (fun fi fr ->
-              let src = fr.lfr_block.L.lb_src in
-              let len = Array.length src.instrs in
-              let crashed_top =
-                (match crashed with Some t -> t == th | None -> false)
-                && fi = 0
-              in
-              let stop =
-                if crashed_top then
-                  if fr.lfr_ip < len then fr.lfr_ip + 1 else 0
-                else min fr.lfr_ip len
-              in
-              for k = 0 to stop - 1 do
-                count_instr src.instrs.(k)
-              done)
-           th.lstack)
-      st.lthreads
-
-let ldo_return st (th : lthread) v : step =
-  match th.lstack with
-  | [] -> assert false
-  | fr :: rest ->
-      (match st.lcfg.hooks.on_ret with
-       | Some h -> h ~func:fr.lfr_func.L.lf_name ~value:v
-       | None -> ());
-      List.iter (Memory.release_stack st.lmem) fr.lfr_stack_objs;
-      th.lstack <- rest;
-      th.ldepth <- th.ldepth - 1;
-      (match rest with
-       | [] ->
-           th.lstatus <- Done_t;
-           if th.ltid = 0 then Program_done v else Thread_done
-       | caller :: _ ->
-           (match fr.lfr_dst, v with
-            | Some dst, Some value ->
-                lset_slot caller dst
-                  (Er_smt.Ty.truncate fr.lfr_func.L.lf_ret_w value)
-            | Some dst, None -> lset_slot caller dst 0L
-            | None, _ -> ());
-           Stepped)
-
-(* Slot write with the on_def hook, the lowered [set_reg]; a top-level
-   function so the per-instruction step allocates no closures. *)
-let[@inline] lset_reg st (fr : lframe) slot v =
-  (match st.lcfg.hooks.on_def with
-   | Some h ->
-       h (lpoint_of fr) ~reg:fr.lfr_func.L.lf_reg_of_slot.(slot) ~value:v
-   | None -> ());
-  lset_slot fr slot v
-
-(* Evaluate a call/spawn argument array without the intermediate array
-   of [Array.map] — one list allocation, same element order. *)
-let ev_args st (fr : lframe) (args : L.operand array) =
-  Array.fold_right (fun o acc -> ev_operand st fr o :: acc) args []
-
-let lstep_instr st (th : lthread) (fr : lframe) (i : L.linstr) : step =
-  match i with
-  | L.LBin { dst; op; w; a; b; _ } ->
-      let va = ev_operand st fr a and vb = ev_operand st fr b in
-      (match op with
-       | Udiv | Urem when Int64.equal (Er_smt.Ty.truncate w vb) 0L ->
-           raise (Crash Failure.Div_by_zero)
-       | _ -> ());
-      lset_reg st fr dst
-        (Sem.eval_binop (smt_binop op) w (Er_smt.Ty.truncate w va)
-           (Er_smt.Ty.truncate w vb));
-      fr.lfr_ip <- fr.lfr_ip + 1;
-      Stepped
-  | L.LCmp { dst; op; w; a; b; _ } ->
-      let r =
-        eval_cmp op w (Er_smt.Ty.truncate w (ev_operand st fr a)) (Er_smt.Ty.truncate w (ev_operand st fr b))
-      in
-      lset_reg st fr dst (if r then 1L else 0L);
-      fr.lfr_ip <- fr.lfr_ip + 1;
-      Stepped
-  | L.LSelect { dst; w; cond; if_true; if_false; _ } ->
-      let c = ev_operand st fr cond in
-      lset_reg st fr dst
-        (Er_smt.Ty.truncate w
-           (if Int64.equal (Er_smt.Ty.truncate 1 c) 1L then ev_operand st fr if_true
-            else ev_operand st fr if_false));
-      fr.lfr_ip <- fr.lfr_ip + 1;
-      Stepped
-  | L.LCast { dst; kind; to_w; from_w; v; _ } ->
-      let value = Er_smt.Ty.truncate from_w (ev_operand st fr v) in
-      let out =
-        match kind with
-        | Zext | Ptrtoint | Inttoptr | Trunc -> Er_smt.Ty.truncate to_w value
-        | Sext ->
-            Er_smt.Ty.truncate to_w (Er_smt.Ty.sign_extend from_w value)
-      in
-      lset_reg st fr dst out;
-      fr.lfr_ip <- fr.lfr_ip + 1;
-      Stepped
-  | L.LLoad { dst; ty; addr } ->
-      (match Memory.load st.lmem (ev_operand st fr addr) ~ty with
-       | Error k -> raise (Crash k)
-       | Ok v ->
-           lset_reg st fr dst v;
-           fr.lfr_ip <- fr.lfr_ip + 1;
-           Stepped)
-  | L.LStore { ty; w; v; addr } ->
-      let value = Er_smt.Ty.truncate w (ev_operand st fr v) in
-      (match Memory.store st.lmem (ev_operand st fr addr) ~ty value with
-       | Error k -> raise (Crash k)
-       | Ok (obj, index, old_value) ->
-           (match st.lcfg.hooks.on_store with
-            | Some f -> f ~obj ~index ~old_value ~new_value:value
-            | None -> ());
-           fr.lfr_ip <- fr.lfr_ip + 1;
-           Stepped)
-  | L.LAlloc { dst; elt_ty; count; heap } ->
-      let n = Int64.to_int (ev_operand st fr count) in
-      (match st.lcfg.hooks.on_alloc with
-       | Some f -> f (Int64.of_int n)
-       | None -> ());
-      (match Memory.alloc st.lmem ~elt_ty ~size:n ~heap with
-       | None -> raise (Crash (Failure.Access_type_error "allocation too large"))
-       | Some p ->
-           if not heap then
-             fr.lfr_stack_objs <- Memory.ptr_obj p :: fr.lfr_stack_objs;
-           lset_reg st fr dst p;
-           fr.lfr_ip <- fr.lfr_ip + 1;
-           Stepped)
-  | L.LFree { addr } ->
-      (match Memory.free st.lmem (ev_operand st fr addr) with
-       | Error k -> raise (Crash k)
-       | Ok () ->
-           fr.lfr_ip <- fr.lfr_ip + 1;
-           Stepped)
-  | L.LGep { dst; base; idx } ->
-      let p = ev_operand st fr base in
-      let i = Int64.to_int (Er_smt.Ty.sign_extend 64 (ev_operand st fr idx)) in
-      lset_reg st fr dst
-        (Memory.ptr ~obj:(Memory.ptr_obj p) ~index:(Memory.ptr_index p + i));
-      fr.lfr_ip <- fr.lfr_ip + 1;
-      Stepped
-  | L.LCall { dst; fidx; args } ->
-      if th.ldepth >= st.lcfg.max_call_depth then
-        raise (Crash Failure.Stack_overflow);
-      let lf = st.llow.L.l_funcs.(fidx) in
-      let vargs = ev_args st fr args in
-      (match st.lcfg.hooks.on_enter with
-       | Some h -> h ~func:lf.L.lf_name ~args:vargs
-       | None -> ());
-      fr.lfr_ip <- fr.lfr_ip + 1;    (* return to the next instruction *)
-      th.lstack <- make_lframe lf vargs ~dst :: th.lstack;
-      th.ldepth <- th.ldepth + 1;
-      Stepped
-  | L.LInput { dst; ty; stream } ->
-      (match Inputs.read st.linputs stream with
-       | None -> raise (Crash (Failure.Input_exhausted stream))
-       | Some v ->
-           let v = norm ty v in
-           (match st.lcfg.hooks.on_input with
-            | Some f -> f ~stream ~value:v
-            | None -> ());
-           lset_reg st fr dst v;
-           fr.lfr_ip <- fr.lfr_ip + 1;
-           Stepped)
-  | L.LOutput { v } ->
-      st.loutputs <- ev_operand st fr v :: st.loutputs;
-      fr.lfr_ip <- fr.lfr_ip + 1;
-      Stepped
-  | L.LPtwrite { v } ->
-      (match st.lcfg.hooks.on_ptwrite with
-       | Some f -> f (ev_operand st fr v)
-       | None -> ());
-      fr.lfr_ip <- fr.lfr_ip + 1;
-      Stepped_free
-  | L.LAssert { cond; msg } ->
-      if Int64.equal (Er_smt.Ty.truncate 1 (ev_operand st fr cond)) 0L then
-        raise (Crash (Failure.Assert_failed msg));
-      fr.lfr_ip <- fr.lfr_ip + 1;
-      Stepped
-  | L.LSpawn { fidx; args } ->
-      let lf = st.llow.L.l_funcs.(fidx) in
-      let vargs = ev_args st fr args in
-      let t =
-        { ltid = st.lnext_tid; lstack = [ make_lframe lf vargs ~dst:None ];
-          ldepth = 1; lstatus = Runnable }
-      in
-      st.lnext_tid <- st.lnext_tid + 1;
-      st.lthreads <- st.lthreads @ [ t ];
-      fr.lfr_ip <- fr.lfr_ip + 1;
-      Stepped
-  | L.LJoin ->
-      let others_done =
-        List.for_all
-          (fun t -> t.ltid = th.ltid || t.lstatus = Done_t)
-          st.lthreads
-      in
-      if others_done then begin
-        fr.lfr_ip <- fr.lfr_ip + 1;
-        Stepped
-      end
-      else begin
-        th.lstatus <- Waiting_join;
-        Blocked
-      end
-  | L.LLock { addr } ->
-      let a = ev_operand st fr addr in
-      (match Hashtbl.find_opt st.lmutexes a with
-       | Some owner when owner = th.ltid ->
-           raise (Crash (Failure.Lock_error "recursive lock"))
-       | Some _ ->
-           th.lstatus <- Blocked_lock a;
-           Blocked
-       | None ->
-           Hashtbl.replace st.lmutexes a th.ltid;
-           fr.lfr_ip <- fr.lfr_ip + 1;
-           Stepped)
-  | L.LUnlock { addr } ->
-      let a = ev_operand st fr addr in
-      (match Hashtbl.find_opt st.lmutexes a with
-       | Some owner when owner = th.ltid ->
-           Hashtbl.remove st.lmutexes a;
-           List.iter
-             (fun t ->
-                match t.lstatus with
-                | Blocked_lock a' when Int64.equal a a' -> t.lstatus <- Runnable
-                | Blocked_lock _ | Runnable | Waiting_join | Done_t -> ())
-             st.lthreads;
-           fr.lfr_ip <- fr.lfr_ip + 1;
-           Stepped
-       | Some _ | None ->
-           raise (Crash (Failure.Lock_error "unlock of mutex not held")))
-
-let lstep_term st (th : lthread) (fr : lframe) (t : L.lterm) : step =
-  match t with
-  | L.LBr i ->
-      fr.lfr_block <- fr.lfr_func.L.lf_blocks.(i);
-      fr.lfr_ip <- 0;
-      Stepped
-  | L.LCond_br { cond; if_true; if_false } ->
-      let c = Int64.equal (Er_smt.Ty.truncate 1 (ev_operand st fr cond)) 1L in
-      st.lbranches <- st.lbranches + 1;
-      (match st.lcfg.hooks.on_branch with Some f -> f c | None -> ());
-      fr.lfr_block <-
-        fr.lfr_func.L.lf_blocks.(if c then if_true else if_false);
-      fr.lfr_ip <- 0;
-      Stepped
-  | L.LRet v -> ldo_return st th (Option.map (ev_operand st fr) v)
-  | L.LAbort msg -> raise (Crash (Failure.Abort_called msg))
-  | L.LUnreachable -> raise (Crash Failure.Unreachable_reached)
-
-let lstep_thread st (th : lthread) : step =
-  match th.lstack with
-  | [] ->
-      th.lstatus <- Done_t;
-      Thread_done
-  | fr :: _ ->
-      let b = fr.lfr_block in
-      if fr.lfr_ip < Array.length b.L.lb_instrs then begin
-        let i = Array.unsafe_get b.L.lb_instrs fr.lfr_ip in
-        match lstep_instr st th fr i with
-        | Blocked ->
-            (* the reference engine counts a blocked op once per attempt;
-               the block delta will cover only the successful retirement *)
-            if M.enabled M.default then
-              count_instr b.L.lb_src.instrs.(fr.lfr_ip);
-            Blocked
-        | s -> s
-      end
-      else begin
-        (* whole block retires with this terminator: one batched add per
-           class, before execution, like the reference's count-then-step *)
-        if M.enabled M.default then flush_delta b.L.lb_delta;
-        lstep_term st th fr b.L.lb_term
-      end
-
-let run ?(config = default_config) (prog : Er_ir.Prog.t) (inputs : Inputs.t) :
-  run_result =
-  Inputs.reset inputs;
-  let low = Er_ir.Prog.lowered prog in
-  let mem = Memory.create () in
-  let st =
-    {
-      llow = low;
-      lmem = mem;
-      linputs = inputs;
-      lcfg = config;
-      lglobal_ptrs = Array.map (alloc_global_mem mem) low.L.l_globals;
-      lmutexes = Hashtbl.create 8;
-      lthreads = [];
-      lnext_tid = 1;
-      lclock = 0;
-      lbranches = 0;
-      loutputs = [];
-    }
-  in
-  let main_thread =
-    { ltid = 0;
-      lstack = [ make_lframe low.L.l_funcs.(low.L.l_main) [] ~dst:None ];
-      ldepth = 1; lstatus = Runnable }
-  in
-  st.lthreads <- [ main_thread ];
-  let finish ?crashed outcome =
-    flush_partial st ~crashed;
-    {
-      outcome;
-      instr_count = st.lclock;
-      branch_count = st.lbranches;
-      outputs = List.rev st.loutputs;
-      peak_mem_cells = Memory.peak_cells st.lmem;
-      final_mem = st.lmem;
-    }
-  in
-  let result = ref None in
-  let turn = ref 0 in
-  let cur = ref main_thread in
-  let emit_switch th =
-    M.inc m_switches;
-    match config.hooks.on_switch with
-    | Some f -> f ~tid:th.ltid ~clock:st.lclock
-    | None -> ()
-  in
-  let pick_next after =
-    List.iter
-      (fun t ->
-         if
-           t.lstatus = Waiting_join
-           && List.for_all
-                (fun u -> u.ltid = t.ltid || u.lstatus = Done_t)
-                st.lthreads
-         then t.lstatus <- Runnable)
-      st.lthreads;
-    let runnable = List.filter (fun t -> t.lstatus = Runnable) st.lthreads in
-    match runnable with
-    | [] -> None
-    | _ ->
-        let later = List.filter (fun t -> t.ltid > after) runnable in
-        Some (match later with t :: _ -> t | [] -> List.hd runnable)
-  in
-  while !result = None do
-    let th = !cur in
-    let quantum = chunk_quantum config !turn in
-    incr turn;
-    let steps = ref 0 in
-    let stop = ref false in
-    while (not !stop) && !steps < quantum && !result = None do
-      if st.lclock >= config.max_instrs then begin
-        let fr = List.hd th.lstack in
-        result :=
-          Some
-            (finish
-               (Failed
-                  { Failure.kind = Failure.Hang; point = lpoint_of fr;
-                    stack = lstack_of th; thread = th.ltid }))
-      end
-      else begin
-        match lstep_thread st th with
-        | exception Crash kind ->
-            let fr = List.hd th.lstack in
-            result :=
-              Some
-                (finish ~crashed:th
-                   (Failed
-                      { Failure.kind; point = lpoint_of fr;
-                        stack = lstack_of th; thread = th.ltid }))
-        | Stepped ->
-            st.lclock <- st.lclock + 1;
-            incr steps
-        | Stepped_free -> ()
-        | Blocked -> stop := true
-        | Thread_done -> stop := true
-        | Program_done v ->
-            st.lclock <- st.lclock + 1;
-            result := Some (finish (Finished v))
-      end
-    done;
-    (match !result with
-     | Some _ -> ()
-     | None -> (
-         match pick_next th.ltid with
-         | Some next ->
-             if next.ltid <> th.ltid || th.lstatus <> Runnable then begin
-               cur := next;
-               if next.ltid <> th.ltid then emit_switch next
-             end
-             else cur := next
-         | None ->
-             if List.for_all (fun t -> t.lstatus = Done_t) st.lthreads then
-               result := Some (finish (Finished None))
-             else begin
-               let victim =
-                 match
-                   List.find_opt (fun t -> t.lstatus <> Done_t) st.lthreads
-                 with
-                 | Some t -> t
-                 | None -> assert false
-               in
-               let point, stack =
-                 match victim.lstack with
-                 | fr :: _ -> lpoint_of fr, lstack_of victim
-                 | [] ->
-                     ( { p_func = low.L.l_src.main; p_block = "entry";
-                         p_index = 0 }, [] )
-               in
-               result :=
-                 Some
-                   (finish
-                      (Failed
-                         { Failure.kind = Failure.Deadlock; point;
-                           stack; thread = victim.ltid }))
              end))
   done;
   match !result with Some r -> r | None -> assert false

@@ -2,28 +2,66 @@
    cell index), with pointers packed into int64 register values as
    [obj << 32 | index].  Object id 0 is the null object, so the null
    pointer is the integer 0.  Bounds, liveness and access-width checks
-   implement the fail-stop crash detection of the runtime. *)
+   implement the fail-stop crash detection of the runtime.
+
+   Cells are stored in fixed-size pages under a copy-on-write discipline
+   so the whole store can be snapshotted in O(live pages' pointers):
+   [snapshot] records shallow page-pointer tables plus the scalar
+   counters and bumps a generation; the first store into a page whose
+   generation is stale copies the page first.  Structural changes
+   (allocation, free, stack release) go through an operation journal so
+   [revert] can undo them; data writes need no journal entries — the
+   checkpoint's page pointers still reference the pre-write pages.
+   Checkpoints stay valid across repeated reverts and across later
+   snapshots. *)
 
 open Er_ir.Types
+
+(* 256 cells (2 KiB) per page: small enough that CoW copies stay cheap,
+   large enough that the two-level indirection stays off profile. *)
+let page_bits = 8
+let page_cells = 1 lsl page_bits
+let page_mask = page_cells - 1
 
 type obj = {
   o_id : int;
   o_elt_ty : ty;
   o_size : int;
-  o_cells : int64 array;
+  mutable o_pages : int64 array array;
+  o_pgen : int array;              (* per-page generation of last copy *)
   o_heap : bool;
   mutable o_freed : bool;
 }
+
+(* Undo log for structural mutations since a checkpoint. *)
+type journal_entry =
+  | J_alloc of int                 (* object id to drop on revert *)
+  | J_free of int                  (* object id to un-free on revert *)
 
 type t = {
   objects : (int, obj) Hashtbl.t;
   mutable next_id : int;
   mutable live_cells : int;
   mutable peak_cells : int;
+  mutable gen : int;               (* bumped at snapshot and revert *)
+  mutable journal : journal_entry list;
+  mutable journal_len : int;
+}
+
+type checkpoint = {
+  ck_next_id : int;
+  ck_live_cells : int;
+  ck_peak_cells : int;
+  ck_journal_len : int;
+  (* shallow page-pointer tables of every un-freed object at snapshot
+     time; freed objects are immutable (stores fault) so theirs need no
+     copy *)
+  ck_pages : (int * int64 array array) list;
 }
 
 let create () =
-  { objects = Hashtbl.create 64; next_id = 1; live_cells = 0; peak_cells = 0 }
+  { objects = Hashtbl.create 64; next_id = 1; live_cells = 0; peak_cells = 0;
+    gen = 0; journal = []; journal_len = 0 }
 
 (* --- pointer packing -------------------------------------------------- *)
 
@@ -44,16 +82,35 @@ let is_null p = Int64.equal p 0L
 
 let max_object_cells = 1 lsl 24
 
+(* Structural changes before the first snapshot can never need undoing
+   (no checkpoint precedes them), so the journal only starts recording
+   once [gen] has been bumped. *)
+let journal_push t e =
+  if t.gen > 0 then begin
+    t.journal <- e :: t.journal;
+    t.journal_len <- t.journal_len + 1
+  end
+
 let alloc t ~elt_ty ~size ~heap =
   if size < 0 || size > max_object_cells then None
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
+    let cells = max size 1 in
+    let npages = (cells + page_mask) lsr page_bits in
     let o =
       { o_id = id; o_elt_ty = elt_ty; o_size = size;
-        o_cells = Array.make (max size 1) 0L; o_heap = heap; o_freed = false }
+        (* pages are sized exactly — only the last one is partial, and
+           in-page offsets never reach past it, so small allocas don't
+           pay for a full page *)
+        o_pages =
+          Array.init npages (fun pg ->
+              Array.make (min page_cells (cells - (pg lsl page_bits))) 0L);
+        o_pgen = Array.make npages t.gen;
+        o_heap = heap; o_freed = false }
     in
     Hashtbl.replace t.objects id o;
+    journal_push t (J_alloc id);
     t.live_cells <- t.live_cells + size;
     if t.live_cells > t.peak_cells then t.peak_cells <- t.live_cells;
     Some (ptr ~obj:id ~index:0)
@@ -71,6 +128,7 @@ let free t p : (unit, Failure.kind) result =
         else if not o.o_heap then Error Failure.Invalid_pointer
         else begin
           o.o_freed <- true;
+          journal_push t (J_free o.o_id);
           t.live_cells <- t.live_cells - o.o_size;
           Ok ()
         end
@@ -81,6 +139,7 @@ let release_stack t id =
   match find t id with
   | Some o when not o.o_freed ->
       o.o_freed <- true;
+      journal_push t (J_free id);
       t.live_cells <- t.live_cells - o.o_size
   | Some _ | None -> ()
 
@@ -108,17 +167,99 @@ let check_access t p ~ty : (obj * int, Failure.kind) result =
 let load t p ~ty : (int64, Failure.kind) result =
   match check_access t p ~ty with
   | Error e -> Error e
-  | Ok (o, index) -> Ok o.o_cells.(index)
+  | Ok (o, index) ->
+      (* in bounds by check_access + exact page sizing *)
+      Ok
+        (Array.unsafe_get
+           (Array.unsafe_get o.o_pages (index lsr page_bits))
+           (index land page_mask))
 
 let store t p ~ty v : (int * int * int64, Failure.kind) result =
   match check_access t p ~ty with
   | Error e -> Error e
   | Ok (o, index) ->
-      let old = o.o_cells.(index) in
-      o.o_cells.(index) <- v;
+      let pg = index lsr page_bits and off = index land page_mask in
+      let page = Array.unsafe_get o.o_pages pg in
+      let page =
+        (* first write into this page since the last snapshot/revert:
+           copy, so checkpoints keep referencing the old page *)
+        if Array.unsafe_get o.o_pgen pg = t.gen then page
+        else begin
+          let fresh = Array.copy page in
+          Array.unsafe_set o.o_pages pg fresh;
+          Array.unsafe_set o.o_pgen pg t.gen;
+          fresh
+        end
+      in
+      let old = Array.unsafe_get page off in
+      Array.unsafe_set page off v;
       Ok (o.o_id, index, old)
+
+(* Raw cell read for post-mortem inspection: no liveness or type checks,
+   [None] only when the address is outside any object. *)
+let peek t ~obj ~index =
+  match find t obj with
+  | Some o when index >= 0 && index < o.o_size ->
+      Some o.o_pages.(index lsr page_bits).(index land page_mask)
+  | Some _ | None -> None
 
 let size_of t id = Option.map (fun o -> o.o_size) (find t id)
 let elt_ty_of t id = Option.map (fun o -> o.o_elt_ty) (find t id)
 let peak_cells t = t.peak_cells
 let object_count t = Hashtbl.length t.objects
+
+let objects t =
+  Hashtbl.fold
+    (fun id o acc -> (id, o.o_size, o.o_elt_ty, o.o_freed) :: acc)
+    t.objects []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+
+(* --- snapshot / revert -------------------------------------------------- *)
+
+let snapshot t : checkpoint =
+  let pages =
+    Hashtbl.fold
+      (fun id o acc ->
+         if o.o_freed then acc else (id, Array.copy o.o_pages) :: acc)
+      t.objects []
+  in
+  t.gen <- t.gen + 1;
+  {
+    ck_next_id = t.next_id;
+    ck_live_cells = t.live_cells;
+    ck_peak_cells = t.peak_cells;
+    ck_journal_len = t.journal_len;
+    ck_pages = pages;
+  }
+
+let revert t (ck : checkpoint) =
+  if ck.ck_journal_len > t.journal_len then
+    invalid_arg "Memory.revert: checkpoint from a divergent history";
+  (* undo structural changes, newest first *)
+  while t.journal_len > ck.ck_journal_len do
+    (match t.journal with
+     | [] -> assert false
+     | e :: rest ->
+         (match e with
+          | J_alloc id -> Hashtbl.remove t.objects id
+          | J_free id -> (
+              match find t id with
+              | Some o -> o.o_freed <- false
+              | None -> ()));
+         t.journal <- rest);
+    t.journal_len <- t.journal_len - 1
+  done;
+  (* restore page tables; re-copy the pointer arrays so the checkpoint
+     survives further mutation and can be reverted to again *)
+  List.iter
+    (fun (id, pages) ->
+       match find t id with
+       | Some o -> o.o_pages <- Array.copy pages
+       | None -> ())
+    ck.ck_pages;
+  t.next_id <- ck.ck_next_id;
+  t.live_cells <- ck.ck_live_cells;
+  t.peak_cells <- ck.ck_peak_cells;
+  (* stale every page generation so the next store copies first: the
+     restored pages are shared with the checkpoint *)
+  t.gen <- t.gen + 1

@@ -1,0 +1,1150 @@
+(* The resumable production engine: all mutable run state of the lowered
+   interpreter behind one value, with copy-on-write snapshots.
+
+   This module owns everything [Interp.run] used to keep in closure-local
+   refs — threads, frames, the scheduler cursor, the store, input
+   cursors — as a first-class [t].  A run can [pause] at quantum
+   boundaries, be [snapshot]ted in O(live pages), [revert]ed, and resumed
+   under a *different* recording plan and different (prefix-compatible)
+   inputs.  That is what makes ER iterations incremental: iteration N+1
+   replays only the suffix past the deepest checkpoint that is still
+   valid for the new recording-point set.
+
+   Recording points are applied as a *plan* over the base program rather
+   than by rewriting it with ptwrite instructions: when a marked
+   instruction retires, its frame carries a pending virtual ptwrite that
+   fires (as a clock-free step, exactly like an instrumented [Ptwrite])
+   before that frame's next step.  Because the executed program is
+   constant across iterations, checkpoints never need frame remapping
+   when the point set changes.
+
+   Hook invocations and their order, failure reports, outputs and metric
+   totals match [Interp.run_reference] bit for bit on instrumented
+   programs (the differential suite in test/test_lower.ml pins this
+   down), and plan-driven runs match instrumented runs packet for packet
+   (test/test_vm_state.ml). *)
+
+open Er_ir.Types
+module Sem = Er_smt.Expr     (* shared concrete semantics *)
+module M = Er_metrics
+module L = Er_ir.Lower
+
+(* --- retirement metrics --------------------------------------------------- *)
+
+(* Counters on the process registry; the step loop checks [M.enabled]
+   once per step, so a metrics-off run pays one branch. *)
+let instr_counter cls =
+  M.counter
+    ~labels:[ ("class", cls) ]
+    ~help:"Instructions retired, by opcode class." "er_vm_instructions_total"
+
+let m_i_alu = instr_counter "alu"
+and m_i_load = instr_counter "load"
+and m_i_store = instr_counter "store"
+and m_i_mem = instr_counter "mem"
+and m_i_call = instr_counter "call"
+and m_i_io = instr_counter "io"
+and m_i_sync = instr_counter "sync"
+and m_i_branch = instr_counter "branch"
+and m_i_other = instr_counter "other"
+
+let m_loads = M.counter ~help:"Memory loads executed." "er_vm_loads_total"
+let m_stores = M.counter ~help:"Memory stores executed." "er_vm_stores_total"
+
+let m_branches =
+  M.counter ~help:"Conditional branches executed." "er_vm_branches_total"
+
+let m_switches =
+  M.counter ~help:"Chunk-scheduler thread switches." "er_vm_switches_total"
+
+let vm_counters =
+  [ m_i_alu; m_i_load; m_i_store; m_i_mem; m_i_call; m_i_io; m_i_sync;
+    m_i_branch; m_i_other; m_loads; m_stores; m_branches; m_switches ]
+
+let count_instr (i : instr) =
+  match i with
+  | Bin _ | Cmp _ | Select _ | Cast _ | Gep _ -> M.inc m_i_alu
+  | Load _ ->
+      M.inc m_i_load;
+      M.inc m_loads
+  | Store _ ->
+      M.inc m_i_store;
+      M.inc m_stores
+  | Alloc _ | Free _ -> M.inc m_i_mem
+  | Call _ -> M.inc m_i_call
+  | Input _ | Output _ | Ptwrite _ -> M.inc m_i_io
+  | Spawn _ | Join | Lock _ | Unlock _ -> M.inc m_i_sync
+  | Assert _ -> M.inc m_i_other
+
+let count_term (t : terminator) =
+  match t with
+  | Br _ -> M.inc m_i_branch
+  | Cond_br _ ->
+      M.inc m_i_branch;
+      M.inc m_branches
+  | Ret _ -> M.inc m_i_call
+  | Abort _ | Unreachable -> M.inc m_i_other
+
+(* --- hooks and configuration ---------------------------------------------- *)
+
+type hooks = {
+  on_branch : (bool -> unit) option;
+  on_switch : (tid:int -> clock:int -> unit) option;
+  on_ptwrite : (int64 -> unit) option;
+  on_input : (stream:string -> value:int64 -> unit) option;
+  on_store :
+    (obj:int -> index:int -> old_value:int64 -> new_value:int64 -> unit) option;
+  (* allocation sizes are always traced: the analysis engine needs the
+     concrete heap layout to replay memory accesses *)
+  on_alloc : (int64 -> unit) option;
+  (* every register definition with its concrete value: ground truth for
+     the REPT accuracy experiment *)
+  on_def : (Er_ir.Types.point -> reg:string -> value:int64 -> unit) option;
+  (* function boundaries: used by the invariant-inference case study *)
+  on_enter : (func:string -> args:int64 list -> unit) option;
+  on_ret : (func:string -> value:int64 option -> unit) option;
+}
+
+let no_hooks =
+  { on_branch = None; on_switch = None; on_ptwrite = None; on_input = None;
+    on_store = None; on_alloc = None; on_def = None; on_enter = None;
+    on_ret = None }
+
+(* Run two hook sets side by side ([a] first).  Lets the pipeline attach
+   event-accounting observers next to the trace encoder hooks without
+   either knowing about the other. *)
+let compose_hooks (a : hooks) (b : hooks) : hooks =
+  let fuse f g wrap =
+    match f, g with
+    | None, h | h, None -> h
+    | Some f, Some g -> Some (wrap f g)
+  in
+  {
+    on_branch = fuse a.on_branch b.on_branch (fun f g x -> f x; g x);
+    on_switch =
+      fuse a.on_switch b.on_switch (fun f g ~tid ~clock ->
+          f ~tid ~clock;
+          g ~tid ~clock);
+    on_ptwrite = fuse a.on_ptwrite b.on_ptwrite (fun f g x -> f x; g x);
+    on_input =
+      fuse a.on_input b.on_input (fun f g ~stream ~value ->
+          f ~stream ~value;
+          g ~stream ~value);
+    on_store =
+      fuse a.on_store b.on_store (fun f g ~obj ~index ~old_value ~new_value ->
+          f ~obj ~index ~old_value ~new_value;
+          g ~obj ~index ~old_value ~new_value);
+    on_alloc = fuse a.on_alloc b.on_alloc (fun f g x -> f x; g x);
+    on_def =
+      fuse a.on_def b.on_def (fun f g p ~reg ~value ->
+          f p ~reg ~value;
+          g p ~reg ~value);
+    on_enter =
+      fuse a.on_enter b.on_enter (fun f g ~func ~args ->
+          f ~func ~args;
+          g ~func ~args);
+    on_ret =
+      fuse a.on_ret b.on_ret (fun f g ~func ~value ->
+          f ~func ~value;
+          g ~func ~value);
+  }
+
+type config = {
+  max_instrs : int;
+  max_call_depth : int;
+  quantum : int;
+  quantum_jitter : int;
+  sched_seed : int;
+  hooks : hooks;
+}
+
+let default_config =
+  {
+    max_instrs = 50_000_000;
+    max_call_depth = 512;
+    quantum = 60;
+    quantum_jitter = 24;
+    sched_seed = 0;
+    hooks = no_hooks;
+  }
+
+type outcome = Finished of int64 option | Failed of Failure.t
+
+type run_result = {
+  outcome : outcome;
+  instr_count : int;
+  branch_count : int;
+  outputs : int64 list;
+  peak_mem_cells : int;
+  final_mem : Memory.t;    (* the core dump available post-mortem *)
+}
+
+type tstatus = Runnable | Blocked_lock of int64 | Waiting_join | Done_t
+
+(* Outcome of stepping one thread by one instruction.  [Stepped_free]
+   executes without advancing the clock: ptwrite is hardware tracing work,
+   not program work, so instrumentation must not perturb the schedule. *)
+type step = Stepped | Stepped_free | Blocked | Thread_done | Program_done of int64 option
+
+exception Crash of Failure.kind
+
+(* --- shared evaluation helpers -------------------------------------------- *)
+
+let norm ty v = Er_smt.Ty.truncate (width_of_ty ty) v
+
+let smt_binop : binop -> Sem.binop = function
+  | Add -> Sem.Add | Sub -> Sem.Sub | Mul -> Sem.Mul | Udiv -> Sem.Udiv
+  | Urem -> Sem.Urem | And -> Sem.And | Or -> Sem.Or | Xor -> Sem.Xor
+  | Shl -> Sem.Shl | Lshr -> Sem.Lshr | Ashr -> Sem.Ashr
+
+let eval_cmp op w a b =
+  let base o = Sem.eval_cmp o w a b in
+  match op with
+  | Eq -> base Sem.Eq
+  | Ne -> not (base Sem.Eq)
+  | Ult -> base Sem.Ult
+  | Ule -> base Sem.Ule
+  | Ugt -> not (base Sem.Ule)
+  | Uge -> not (base Sem.Ult)
+  | Slt -> base Sem.Slt
+  | Sle -> base Sem.Sle
+  | Sgt -> not (base Sem.Sle)
+  | Sge -> not (base Sem.Slt)
+
+(* Deterministic per-(seed, chunk#) quantum jitter. *)
+let chunk_quantum cfg turn =
+  let h = Hashtbl.hash (cfg.sched_seed, turn) in
+  let j = if cfg.quantum_jitter = 0 then 0 else (h mod (2 * cfg.quantum_jitter)) - cfg.quantum_jitter in
+  max 8 (cfg.quantum + j)
+
+(* Shared by both engines so global allocation order — hence object ids
+   and packed pointers — is identical. *)
+let alloc_global_mem mem (g : global) : int64 =
+  match Memory.alloc mem ~elt_ty:g.g_elt_ty ~size:g.g_size ~heap:true with
+  | None -> invalid_arg ("Interp: global too large: " ^ g.gname)
+  | Some p ->
+      (match g.g_init with
+       | None -> ()
+       | Some init ->
+           Array.iteri
+             (fun i v ->
+                match
+                  Memory.store mem
+                    (Memory.ptr ~obj:(Memory.ptr_obj p) ~index:i)
+                    ~ty:g.g_elt_ty (norm g.g_elt_ty v)
+                with
+                | Ok _ -> ()
+                | Error _ -> assert false)
+             init);
+      p
+
+(* --- recording plans ------------------------------------------------------- *)
+
+(* A plan marks instructions of the *base* program for virtual ptwrite
+   recording, the plan-mode equivalent of [Instrument.apply] inserting a
+   [Ptwrite (Reg dst)] right after each recording point that defines a
+   register.  [pl_marks.(fidx).(bidx)] is either [||] (block unmarked) or
+   a per-instruction-index array of the destination slot to trace, -1 for
+   unmarked indices. *)
+type plan = { pl_marks : int array array array }
+
+(* The defined slot of a lowered instruction — mirrors
+   [Er_ir.Types.def_of_instr] on the source instruction, so a plan marks
+   exactly the points [Instrument.apply] would instrument. *)
+let ldef_slot (i : L.linstr) : int option =
+  match i with
+  | L.LBin { dst; _ } | L.LCmp { dst; _ } | L.LSelect { dst; _ }
+  | L.LCast { dst; _ } | L.LLoad { dst; _ } | L.LAlloc { dst; _ }
+  | L.LGep { dst; _ } | L.LInput { dst; _ } -> Some dst
+  | L.LCall { dst; _ } -> dst
+  | L.LStore _ | L.LFree _ | L.LOutput _ | L.LPtwrite _ | L.LAssert _
+  | L.LSpawn _ | L.LJoin | L.LLock _ | L.LUnlock _ -> None
+
+let empty_plan (low : L.t) : plan =
+  { pl_marks =
+      Array.map
+        (fun lf -> Array.make (Array.length lf.L.lf_blocks) [||])
+        low.L.l_funcs }
+
+let plan_of_points (low : L.t) (points : point list) : plan =
+  let plan = empty_plan low in
+  List.iter
+    (fun (p : point) ->
+       match Hashtbl.find_opt low.L.l_func_index p.p_func with
+       | None -> ()
+       | Some fidx ->
+           let lf = low.L.l_funcs.(fidx) in
+           Array.iter
+             (fun (b : L.lblock) ->
+                if String.equal b.L.lb_label p.p_block then begin
+                  let n = Array.length b.L.lb_instrs in
+                  if p.p_index >= 0 && p.p_index < n then
+                    match ldef_slot b.L.lb_instrs.(p.p_index) with
+                    | None -> ()    (* point defines nothing: not recordable *)
+                    | Some slot ->
+                        let row =
+                          match plan.pl_marks.(fidx).(b.L.lb_index) with
+                          | [||] ->
+                              let r = Array.make n (-1) in
+                              plan.pl_marks.(fidx).(b.L.lb_index) <- r;
+                              r
+                          | r -> r
+                        in
+                        row.(p.p_index) <- slot
+                end)
+             lf.L.lf_blocks)
+    points;
+  plan
+
+(* Whether the program can ever create a second thread.  A statically
+   spawn-free program is scheduler-seed-independent: quantum boundaries
+   are unobservable without thread switches, so a checkpoint taken under
+   one seed is valid for a resume under any other. *)
+let has_spawn (low : L.t) : bool =
+  Array.exists
+    (fun (lf : L.lfunc) ->
+       Array.exists
+         (fun (b : L.lblock) ->
+            Array.exists
+              (function L.LSpawn _ -> true | _ -> false)
+              b.L.lb_instrs)
+         lf.L.lf_blocks)
+    low.L.l_funcs
+
+(* --- execution state ------------------------------------------------------- *)
+
+type lframe = {
+  lfr_func : L.lfunc;
+  mutable lfr_block : L.lblock;
+  mutable lfr_ip : int;
+  lfr_regs : int64 array;
+  lfr_defined : Bytes.t;   (* per-slot definedness; length 0 when untracked *)
+  lfr_dst : int option;    (* caller slot for the return value *)
+  mutable lfr_stack_objs : int list;
+  (* slot whose value a virtual ptwrite must trace before this frame's
+     next step; set when a plan-marked instruction retires *)
+  mutable lfr_pending : int option;
+}
+
+type lthread = {
+  ltid : int;
+  mutable lstack : lframe list;    (* innermost first *)
+  mutable ldepth : int;            (* cached [List.length lstack] *)
+  mutable lstatus : tstatus;
+}
+
+type t = {
+  llow : L.t;
+  lmem : Memory.t;
+  linputs : Inputs.t;
+  lcfg : config;
+  lglobal_ptrs : int64 array;      (* indexed like [llow.l_globals] *)
+  lmutexes : (int64, int) Hashtbl.t;
+  mutable lthreads : lthread list;
+  mutable lnext_tid : int;
+  mutable lclock : int;
+  mutable lbranches : int;
+  mutable loutputs : int64 list;
+  (* recording plan; [lplan_on] is false for plain (instrumented-program)
+     runs, which then pay one dead branch per step *)
+  mutable lplan_on : bool;
+  mutable lmarks : int array array array;
+  (* program-wide block uid = lblock_base.(lf_idx) + lb_index *)
+  lblock_base : int array;
+  (* clock at which each block first became the current block, -1 if
+     never; length 0 when not tracked (no plan).  Bounds the checkpoints
+     that stay valid when a *new* point lands in that block. *)
+  mutable lfexec : int array;
+  (* re-enterable scheduler state *)
+  mutable lresult : run_result option;
+  mutable lturn : int;
+  mutable lcur : lthread;
+}
+
+let lpoint_of (fr : lframe) =
+  { p_func = fr.lfr_func.L.lf_name; p_block = fr.lfr_block.L.lb_label;
+    p_index = fr.lfr_ip }
+
+let lstack_of (th : lthread) = List.map lpoint_of th.lstack
+
+let ev_operand st (fr : lframe) (o : L.operand) : int64 =
+  match o with
+  | L.Oslot s -> Array.unsafe_get fr.lfr_regs s
+  | L.Oimm { v; _ } -> v
+  | L.Onull -> Memory.null
+  | L.Oglobal i -> st.lglobal_ptrs.(i)
+  | L.Ocheck { slot; reg } ->
+      if Bytes.get fr.lfr_defined slot = '\001' then fr.lfr_regs.(slot)
+      else
+        invalid_arg
+          (Printf.sprintf "Interp: read of undefined register %s in %s" reg
+             fr.lfr_func.L.lf_name)
+
+(* Slot write without the on_def hook: return values and parameter
+   binding, mirroring the plain [set_reg] of the reference engine. *)
+let lset_slot (fr : lframe) slot v =
+  fr.lfr_regs.(slot) <- v;
+  if Bytes.length fr.lfr_defined <> 0 then Bytes.set fr.lfr_defined slot '\001'
+
+let empty_defined = Bytes.create 0
+
+let make_lframe (lf : L.lfunc) (args : int64 list) ~dst =
+  let regs = Array.make lf.L.lf_nslots 0L in
+  let defined =
+    if lf.L.lf_tracked then Bytes.make lf.L.lf_nslots '\000' else empty_defined
+  in
+  let fr =
+    { lfr_func = lf; lfr_block = lf.L.lf_blocks.(0); lfr_ip = 0;
+      lfr_regs = regs; lfr_defined = defined; lfr_dst = dst;
+      lfr_stack_objs = []; lfr_pending = None }
+  in
+  if List.length args <> Array.length lf.L.lf_params then
+    invalid_arg (Printf.sprintf "Interp: arity mismatch calling %s" lf.L.lf_name);
+  List.iteri
+    (fun i v ->
+       let slot, ty = lf.L.lf_params.(i) in
+       lset_slot fr slot (norm ty v))
+    args;
+  fr
+
+(* Record that [bidx] of [lf] becomes the current block at the *next*
+   clock tick (the jump/call/spawn that installs it is about to retire). *)
+let[@inline] record_entry st (lf : L.lfunc) bidx =
+  if Array.length st.lfexec <> 0 then begin
+    let uid = st.lblock_base.(lf.L.lf_idx) + bidx in
+    if Array.unsafe_get st.lfexec uid < 0 then
+      Array.unsafe_set st.lfexec uid (st.lclock + 1)
+  end
+
+(* One batched add per counter class for a fully retired block
+   (instructions + terminator). *)
+let flush_delta (d : L.delta) =
+  if d.L.d_alu > 0 then M.add m_i_alu d.L.d_alu;
+  if d.L.d_load > 0 then begin
+    M.add m_i_load d.L.d_load;
+    M.add m_loads d.L.d_load
+  end;
+  if d.L.d_store > 0 then begin
+    M.add m_i_store d.L.d_store;
+    M.add m_stores d.L.d_store
+  end;
+  if d.L.d_mem > 0 then M.add m_i_mem d.L.d_mem;
+  if d.L.d_call > 0 then M.add m_i_call d.L.d_call;
+  if d.L.d_io > 0 then M.add m_i_io d.L.d_io;
+  if d.L.d_sync > 0 then M.add m_i_sync d.L.d_sync;
+  if d.L.d_branch > 0 then M.add m_i_branch d.L.d_branch;
+  if d.L.d_other > 0 then M.add m_i_other d.L.d_other;
+  if d.L.d_cond > 0 then M.add m_branches d.L.d_cond
+
+(* At run end, account the partially retired block of every live frame
+   so totals equal the reference engine's per-instruction counts.  For
+   the frame that raised [Crash] at an instruction, the crashing
+   instruction itself was "counted before execution" by the reference
+   engine, so include it; a crash at a terminator was already covered by
+   the pre-terminator [flush_delta].  A pending-but-never-attempted
+   instruction (hang check, blocked sync op) is excluded, again like the
+   reference, whose per-attempt counts for blocked ops are instead added
+   at each [Blocked] step. *)
+let flush_partial st ~(crashed : lthread option) =
+  if M.enabled M.default then
+    List.iter
+      (fun th ->
+         List.iteri
+           (fun fi fr ->
+              let src = fr.lfr_block.L.lb_src in
+              let len = Array.length src.instrs in
+              let crashed_top =
+                (match crashed with Some t -> t == th | None -> false)
+                && fi = 0
+              in
+              let stop =
+                if crashed_top then
+                  if fr.lfr_ip < len then fr.lfr_ip + 1 else 0
+                else min fr.lfr_ip len
+              in
+              for k = 0 to stop - 1 do
+                count_instr src.instrs.(k)
+              done)
+           th.lstack)
+      st.lthreads
+
+let ldo_return st (th : lthread) v : step =
+  match th.lstack with
+  | [] -> assert false
+  | fr :: rest ->
+      (match st.lcfg.hooks.on_ret with
+       | Some h -> h ~func:fr.lfr_func.L.lf_name ~value:v
+       | None -> ());
+      List.iter (Memory.release_stack st.lmem) fr.lfr_stack_objs;
+      th.lstack <- rest;
+      th.ldepth <- th.ldepth - 1;
+      (match rest with
+       | [] ->
+           th.lstatus <- Done_t;
+           if th.ltid = 0 then Program_done v else Thread_done
+       | caller :: _ ->
+           (match fr.lfr_dst, v with
+            | Some dst, Some value ->
+                lset_slot caller dst
+                  (Er_smt.Ty.truncate fr.lfr_func.L.lf_ret_w value)
+            | Some dst, None -> lset_slot caller dst 0L
+            | None, _ -> ());
+           Stepped)
+
+(* Slot write with the on_def hook, the lowered [set_reg]; a top-level
+   function so the per-instruction step allocates no closures. *)
+let[@inline] lset_reg st (fr : lframe) slot v =
+  (match st.lcfg.hooks.on_def with
+   | Some h ->
+       h (lpoint_of fr) ~reg:fr.lfr_func.L.lf_reg_of_slot.(slot) ~value:v
+   | None -> ());
+  lset_slot fr slot v
+
+(* Evaluate a call/spawn argument array without the intermediate array
+   of [Array.map] — one list allocation, same element order. *)
+let ev_args st (fr : lframe) (args : L.operand array) =
+  Array.fold_right (fun o acc -> ev_operand st fr o :: acc) args []
+
+let lstep_instr st (th : lthread) (fr : lframe) (i : L.linstr) : step =
+  match i with
+  | L.LBin { dst; op; w; a; b; _ } ->
+      let va = ev_operand st fr a and vb = ev_operand st fr b in
+      (match op with
+       | Udiv | Urem when Int64.equal (Er_smt.Ty.truncate w vb) 0L ->
+           raise (Crash Failure.Div_by_zero)
+       | _ -> ());
+      lset_reg st fr dst
+        (Sem.eval_binop (smt_binop op) w (Er_smt.Ty.truncate w va)
+           (Er_smt.Ty.truncate w vb));
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LCmp { dst; op; w; a; b; _ } ->
+      let r =
+        eval_cmp op w (Er_smt.Ty.truncate w (ev_operand st fr a)) (Er_smt.Ty.truncate w (ev_operand st fr b))
+      in
+      lset_reg st fr dst (if r then 1L else 0L);
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LSelect { dst; w; cond; if_true; if_false; _ } ->
+      let c = ev_operand st fr cond in
+      lset_reg st fr dst
+        (Er_smt.Ty.truncate w
+           (if Int64.equal (Er_smt.Ty.truncate 1 c) 1L then ev_operand st fr if_true
+            else ev_operand st fr if_false));
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LCast { dst; kind; to_w; from_w; v; _ } ->
+      let value = Er_smt.Ty.truncate from_w (ev_operand st fr v) in
+      let out =
+        match kind with
+        | Zext | Ptrtoint | Inttoptr | Trunc -> Er_smt.Ty.truncate to_w value
+        | Sext ->
+            Er_smt.Ty.truncate to_w (Er_smt.Ty.sign_extend from_w value)
+      in
+      lset_reg st fr dst out;
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LLoad { dst; ty; addr } ->
+      (match Memory.load st.lmem (ev_operand st fr addr) ~ty with
+       | Error k -> raise (Crash k)
+       | Ok v ->
+           lset_reg st fr dst v;
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LStore { ty; w; v; addr } ->
+      let value = Er_smt.Ty.truncate w (ev_operand st fr v) in
+      (match Memory.store st.lmem (ev_operand st fr addr) ~ty value with
+       | Error k -> raise (Crash k)
+       | Ok (obj, index, old_value) ->
+           (match st.lcfg.hooks.on_store with
+            | Some f -> f ~obj ~index ~old_value ~new_value:value
+            | None -> ());
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LAlloc { dst; elt_ty; count; heap } ->
+      let n = Int64.to_int (ev_operand st fr count) in
+      (match st.lcfg.hooks.on_alloc with
+       | Some f -> f (Int64.of_int n)
+       | None -> ());
+      (match Memory.alloc st.lmem ~elt_ty ~size:n ~heap with
+       | None -> raise (Crash (Failure.Access_type_error "allocation too large"))
+       | Some p ->
+           if not heap then
+             fr.lfr_stack_objs <- Memory.ptr_obj p :: fr.lfr_stack_objs;
+           lset_reg st fr dst p;
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LFree { addr } ->
+      (match Memory.free st.lmem (ev_operand st fr addr) with
+       | Error k -> raise (Crash k)
+       | Ok () ->
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LGep { dst; base; idx } ->
+      let p = ev_operand st fr base in
+      let i = Int64.to_int (Er_smt.Ty.sign_extend 64 (ev_operand st fr idx)) in
+      lset_reg st fr dst
+        (Memory.ptr ~obj:(Memory.ptr_obj p) ~index:(Memory.ptr_index p + i));
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LCall { dst; fidx; args } ->
+      if th.ldepth >= st.lcfg.max_call_depth then
+        raise (Crash Failure.Stack_overflow);
+      let lf = st.llow.L.l_funcs.(fidx) in
+      let vargs = ev_args st fr args in
+      (match st.lcfg.hooks.on_enter with
+       | Some h -> h ~func:lf.L.lf_name ~args:vargs
+       | None -> ());
+      fr.lfr_ip <- fr.lfr_ip + 1;    (* return to the next instruction *)
+      record_entry st lf 0;
+      th.lstack <- make_lframe lf vargs ~dst :: th.lstack;
+      th.ldepth <- th.ldepth + 1;
+      Stepped
+  | L.LInput { dst; ty; stream } ->
+      (match Inputs.read st.linputs stream with
+       | None -> raise (Crash (Failure.Input_exhausted stream))
+       | Some v ->
+           let v = norm ty v in
+           (match st.lcfg.hooks.on_input with
+            | Some f -> f ~stream ~value:v
+            | None -> ());
+           lset_reg st fr dst v;
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LOutput { v } ->
+      st.loutputs <- ev_operand st fr v :: st.loutputs;
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LPtwrite { v } ->
+      (match st.lcfg.hooks.on_ptwrite with
+       | Some f -> f (ev_operand st fr v)
+       | None -> ());
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped_free
+  | L.LAssert { cond; msg } ->
+      if Int64.equal (Er_smt.Ty.truncate 1 (ev_operand st fr cond)) 0L then
+        raise (Crash (Failure.Assert_failed msg));
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LSpawn { fidx; args } ->
+      let lf = st.llow.L.l_funcs.(fidx) in
+      let vargs = ev_args st fr args in
+      record_entry st lf 0;
+      let t =
+        { ltid = st.lnext_tid; lstack = [ make_lframe lf vargs ~dst:None ];
+          ldepth = 1; lstatus = Runnable }
+      in
+      st.lnext_tid <- st.lnext_tid + 1;
+      st.lthreads <- st.lthreads @ [ t ];
+      fr.lfr_ip <- fr.lfr_ip + 1;
+      Stepped
+  | L.LJoin ->
+      let others_done =
+        List.for_all
+          (fun t -> t.ltid = th.ltid || t.lstatus = Done_t)
+          st.lthreads
+      in
+      if others_done then begin
+        fr.lfr_ip <- fr.lfr_ip + 1;
+        Stepped
+      end
+      else begin
+        th.lstatus <- Waiting_join;
+        Blocked
+      end
+  | L.LLock { addr } ->
+      let a = ev_operand st fr addr in
+      (match Hashtbl.find_opt st.lmutexes a with
+       | Some owner when owner = th.ltid ->
+           raise (Crash (Failure.Lock_error "recursive lock"))
+       | Some _ ->
+           th.lstatus <- Blocked_lock a;
+           Blocked
+       | None ->
+           Hashtbl.replace st.lmutexes a th.ltid;
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped)
+  | L.LUnlock { addr } ->
+      let a = ev_operand st fr addr in
+      (match Hashtbl.find_opt st.lmutexes a with
+       | Some owner when owner = th.ltid ->
+           Hashtbl.remove st.lmutexes a;
+           List.iter
+             (fun t ->
+                match t.lstatus with
+                | Blocked_lock a' when Int64.equal a a' -> t.lstatus <- Runnable
+                | Blocked_lock _ | Runnable | Waiting_join | Done_t -> ())
+             st.lthreads;
+           fr.lfr_ip <- fr.lfr_ip + 1;
+           Stepped
+       | Some _ | None ->
+           raise (Crash (Failure.Lock_error "unlock of mutex not held")))
+
+let lstep_term st (th : lthread) (fr : lframe) (t : L.lterm) : step =
+  match t with
+  | L.LBr i ->
+      record_entry st fr.lfr_func i;
+      fr.lfr_block <- fr.lfr_func.L.lf_blocks.(i);
+      fr.lfr_ip <- 0;
+      Stepped
+  | L.LCond_br { cond; if_true; if_false } ->
+      let c = Int64.equal (Er_smt.Ty.truncate 1 (ev_operand st fr cond)) 1L in
+      st.lbranches <- st.lbranches + 1;
+      (match st.lcfg.hooks.on_branch with Some f -> f c | None -> ());
+      let i = if c then if_true else if_false in
+      record_entry st fr.lfr_func i;
+      fr.lfr_block <- fr.lfr_func.L.lf_blocks.(i);
+      fr.lfr_ip <- 0;
+      Stepped
+  | L.LRet v -> ldo_return st th (Option.map (ev_operand st fr) v)
+  | L.LAbort msg -> raise (Crash (Failure.Abort_called msg))
+  | L.LUnreachable -> raise (Crash Failure.Unreachable_reached)
+
+let lstep_thread st (th : lthread) : step =
+  match th.lstack with
+  | [] ->
+      th.lstatus <- Done_t;
+      Thread_done
+  | fr :: _ ->
+      let b = fr.lfr_block in
+      if fr.lfr_ip < Array.length b.L.lb_instrs then begin
+        let ip = fr.lfr_ip in
+        let i = Array.unsafe_get b.L.lb_instrs ip in
+        (* the plan mark of this instruction, if any: its defined slot
+           becomes a pending virtual ptwrite once the step retires *)
+        let mark =
+          if st.lplan_on then begin
+            let row = st.lmarks.(fr.lfr_func.L.lf_idx).(b.L.lb_index) in
+            if Array.length row = 0 then -1 else Array.unsafe_get row ip
+          end
+          else -1
+        in
+        match lstep_instr st th fr i with
+        | Blocked ->
+            (* the reference engine counts a blocked op once per attempt;
+               the block delta will cover only the successful retirement *)
+            if M.enabled M.default then
+              count_instr b.L.lb_src.instrs.(fr.lfr_ip);
+            Blocked
+        | Stepped as s ->
+            if mark >= 0 then fr.lfr_pending <- Some mark;
+            s
+        | s -> s
+      end
+      else begin
+        (* whole block retires with this terminator: one batched add per
+           class, before execution, like the reference's count-then-step *)
+        if M.enabled M.default then flush_delta b.L.lb_delta;
+        lstep_term st th fr b.L.lb_term
+      end
+
+(* Fire the pending virtual ptwrite of [th]'s top frame, if any: exactly
+   what an instrumented [Ptwrite (Reg dst)] placed after the marked
+   instruction would do, as a clock-free step before the frame's next
+   real one (so across calls it fires after the return value binds, and
+   across quantum expiry after the thread is rescheduled — the same
+   positions the inserted instruction would occupy). *)
+let fire_pending st (th : lthread) : bool =
+  match th.lstack with
+  | ({ lfr_pending = Some slot; _ } as fr) :: _ ->
+      fr.lfr_pending <- None;
+      (match st.lcfg.hooks.on_ptwrite with
+       | Some f -> f fr.lfr_regs.(slot)
+       | None -> ());
+      if M.enabled M.default then M.inc m_i_io;
+      true
+  | _ -> false
+
+(* --- construction and the scheduler loop ----------------------------------- *)
+
+let create ?(config = default_config) ?plan (prog : Er_ir.Prog.t)
+    (inputs : Inputs.t) : t =
+  Inputs.reset inputs;
+  let low = Er_ir.Prog.lowered prog in
+  let mem = Memory.create () in
+  let nfuncs = Array.length low.L.l_funcs in
+  let block_base = Array.make (nfuncs + 1) 0 in
+  for i = 0 to nfuncs - 1 do
+    block_base.(i + 1) <-
+      block_base.(i) + Array.length low.L.l_funcs.(i).L.lf_blocks
+  done;
+  let main_thread =
+    { ltid = 0;
+      lstack = [ make_lframe low.L.l_funcs.(low.L.l_main) [] ~dst:None ];
+      ldepth = 1; lstatus = Runnable }
+  in
+  let t =
+    {
+      llow = low;
+      lmem = mem;
+      linputs = inputs;
+      lcfg = config;
+      lglobal_ptrs = Array.map (alloc_global_mem mem) low.L.l_globals;
+      lmutexes = Hashtbl.create 8;
+      lthreads = [ main_thread ];
+      lnext_tid = 1;
+      lclock = 0;
+      lbranches = 0;
+      loutputs = [];
+      lplan_on = plan <> None;
+      lmarks =
+        (match plan with Some p -> p.pl_marks | None -> [||]);
+      lblock_base = block_base;
+      lfexec =
+        (match plan with
+         | Some _ -> Array.make block_base.(nfuncs) (-1)
+         | None -> [||]);
+      lresult = None;
+      lturn = 0;
+      lcur = main_thread;
+    }
+  in
+  (* main's entry block is current from clock 0 *)
+  if Array.length t.lfexec <> 0 then begin
+    let lf = low.L.l_funcs.(low.L.l_main) in
+    t.lfexec.(block_base.(lf.L.lf_idx)) <- 0
+  end;
+  t
+
+let set_plan (t : t) (p : plan) =
+  if not t.lplan_on then
+    invalid_arg "Vm_state.set_plan: state was created without a plan";
+  t.lmarks <- p.pl_marks
+
+let finish t ?crashed outcome =
+  flush_partial t ~crashed;
+  t.lresult <-
+    Some
+      {
+        outcome;
+        instr_count = t.lclock;
+        branch_count = t.lbranches;
+        outputs = List.rev t.loutputs;
+        peak_mem_cells = Memory.peak_cells t.lmem;
+        final_mem = t.lmem;
+      }
+
+let emit_switch t th =
+  M.inc m_switches;
+  match t.lcfg.hooks.on_switch with
+  | Some f -> f ~tid:th.ltid ~clock:t.lclock
+  | None -> ()
+
+(* pick the next runnable thread after [after] in tid order, if any *)
+let pick_next t after =
+  (* a joining thread becomes runnable once every other thread is done *)
+  List.iter
+    (fun th ->
+       if
+         th.lstatus = Waiting_join
+         && List.for_all
+              (fun u -> u.ltid = th.ltid || u.lstatus = Done_t)
+              t.lthreads
+       then th.lstatus <- Runnable)
+    t.lthreads;
+  let runnable = List.filter (fun th -> th.lstatus = Runnable) t.lthreads in
+  match runnable with
+  | [] -> None
+  | _ ->
+      let later = List.filter (fun th -> th.ltid > after) runnable in
+      Some (match later with th :: _ -> th | [] -> List.hd runnable)
+
+(* Run until the program finishes or, with [~pause_at:c], until the
+   first quantum boundary at clock >= [c] ([None] = paused).  The pause
+   point commutes with execution: an uninterrupted run and a run paused
+   and resumed any number of times perform the identical step sequence. *)
+let run ?pause_at (t : t) : run_result option =
+  let config = t.lcfg in
+  let pause = match pause_at with None -> max_int | Some c -> c in
+  let paused = ref false in
+  while Option.is_none t.lresult && not !paused do
+    let th = t.lcur in
+    let quantum = chunk_quantum config t.lturn in
+    t.lturn <- t.lturn + 1;
+    let steps = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !steps < quantum && Option.is_none t.lresult do
+      if t.lclock >= config.max_instrs then begin
+        let fr = List.hd th.lstack in
+        finish t
+          (Failed
+             { Failure.kind = Failure.Hang; point = lpoint_of fr;
+               stack = lstack_of th; thread = th.ltid })
+      end
+      else if t.lplan_on && fire_pending t th then ()
+      else begin
+        match lstep_thread t th with
+        | exception Crash kind ->
+            let fr = List.hd th.lstack in
+            finish t ~crashed:th
+              (Failed
+                 { Failure.kind; point = lpoint_of fr;
+                   stack = lstack_of th; thread = th.ltid })
+        | Stepped ->
+            t.lclock <- t.lclock + 1;
+            incr steps
+        | Stepped_free -> ()
+        | Blocked -> stop := true
+        | Thread_done -> stop := true
+        | Program_done v ->
+            t.lclock <- t.lclock + 1;
+            finish t (Finished v)
+      end
+    done;
+    (match t.lresult with
+     | Some _ -> ()
+     | None -> (
+         match pick_next t th.ltid with
+         | Some next ->
+             if next.ltid <> th.ltid || th.lstatus <> Runnable then begin
+               t.lcur <- next;
+               if next.ltid <> th.ltid then emit_switch t next
+             end
+             else t.lcur <- next
+         | None ->
+             if List.for_all (fun th -> th.lstatus = Done_t) t.lthreads then
+               (* main returning sets Program_done, so reaching here with
+                  all threads done means main never ran; treat as finish *)
+               finish t (Finished None)
+             else begin
+               let victim =
+                 match
+                   List.find_opt (fun th -> th.lstatus <> Done_t) t.lthreads
+                 with
+                 | Some th -> th
+                 | None -> assert false
+               in
+               let point, stack =
+                 match victim.lstack with
+                 | fr :: _ -> lpoint_of fr, lstack_of victim
+                 | [] ->
+                     ( { p_func = t.llow.L.l_src.main; p_block = "entry";
+                         p_index = 0 }, [] )
+               in
+               finish t
+                 (Failed
+                    { Failure.kind = Failure.Deadlock; point;
+                      stack; thread = victim.ltid })
+             end));
+    if Option.is_none t.lresult && t.lclock >= pause then paused := true
+  done;
+  t.lresult
+
+let run_to_end (t : t) : run_result =
+  match run t with Some r -> r | None -> assert false
+
+(* The old [Interp.run]: fresh state, straight to the end. *)
+let run_program ?config (prog : Er_ir.Prog.t) (inputs : Inputs.t) : run_result =
+  run_to_end (create ?config prog inputs)
+
+(* --- snapshot / revert ----------------------------------------------------- *)
+
+type saved_frame = {
+  sf_func : L.lfunc;
+  sf_block : L.lblock;
+  sf_ip : int;
+  sf_regs : int64 array;
+  sf_defined : Bytes.t;
+  sf_dst : int option;
+  sf_stack_objs : int list;
+  sf_pending : int option;
+}
+
+type saved_thread = {
+  sth_tid : int;
+  sth_frames : saved_frame list;
+  sth_depth : int;
+  sth_status : tstatus;
+}
+
+type checkpoint = {
+  vck_clock : int;
+  vck_branches : int;
+  vck_outputs : int64 list;       (* immutable: shared, not copied *)
+  vck_turn : int;
+  vck_cur : int;                  (* tid of the scheduled thread *)
+  vck_next_tid : int;
+  vck_threads : saved_thread list;
+  vck_mutexes : (int64 * int) list;
+  vck_mem : Memory.checkpoint;
+  vck_inputs : Inputs.checkpoint;
+  vck_fexec : int array;
+  (* process-registry VM counter values, for the opt-in metric restore *)
+  vck_counters : (M.counter * int) list;
+}
+
+let clock_of_checkpoint ck = ck.vck_clock
+
+let save_frame (fr : lframe) : saved_frame =
+  {
+    sf_func = fr.lfr_func;
+    sf_block = fr.lfr_block;
+    sf_ip = fr.lfr_ip;
+    sf_regs = Array.copy fr.lfr_regs;
+    sf_defined =
+      (if Bytes.length fr.lfr_defined = 0 then empty_defined
+       else Bytes.copy fr.lfr_defined);
+    sf_dst = fr.lfr_dst;
+    sf_stack_objs = fr.lfr_stack_objs;
+    sf_pending = fr.lfr_pending;
+  }
+
+let restore_frame (sf : saved_frame) : lframe =
+  {
+    lfr_func = sf.sf_func;
+    lfr_block = sf.sf_block;
+    lfr_ip = sf.sf_ip;
+    lfr_regs = Array.copy sf.sf_regs;
+    lfr_defined =
+      (if Bytes.length sf.sf_defined = 0 then empty_defined
+       else Bytes.copy sf.sf_defined);
+    lfr_dst = sf.sf_dst;
+    lfr_stack_objs = sf.sf_stack_objs;
+    lfr_pending = sf.sf_pending;
+  }
+
+(* Valid between quanta: before the first [run], or after a paused or
+   finished one.  Frames and the store are deep-captured (registers by
+   copy, memory by CoW page-table snapshot); any number of checkpoints
+   can be live at once and each survives repeated reverts. *)
+let snapshot (t : t) : checkpoint =
+  {
+    vck_clock = t.lclock;
+    vck_branches = t.lbranches;
+    vck_outputs = t.loutputs;
+    vck_turn = t.lturn;
+    vck_cur = t.lcur.ltid;
+    vck_next_tid = t.lnext_tid;
+    vck_threads =
+      List.map
+        (fun th ->
+           { sth_tid = th.ltid;
+             sth_frames = List.map save_frame th.lstack;
+             sth_depth = th.ldepth;
+             sth_status = th.lstatus })
+        t.lthreads;
+    vck_mutexes = Hashtbl.fold (fun a o acc -> (a, o) :: acc) t.lmutexes [];
+    vck_mem = Memory.snapshot t.lmem;
+    vck_inputs = Inputs.checkpoint t.linputs;
+    vck_fexec = Array.copy t.lfexec;
+    vck_counters = List.map (fun c -> (c, M.counter_value c)) vm_counters;
+  }
+
+(* Restore the full run state.  Metrics are process-global and shared
+   with whatever else ran since the snapshot, so winding the counters
+   back is opt-in ([~restore_metrics:true] — used by the bit-identity
+   property test); the ER pipeline leaves them monotone. *)
+let revert ?(restore_metrics = false) (t : t) (ck : checkpoint) : unit =
+  Memory.revert t.lmem ck.vck_mem;
+  Inputs.restore t.linputs ck.vck_inputs;
+  t.lclock <- ck.vck_clock;
+  t.lbranches <- ck.vck_branches;
+  t.loutputs <- ck.vck_outputs;
+  t.lturn <- ck.vck_turn;
+  t.lnext_tid <- ck.vck_next_tid;
+  Hashtbl.reset t.lmutexes;
+  List.iter (fun (a, o) -> Hashtbl.replace t.lmutexes a o) ck.vck_mutexes;
+  t.lthreads <-
+    List.map
+      (fun sth ->
+         { ltid = sth.sth_tid;
+           lstack = List.map restore_frame sth.sth_frames;
+           ldepth = sth.sth_depth;
+           lstatus = sth.sth_status })
+      ck.vck_threads;
+  t.lcur <- List.find (fun th -> th.ltid = ck.vck_cur) t.lthreads;
+  t.lfexec <- Array.copy ck.vck_fexec;
+  t.lresult <- None;
+  if restore_metrics then
+    List.iter
+      (fun (c, v) -> M.add c (v - M.counter_value c))
+      ck.vck_counters
+
+(* Swap in the next occurrence's stream contents while keeping the
+   restored cursors: how a resumed prefix continues under new inputs.
+   Only sound when [Inputs.prefix_ok] held for the checkpoint. *)
+let swap_inputs (t : t) (fresh : Inputs.t) = Inputs.replace_streams t.linputs fresh
+
+(* --- checkpoint-validity queries ------------------------------------------- *)
+
+(* Clock at which [point]'s block first became current in the state's
+   history, [None] if it never did (or the point is unknown).  A
+   checkpoint at clock [c] stays valid when a new recording point lands
+   in that block iff [c <= first-exec clock]: every retirement of the
+   marked instruction then happens after the resume, under the new
+   plan. *)
+let first_exec_clock (t : t) (p : point) : int option =
+  if Array.length t.lfexec = 0 then None
+  else
+    match Hashtbl.find_opt t.llow.L.l_func_index p.p_func with
+    | None -> None
+    | Some fidx ->
+        let lf = t.llow.L.l_funcs.(fidx) in
+        let found = ref None in
+        Array.iter
+          (fun (b : L.lblock) ->
+             if String.equal b.L.lb_label p.p_block then
+               found := Some b.L.lb_index)
+          lf.L.lf_blocks;
+        (match !found with
+         | None -> None
+         | Some bidx ->
+             let c = t.lfexec.(t.lblock_base.(lf.L.lf_idx) + bidx) in
+             if c < 0 then None else Some c)
+
+let seed_independent (t : t) = not (has_spawn t.llow)
+
+(* Would the run up to [ck] have consumed the same values under [fresh]'s
+   stream contents?  The state's current streams are the old side: they
+   are the streams of the run the checkpoint was taken from (kept up to
+   date by [swap_inputs] on every resume). *)
+let inputs_prefix_ok (t : t) (ck : checkpoint) ~(fresh : Inputs.t) : bool =
+  Inputs.prefix_ok ~old:t.linputs ~fresh ck.vck_inputs
+
+(* --- inspection ------------------------------------------------------------ *)
+
+let clock (t : t) = t.lclock
+let branches (t : t) = t.lbranches
+let result (t : t) = t.lresult
+let memory (t : t) = t.lmem
+let inputs (t : t) = t.linputs
+let outputs_so_far (t : t) = List.rev t.loutputs
+let lowered (t : t) = t.llow
+
+type frame_view = {
+  fv_func : string;
+  fv_block : string;
+  fv_ip : int;
+  fv_regs : (string * int64) list;   (* defined registers, slot order *)
+  fv_pending : string option;        (* register with a pending ptwrite *)
+}
+
+type thread_view = {
+  tv_tid : int;
+  tv_status : tstatus;
+  tv_frames : frame_view list;       (* innermost first *)
+}
+
+let view_frame (fr : lframe) : frame_view =
+  let names = fr.lfr_func.L.lf_reg_of_slot in
+  let tracked = Bytes.length fr.lfr_defined <> 0 in
+  let regs = ref [] in
+  for s = Array.length fr.lfr_regs - 1 downto 0 do
+    let defined = (not tracked) || Bytes.get fr.lfr_defined s = '\001' in
+    if defined then regs := (names.(s), fr.lfr_regs.(s)) :: !regs
+  done;
+  {
+    fv_func = fr.lfr_func.L.lf_name;
+    fv_block = fr.lfr_block.L.lb_label;
+    fv_ip = fr.lfr_ip;
+    fv_regs = !regs;
+    fv_pending = Option.map (fun s -> names.(s)) fr.lfr_pending;
+  }
+
+let threads (t : t) : thread_view list =
+  List.map
+    (fun th ->
+       { tv_tid = th.ltid;
+         tv_status = th.lstatus;
+         tv_frames = List.map view_frame th.lstack })
+    t.lthreads

@@ -132,6 +132,7 @@ let events_of_occurrence evs occ =
        match (e : E.event) with
        | E.Occurrence_started { occurrence }
        | E.Run_skipped { occurrence; _ }
+       | E.Checkpoint_resumed { occurrence; _ }
        | E.Trace_captured { occurrence; _ }
        | E.Decode_failed { occurrence; _ }
        | E.Symex_finished { occurrence; _ }

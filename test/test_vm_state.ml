@@ -1,0 +1,166 @@
+(* Snapshot/revert bit-identity of the resumable engine (Vm_state).
+
+   Pausing, snapshotting and reverting must commute with execution: after
+   [snapshot; run-to-end; revert; run-to-end], the replayed suffix has to
+   reproduce the first completion exactly — outcome, instruction count,
+   outputs, encoder packet bytes, branch-outcome sequence and the VM
+   metric counters — and both must equal an uninterrupted straight-line
+   run.  Checked on the running example and on the random-program
+   generator shared with the lowered-VM differential. *)
+
+module Prog = Er_ir.Prog
+module Interp = Er_vm.Interp
+module Vs = Er_vm.Vm_state
+
+type obs = {
+  ob_outcome : string;
+  ob_instrs : int;
+  ob_outputs : int64 list;
+  ob_trace : string;          (* finished encoder packet bytes *)
+  ob_bits : bool list;        (* conditional-branch outcome sequence *)
+  ob_metrics : int list;      (* the thirteen VM counters *)
+}
+
+let vm_metric_values () = List.map Er_metrics.counter_value Vs.vm_counters
+
+let outcome_str = function
+  | Vs.Finished None -> "finished"
+  | Vs.Finished (Some v) -> Printf.sprintf "finished %Ld" v
+  | Vs.Failed f -> "failed: " ^ Er_vm.Failure.to_string f
+
+(* identical modulo the process-global metric counters (which only
+   compare within one revert cycle, not across separate runs) *)
+let same_core a b =
+  String.equal a.ob_outcome b.ob_outcome
+  && a.ob_instrs = b.ob_instrs
+  && a.ob_outputs = b.ob_outputs
+  && String.equal a.ob_trace b.ob_trace
+  && a.ob_bits = b.ob_bits
+
+let same_full a b = same_core a b && a.ob_metrics = b.ob_metrics
+
+let check_same name a b =
+  Alcotest.(check string) (name ^ ": outcome") a.ob_outcome b.ob_outcome;
+  Alcotest.(check int) (name ^ ": instrs") a.ob_instrs b.ob_instrs;
+  Alcotest.(check (list int64)) (name ^ ": outputs") a.ob_outputs b.ob_outputs;
+  Alcotest.(check string) (name ^ ": packet bytes") a.ob_trace b.ob_trace;
+  Alcotest.(check (list bool)) (name ^ ": branch bits") a.ob_bits b.ob_bits
+
+(* fresh encoder + branch-bit recorder wired into a VM config *)
+let tracing_config seed =
+  let enc = Er_trace.Encoder.create () in
+  Er_trace.Encoder.start enc;
+  let bits = ref [] in
+  let hooks =
+    {
+      Interp.no_hooks with
+      Interp.on_branch =
+        Some
+          (fun b ->
+             bits := b :: !bits;
+             Er_trace.Encoder.branch enc b);
+      on_switch =
+        Some
+          (fun ~tid ~clock -> Er_trace.Encoder.thread_switch enc ~tid ~clock);
+      on_ptwrite = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
+      on_alloc = Some (fun v -> Er_trace.Encoder.ptwrite enc v);
+    }
+  in
+  let config = { Interp.default_config with Interp.sched_seed = seed; hooks } in
+  (config, enc, bits)
+
+let obs_of enc bits (r : Vs.run_result) =
+  {
+    ob_outcome = outcome_str r.Vs.outcome;
+    ob_instrs = r.Vs.instr_count;
+    ob_outputs = r.Vs.outputs;
+    ob_trace = Bytes.to_string (Er_trace.Encoder.finish enc);
+    ob_bits = List.rev !bits;
+    ob_metrics = vm_metric_values ();
+  }
+
+let run_straight program mk_inputs seed =
+  let config, enc, bits = tracing_config seed in
+  let r = Vs.run_program ~config (Prog.of_program program) (mk_inputs ()) in
+  obs_of enc bits r
+
+(* Pause at the first quantum boundary at clock >= k, snapshot the VM and
+   the encoder, finish the run, then rewind both and replay the suffix.
+   [None] when the program finished before ever pausing. *)
+let run_with_revert program mk_inputs seed k =
+  let config, enc, bits = tracing_config seed in
+  let prog = Prog.of_program program in
+  let vm =
+    Vs.create ~config ~plan:(Vs.empty_plan (Prog.lowered prog)) prog
+      (mk_inputs ())
+  in
+  match Vs.run ~pause_at:k vm with
+  | Some _ -> None
+  | None ->
+      let vck = Vs.snapshot vm in
+      let eck = Er_trace.Encoder.checkpoint enc in
+      let bits_at = !bits in
+      let first = obs_of enc bits (Vs.run_to_end vm) in
+      Vs.revert ~restore_metrics:true vm vck;
+      if not (Er_trace.Encoder.revert enc eck) then
+        Alcotest.fail "encoder refused its own checkpoint";
+      bits := bits_at;
+      let second = obs_of enc bits (Vs.run_to_end vm) in
+      Some (first, second)
+
+(* metric rewinding only bites when the registry counts *)
+let with_vm_metrics f =
+  let reg = Er_metrics.default in
+  let was = Er_metrics.enabled reg in
+  Er_metrics.set_enabled reg true;
+  Fun.protect ~finally:(fun () -> Er_metrics.set_enabled reg was) f
+
+(* --- deterministic case: the running example --------------------------- *)
+
+let test_fig3_revert_identical () =
+  with_vm_metrics (fun () ->
+      let spec = Er_corpus.Registry.running_example in
+      let mk () =
+        fst (spec.Er_corpus.Bug.failing_workload ~occurrence:1)
+      in
+      let _, seed = spec.Er_corpus.Bug.failing_workload ~occurrence:1 in
+      let straight = run_straight spec.Er_corpus.Bug.program mk seed in
+      List.iter
+        (fun k ->
+           match run_with_revert spec.Er_corpus.Bug.program mk seed k with
+           | None -> ()
+           | Some (first, second) ->
+               let name = Printf.sprintf "fig3 k=%d" k in
+               check_same (name ^ " replay") first second;
+               Alcotest.(check bool) (name ^ " metrics rewound") true
+                 (first.ob_metrics = second.ob_metrics);
+               check_same (name ^ " vs straight") straight first)
+        [ 1; 5; 20 ])
+
+(* --- randomized property ------------------------------------------------ *)
+
+let qcheck_snapshot_revert =
+  QCheck2.Test.make
+    ~name:"snapshot/revert replay is bit-identical on random programs"
+    ~count:120 Test_lower.gen_prog_and_inputs
+    (fun (program, input_vals, seed) ->
+       with_vm_metrics (fun () ->
+           let mk () = Er_vm.Inputs.make [ ("s", input_vals) ] in
+           let straight = run_straight program mk seed in
+           List.for_all
+             (fun k ->
+                match run_with_revert program mk seed k with
+                | None -> true
+                | Some (first, second) ->
+                    same_full first second && same_core straight first)
+             [ 1; 4; 15 ]))
+
+let suites =
+  [
+    ( "vm-state",
+      [
+        Alcotest.test_case "fig3 snapshot/revert replay identical" `Quick
+          test_fig3_revert_identical;
+        QCheck_alcotest.to_alcotest qcheck_snapshot_revert;
+      ] );
+  ]
