@@ -3,7 +3,7 @@
 # fleet-determinism gate and the persisted-trajectory validation.
 
 .PHONY: all build test fmt ci fleet fleet-determinism bench-smoke bench-vm \
-	bench-fleet bench-long-trace
+	bench-fleet bench-long-trace bench-diff
 
 all: build
 
@@ -35,6 +35,7 @@ ci:
 	$(MAKE) bench-long-trace
 	$(MAKE) fleet-determinism
 	dune exec bench/main.exe -- --validate BENCH_6.json --baseline BENCH_5.json --baseline-exact
+	$(MAKE) bench-diff
 
 # Run the whole bug corpus through the staged pipeline on a domain pool.
 fleet:
@@ -66,6 +67,13 @@ bench-vm:
 # with identical reconstruction results between the two modes.
 bench-long-trace:
 	dune exec bench/main.exe -- longtrace -o /tmp/er_bench_longtrace.json
+
+# Trajectory delta between the two newest committed bench files: solver
+# cost must be exactly identical (the counters are deterministic), vm
+# speedup must not drop more than 10%; wall clocks render as
+# informational deltas only.
+bench-diff:
+	dune exec bench/main.exe -- diff BENCH_5.json BENCH_6.json --exact
 
 # Regenerate the committed trajectory: full corpus + overheads + the
 # sequential-vs-parallel fleet trials + the vm engine comparison + the

@@ -16,6 +16,9 @@
      vm         pre-lowered engine vs reference interpreter, instr/sec
      fleet      Table 1 corpus on a domain pool, -j 1 vs -j 4
      longtrace  long-trace family: checkpoint/resume vs from-scratch
+     diff       OLD.json NEW.json [--exact] — render trajectory deltas
+                (solver cost, vm speedup, fleet walls, resumes) and exit
+                non-zero on a regression
 
    With no argument, everything runs in order.  [-o FILE] persists the
    collected per-bug trajectory (overhead %, trace bytes, solver cost,
@@ -765,6 +768,110 @@ let check_vm_baseline ~current ~baseline =
       end
 
 (* ------------------------------------------------------------------ *)
+(* bench diff: trajectory deltas between two persisted BENCH files     *)
+(* ------------------------------------------------------------------ *)
+
+(* `bench diff OLD.json NEW.json [--exact]` renders the deltas between
+   two committed trajectories — solver cost, vm speedup, fleet walls,
+   long-trace resumes — and exits non-zero on a regression.  The
+   deterministic counters gate hard (under [--exact], totals.solver_cost
+   must be identical); wall-clock numbers are rendered as informational
+   deltas only, since the two files may come from different machines. *)
+let run_diff ~exact old_path new_path =
+  let parse path =
+    match J.parse (read_file path) with
+    | Some doc -> doc
+    | None ->
+        Printf.eprintf "%s: does not parse as JSON\n" path;
+        exit 1
+  in
+  let old_doc = parse old_path and new_doc = parse new_path in
+  let regressions = ref [] in
+  let regress fmt =
+    Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt
+  in
+  let pct o n = if o = 0. then 0. else 100. *. (n -. o) /. o in
+  Printf.printf "bench diff: %s -> %s\n" old_path new_path;
+  let solver_cost doc =
+    Option.bind (J.member "totals" doc) (fun t ->
+        Option.bind (J.member "solver_cost" t) J.to_int)
+  in
+  (match (solver_cost old_doc, solver_cost new_doc) with
+   | Some o, Some n ->
+       Printf.printf "  totals.solver_cost : %d -> %d (%+d)\n" o n (n - o);
+       if exact && n <> o then
+         regress
+           "totals.solver_cost %d differs from %d — identity required; the \
+            counters are deterministic, so any drift is a real behavior \
+            change"
+           n o
+       else if (not exact) && n > o + (o / 10) then
+         regress "totals.solver_cost regresses more than 10%% (%d -> %d)" o n
+   | _ ->
+       Printf.printf
+         "  totals.solver_cost : n/a (missing in one file), not compared\n");
+  let vm doc =
+    Option.bind (J.member "vm" doc) (fun v ->
+        Option.bind (J.member "speedup" v) J.to_float)
+  in
+  (match (vm old_doc, vm new_doc) with
+   | Some o, Some n ->
+       Printf.printf "  vm.speedup         : %.2fx -> %.2fx (%+.1f%%)\n" o n
+         (pct o n);
+       if n < 0.9 *. o then
+         regress "vm speedup dropped more than 10%% (%.2fx -> %.2fx)" o n
+   | _ -> Printf.printf "  vm.speedup         : n/a, not compared\n");
+  let fleet_trials doc =
+    Option.bind (J.member "fleet" doc) (fun f ->
+        Option.bind (J.member "trials" f) J.to_list)
+    |> Option.value ~default:[]
+    |> List.filter_map (fun t ->
+        match
+          ( Option.bind (J.member "jobs" t) J.to_int,
+            Option.bind (J.member "wall" t) J.to_float )
+        with
+        | Some j, Some w -> Some (j, w)
+        | _ -> None)
+  in
+  let old_trials = fleet_trials old_doc in
+  let shared_trials =
+    List.filter_map
+      (fun (j, nw) ->
+         Option.map (fun ow -> (j, ow, nw)) (List.assoc_opt j old_trials))
+      (fleet_trials new_doc)
+  in
+  if shared_trials = [] then
+    Printf.printf "  fleet trials       : n/a, not compared\n"
+  else
+    List.iter
+      (fun (j, ow, nw) ->
+         Printf.printf
+           "  fleet -j %-2d wall   : %.3fs -> %.3fs (%+.1f%%, informational)\n"
+           j ow nw (pct ow nw))
+      shared_trials;
+  let lt doc k conv =
+    Option.bind (J.member "long_trace" doc) (fun l ->
+        Option.bind (J.member k l) conv)
+  in
+  (match (lt old_doc "resumes" J.to_int, lt new_doc "resumes" J.to_int) with
+   | Some o, Some n ->
+       Printf.printf "  long_trace.resumes : %d -> %d\n" o n;
+       if o > 0 && n = 0 then
+         regress "incremental tracer stopped resuming (%d -> 0)" o
+   | _ -> Printf.printf "  long_trace.resumes : n/a, not compared\n");
+  (match (lt old_doc "speedup" J.to_float, lt new_doc "speedup" J.to_float) with
+   | Some o, Some n ->
+       Printf.printf
+         "  long_trace.speedup : %.2fx -> %.2fx (%+.1f%%, informational)\n" o
+         n (pct o n)
+   | _ -> Printf.printf "  long_trace.speedup : n/a, not compared\n");
+  match List.rev !regressions with
+  | [] -> Printf.printf "no regressions\n"
+  | rs ->
+      List.iter (Printf.eprintf "REGRESSION: %s\n") rs;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: one bug end to end, cheap enough for every CI run            *)
 (* ------------------------------------------------------------------ *)
 
@@ -995,6 +1102,19 @@ let () =
       ("longtrace", run_longtrace);
     ]
   in
+  (* `diff` has its own argv shape (two positional files), so it is
+     dispatched before the job-name loop *)
+  (match Array.to_list Sys.argv with
+   | _ :: "diff" :: rest -> (
+       let exact = List.mem "--exact" rest in
+       match List.filter (fun a -> a <> "--exact") rest with
+       | [ old_path; new_path ] ->
+           run_diff ~exact old_path new_path;
+           exit 0
+       | _ ->
+           Printf.eprintf "usage: bench diff OLD.json NEW.json [--exact]\n";
+           exit 2)
+   | _ -> ());
   let exact = ref false in
   let vm_base = ref None in
   let rec parse (names, out, validate, baseline) = function

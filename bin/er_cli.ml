@@ -6,6 +6,9 @@
                                      --json for a machine-readable result)
      er_cli fleet                   run the whole corpus, print a per-bug,
                                     per-stage timing/solver-cost table
+     er_cli report --events FILE    join a persisted event log (and an
+                                    optional metrics snapshot) into a
+                                    per-bug explainability report
      er_cli inspect <bug>           time-travel one production run: revert
                                     to a checkpoint, dump registers/memory
      er_cli show <bug>              print a bug's EIR program
@@ -63,6 +66,24 @@ let with_events_sink events_file f =
         ~finally:(fun () -> close_out oc)
         (fun () -> f (Er_core.Events.jsonl oc))
 
+(* Channel variant for callers that write the JSONL lines themselves
+   (fleet tags each line with the emitting bug's name). *)
+let with_events_channel events_file f =
+  match events_file with
+  | None -> f None
+  | Some "-" ->
+      let r = f (Some stdout) in
+      flush stdout;
+      r
+  | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error msg ->
+          Printf.eprintf "er_cli: cannot open events file: %s\n" msg;
+          exit 1
+      in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (Some oc))
+
 let run_pipeline ?(incremental = true) (spec : Er_corpus.Bug.spec) events =
   let config =
     if incremental then spec.Er_corpus.Bug.config
@@ -91,15 +112,57 @@ let no_incremental_flag =
 let metrics_fmt =
   Arg.enum [ ("table", `Table); ("json", `Json); ("prometheus", `Prometheus) ]
 
-let with_metrics enabled f =
+let with_metrics ?(recorder = false) enabled f =
   if not enabled then f ()
   else begin
     Er_metrics.reset Er_metrics.default;
     Er_metrics.set_enabled Er_metrics.default true;
+    if recorder then Er_metrics.set_recorder true;
     Fun.protect
-      ~finally:(fun () -> Er_metrics.set_enabled Er_metrics.default false)
+      ~finally:(fun () ->
+        Er_metrics.set_enabled Er_metrics.default false;
+        if recorder then Er_metrics.set_recorder false)
       f
   end
+
+(* Flight recorder plumbing shared by [reproduce --trace-out] and
+   [fleet --trace-out]: the recorder keeps timestamped begin/end span
+   records (per-domain rings) on top of the aggregate cells; after the
+   run they drain as Chrome trace-event JSON — loadable in Perfetto or
+   chrome://tracing, one track per worker domain, pipeline stages nested
+   within each track. *)
+let trace_out_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Arm the span flight recorder and write the run's timeline as \
+              Chrome trace-event JSON (Perfetto-loadable) to $(docv) (use \
+              - for stdout): one track per worker domain, pipeline stages \
+              nested per track.")
+
+let write_trace_out path =
+  let s = Er_metrics.trace_json () in
+  let dropped = Er_metrics.recorder_dropped () in
+  if dropped > 0 then
+    Printf.eprintf
+      "er_cli: flight recorder ring wrapped, %d oldest span(s) dropped\n"
+      dropped;
+  match path with
+  | "-" ->
+      print_string s;
+      print_newline ()
+  | path -> (
+      match open_out path with
+      | oc ->
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+               output_string oc s;
+               output_char oc '\n')
+      | exception Sys_error msg ->
+          Printf.eprintf "er_cli: cannot open trace file: %s\n" msg;
+          exit 1)
 
 let render_metrics fmt oc =
   let snap = Er_metrics.snapshot () in
@@ -111,11 +174,18 @@ let render_metrics fmt oc =
   | `Prometheus -> output_string oc (Er_metrics.Snapshot.to_prometheus snap)
 
 let reproduce_cmd =
-  let run spec verbose events_file json metrics no_incremental =
+  let run spec verbose events_file json metrics trace_out no_incremental =
+    let recorder = Option.is_some trace_out in
     let r =
-      with_metrics (Option.is_some metrics) (fun () ->
-          with_events_sink events_file
-            (run_pipeline ~incremental:(not no_incremental) spec))
+      with_metrics ~recorder
+        (Option.is_some metrics || recorder)
+        (fun () ->
+           let r =
+             with_events_sink events_file
+               (run_pipeline ~incremental:(not no_incremental) spec)
+           in
+           Option.iter write_trace_out trace_out;
+           r)
     in
     if json then print_endline (Er_core.Pipeline.result_to_json r)
     else begin
@@ -181,7 +251,7 @@ let reproduce_cmd =
   Cmd.v (Cmd.info "reproduce" ~doc:"Reconstruct one corpus failure")
     Term.(
       const run $ spec_arg $ verbose $ events_file $ json $ metrics
-      $ no_incremental_flag)
+      $ trace_out_flag $ no_incremental_flag)
 
 (* Fleet mode: the whole Table 1 corpus through the staged pipeline on a
    Domain pool ([-j N], default = recommended domain count), with an
@@ -329,15 +399,42 @@ let fleet_cmd =
           file base_wall
     | Some _ | None -> ()
   in
-  let run jobs json normalize events_file metrics_out no_incremental =
-    with_events_sink events_file (fun events ->
-        (* one sink shared by all workers: serialize so JSONL lines from
-           concurrent bugs never interleave *)
-        let events = Er_core.Events.serialize events in
+  (* A fleet JSONL log is shared by every bug, so each line is tagged
+     with a ["job"] field naming the bug that emitted it — that's what
+     lets [er_cli report] split the log back into per-bug streams.
+     [Events.of_json] ignores unknown fields, so tagged lines still
+     round-trip as plain events.  One mutex serializes all workers'
+     writes; each line is flushed as soon as it is written so a worker
+     crash cannot lose the buffered tail of the log. *)
+  let tagged_jsonl_sink mutex oc job_name : Er_core.Events.sink =
+    let module J = Er_core.Json in
+    fun e ->
+      let line =
+        match Er_core.Events.to_json_value e with
+        | J.Obj fields -> J.to_string (J.Obj (("job", J.Str job_name) :: fields))
+        | j -> J.to_string j
+      in
+      Mutex.lock mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock mutex)
+        (fun () ->
+           output_string oc (line ^ "\n");
+           flush oc)
+  in
+  let run jobs json normalize events_file metrics_out trace_out no_incremental
+    =
+    with_events_channel events_file (fun chan ->
+        let sink_mutex = Mutex.create () in
+        let sink_for name =
+          match chan with
+          | None -> Er_core.Events.null
+          | Some oc -> tagged_jsonl_sink sink_mutex oc name
+        in
         let incremental = not no_incremental in
         let fleet_jobs =
           List.map
             (fun (s : Er_corpus.Bug.spec) ->
+               let events = sink_for s.Er_corpus.Bug.name in
                { Er_core.Fleet.job_name = s.Er_corpus.Bug.name;
                  job_run = (fun () -> run_pipeline ~incremental s events) })
             Er_corpus.Registry.table1
@@ -349,6 +446,7 @@ let fleet_cmd =
                ?baseline:(baseline_sequential_wall ())
                report)
         else print_table report);
+    Option.iter write_trace_out trace_out;
     match metrics_out with
     | None -> ()
     | Some "-" ->
@@ -365,9 +463,14 @@ let fleet_cmd =
           ~finally:(fun () -> close_out oc)
           (fun () -> render_metrics `Json oc)
   in
-  let run jobs json normalize events_file metrics_out no_incremental =
-    with_metrics (Option.is_some metrics_out) (fun () ->
-        run jobs json normalize events_file metrics_out no_incremental)
+  let run jobs json normalize events_file metrics_out trace_out no_incremental
+    =
+    let recorder = Option.is_some trace_out in
+    with_metrics ~recorder
+      (Option.is_some metrics_out || recorder)
+      (fun () ->
+         run jobs json normalize events_file metrics_out trace_out
+           no_incremental)
   in
   let jobs =
     Arg.(
@@ -402,8 +505,10 @@ let fleet_cmd =
       & opt (some string) None
       & info [ "events" ] ~docv:"FILE"
           ~doc:"Append every bug's event stream as JSON Lines to $(docv) \
-                (use - for stdout).  The sink is serialized across \
-                workers; event order between bugs depends on scheduling.")
+                (use - for stdout).  Each line carries a job field naming \
+                the emitting bug (er_cli report splits on it); writes are \
+                serialized across workers and flushed per line, but event \
+                order between bugs depends on scheduling.")
   in
   let metrics_out =
     Arg.(
@@ -420,7 +525,378 @@ let fleet_cmd =
              domain pool")
     Term.(
       const run $ jobs $ json $ normalize $ events_file $ metrics_out
-      $ no_incremental_flag)
+      $ trace_out_flag $ no_incremental_flag)
+
+(* Post-hoc explainability: join a persisted JSONL event log (from
+   [reproduce --events] or [fleet --events]) with an optional metrics
+   snapshot (from [--metrics-out]) into a per-bug, per-stage report —
+   the iteration waterfall, why iterations stalled or diverged, how
+   effective the solver cache and the checkpoint/resume machinery were,
+   and which bugs are outliers against the corpus medians.  Works
+   entirely offline: the log round-trips through [Events.of_json], so a
+   report can be regenerated long after the run. *)
+let report_cmd =
+  let module J = Er_core.Json in
+  let module P = Er_core.Pipeline in
+  let module E = Er_core.Events in
+  let module O = Er_core.Outcome in
+  let read_lines ic =
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    go []
+  in
+  let load_lines = function
+    | "-" -> read_lines stdin
+    | path -> (
+        match open_in path with
+        | ic -> Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_lines ic)
+        | exception Sys_error msg ->
+            Printf.eprintf "er_cli: cannot open events file: %s\n" msg;
+            exit 1)
+  in
+  (* Split the log into per-bug streams by the fleet's ["job"] tag;
+     untagged lines (a single-bug reproduce log) fall into one group. *)
+  let group_by_job lines =
+    let malformed = ref 0 in
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun line ->
+         if String.trim line = "" then ()
+         else
+           match E.of_json line with
+           | None -> incr malformed
+           | Some e ->
+               let job =
+                 match
+                   Option.bind (J.parse line) (fun j ->
+                       Option.bind (J.member "job" j) J.to_str)
+                 with
+                 | Some j -> j
+                 | None -> "(untagged)"
+               in
+               (match Hashtbl.find_opt tbl job with
+                | Some r -> r := e :: !r
+                | None ->
+                    order := job :: !order;
+                    Hashtbl.add tbl job (ref [ e ])))
+      lines;
+    ( List.rev_map (fun job -> (job, List.rev !(Hashtbl.find tbl job))) !order,
+      !malformed )
+  in
+  let median = function
+    | [] -> 0
+    | xs ->
+        let a = Array.of_list (List.sort compare xs) in
+        let n = Array.length a in
+        if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) + a.(n / 2)) / 2
+  in
+  (* Everything [iterations_of_events] cannot see: checkpoint resumes
+     (deliberately excluded from iteration accounting), skipped runs,
+     and the terminal status events. *)
+  let fold_control evs =
+    List.fold_left
+      (fun (resumes, saved, skipped, status) (e : E.event) ->
+         match e with
+         | E.Checkpoint_resumed { at_clock; _ } ->
+             (resumes + 1, saved + at_clock, skipped, status)
+         | E.Run_skipped _ -> (resumes, saved, skipped + 1, status)
+         | E.Reproduced { occurrence; _ } ->
+             (resumes, saved, skipped, `Reproduced occurrence)
+         | E.Gave_up { reason; _ } ->
+             (resumes, saved, skipped, `Gave_up reason)
+         | E.Pipeline_finished { runs; occurrences; reproduced } ->
+             let status =
+               match status with
+               | `Unknown -> if reproduced then `Reproduced occurrences else status
+               | s -> s
+             in
+             (resumes, saved, skipped, `Finished (runs, occurrences, status))
+         | _ -> (resumes, saved, skipped, status))
+      (0, 0, 0, `Unknown) evs
+  in
+  let status_string = function
+    | `Unknown -> "incomplete log"
+    | `Reproduced occ -> Printf.sprintf "reproduced after %d occurrence(s)" occ
+    | `Gave_up reason -> "gave up: " ^ reason
+    | `Finished (runs, occ, inner) -> (
+        match inner with
+        | `Reproduced _ ->
+            Printf.sprintf "reproduced after %d occurrence(s), %d run(s)" occ
+              runs
+        | `Gave_up reason ->
+            Printf.sprintf "gave up after %d occurrence(s), %d run(s): %s" occ
+              runs reason
+        | _ ->
+            Printf.sprintf "finished: %d run(s), %d occurrence(s)" runs occ)
+  in
+  let stall_causes its =
+    List.filter_map
+      (fun (it : P.iteration) ->
+         match it.P.outcome with
+         | O.Stalled s ->
+             Some
+               (Printf.sprintf "occ %d: %s (chain=%d, obj=%dB, +%d points)"
+                  it.P.occurrence s.O.reason s.O.longest_chain
+                  s.O.largest_object_bytes s.O.points_added)
+         | _ -> None)
+      its
+  in
+  let divergence_causes its =
+    List.filter_map
+      (fun (it : P.iteration) ->
+         match it.P.outcome with
+         | O.Diverged reason ->
+             Some (Printf.sprintf "occ %d: %s" it.P.occurrence reason)
+         | _ -> None)
+      its
+  in
+  let sum f its = List.fold_left (fun a it -> a + f it) 0 its in
+  let sumf f its = List.fold_left (fun a it -> a +. f it) 0. its in
+  let run events_file metrics_file json =
+    let groups, malformed = group_by_job (load_lines events_file) in
+    let snap =
+      Option.map
+        (fun path ->
+           let contents =
+             match open_in_bin path with
+             | ic ->
+                 Fun.protect
+                   ~finally:(fun () -> close_in ic)
+                   (fun () -> really_input_string ic (in_channel_length ic))
+             | exception Sys_error msg ->
+                 Printf.eprintf "er_cli: cannot open metrics file: %s\n" msg;
+                 exit 1
+           in
+           match Er_metrics.Snapshot.of_json contents with
+           | Some snap -> snap
+           | None ->
+               Printf.eprintf
+                 "er_cli: %s is not a metrics snapshot (expected the JSON \
+                  written by --metrics-out)\n"
+                 path;
+               exit 1)
+        metrics_file
+    in
+    (* per-bug digests *)
+    let digests =
+      List.map
+        (fun (bug, evs) ->
+           let its = P.iterations_of_events evs in
+           let resumes, saved, skipped, status = fold_control evs in
+           let cost = sum (fun it -> it.P.solver_cost) its in
+           let calls = sum (fun it -> it.P.solver_calls) its in
+           let hits = sum (fun it -> it.P.cache_hits) its in
+           let misses = sum (fun it -> it.P.cache_misses) its in
+           let wall =
+             sumf
+               (fun it ->
+                  it.P.trace_time +. it.P.symex_time +. it.P.selection_time
+                  +. it.P.verify_time)
+               its
+           in
+           ( bug, evs, its, resumes, saved, skipped, status, cost, calls,
+             hits, misses, wall ))
+        groups
+    in
+    let med_cost =
+      median
+        (List.map (fun (_, _, _, _, _, _, _, c, _, _, _, _) -> c) digests)
+    in
+    let med_occ =
+      median
+        (List.map
+           (fun (_, _, its, _, _, _, _, _, _, _, _, _) -> List.length its)
+           digests)
+    in
+    let outlier cost its =
+      (med_cost > 0 && cost > 2 * med_cost)
+      || (med_occ > 0 && List.length its > 2 * med_occ)
+    in
+    let attribution =
+      match snap with
+      | None -> []
+      | Some snap ->
+          List.filter_map
+            (function
+              | Er_metrics.Snapshot.Top { name; help; rows; _ } ->
+                  Some (name, help, rows)
+              | _ -> None)
+            snap.Er_metrics.Snapshot.samples
+    in
+    if json then begin
+      let bug_json
+          ( bug, _evs, its, resumes, saved, skipped, status, cost, calls,
+            hits, misses, wall ) =
+        J.Obj
+          [ ("bug", J.Str bug);
+            ("status", J.Str (status_string status));
+            ("iterations", J.List (List.map P.iteration_to_json its));
+            ("stalls", J.List (List.map (fun s -> J.Str s) (stall_causes its)));
+            ( "divergences",
+              J.List (List.map (fun s -> J.Str s) (divergence_causes its)) );
+            ("solver_cost", J.Int cost);
+            ("solver_calls", J.Int calls);
+            ( "cache",
+              J.Obj [ ("hits", J.Int hits); ("misses", J.Int misses) ] );
+            ( "checkpoints",
+              J.Obj
+                [ ("resumes", J.Int resumes); ("saved_instrs", J.Int saved);
+                  ("runs_skipped", J.Int skipped) ] );
+            ("stage_wall", J.Float wall);
+            ("outlier", J.Bool (outlier cost its)) ]
+      in
+      let attribution_json (name, help, rows) =
+        J.Obj
+          [ ("name", J.Str name); ("help", J.Str help);
+            ( "rows",
+              J.List
+                (List.map
+                   (fun (key, cost, labels) ->
+                      J.Obj
+                        ([ ("key", J.Str key); ("cost", J.Int cost) ]
+                         @
+                         match labels with
+                         | [] -> []
+                         | ls ->
+                             [ ( "labels",
+                                 J.Obj
+                                   (List.map (fun (k, v) -> (k, J.Str v)) ls)
+                               ) ]))
+                   rows) ) ]
+      in
+      print_endline
+        (J.to_string
+           (J.Obj
+              [ ("bugs", J.List (List.map bug_json digests));
+                ( "medians",
+                  J.Obj
+                    [ ("solver_cost", J.Int med_cost);
+                      ("occurrences", J.Int med_occ) ] );
+                ("malformed_lines", J.Int malformed);
+                ("attribution", J.List (List.map attribution_json attribution))
+              ]))
+    end
+    else begin
+      Printf.printf "report: %d bug(s)%s\n" (List.length digests)
+        (if malformed > 0 then
+           Printf.sprintf ", %d malformed line(s) skipped" malformed
+         else "");
+      List.iter
+        (fun ( bug, _evs, its, resumes, saved, skipped, status, cost, calls,
+               hits, misses, wall ) ->
+           Printf.printf "\n%s%s\n"
+             (if bug = "(untagged)" then "pipeline" else "bug " ^ bug)
+             (if outlier cost its then "   [OUTLIER vs corpus medians]"
+              else "");
+           Printf.printf "  status: %s\n" (status_string status);
+           Printf.printf
+             "  %-4s %-9s %9s %9s %9s %9s %7s %10s %7s %5s\n" "occ" "outcome"
+             "trace(s)" "symex(s)" "select(s)" "verify(s)" "squery" "cost"
+             "cache" "set";
+           List.iter
+             (fun (it : P.iteration) ->
+                Printf.printf
+                  "  %-4d %-9s %9.3f %9.3f %9.4f %9.3f %7d %10d %7s %5d\n"
+                  it.P.occurrence
+                  (match it.P.outcome with
+                   | O.Completed -> "complete"
+                   | O.Stalled _ -> "stalled"
+                   | O.Diverged _ -> "diverged")
+                  it.P.trace_time it.P.symex_time it.P.selection_time
+                  it.P.verify_time it.P.solver_calls it.P.solver_cost
+                  (Printf.sprintf "%d/%d" it.P.cache_hits
+                     (it.P.cache_hits + it.P.cache_misses))
+                  it.P.recording_set_size)
+             its;
+           List.iter (Printf.printf "  stall    %s\n") (stall_causes its);
+           List.iter (Printf.printf "  diverged %s\n") (divergence_causes its);
+           let total = hits + misses in
+           if total > 0 then
+             Printf.printf
+               "  cache: %d/%d hit(s) (%.1f%%), solver cost %d over %d \
+                call(s)\n"
+               hits total
+               (100. *. float_of_int hits /. float_of_int total)
+               cost calls;
+           if resumes > 0 || skipped > 0 then
+             Printf.printf
+               "  checkpoints: %d resume(s), %d instr(s) not re-executed, %d \
+                run(s) skipped\n"
+               resumes saved skipped;
+           Printf.printf "  stage wall: %.3fs\n" wall)
+        digests;
+      Printf.printf "\ncorpus medians: solver cost %d, %d occurrence(s)\n"
+        med_cost med_occ;
+      (match
+         List.filter_map
+           (fun (bug, _, its, _, _, _, _, cost, _, _, _, _) ->
+              if outlier cost its then
+                Some (Printf.sprintf "%s (cost %d, %d occ)" bug cost
+                        (List.length its))
+              else None)
+           digests
+       with
+       | [] -> ()
+       | outliers ->
+           Printf.printf "outliers (>2x median): %s\n"
+             (String.concat ", " outliers));
+      match attribution with
+      | [] -> ()
+      | tables ->
+          Printf.printf "\nhot-spot attribution (from %s):\n"
+            (Option.get metrics_file);
+          List.iter
+            (fun (name, help, rows) ->
+               Printf.printf "  %s — %s\n" name help;
+               List.iter
+                 (fun (key, cost, labels) ->
+                    Printf.printf "    %-40s %12d%s\n" key cost
+                      (match labels with
+                       | [] -> ""
+                       | ls ->
+                           "  ("
+                           ^ String.concat ", "
+                               (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+                           ^ ")"))
+                 rows)
+            tables
+    end
+  in
+  let events_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"The JSON Lines event log to analyze, as written by \
+                $(b,reproduce --events) or $(b,fleet --events) (use - for \
+                stdin).")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"A metrics snapshot JSON (as written by \
+                $(b,fleet --metrics-out)) to join into the report: its \
+                top-K attribution tables (hottest SMT queries, hottest \
+                lowered blocks, largest checkpoint savings) are appended.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the report as machine-readable JSON instead of the \
+                human rendering.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Explain a persisted run: join an event log and a metrics \
+             snapshot into a per-bug, per-stage report")
+    Term.(const run $ events_file $ metrics_file $ json)
 
 (* Time travel over one production run of a corpus bug: drive the
    resumable engine with periodic snapshots, revert to the deepest
@@ -638,5 +1114,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; reproduce_cmd; fleet_cmd; inspect_cmd; show_cmd;
-            parse_cmd; run_cmd ]))
+          [ list_cmd; reproduce_cmd; fleet_cmd; report_cmd; inspect_cmd;
+            show_cmd; parse_cmd; run_cmd ]))

@@ -389,6 +389,12 @@ let human ppf : sink = fun e -> Fmt.pf ppf "%a@." pp e
 
 (* One [output_string] per event: the line (payload + newline) is built
    in full first, so even an unserialized stderr/O_APPEND stream gets
-   whole lines.  Concurrent writers to the same channel must still be
-   wrapped in [serialize] — channel buffers are not domain-safe. *)
-let jsonl oc : sink = fun e -> output_string oc (to_json e ^ "\n")
+   whole lines.  Flushed per line: a worker crash mid-reconstruction
+   must not lose the buffered tail of the log — the events up to the
+   crash are exactly what a post-mortem needs.  Concurrent writers to
+   the same channel must still be wrapped in [serialize] — channel
+   buffers are not domain-safe. *)
+let jsonl oc : sink =
+ fun e ->
+  output_string oc (to_json e ^ "\n");
+  flush oc

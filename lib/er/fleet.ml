@@ -94,11 +94,18 @@ end
 (* ---------------------------------------------------------------- *)
 
 (* Run one job with crash isolation: any exception (except the
-   non-maskable runtime ones) becomes a [Worker_crashed] row. *)
+   non-maskable runtime ones) becomes a [Worker_crashed] row.  The body
+   runs under a per-bug span so a flight-recorder timeline shows one
+   "bug:<name>" slice per job on its worker's track (free when the
+   metrics registry is off). *)
 let execute ~worker (idx, j) slots =
   let t0 = Unix.gettimeofday () in
+  let run () =
+    Er_metrics.with_span ("bug:" ^ j.job_name) (fun () ->
+        Er_smt.Expr.in_fresh_space j.job_run)
+  in
   let outcome =
-    match Er_smt.Expr.in_fresh_space j.job_run with
+    match run () with
     | r -> Finished r
     | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
     | exception e ->
@@ -209,11 +216,16 @@ let row_to_json ~normalize (r : row) : Json.t =
   Obj ((("bug", Str r.row_name) :: fields) @ timing)
 
 (* [~normalize:true] is the determinism view: per-bug content only, no
-   wall clocks, no worker placement, no job count.  Two reports from the
-   same corpus at different [-j] must render byte-identically.
+   wall clocks, no worker placement, no job count — the baseline fields
+   are wall clocks, so the normalized schema omits them *by design*
+   (documented in DESIGN.md "Domain-safety model"; consumers of the
+   normalized view must not expect them).  Two reports from the same
+   corpus at different [-j] must render byte-identically.
    [?baseline:(file, wall)] adds the committed sequential baseline the
-   human table compares against; it never appears in the normalized
-   view, which must stay free of wall clocks. *)
+   human table compares against; in the full view the three baseline
+   keys are always present — explicit [null]s when no baseline was given
+   (or the report's wall clock is unusable) — so downstream consumers
+   can key on them unconditionally. *)
 let report_to_json_value ?(normalize = false) ?baseline (r : report) :
     Json.t =
   let open Json in
@@ -226,7 +238,9 @@ let report_to_json_value ?(normalize = false) ?baseline (r : report) :
           [ ("baseline_file", Str file);
             ("baseline_wall", Float base_wall);
             ("baseline_speedup", Float (base_wall /. r.wall)) ]
-      | Some _ | None -> []
+      | Some _ | None ->
+          [ ("baseline_file", Null); ("baseline_wall", Null);
+            ("baseline_speedup", Null) ]
     in
     Obj
       ([ ("jobs", Int r.jobs); ("wall", Float r.wall); ("cpu", Float r.cpu);

@@ -29,6 +29,15 @@ let m_bandwidth =
     ~help:"Recording bandwidth of the last capture, in ptwrite bytes per            million instructions."
     "er_select_recording_bytes_per_minstr"
 
+(* Hot-spot attribution: instructions the tracer did not re-execute
+   because the production run resumed from a checkpoint, keyed per
+   occurrence (cost = resume clock = prefix instructions saved). *)
+let m_top_ckpt_savings =
+  M.top ~k:8
+    ~help:"Largest per-occurrence checkpoint savings (instructions not \
+           re-executed on resume)."
+    "er_tracer_top_checkpoint_saved_instrs"
+
 type config = {
   max_occurrences : int;           (* bound on production runs consumed *)
   exec_config : Exec.config;
@@ -585,6 +594,9 @@ struct
       in
       (match resumed with
        | Some at_clock ->
+           M.top_observe m_top_ckpt_savings
+             ~key:(Printf.sprintf "occurrence-%d" occ)
+             at_clock;
            emit (Events.Checkpoint_resumed { occurrence = occ; at_clock })
        | None -> ());
       match outcome with

@@ -46,6 +46,9 @@ type labels = (string * string) list
 type registry = {
   mutable r_enabled : bool;
   mutable r_clock : unit -> float;
+  (* flight recorder: per-domain ring capacity for timestamped span
+     events; 0 = recording off (the default — aggregate cells only) *)
+  mutable r_recorder : int;
   (* registration order, for deterministic snapshots *)
   mutable r_rev : metric list;
   r_index : (string, metric) Hashtbl.t;
@@ -58,6 +61,7 @@ and metric =
   | Counter of counter
   | Gauge of gauge
   | Histogram of histogram
+  | Top of top
 
 and counter = {
   c_name : string;
@@ -86,6 +90,21 @@ and histogram = {
   h_reg : registry;
 }
 
+(* Bounded top-K attribution table: the K most expensive keys seen so
+   far (cost descending, key ascending on ties), one row per key with
+   the maximum cost observed for it.  Merge semantics are commutative,
+   so concurrent observers from several domains converge to the same
+   table regardless of interleaving. *)
+and top = {
+  t_name : string;
+  t_help : string;
+  t_k : int;
+  t_mutex : Mutex.t;
+  mutable t_rows : top_row list; (* sorted, length <= t_k *)
+  t_reg : registry;
+}
+
+and top_row = { tr_key : string; tr_cost : int; tr_labels : labels }
 and span_cell = { mutable s_calls : int; mutable s_seconds : float }
 
 (* Span nesting and accumulation for one domain.  Only the owning domain
@@ -96,7 +115,14 @@ and span_cell = { mutable s_calls : int; mutable s_seconds : float }
 and domain_spans = {
   ds_spans : (string, span_cell) Hashtbl.t;
   mutable ds_stack : string list; (* full paths, innermost first *)
+  (* flight-recorder ring of completed spans, owner-domain writes only;
+     [||] until the recorder is armed *)
+  mutable ds_ring : span_event array;
+  mutable ds_next : int; (* next write slot *)
+  mutable ds_count : int; (* events ever recorded on this domain *)
 }
+
+and span_event = { sp_path : string; sp_begin : float; sp_end : float }
 
 let default_clock () = Unix.gettimeofday ()
 
@@ -104,6 +130,7 @@ let create ?(enabled = true) ?(clock = default_clock) () =
   {
     r_enabled = enabled;
     r_clock = clock;
+    r_recorder = 0;
     r_rev = [];
     r_index = Hashtbl.create 64;
     r_mutex = Mutex.create ();
@@ -127,7 +154,11 @@ let reset r =
       | Gauge g -> g.g_cell.(0) <- 0.
       | Histogram h ->
           Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-          h.h_sum.(0) <- 0.)
+          h.h_sum.(0) <- 0.
+      | Top t ->
+          Mutex.lock t.t_mutex;
+          t.t_rows <- [];
+          Mutex.unlock t.t_mutex)
     r.r_rev;
   Mutex.lock r.r_mutex;
   r.r_domains <- [];
@@ -216,6 +247,16 @@ let histogram ?(registry = default) ?(labels = []) ~help ~buckets name =
     (fun () ->
        invalid_arg ("Er_metrics.histogram: " ^ name ^ " is not a histogram"))
 
+let top ?(registry = default) ~help ~k name =
+  if k <= 0 then invalid_arg ("Er_metrics.top: " ^ name ^ ": k must be > 0");
+  registered registry (key name [])
+    (fun () ->
+       Top
+         { t_name = name; t_help = help; t_k = k;
+           t_mutex = Mutex.create (); t_rows = []; t_reg = registry })
+    (function Top t -> Some t | _ -> None)
+    (fun () -> invalid_arg ("Er_metrics.top: " ^ name ^ " is not a top table"))
+
 (* --- recording (hot path) ------------------------------------------ *)
 
 let inc c = if c.c_reg.r_enabled then Atomic.incr c.c_value
@@ -223,6 +264,38 @@ let add c n = if c.c_reg.r_enabled then ignore (Atomic.fetch_and_add c.c_value n
 let counter_value c = Atomic.get c.c_value
 let set g v = if g.g_reg.r_enabled then g.g_cell.(0) <- v
 let gauge_value g = g.g_cell.(0)
+
+(* Insert [key] with [cost] into the bounded table, keeping the per-key
+   maximum and the K most expensive keys overall.  Called once per rare
+   event (solver query, run retirement), never inside the hot loop. *)
+let top_observe t ~key:k ?(labels = []) cost =
+  if t.t_reg.r_enabled then begin
+    Mutex.lock t.t_mutex;
+    let prev = List.find_opt (fun r -> r.tr_key = k) t.t_rows in
+    (match prev with
+     | Some r when r.tr_cost >= cost -> ()
+     | _ ->
+         let rows = List.filter (fun r -> r.tr_key <> k) t.t_rows in
+         let rows =
+           { tr_key = k; tr_cost = cost; tr_labels = canonical_labels labels }
+           :: rows
+         in
+         let rows =
+           List.sort
+             (fun a b ->
+                match compare b.tr_cost a.tr_cost with
+                | 0 -> compare a.tr_key b.tr_key
+                | c -> c)
+             rows
+         in
+         let rec take n = function
+           | [] -> []
+           | _ when n = 0 -> []
+           | x :: tl -> x :: take (n - 1) tl
+         in
+         t.t_rows <- take t.t_k rows);
+    Mutex.unlock t.t_mutex
+  end
 
 let observe h v =
   if h.h_reg.r_enabled then begin
@@ -253,7 +326,10 @@ let domain_spans r =
         match List.assq_opt did r.r_domains with
         | Some ds -> ds
         | None ->
-            let ds = { ds_spans = Hashtbl.create 16; ds_stack = [] } in
+            let ds =
+              { ds_spans = Hashtbl.create 16; ds_stack = []; ds_ring = [||];
+                ds_next = 0; ds_count = 0 }
+            in
             r.r_domains <- (did, ds) :: r.r_domains;
             ds
       in
@@ -281,7 +357,8 @@ let with_span ?(registry = default) name f =
     let t0 = registry.r_clock () in
     Fun.protect
       ~finally:(fun () ->
-        let dt = registry.r_clock () -. t0 in
+        let t1 = registry.r_clock () in
+        let dt = t1 -. t0 in
         (match ds.ds_stack with
          | p :: rest when p == path -> ds.ds_stack <- rest
          | stack ->
@@ -295,9 +372,143 @@ let with_span ?(registry = default) name f =
              ds.ds_stack <- unwind stack);
         let c = span_cell ds path in
         c.s_calls <- c.s_calls + 1;
-        c.s_seconds <- c.s_seconds +. dt)
+        c.s_seconds <- c.s_seconds +. dt;
+        let cap = registry.r_recorder in
+        if cap > 0 then begin
+          if Array.length ds.ds_ring <> cap then begin
+            ds.ds_ring <-
+              Array.make cap { sp_path = ""; sp_begin = 0.; sp_end = 0. };
+            ds.ds_next <- 0;
+            ds.ds_count <- 0
+          end;
+          ds.ds_ring.(ds.ds_next) <-
+            { sp_path = path; sp_begin = t0; sp_end = t1 };
+          ds.ds_next <- (ds.ds_next + 1) mod cap;
+          ds.ds_count <- ds.ds_count + 1
+        end)
       f
   end
+
+(* --- flight recorder ------------------------------------------------ *)
+
+(* Timestamped begin/end records for every completed span, kept in a
+   bounded per-domain ring (oldest overwritten).  Off by default: the
+   aggregate cells above are always maintained when the registry is
+   enabled, the recorder additionally keeps the timeline.  Drained as
+   Chrome trace-event JSON (Perfetto-loadable): one track (tid) per
+   domain — in fleet mode, per worker — with pipeline-stage spans
+   nesting inside each track by time containment. *)
+
+type trace_event = {
+  te_domain : int;
+  te_path : string;
+  te_begin : float;
+  te_end : float;
+}
+
+let set_recorder ?(registry = default) ?(capacity = 65536) on =
+  registry.r_recorder <- (if on then max 1 capacity else 0)
+
+let recorder_enabled ?(registry = default) () = registry.r_recorder > 0
+
+(* All surviving events across domains, oldest first within a domain,
+   globally sorted by (begin time, domain, path) so the drain is
+   deterministic under a scripted clock. *)
+let recorded_events ?(registry = default) () =
+  Mutex.lock registry.r_mutex;
+  let domains = registry.r_domains in
+  Mutex.unlock registry.r_mutex;
+  let evs =
+    List.concat_map
+      (fun (did, ds) ->
+         let cap = Array.length ds.ds_ring in
+         if cap = 0 then []
+         else begin
+           let n = min ds.ds_count cap in
+           let start = (ds.ds_next - n + cap) mod cap in
+           List.init n (fun i ->
+               let e = ds.ds_ring.((start + i) mod cap) in
+               { te_domain = did; te_path = e.sp_path;
+                 te_begin = e.sp_begin; te_end = e.sp_end })
+         end)
+      domains
+  in
+  List.sort
+    (fun a b ->
+       match compare a.te_begin b.te_begin with
+       | 0 -> (
+           match compare a.te_domain b.te_domain with
+           | 0 -> compare a.te_path b.te_path
+           | c -> c)
+       | c -> c)
+    evs
+
+(* Events overwritten because a domain's ring wrapped. *)
+let recorder_dropped ?(registry = default) () =
+  Mutex.lock registry.r_mutex;
+  let domains = registry.r_domains in
+  Mutex.unlock registry.r_mutex;
+  List.fold_left
+    (fun acc (_, ds) ->
+       let cap = Array.length ds.ds_ring in
+       if cap = 0 then acc else acc + max 0 (ds.ds_count - cap))
+    0 domains
+
+(* Chrome trace-event format: {"traceEvents": [...]} with "X" (complete)
+   slices, ts/dur in microseconds relative to the earliest recorded
+   begin, pid 0, tid = domain id, plus "M" metadata naming each track.
+   Loads directly in Perfetto / chrome://tracing. *)
+let trace_json_value ?(registry = default) () =
+  let module J = Er_json in
+  let evs = recorded_events ~registry () in
+  let epoch =
+    List.fold_left (fun a e -> Float.min a e.te_begin) infinity evs
+  in
+  let epoch = if Float.is_finite epoch then epoch else 0. in
+  let leaf path =
+    match String.rindex_opt path '/' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> path
+  in
+  let cat path =
+    match String.index_opt path '/' with
+    | Some i -> String.sub path 0 i
+    | None -> path
+  in
+  let doms = List.sort_uniq compare (List.map (fun e -> e.te_domain) evs) in
+  let meta =
+    J.Obj
+      [ ("name", J.Str "process_name"); ("ph", J.Str "M"); ("pid", J.Int 0);
+        ("args", J.Obj [ ("name", J.Str "er") ]) ]
+    :: List.map
+         (fun d ->
+            J.Obj
+              [ ("name", J.Str "thread_name"); ("ph", J.Str "M");
+                ("pid", J.Int 0); ("tid", J.Int d);
+                ("args",
+                 J.Obj
+                   [ ("name", J.Str (Printf.sprintf "worker domain %d" d)) ])
+              ])
+         doms
+  in
+  let slices =
+    List.map
+      (fun e ->
+         J.Obj
+           [ ("name", J.Str (leaf e.te_path)); ("cat", J.Str (cat e.te_path));
+             ("ph", J.Str "X");
+             ("ts", J.Float ((e.te_begin -. epoch) *. 1e6));
+             ("dur", J.Float ((e.te_end -. e.te_begin) *. 1e6));
+             ("pid", J.Int 0); ("tid", J.Int e.te_domain);
+             ("args", J.Obj [ ("path", J.Str e.te_path) ]) ])
+      evs
+  in
+  J.Obj
+    [ ("traceEvents", J.List (meta @ slices));
+      ("displayTimeUnit", J.Str "ms") ]
+
+let trace_json ?(registry = default) () =
+  Er_json.to_string (trace_json_value ~registry ())
 
 (* ==================================================================== *)
 (* Snapshots: an immutable copy of the registry state, with the three
@@ -321,16 +532,27 @@ module Snapshot = struct
         counts : int array; (* per-bucket, not cumulative *)
         sum : float;
       }
+    | Top of {
+        name : string;
+        help : string;
+        k : int;
+        rows : (string * int * labels) list; (* key, cost, row labels *)
+      }
 
   type span = { path : string; calls : int; seconds : float }
   type t = { samples : sample list; spans : span list }
 
   let sample_name = function
-    | Counter { name; _ } | Gauge { name; _ } | Histogram { name; _ } -> name
+    | Counter { name; _ }
+    | Gauge { name; _ }
+    | Histogram { name; _ }
+    | Top { name; _ } ->
+        name
 
   let sample_labels = function
     | Counter { labels; _ } | Gauge { labels; _ } | Histogram { labels; _ } ->
         labels
+    | Top _ -> []
 
   let take registry =
     let samples =
@@ -350,7 +572,16 @@ module Snapshot = struct
               Mutex.unlock h.h_mutex;
               Histogram
                 { name = h.h_name; help = h.h_help; labels = h.h_labels;
-                  bounds = Array.copy h.h_bounds; counts; sum })
+                  bounds = Array.copy h.h_bounds; counts; sum }
+          | Top t ->
+              Mutex.lock t.t_mutex;
+              let rows =
+                List.map
+                  (fun r -> (r.tr_key, r.tr_cost, r.tr_labels))
+                  t.t_rows
+              in
+              Mutex.unlock t.t_mutex;
+              Top { name = t.t_name; help = t.t_help; k = t.t_k; rows })
         registry.r_rev
     in
     (* merge the per-domain span trees by path: same path on several
@@ -488,6 +719,18 @@ module Snapshot = struct
             ("counts",
              J.List (Array.to_list (Array.map (fun c -> J.Int c) counts)));
             ("sum", J.Float sum) ]
+    | Top { name; help; k; rows } ->
+        J.Obj
+          [ ("kind", J.Str "top"); ("name", J.Str name); ("help", J.Str help);
+            ("labels", labels_to_json []); ("k", J.Int k);
+            ("rows",
+             J.List
+               (List.map
+                  (fun (key, cost, labels) ->
+                     J.Obj
+                       [ ("key", J.Str key); ("cost", J.Int cost);
+                         ("labels", labels_to_json labels) ])
+                  rows)) ]
 
   let to_json_value t =
     J.Obj
@@ -542,6 +785,20 @@ module Snapshot = struct
              { name; help; labels;
                bounds = Array.of_list (List.rev bounds);
                counts = Array.of_list (List.rev counts); sum })
+    | "top" ->
+        let* k = Option.bind (J.member "k" j) J.to_int in
+        let* rows = Option.bind (J.member "rows" j) J.to_list in
+        let* rows =
+          List.fold_left
+            (fun acc r ->
+               let* acc = acc in
+               let* key = Option.bind (J.member "key" r) J.to_str in
+               let* cost = Option.bind (J.member "cost" r) J.to_int in
+               let* labels = Option.bind (J.member "labels" r) labels_of_json in
+               Some ((key, cost, labels) :: acc))
+            (Some []) rows
+        in
+        Some (Top { name; help; k; rows = List.rev rows })
     | _ -> None
 
   let of_json_value j =
@@ -637,6 +894,9 @@ module Snapshot = struct
                 | Counter { help; _ } -> (help, "counter")
                 | Gauge { help; _ } -> (help, "gauge")
                 | Histogram { help; _ } -> (help, "histogram")
+                (* top tables expose rows as a gauge family keyed by
+                   a [key] label *)
+                | Top { help; _ } -> (help, "gauge")
               in
               Buffer.add_string buf
                 (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" fam help fam ty));
@@ -672,7 +932,17 @@ module Snapshot = struct
                        (prom_float sum));
                   Buffer.add_string buf
                     (Printf.sprintf "%s_count%s %d\n" name
-                       (prom_labels labels) !cum))
+                       (prom_labels labels) !cum)
+              | Top { name; rows; _ } ->
+                  List.iter
+                    (fun (key, cost, labels) ->
+                       Buffer.add_string buf
+                         (Printf.sprintf "%s%s %d\n" name
+                            (prom_labels_with labels
+                               (Printf.sprintf "key=\"%s\""
+                                  (prom_label_value key)))
+                            cost))
+                    rows)
            members)
       families;
     if t.spans <> [] then begin
@@ -719,6 +989,7 @@ module Snapshot = struct
         (function
           | Counter { value = 0; _ } -> false
           | Histogram { counts; _ } -> Array.exists (fun c -> c > 0) counts
+          | Top { rows = []; _ } -> false
           | _ -> true)
         t.samples
     in
@@ -740,8 +1011,15 @@ module Snapshot = struct
                in
                line "%-58s %16s"
                  (labelled name labels)
-                 (Printf.sprintf "n=%d sum=%s p50=%s p99=%s" n
-                    (prom_float sum) (q 0.5) (q 0.99)))
+                 (Printf.sprintf "n=%d sum=%s p50=%s p90=%s p99=%s" n
+                    (prom_float sum) (q 0.5) (q 0.9) (q 0.99))
+           | Top { name; rows; _ } ->
+               List.iter
+                 (fun (key, cost, labels) ->
+                    line "%-58s %16d"
+                      (labelled name (("key", key) :: labels))
+                      cost)
+                 rows)
         metrics
     end;
     if t.spans <> [] then begin

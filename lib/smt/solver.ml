@@ -92,6 +92,29 @@ let m_checks_incremental =
   M.counter ~help:"Session checks reusing a previously built encoding."
     "er_smt_session_checks_incremental_total"
 
+(* Hot-spot attribution: the most expensive queries seen so far, keyed
+   by the canonical assertion-set id (cost = gates + propagations, the
+   same work measure as solver_cost). *)
+let m_top_queries =
+  M.top ~k:8
+    ~help:"Most expensive SMT queries (cost = bit-blast gates + SAT \
+           propagations)."
+    "er_smt_top_query_cost"
+
+(* A bounded rendering of the canonical key: member count, id range and
+   a hash — enough to match a query across snapshots without dumping
+   hundreds of ids. *)
+let query_key (key : int array) =
+  let n = Array.length key in
+  Printf.sprintf "n=%d[%d..%d]#%08x" n key.(0)
+    key.(n - 1)
+    (Hashtbl.hash (Array.to_list key) land 0xffffffff)
+
+let outcome_label = function
+  | Sat _ -> "sat"
+  | Unsat -> "unsat"
+  | Unknown _ -> "unknown"
+
 (* Default budgets: generous enough for well-conditioned queries, small
    enough that ite towers from long write chains exhaust them. *)
 let default_budget = 4_000_000
@@ -338,10 +361,24 @@ module Session = struct
       match Cache.lookup t.cache key set with
       | Some (o, kind) ->
           t.hits <- t.hits + 1;
-          (match kind with
-          | Cache.Exact -> M.inc m_cache_exact
-          | Cache.Subset_sat -> M.inc m_cache_subset
-          | Cache.Superset_unsat -> M.inc m_cache_superset);
+          let kind_label =
+            match kind with
+            | Cache.Exact ->
+                M.inc m_cache_exact;
+                "exact"
+            | Cache.Subset_sat ->
+                M.inc m_cache_subset;
+                "subset_sat"
+            | Cache.Superset_unsat ->
+                M.inc m_cache_superset;
+                "superset_unsat"
+          in
+          (* zero-cost row: a hit never displaces the original solve's
+             cost for the same key, but records that the set was asked
+             again and answered from cache *)
+          M.top_observe m_top_queries ~key:(query_key key)
+            ~labels:[ ("outcome", outcome_label o); ("cached", kind_label) ]
+            0;
           (o, zero_stats t)
       | None ->
           t.misses <- t.misses + 1;
@@ -361,6 +398,9 @@ module Session = struct
             M.add m_decisions st.decisions;
             M.add m_restarts st.restarts;
             M.add m_clauses st.clauses;
+            M.top_observe m_top_queries ~key:(query_key key)
+              ~labels:[ ("outcome", outcome_label o); ("cached", "no") ]
+              (st.gates + st.propagations);
             (o, st)
           in
           (match encode_pending t with

@@ -165,7 +165,21 @@ type checkpoint = {
   ck_stats : stats;                (* a copy, not an alias *)
 }
 
+let m_ck_taken =
+  M.counter ~help:"Encoder checkpoints taken."
+    "er_trace_encoder_checkpoints_total"
+
+let m_ck_reverted =
+  M.counter ~help:"Encoder reverts that resumed the packet stream."
+    "er_trace_encoder_reverts_total"
+
+let m_ck_refused =
+  M.counter
+    ~help:"Encoder reverts refused (ring wrapped over checkpoint bytes)."
+    "er_trace_encoder_reverts_refused_total"
+
 let checkpoint t =
+  M.inc m_ck_taken;
   {
     ck_ring = Ring.checkpoint t.ring;
     ck_pending_bits = t.pending_bits;
@@ -178,17 +192,21 @@ let can_revert t ck = Ring.can_revert t.ring ck.ck_ring
 (* [false] when post-checkpoint writes wrapped into the bytes that were
    live at the checkpoint — the stream can no longer be reconstructed. *)
 let revert t ck =
-  Ring.revert t.ring ck.ck_ring
-  && begin
-    t.pending_bits <- ck.ck_pending_bits;
-    t.pending_n <- ck.ck_pending_n;
-    t.stats.branches <- ck.ck_stats.branches;
-    t.stats.ptwrites <- ck.ck_stats.ptwrites;
-    t.stats.switches <- ck.ck_stats.switches;
-    t.stats.packets <- ck.ck_stats.packets;
-    t.stats.bytes <- ck.ck_stats.bytes;
-    true
-  end
+  let ok =
+    Ring.revert t.ring ck.ck_ring
+    && begin
+      t.pending_bits <- ck.ck_pending_bits;
+      t.pending_n <- ck.ck_pending_n;
+      t.stats.branches <- ck.ck_stats.branches;
+      t.stats.ptwrites <- ck.ck_stats.ptwrites;
+      t.stats.switches <- ck.ck_stats.switches;
+      t.stats.packets <- ck.ck_stats.packets;
+      t.stats.bytes <- ck.ck_stats.bytes;
+      true
+    end
+  in
+  if ok then M.inc m_ck_reverted else M.inc m_ck_refused;
+  ok
 
 (* Full reset: a from-scratch capture reusing the same buffer. *)
 let reset t =

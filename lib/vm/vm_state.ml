@@ -57,6 +57,15 @@ let m_branches =
 let m_switches =
   M.counter ~help:"Chunk-scheduler thread switches." "er_vm_switches_total"
 
+(* Hot-spot attribution: the blocks retired most often, keyed by
+   "func/label".  Per-run counts accumulate in the state (bumped at the
+   block-retirement site under the same [M.enabled] branch as the class
+   deltas) and are published into the bounded table at run end. *)
+let m_top_blocks =
+  M.top ~k:8
+    ~help:"Hottest lowered blocks by retirement count (func/label)."
+    "er_vm_top_block_retired"
+
 let vm_counters =
   [ m_i_alu; m_i_load; m_i_store; m_i_mem; m_i_call; m_i_io; m_i_sync;
     m_i_branch; m_i_other; m_loads; m_stores; m_branches; m_switches ]
@@ -351,6 +360,9 @@ type t = {
   mutable lmarks : int array array array;
   (* program-wide block uid = lblock_base.(lf_idx) + lb_index *)
   lblock_base : int array;
+  (* retirements per block uid (metrics-gated; monotone across reverts
+     like the process counters) *)
+  lblk_counts : int array;
   (* clock at which each block first became the current block, -1 if
      never; length 0 when not tracked (no plan).  Bounds the checkpoints
      that stay valid when a *new* point lands in that block. *)
@@ -734,7 +746,13 @@ let lstep_thread st (th : lthread) : step =
       else begin
         (* whole block retires with this terminator: one batched add per
            class, before execution, like the reference's count-then-step *)
-        if M.enabled M.default then flush_delta b.L.lb_delta;
+        if M.enabled M.default then begin
+          flush_delta b.L.lb_delta;
+          let uid =
+            st.lblock_base.(fr.lfr_func.L.lf_idx) + b.L.lb_index
+          in
+          st.lblk_counts.(uid) <- st.lblk_counts.(uid) + 1
+        end;
         lstep_term st th fr b.L.lb_term
       end
 
@@ -790,6 +808,7 @@ let create ?(config = default_config) ?plan (prog : Er_ir.Prog.t)
       lmarks =
         (match plan with Some p -> p.pl_marks | None -> [||]);
       lblock_base = block_base;
+      lblk_counts = Array.make block_base.(nfuncs) 0;
       lfexec =
         (match plan with
          | Some _ -> Array.make block_base.(nfuncs) (-1)
@@ -811,8 +830,27 @@ let set_plan (t : t) (p : plan) =
     invalid_arg "Vm_state.set_plan: state was created without a plan";
   t.lmarks <- p.pl_marks
 
+(* Publish this state's per-block retirement counts into the bounded
+   hottest-blocks table (max per key, so repeated runs of one state just
+   refresh their rows). *)
+let publish_block_profile t =
+  if M.enabled M.default then
+    Array.iter
+      (fun (lf : L.lfunc) ->
+         let base = t.lblock_base.(lf.L.lf_idx) in
+         Array.iteri
+           (fun bidx (blk : L.lblock) ->
+              let n = t.lblk_counts.(base + bidx) in
+              if n > 0 then
+                M.top_observe m_top_blocks
+                  ~key:(lf.L.lf_name ^ "/" ^ blk.L.lb_label)
+                  n)
+           lf.L.lf_blocks)
+      t.llow.L.l_funcs
+
 let finish t ?crashed outcome =
   flush_partial t ~crashed;
+  publish_block_profile t;
   t.lresult <-
     Some
       {

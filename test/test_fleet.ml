@@ -5,6 +5,8 @@
 
 module Fleet = Er_core.Fleet
 module Pipeline = Er_core.Pipeline
+module Events = Er_core.Events
+module Json = Er_core.Json
 module Bug = Er_corpus.Bug
 module Registry = Er_corpus.Registry
 
@@ -20,12 +22,12 @@ let subset () =
        | None -> Alcotest.failf "corpus bug %s disappeared" n)
     subset_names
 
-let job_of_spec (s : Bug.spec) =
+let job_of_spec ?(events = Events.null) (s : Bug.spec) =
   {
     Fleet.job_name = s.Bug.name;
     job_run =
       (fun () ->
-         Pipeline.run ~config:s.Bug.config ~base_prog:s.Bug.program
+         Pipeline.run ~config:s.Bug.config ~events ~base_prog:s.Bug.program
            ~workload:s.Bug.failing_workload ());
   }
 
@@ -47,16 +49,42 @@ let test_determinism () =
 
 (* A synthetic corpus bug whose workload raises while the pipeline is
    driving it: the fleet must report a structured [Worker_crashed] row
-   for it and still complete every other bug. *)
+   for it and still complete every other bug.  Every job also writes
+   into one shared job-tagged JSONL log (the same shape [er_cli fleet
+   --events] produces, line-serialized under one mutex), and the log
+   must come out complete and parseable despite the mid-run crash. *)
 let test_crash_isolation () =
-  let good = List.map job_of_spec (subset ()) in
+  let log = Buffer.create 4096 in
+  let log_mutex = Mutex.create () in
+  let tagged_sink name : Events.sink =
+    fun e ->
+      let line =
+        match Events.to_json_value e with
+        | Json.Obj fields ->
+            Json.to_string (Json.Obj (("job", Json.Str name) :: fields))
+        | j -> Json.to_string j
+      in
+      Mutex.lock log_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock log_mutex)
+        (fun () ->
+           Buffer.add_string log line;
+           Buffer.add_char log '\n')
+  in
+  let good =
+    List.map
+      (fun s -> job_of_spec ~events:(tagged_sink s.Bug.name) s)
+      (subset ())
+  in
   let sick = Registry.running_example in
   let crashing =
     {
       Fleet.job_name = "synthetic-crasher";
       job_run =
         (fun () ->
-           Pipeline.run ~config:sick.Bug.config ~base_prog:sick.Bug.program
+           Pipeline.run ~config:sick.Bug.config
+             ~events:(tagged_sink "synthetic-crasher")
+             ~base_prog:sick.Bug.program
              ~workload:(fun ~occurrence:_ ->
                failwith "synthetic mid-reconstruction fault")
              ());
@@ -101,7 +129,49 @@ let test_crash_isolation () =
            | Pipeline.Gave_up _ ->
                Alcotest.failf "%s should reproduce" r.Fleet.row_name)
        | Fleet.Worker_crashed _ -> assert false)
-    finished
+    finished;
+  (* The event log survived the crash intact: every line parses back
+     through [Events.of_json] with its job tag, every finished bug
+     closed its stream with [Pipeline_finished], and the crasher got
+     far enough to log something but never a finish marker. *)
+  let lines =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' (Buffer.contents log))
+  in
+  let parsed =
+    List.map
+      (fun line ->
+         let job =
+           match Json.parse line with
+           | Some j -> (
+               match Option.bind (Json.member "job" j) Json.to_str with
+               | Some name -> name
+               | None -> Alcotest.failf "event line missing job tag: %s" line)
+           | None -> Alcotest.failf "event line is not JSON: %s" line
+         in
+         match Events.of_json line with
+         | Some e -> (job, e)
+         | None -> Alcotest.failf "event line does not round-trip: %s" line)
+      lines
+  in
+  let is_finish = function Events.Pipeline_finished _ -> true | _ -> false in
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (r.Fleet.row_name ^ " logged pipeline_finished")
+         true
+         (List.exists
+            (fun (job, e) -> job = r.Fleet.row_name && is_finish e)
+            parsed))
+    finished;
+  let crasher_events =
+    List.filter (fun (job, _) -> job = "synthetic-crasher") parsed
+  in
+  Alcotest.(check bool) "crasher emitted events before dying" true
+    (crasher_events <> []);
+  Alcotest.(check bool) "crasher never logged pipeline_finished" true
+    (List.for_all (fun (_, e) -> not (is_finish e)) crasher_events)
 
 (* --- concurrent access to one shared solver cache ------------------- *)
 

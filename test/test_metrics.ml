@@ -148,6 +148,207 @@ let qcheck_histogram_partition =
        in
        bucket_ok && total_ok && quantile_ok)
 
+(* --- span exception safety and leak recovery ------------------------- *)
+
+let scripted_clock step =
+  let t = ref 0.0 in
+  fun () ->
+    let v = !t in
+    t := v +. step;
+    v
+
+let span_cell snap path =
+  List.find_opt (fun sp -> sp.S.path = path) snap.S.spans
+
+(* An exception through the span body must still record the span, pop
+   the stack, and re-raise — a later span at the same depth gets a
+   top-level path, not one nested under the dead span. *)
+let test_span_exception_safety () =
+  let r = fresh ~clock:(scripted_clock 0.25) () in
+  (try
+     M.with_span ~registry:r "outer" (fun () ->
+         M.with_span ~registry:r "inner" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  M.with_span ~registry:r "after" ignore;
+  let snap = M.snapshot ~registry:r () in
+  (match span_cell snap "outer/inner" with
+   | Some sp -> Alcotest.(check int) "inner recorded once" 1 sp.S.calls
+   | None -> Alcotest.fail "inner span lost to the exception");
+  (match span_cell snap "outer" with
+   | Some sp -> Alcotest.(check int) "outer recorded once" 1 sp.S.calls
+   | None -> Alcotest.fail "outer span lost to the exception");
+  Alcotest.(check bool)
+    "stack popped: next span is top-level" true
+    (Option.is_some (span_cell snap "after"));
+  Alcotest.(check bool)
+    "no span nested under the dead pair" true
+    (not
+       (List.exists
+          (fun sp -> sp.S.path = "outer/inner/after" || sp.S.path = "outer/after")
+          snap.S.spans))
+
+(* A genuinely leaked inner span: the body performs an effect whose
+   handler drops the continuation, so the inner [Fun.protect] finally
+   never runs.  The enclosing span's finally must unwind the leaked
+   frame(s) instead of corrupting the tree for the rest of the run. *)
+type _ Effect.t += Leak : unit Effect.t
+
+let leak_spans ~registry names =
+  (* open [names] as nested spans, then abandon the whole fiber *)
+  Effect.Deep.try_with
+    (fun () ->
+       let rec nest = function
+         | [] ->
+             Effect.perform Leak;
+             ()
+         | n :: rest -> M.with_span ~registry n (fun () -> nest rest)
+       in
+       nest names)
+    ()
+    {
+      Effect.Deep.effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Leak ->
+              Some
+                (fun (_k : (a, _) Effect.Deep.continuation) ->
+                  (* drop the continuation: every finally in the fiber
+                     above the handler is skipped *)
+                  ())
+          | _ -> None);
+    }
+
+let test_span_leak_recovery () =
+  let r = fresh ~clock:(scripted_clock 0.25) () in
+  M.with_span ~registry:r "outer" (fun () -> leak_spans ~registry:r [ "lost" ]);
+  M.with_span ~registry:r "after" ignore;
+  let snap = M.snapshot ~registry:r () in
+  (match span_cell snap "outer" with
+   | Some sp -> Alcotest.(check int) "outer still recorded" 1 sp.S.calls
+   | None -> Alcotest.fail "outer span missing");
+  Alcotest.(check bool)
+    "leaked span never completed" true
+    (Option.is_none (span_cell snap "outer/lost"));
+  (match span_cell snap "after" with
+   | Some sp -> Alcotest.(check int) "clean top-level path after leak" 1 sp.S.calls
+   | None -> Alcotest.fail "span after the leak nested under dead frames")
+
+let test_span_nested_leak_recovery () =
+  let r = fresh ~clock:(scripted_clock 0.25) () in
+  (* three leaked frames at once, then an enclosing span unwinds them all *)
+  M.with_span ~registry:r "outer" (fun () ->
+      leak_spans ~registry:r [ "a"; "b"; "c" ]);
+  M.with_span ~registry:r "next" (fun () ->
+      M.with_span ~registry:r "child" ignore);
+  let snap = M.snapshot ~registry:r () in
+  Alcotest.(check bool)
+    "no leaked frame completed" true
+    (not
+       (List.exists
+          (fun sp ->
+             sp.S.path = "outer/a" || sp.S.path = "outer/a/b"
+             || sp.S.path = "outer/a/b/c")
+          snap.S.spans));
+  Alcotest.(check bool)
+    "tree resumes cleanly after a multi-frame leak" true
+    (Option.is_some (span_cell snap "next/child"))
+
+(* --- top-K attribution tables ---------------------------------------- *)
+
+let top_rows snap name =
+  List.find_map
+    (function
+      | S.Top { name = n; rows; _ } when n = name -> Some rows
+      | _ -> None)
+    snap.S.samples
+
+let test_top_table () =
+  let r = fresh () in
+  let t = M.top ~registry:r ~k:3 ~help:"h" "t_top" in
+  M.top_observe t ~key:"a" 10;
+  M.top_observe t ~key:"b" 30;
+  M.top_observe t ~key:"a" 20;   (* per-key max: replaces the 10 *)
+  M.top_observe t ~key:"a" 5;    (* lower cost for a seen key: ignored *)
+  M.top_observe t ~key:"c" 20;   (* ties with a: key breaks the tie *)
+  M.top_observe t ~key:"d" 1;    (* below the cut once k rows exist *)
+  let snap = M.snapshot ~registry:r () in
+  (match top_rows snap "t_top" with
+   | Some rows ->
+       Alcotest.(check (list (pair string int)))
+         "cost-desc, key-asc, truncated to k"
+         [ ("b", 30); ("a", 20); ("c", 20) ]
+         (List.map (fun (k, c, _) -> (k, c)) rows)
+   | None -> Alcotest.fail "top sample missing");
+  (* disabled registries observe nothing *)
+  let r2 = fresh ~enabled:false () in
+  let t2 = M.top ~registry:r2 ~k:3 ~help:"h" "t2_top" in
+  M.top_observe t2 ~key:"x" 99;
+  match top_rows (M.snapshot ~registry:r2 ()) "t2_top" with
+  | Some [] -> ()
+  | Some _ -> Alcotest.fail "disabled registry recorded a top row"
+  | None -> Alcotest.fail "top sample missing"
+
+(* --- flight recorder and trace-event JSON ---------------------------- *)
+
+let test_recorder_trace_json () =
+  let r = fresh ~clock:(scripted_clock 0.5) () in
+  M.set_recorder ~registry:r true;
+  M.with_span ~registry:r "occurrence" (fun () ->
+      M.with_span ~registry:r "trace" ignore;
+      M.with_span ~registry:r "symex" ignore);
+  M.set_recorder ~registry:r false;
+  (* disarmed: later spans keep the aggregate cells but add no events *)
+  M.with_span ~registry:r "untimed" ignore;
+  let evs = M.recorded_events ~registry:r () in
+  Alcotest.(check (list string))
+    "events drain sorted by begin time"
+    [ "occurrence"; "occurrence/trace"; "occurrence/symex" ]
+    (List.map (fun e -> e.M.te_path) evs);
+  List.iter
+    (fun e ->
+       Alcotest.(check bool) "events have positive duration" true
+         (e.M.te_end > e.M.te_begin))
+    evs;
+  Alcotest.(check int) "nothing dropped" 0 (M.recorder_dropped ~registry:r ());
+  (* the drained JSON is a Chrome trace-event document *)
+  let module J = Er_json in
+  (match J.parse (M.trace_json ~registry:r ()) with
+   | None -> Alcotest.fail "trace JSON does not parse"
+   | Some doc ->
+       let events =
+         Option.bind (J.member "traceEvents" doc) J.to_list
+         |> Option.value ~default:[]
+       in
+       let phase e = Option.bind (J.member "ph" e) J.to_str in
+       Alcotest.(check int) "three X slices" 3
+         (List.length (List.filter (fun e -> phase e = Some "X") events));
+       Alcotest.(check bool) "track metadata present" true
+         (List.exists (fun e -> phase e = Some "M") events);
+       List.iter
+         (fun e ->
+            if phase e = Some "X" then begin
+              Alcotest.(check bool) "slice has ts/dur/tid" true
+                (Option.is_some (J.member "ts" e)
+                 && Option.is_some (J.member "dur" e)
+                 && Option.is_some (J.member "tid" e));
+              match Option.bind (J.member "ts" e) J.to_float with
+              | Some ts -> Alcotest.(check bool) "ts >= 0" true (ts >= 0.)
+              | None -> Alcotest.fail "ts is not a number"
+            end)
+         events);
+  (* a ring smaller than the span count wraps and reports the overflow *)
+  let r2 = fresh ~clock:(scripted_clock 0.125) () in
+  M.set_recorder ~registry:r2 ~capacity:2 true;
+  for i = 1 to 5 do
+    M.with_span ~registry:r2 (Printf.sprintf "s%d" i) ignore
+  done;
+  Alcotest.(check int) "ring keeps the newest capacity events" 2
+    (List.length (M.recorded_events ~registry:r2 ()));
+  Alcotest.(check int) "overflow counted" 3 (M.recorder_dropped ~registry:r2 ());
+  Alcotest.(check (list string))
+    "survivors are the newest" [ "s4"; "s5" ]
+    (List.map (fun e -> e.M.te_path) (M.recorded_events ~registry:r2 ()))
+
 (* --- golden Prometheus exposition ----------------------------------- *)
 
 let test_prometheus_golden () =
@@ -209,6 +410,154 @@ let test_prometheus_golden () =
   Alcotest.(check string)
     "prometheus exposition" golden
     (S.to_prometheus (M.snapshot ~registry:r ()))
+
+(* --- Prometheus exposition lint -------------------------------------- *)
+
+(* Structural lint over a full exposition: every non-comment line must
+   be `name[{k="v",...}] value` with a valid metric name that a
+   preceding # TYPE declared, valid label names, quoted label values and
+   a numeric value; every comment must be a well-formed HELP or TYPE.
+   This is what keeps the text scrapeable by an actual Prometheus. *)
+let test_prometheus_lint () =
+  let r = fresh ~clock:(scripted_clock 0.25) () in
+  let c =
+    M.counter ~registry:r ~labels:[ ("class", "alu") ] ~help:"Instr."
+      "lint_instr_total"
+  in
+  let g = M.gauge ~registry:r ~help:"Ratio." "lint_ratio" in
+  let h =
+    M.histogram ~registry:r ~help:"Sec." ~buckets:[ 0.1; 1.0 ] "lint_seconds"
+  in
+  let t = M.top ~registry:r ~k:4 ~help:"Hot." "lint_top_cost" in
+  M.inc c;
+  M.set g 1.5;
+  M.observe h 0.05;
+  M.observe h 2.0;
+  M.top_observe t ~key:"n=260[2641..3927]#3f4e" ~labels:[ ("outcome", "sat") ] 42;
+  M.top_observe t ~key:"read_chunk/loop" 17;
+  M.with_span ~registry:r "occurrence" (fun () ->
+      M.with_span ~registry:r "symex" ignore);
+  let text = S.to_prometheus (M.snapshot ~registry:r ()) in
+  let is_name_char ch =
+    (ch >= 'a' && ch <= 'z')
+    || (ch >= 'A' && ch <= 'Z')
+    || (ch >= '0' && ch <= '9')
+    || ch = '_' || ch = ':'
+  in
+  let valid_name s =
+    s <> ""
+    && (not (s.[0] >= '0' && s.[0] <= '9'))
+    && String.for_all is_name_char s
+  in
+  let typed = Hashtbl.create 8 in
+  let lint line =
+    if line = "" then ()
+    else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then (
+      match String.split_on_char ' ' line with
+      | [ "#"; "TYPE"; name; kind ] ->
+          Alcotest.(check bool) (line ^ ": TYPE name valid") true
+            (valid_name name);
+          Alcotest.(check bool) (line ^ ": known kind") true
+            (List.mem kind [ "counter"; "gauge"; "histogram" ]);
+          Hashtbl.replace typed name ()
+      | _ -> Alcotest.fail (line ^ ": malformed TYPE comment"))
+    else if line.[0] = '#' then (
+      match String.split_on_char ' ' line with
+      | "#" :: "HELP" :: name :: _ :: _ ->
+          Alcotest.(check bool) (line ^ ": HELP name valid") true
+            (valid_name name)
+      | _ -> Alcotest.fail (line ^ ": malformed comment"))
+    else begin
+      let n = String.length line in
+      let name_end =
+        let rec go i = if i < n && is_name_char line.[i] then go (i + 1) else i in
+        go 0
+      in
+      let name = String.sub line 0 name_end in
+      Alcotest.(check bool) (line ^ ": sample name valid") true
+        (valid_name name);
+      let base =
+        let strip suf =
+          let ls = String.length suf in
+          if
+            String.length name > ls
+            && String.sub name (String.length name - ls) ls = suf
+          then Some (String.sub name 0 (String.length name - ls))
+          else None
+        in
+        match
+          List.find_map
+            (fun suf ->
+               match strip suf with
+               | Some b when Hashtbl.mem typed b -> Some b
+               | _ -> None)
+            [ "_bucket"; "_sum"; "_count" ]
+        with
+        | Some b -> b
+        | None -> name
+      in
+      Alcotest.(check bool) (line ^ ": declared by a TYPE comment") true
+        (Hashtbl.mem typed base);
+      let rest = String.sub line name_end (n - name_end) in
+      let value_str =
+        if rest <> "" && rest.[0] = '{' then (
+          match String.index_opt rest '}' with
+          | None -> Alcotest.fail (line ^ ": unterminated label set")
+          | Some close ->
+              String.sub rest 1 (close - 1)
+              |> String.split_on_char ','
+              |> List.iter (fun pair ->
+                  match String.index_opt pair '=' with
+                  | None -> Alcotest.fail (line ^ ": label without =")
+                  | Some eq ->
+                      let k = String.sub pair 0 eq in
+                      let v =
+                        String.sub pair (eq + 1) (String.length pair - eq - 1)
+                      in
+                      Alcotest.(check bool) (line ^ ": label name valid") true
+                        (valid_name k && not (String.contains k ':'));
+                      Alcotest.(check bool) (line ^ ": label value quoted")
+                        true
+                        (String.length v >= 2
+                         && v.[0] = '"'
+                         && v.[String.length v - 1] = '"'));
+              String.sub rest (close + 1) (String.length rest - close - 1))
+        else rest
+      in
+      let v = String.trim value_str in
+      Alcotest.(check bool) (line ^ ": single numeric value") true
+        ((not (String.contains v ' '))
+         && Option.is_some (float_of_string_opt v))
+    end
+  in
+  List.iter lint (String.split_on_char '\n' text);
+  (* the kinds under test actually made it into the exposition *)
+  List.iter
+    (fun name ->
+       Alcotest.(check bool) (name ^ " present") true (Hashtbl.mem typed name))
+    [ "lint_instr_total"; "lint_ratio"; "lint_seconds"; "lint_top_cost";
+      "er_span_seconds_total" ]
+
+(* --- human table: histogram quantile columns -------------------------- *)
+
+let test_table_histogram_quantiles () =
+  let r = fresh () in
+  let h =
+    M.histogram ~registry:r ~help:"s" ~buckets:[ 1.; 10.; 100. ] "tbl_lat"
+  in
+  List.iter (M.observe h) [ 0.5; 2.; 3.; 20.; 90. ];
+  let table = S.to_table (M.snapshot ~registry:r ()) in
+  let contains needle =
+    let nl = String.length needle and tl = String.length table in
+    let rec go i =
+      i + nl <= tl && (String.sub table i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun col ->
+       Alcotest.(check bool) (col ^ " column rendered") true (contains col))
+    [ "p50="; "p90="; "p99=" ]
 
 (* --- JSON round trips ----------------------------------------------- *)
 
@@ -318,8 +667,21 @@ let suites =
         Alcotest.test_case "histogram bucket boundaries and quantiles" `Quick
           test_histogram_buckets;
         QCheck_alcotest.to_alcotest qcheck_histogram_partition;
+        Alcotest.test_case "span survives an exception through the body" `Quick
+          test_span_exception_safety;
+        Alcotest.test_case "leaked inner span is unwound" `Quick
+          test_span_leak_recovery;
+        Alcotest.test_case "nested multi-frame leak is unwound" `Quick
+          test_span_nested_leak_recovery;
+        Alcotest.test_case "top-K table semantics" `Quick test_top_table;
+        Alcotest.test_case "flight recorder drains Chrome trace JSON" `Quick
+          test_recorder_trace_json;
         Alcotest.test_case "prometheus golden exposition" `Quick
           test_prometheus_golden;
+        Alcotest.test_case "prometheus exposition lint" `Quick
+          test_prometheus_lint;
+        Alcotest.test_case "table renders p50/p90/p99" `Quick
+          test_table_histogram_quantiles;
         Alcotest.test_case "snapshot JSON round trip" `Quick
           test_snapshot_json_roundtrip;
         Alcotest.test_case "Metrics_snapshot event round trip" `Quick
