@@ -1,9 +1,10 @@
 # Tier-1 verification in one command: `make ci` chains the build, the
 # full test suite, the format check, the one-bug bench smoke, the
-# fleet-determinism gate and the persisted-trajectory validation.
+# serve-daemon smoke, the fleet-determinism gate and the
+# persisted-trajectory validation.
 
 .PHONY: all build test fmt ci fleet fleet-determinism bench-smoke bench-vm \
-	bench-fleet bench-long-trace bench-diff
+	bench-fleet bench-long-trace bench-serve bench-diff
 
 all: build
 
@@ -33,8 +34,9 @@ ci:
 	$(MAKE) bench-smoke
 	$(MAKE) bench-vm
 	$(MAKE) bench-long-trace
+	$(MAKE) bench-serve
 	$(MAKE) fleet-determinism
-	dune exec bench/main.exe -- --validate BENCH_6.json --baseline BENCH_5.json --baseline-exact
+	dune exec bench/main.exe -- --validate BENCH_8.json --baseline BENCH_6.json --baseline-exact
 	$(MAKE) bench-diff
 
 # Run the whole bug corpus through the staged pipeline on a domain pool.
@@ -60,7 +62,7 @@ bench-smoke:
 # it holds across machines: below 2x, or >10% under the committed
 # trajectory's recorded speedup, fails.
 bench-vm:
-	dune exec bench/main.exe -- vm -o /tmp/er_bench_vm.json --vm-baseline BENCH_6.json
+	dune exec bench/main.exe -- vm -o /tmp/er_bench_vm.json --vm-baseline BENCH_8.json
 
 # The long-trace workload family: the incremental tracer must beat
 # from-scratch tracing end-to-end by at least 1.5x (the job self-gates),
@@ -68,15 +70,22 @@ bench-vm:
 bench-long-trace:
 	dune exec bench/main.exe -- longtrace -o /tmp/er_bench_longtrace.json
 
+# The serve smoke: an in-process er-serve daemon under a 4-client
+# loadgen replay of the corpus.  The job self-gates: every submit must
+# resolve, no job may crash, and every client must receive the
+# byte-identical normalized payload per bug.
+bench-serve:
+	dune exec bench/main.exe -- serve -o /tmp/er_bench_serve.json
+
 # Trajectory delta between the two newest committed bench files: solver
 # cost must be exactly identical (the counters are deterministic), vm
 # speedup must not drop more than 10%; wall clocks render as
 # informational deltas only.
 bench-diff:
-	dune exec bench/main.exe -- diff BENCH_5.json BENCH_6.json --exact
+	dune exec bench/main.exe -- diff BENCH_6.json BENCH_8.json --exact
 
 # Regenerate the committed trajectory: full corpus + overheads + the
 # sequential-vs-parallel fleet trials + the vm engine comparison + the
-# long-trace incremental-tracing family.
+# long-trace incremental-tracing family + the serve loadgen smoke.
 bench-fleet:
-	dune exec bench/main.exe -- table1 fig6 fleet vm longtrace -o BENCH_6.json
+	dune exec bench/main.exe -- table1 fig6 fleet vm longtrace serve -o BENCH_8.json

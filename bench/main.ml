@@ -16,14 +16,16 @@
      vm         pre-lowered engine vs reference interpreter, instr/sec
      fleet      Table 1 corpus on a domain pool, -j 1 vs -j 4
      longtrace  long-trace family: checkpoint/resume vs from-scratch
+     serve      in-process er-serve daemon under a 4-client loadgen;
+                gates zero failed jobs and cross-client determinism
      diff       OLD.json NEW.json [--exact] — render trajectory deltas
                 (solver cost, vm speedup, fleet walls, resumes) and exit
                 non-zero on a regression
 
    With no argument, everything runs in order.  [-o FILE] persists the
    collected per-bug trajectory (overhead %, trace bytes, solver cost,
-   cache traffic, iterations) as JSON — the committed BENCH_6.json is
-   produced by `table1 fig6 fleet vm longtrace -o BENCH_6.json`.
+   cache traffic, iterations) as JSON — the committed BENCH_8.json is
+   produced by `table1 fig6 fleet vm longtrace serve -o BENCH_8.json`.
    [--validate FILE]
    re-parses such a file with Er_core.Json and checks its shape, exiting
    non-zero on any mismatch.  [--baseline FILE] additionally gates the
@@ -496,6 +498,10 @@ let fleet_deterministic : bool option ref = ref None
 let longtrace_stats :
   (float * float * Er_core.Pipeline.ckpt_stats) option ref = ref None
 
+(* Filled by [run_serve]: the loadgen measurement over the in-process
+   daemon. *)
+let serve_stats : Er_core.Loadgen.result option ref = ref None
+
 (* One row per bug from whatever jobs ran: pipeline work from [table1]
    (or [smoke]), recording overheads from [fig6] when available. *)
 let bench_json () =
@@ -606,6 +612,11 @@ let bench_json () =
                   | Some b -> J.Bool b
                   | None -> J.Null ) ] ) ]
   in
+  let serve_section =
+    match !serve_stats with
+    | None -> []
+    | Some r -> [ ("serve", Er_core.Loadgen.to_json_value r) ]
+  in
   let longtrace_section =
     match !longtrace_stats with
     | None -> []
@@ -623,7 +634,7 @@ let bench_json () =
   in
   J.Obj
     ([
-      ("bench", J.Int 6);
+      ("bench", J.Int 8);
       ("bugs", J.List (List.map bug_obj results));
       ( "totals",
         J.Obj
@@ -639,7 +650,7 @@ let bench_json () =
             ("mean_rr_overhead_pct", mean (fun (_, _, r) -> r.mean));
           ] );
     ]
-     @ vm_section @ fleet_section @ longtrace_section)
+     @ vm_section @ fleet_section @ serve_section @ longtrace_section)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -657,7 +668,7 @@ let validate_bench path =
   | Some doc ->
       let ok_version =
         match Option.bind (J.member "bench" doc) J.to_int with
-        | Some (2 | 3 | 4 | 5 | 6) -> true
+        | Some (2 | 3 | 4 | 5 | 6 | 8) -> true
         | _ ->
             Printf.eprintf "%s: missing or wrong \"bench\" version\n" path;
             false
@@ -666,11 +677,12 @@ let validate_bench path =
         Option.bind (J.member "bugs" doc) J.to_list |> Option.value ~default:[]
       in
       let ok_bugs =
-        (* a single-job trajectory (CI's `vm -o FILE` or
-           `longtrace -o FILE`) has no pipeline rows *)
+        (* a single-job trajectory (CI's `vm -o FILE`, `longtrace -o
+           FILE` or `serve -o FILE`) has no pipeline rows *)
         (bugs <> []
          || Option.is_some (J.member "vm" doc)
-         || Option.is_some (J.member "long_trace" doc))
+         || Option.is_some (J.member "long_trace" doc)
+         || Option.is_some (J.member "serve" doc))
         && List.for_all
              (fun b ->
                 let has k conv = Option.is_some (Option.bind (J.member k b) conv) in
@@ -865,6 +877,22 @@ let run_diff ~exact old_path new_path =
          "  long_trace.speedup : %.2fx -> %.2fx (%+.1f%%, informational)\n" o
          n (pct o n)
    | _ -> Printf.printf "  long_trace.speedup : n/a, not compared\n");
+  let serve doc k conv =
+    Option.bind (J.member "serve" doc) (fun s -> Option.bind (J.member k s) conv)
+  in
+  (match
+     ( serve old_doc "throughput_rps" J.to_float,
+       serve new_doc "throughput_rps" J.to_float )
+   with
+   | Some o, Some n ->
+       Printf.printf
+         "  serve.throughput   : %.2f -> %.2f rec/s (%+.1f%%, informational)\n"
+         o n (pct o n)
+   | _ -> Printf.printf "  serve.throughput   : n/a, not compared\n");
+  (match serve new_doc "deterministic" J.to_bool with
+   | Some false ->
+       regress "serve loadgen results are no longer deterministic"
+   | Some true | None -> ());
   match List.rev !regressions with
   | [] -> Printf.printf "no regressions\n"
   | rs ->
@@ -999,6 +1027,66 @@ let run_longtrace () =
   longtrace_stats := Some (wi, ws, ck)
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the daemon under a concurrent multi-tenant load generator    *)
+(* ------------------------------------------------------------------ *)
+
+(* Spin up an in-process er-serve daemon on a temp socket, replay the
+   Table 1 corpus as four concurrent tenants, and gate the service
+   contract: every submit resolves, nothing crashes, and all clients
+   receive the byte-identical normalized payload per bug.  Throughput
+   and latency percentiles are recorded as informational numbers. *)
+let run_serve () =
+  section "bench serve: er-serve daemon under a 4-client loadgen";
+  let resolver name =
+    Option.map
+      (fun (s : Bug.spec) ->
+         ( { Er_core.Job.src_name = s.Bug.name;
+             src_prog = s.Bug.program;
+             src_workload = s.Bug.failing_workload },
+           Er_core.Job.Config.of_pipeline s.Bug.config ))
+      (Registry.find name)
+  in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "er-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    { Er_core.Server.default_config with socket_path = socket; workers = 4 }
+  in
+  let srv = Er_core.Server.start ~config ~resolver () in
+  let bugs = List.map (fun (s : Bug.spec) -> s.Bug.name) Registry.table1 in
+  let r = Er_core.Loadgen.run ~socket ~clients:4 ~bugs () in
+  Er_core.Server.stop srv;
+  Er_core.Server.wait srv;
+  let open Er_core.Loadgen in
+  Printf.printf
+    "  4 tenants x %d bugs: %d result(s) in %.3fs (%.2f rec/s)\n"
+    (List.length bugs) r.lg_jobs r.lg_wall (throughput r);
+  Printf.printf "  latency p50 %.0fms  p99 %.0fms  backpressure rejects %d\n"
+    (1000. *. percentile 50. r.lg_latencies)
+    (1000. *. percentile 99. r.lg_latencies)
+    r.lg_rejected;
+  Printf.printf "  failed %d  errors %d  deterministic %b\n%!" r.lg_failed
+    r.lg_errors (deterministic r);
+  serve_stats := Some r;
+  let expected = 4 * List.length bugs in
+  if r.lg_jobs <> expected then begin
+    Printf.eprintf "serve: expected %d results, received %d\n" expected
+      r.lg_jobs;
+    exit 1
+  end;
+  if r.lg_failed > 0 || r.lg_errors > 0 then begin
+    Printf.eprintf "serve: %d job(s) failed, %d protocol error(s)\n"
+      r.lg_failed r.lg_errors;
+    exit 1
+  end;
+  if not (deterministic r) then begin
+    Printf.eprintf
+      "serve: clients received differing payloads for the same bug\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1100,6 +1188,7 @@ let () =
       ("vm", run_vm);
       ("fleet", run_fleet);
       ("longtrace", run_longtrace);
+      ("serve", run_serve);
     ]
   in
   (* `diff` has its own argv shape (two positional files), so it is

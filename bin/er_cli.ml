@@ -13,25 +13,19 @@
                                     to a checkpoint, dump registers/memory
      er_cli show <bug>              print a bug's EIR program
      er_cli parse <file.eir>        parse and validate a textual EIR file
-     er_cli run <file.eir> k=v,...  run a textual EIR program concretely *)
+     er_cli run <file.eir> k=v,...  run a textual EIR program concretely
+     er_cli serve                   multi-tenant reconstruction daemon over
+                                    a Unix-domain socket (JSONL protocol,
+                                    optional Prometheus scrape endpoint)
+     er_cli loadgen                 replay the corpus as N concurrent
+                                    clients against a running daemon and
+                                    report throughput + latency
+
+   Flag plumbing shared between subcommands lives in Cli_args. *)
 
 open Cmdliner
 
-let find_spec name =
-  match Er_corpus.Registry.find_any name with
-  | Some s -> Ok s
-  | None ->
-      Error
-        (`Msg
-           (Printf.sprintf "unknown bug %s (try: er_cli list)" name))
-
-let bug_conv =
-  Arg.conv
-    ( (fun s -> find_spec s),
-      fun ppf (s : Er_corpus.Bug.spec) -> Fmt.string ppf s.Er_corpus.Bug.name )
-
-let spec_arg =
-  Arg.(required & pos 0 (some bug_conv) None & info [] ~docv:"BUG")
+let spec_arg = Cli_args.spec_arg
 
 let list_cmd =
   let run () =
@@ -46,145 +40,18 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the bug corpus")
     Term.(const run $ const ())
 
-(* Run the staged pipeline on one spec, optionally streaming events to a
-   JSONL file ("-" for stdout).  Shared by [reproduce] and [fleet]. *)
-let with_events_sink events_file f =
-  match events_file with
-  | None -> f Er_core.Events.null
-  | Some "-" ->
-      let r = f (Er_core.Events.jsonl stdout) in
-      flush stdout;
-      r
-  | Some path ->
-      let oc =
-        try open_out path
-        with Sys_error msg ->
-          Printf.eprintf "er_cli: cannot open events file: %s\n" msg;
-          exit 1
-      in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> f (Er_core.Events.jsonl oc))
-
-(* Channel variant for callers that write the JSONL lines themselves
-   (fleet tags each line with the emitting bug's name). *)
-let with_events_channel events_file f =
-  match events_file with
-  | None -> f None
-  | Some "-" ->
-      let r = f (Some stdout) in
-      flush stdout;
-      r
-  | Some path ->
-      let oc =
-        try open_out path
-        with Sys_error msg ->
-          Printf.eprintf "er_cli: cannot open events file: %s\n" msg;
-          exit 1
-      in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (Some oc))
-
-let run_pipeline ?(incremental = true) (spec : Er_corpus.Bug.spec) events =
-  let config =
-    if incremental then spec.Er_corpus.Bug.config
-    else
-      { spec.Er_corpus.Bug.config with Er_core.Pipeline.incremental = false }
-  in
-  Er_core.Pipeline.run ~config ~events ~base_prog:spec.Er_corpus.Bug.program
-    ~workload:spec.Er_corpus.Bug.failing_workload ()
-
-(* Escape hatch shared by [reproduce] and [fleet]: trace every production
-   run from scratch instead of resuming from checkpoints.  Both modes
-   produce identical occurrence streams, solver costs and iteration
-   trajectories; the flag exists for differential benchmarking and as a
-   belt-and-braces fallback. *)
-let no_incremental_flag =
-  Arg.(
-    value & flag
-    & info [ "no-incremental" ]
-        ~doc:"Disable checkpoint/resume: trace every production run from \
-              scratch.  The reconstruction result is identical either way; \
-              only tracing wall clock differs.")
-
-(* Metrics plumbing shared by [reproduce --metrics] and
-   [fleet --metrics-out].  The default registry is off unless a command
-   asks for it, so instrumented hot paths cost one branch. *)
-let metrics_fmt =
-  Arg.enum [ ("table", `Table); ("json", `Json); ("prometheus", `Prometheus) ]
-
-let with_metrics ?(recorder = false) enabled f =
-  if not enabled then f ()
-  else begin
-    Er_metrics.reset Er_metrics.default;
-    Er_metrics.set_enabled Er_metrics.default true;
-    if recorder then Er_metrics.set_recorder true;
-    Fun.protect
-      ~finally:(fun () ->
-        Er_metrics.set_enabled Er_metrics.default false;
-        if recorder then Er_metrics.set_recorder false)
-      f
-  end
-
-(* Flight recorder plumbing shared by [reproduce --trace-out] and
-   [fleet --trace-out]: the recorder keeps timestamped begin/end span
-   records (per-domain rings) on top of the aggregate cells; after the
-   run they drain as Chrome trace-event JSON — loadable in Perfetto or
-   chrome://tracing, one track per worker domain, pipeline stages nested
-   within each track. *)
-let trace_out_flag =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace-out" ] ~docv:"FILE"
-        ~doc:"Arm the span flight recorder and write the run's timeline as \
-              Chrome trace-event JSON (Perfetto-loadable) to $(docv) (use \
-              - for stdout): one track per worker domain, pipeline stages \
-              nested per track.")
-
-let write_trace_out path =
-  let s = Er_metrics.trace_json () in
-  let dropped = Er_metrics.recorder_dropped () in
-  if dropped > 0 then
-    Printf.eprintf
-      "er_cli: flight recorder ring wrapped, %d oldest span(s) dropped\n"
-      dropped;
-  match path with
-  | "-" ->
-      print_string s;
-      print_newline ()
-  | path -> (
-      match open_out path with
-      | oc ->
-          Fun.protect
-            ~finally:(fun () -> close_out oc)
-            (fun () ->
-               output_string oc s;
-               output_char oc '\n')
-      | exception Sys_error msg ->
-          Printf.eprintf "er_cli: cannot open trace file: %s\n" msg;
-          exit 1)
-
-let render_metrics fmt oc =
-  let snap = Er_metrics.snapshot () in
-  match fmt with
-  | `Table -> output_string oc (Er_metrics.Snapshot.to_table snap)
-  | `Json ->
-      output_string oc (Er_metrics.Snapshot.to_json snap);
-      output_char oc '\n'
-  | `Prometheus -> output_string oc (Er_metrics.Snapshot.to_prometheus snap)
-
 let reproduce_cmd =
   let run spec verbose events_file json metrics trace_out no_incremental =
     let recorder = Option.is_some trace_out in
     let r =
-      with_metrics ~recorder
+      Cli_args.with_metrics ~recorder
         (Option.is_some metrics || recorder)
         (fun () ->
            let r =
-             with_events_sink events_file
-               (run_pipeline ~incremental:(not no_incremental) spec)
+             Cli_args.with_events_sink events_file
+               (Cli_args.run_pipeline ~incremental:(not no_incremental) spec)
            in
-           Option.iter write_trace_out trace_out;
+           Option.iter Cli_args.write_trace_out trace_out;
            r)
     in
     if json then print_endline (Er_core.Pipeline.result_to_json r)
@@ -221,7 +88,7 @@ let reproduce_cmd =
     end;
     match metrics with
     | None -> ()
-    | Some fmt -> render_metrics fmt stdout
+    | Some fmt -> Cli_args.render_metrics fmt stdout
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
   let events_file =
@@ -242,7 +109,7 @@ let reproduce_cmd =
   let metrics =
     Arg.(
       value
-      & opt (some metrics_fmt) None
+      & opt (some Cli_args.metrics_fmt) None
       & info [ "metrics" ] ~docv:"FMT"
           ~doc:"Enable the cross-layer metrics registry for this run and \
                 print a snapshot afterwards; $(docv) is one of table, json \
@@ -251,7 +118,7 @@ let reproduce_cmd =
   Cmd.v (Cmd.info "reproduce" ~doc:"Reconstruct one corpus failure")
     Term.(
       const run $ spec_arg $ verbose $ events_file $ json $ metrics
-      $ trace_out_flag $ no_incremental_flag)
+      $ Cli_args.trace_out_flag $ Cli_args.no_incremental_flag)
 
 (* Fleet mode: the whole Table 1 corpus through the staged pipeline on a
    Domain pool ([-j N], default = recommended domain count), with an
@@ -259,40 +126,6 @@ let reproduce_cmd =
    deterministic across [-j] settings (see Fleet); only wall clocks and
    worker placement vary, and [--json --normalize] strips exactly those,
    which is what the CI fleet-determinism gate diffs. *)
-(* The committed bench trajectory's sequential fleet wall clock: the
-   jobs=1 trial of the newest BENCH_*.json in the working directory.
-   Absent file or section (running outside the repo root, say) simply
-   disables the comparison. *)
-let baseline_sequential_wall () =
-  let module J = Er_core.Json in
-  let read_file path =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let wall_of path =
-    if not (Sys.file_exists path) then None
-    else
-      Option.bind (J.parse (read_file path)) (fun doc ->
-          Option.bind (J.member "fleet" doc) (fun f ->
-              Option.bind (J.member "trials" f) (fun t ->
-                  Option.bind (J.to_list t) (fun trials ->
-                      List.find_map
-                        (fun trial ->
-                           match
-                             Option.bind (J.member "jobs" trial) J.to_int
-                           with
-                           | Some 1 ->
-                               Option.bind
-                                 (Option.bind (J.member "wall" trial)
-                                    J.to_float)
-                                 (fun w -> Some (path, w))
-                           | Some _ | None -> None)
-                        trials))))
-  in
-  List.find_map wall_of [ "BENCH_6.json"; "BENCH_5.json"; "BENCH_4.json" ]
-
 let fleet_cmd =
   let stage_times (r : Er_core.Pipeline.result) =
     List.fold_left
@@ -390,7 +223,7 @@ let fleet_cmd =
        the jobs=1 fleet trial persisted in BENCH_*.json.  Table mode
        only — the normalized JSON report must stay free of wall clocks
        so the determinism gate keeps diffing byte-identical output. *)
-    match baseline_sequential_wall () with
+    match Cli_args.baseline_sequential_wall () with
     | Some (file, base_wall) when report.Er_core.Fleet.wall > 0. ->
         Printf.printf
           "fleet: %.2fx wall speedup vs committed sequential baseline \
@@ -399,36 +232,14 @@ let fleet_cmd =
           file base_wall
     | Some _ | None -> ()
   in
-  (* A fleet JSONL log is shared by every bug, so each line is tagged
-     with a ["job"] field naming the bug that emitted it — that's what
-     lets [er_cli report] split the log back into per-bug streams.
-     [Events.of_json] ignores unknown fields, so tagged lines still
-     round-trip as plain events.  One mutex serializes all workers'
-     writes; each line is flushed as soon as it is written so a worker
-     crash cannot lose the buffered tail of the log. *)
-  let tagged_jsonl_sink mutex oc job_name : Er_core.Events.sink =
-    let module J = Er_core.Json in
-    fun e ->
-      let line =
-        match Er_core.Events.to_json_value e with
-        | J.Obj fields -> J.to_string (J.Obj (("job", J.Str job_name) :: fields))
-        | j -> J.to_string j
-      in
-      Mutex.lock mutex;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock mutex)
-        (fun () ->
-           output_string oc (line ^ "\n");
-           flush oc)
-  in
   let run jobs json normalize events_file metrics_out trace_out no_incremental
     =
-    with_events_channel events_file (fun chan ->
+    Cli_args.with_events_channel events_file (fun chan ->
         let sink_mutex = Mutex.create () in
         let sink_for name =
           match chan with
           | None -> Er_core.Events.null
-          | Some oc -> tagged_jsonl_sink sink_mutex oc name
+          | Some oc -> Cli_args.tagged_jsonl_sink sink_mutex oc name
         in
         let incremental = not no_incremental in
         let fleet_jobs =
@@ -436,21 +247,21 @@ let fleet_cmd =
             (fun (s : Er_corpus.Bug.spec) ->
                let events = sink_for s.Er_corpus.Bug.name in
                { Er_core.Fleet.job_name = s.Er_corpus.Bug.name;
-                 job_run = (fun () -> run_pipeline ~incremental s events) })
+                 job_run = (fun () -> Cli_args.run_pipeline ~incremental s events) })
             Er_corpus.Registry.table1
         in
         let report = Er_core.Fleet.run ?jobs fleet_jobs in
         if json then
           print_endline
             (Er_core.Fleet.report_to_json ~normalize
-               ?baseline:(baseline_sequential_wall ())
+               ?baseline:(Cli_args.baseline_sequential_wall ())
                report)
         else print_table report);
-    Option.iter write_trace_out trace_out;
+    Option.iter Cli_args.write_trace_out trace_out;
     match metrics_out with
     | None -> ()
     | Some "-" ->
-        render_metrics `Json stdout;
+        Cli_args.render_metrics `Json stdout;
         flush stdout
     | Some path ->
         let oc =
@@ -461,12 +272,12 @@ let fleet_cmd =
         in
         Fun.protect
           ~finally:(fun () -> close_out oc)
-          (fun () -> render_metrics `Json oc)
+          (fun () -> Cli_args.render_metrics `Json oc)
   in
   let run jobs json normalize events_file metrics_out trace_out no_incremental
     =
     let recorder = Option.is_some trace_out in
-    with_metrics ~recorder
+    Cli_args.with_metrics ~recorder
       (Option.is_some metrics_out || recorder)
       (fun () ->
          run jobs json normalize events_file metrics_out trace_out
@@ -525,7 +336,7 @@ let fleet_cmd =
              domain pool")
     Term.(
       const run $ jobs $ json $ normalize $ events_file $ metrics_out
-      $ trace_out_flag $ no_incremental_flag)
+      $ Cli_args.trace_out_flag $ Cli_args.no_incremental_flag)
 
 (* Post-hoc explainability: join a persisted JSONL event log (from
    [reproduce --events] or [fleet --events]) with an optional metrics
@@ -1106,6 +917,134 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a textual EIR program concretely")
     Term.(const run $ file_arg $ inputs_arg)
 
+(* The multi-tenant reconstruction daemon: corpus bugs served over a
+   Unix-domain socket speaking the JSONL wire protocol, jobs multiplexed
+   across a worker-domain pool with per-tenant fair queueing and
+   bounded-queue backpressure.  The metrics registry is always on while
+   serving — queue depth, job outcomes and latency histograms are the
+   daemon's operational surface, scrapable live via --prometheus. *)
+let serve_cmd =
+  let run socket workers queue_limit prometheus_port =
+    let workers =
+      match workers with
+      | Some n -> n
+      | None -> max 2 (Domain.recommended_domain_count () / 2)
+    in
+    Er_metrics.reset Er_metrics.default;
+    Er_metrics.set_enabled Er_metrics.default true;
+    let server =
+      Er_core.Server.start
+        ~config:
+          { Er_core.Server.socket_path = socket; workers; queue_limit;
+            prometheus_port }
+        ~resolver:Cli_args.resolver ()
+    in
+    Printf.printf "er-serve: listening on %s (%d worker(s), queue %d%s)\n%!"
+      socket workers queue_limit
+      (match prometheus_port with
+       | Some p -> Printf.sprintf ", metrics on 127.0.0.1:%d" p
+       | None -> "");
+    Er_core.Server.wait server;
+    Printf.printf "er-serve: drained, bye\n%!"
+  in
+  let workers =
+    Cli_args.jobs_flag
+      ~doc:"Execute jobs on $(docv) worker domains (default: half the \
+            recommended domain count, at least 2)."
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:"Reject submits (a 429-style frame) once $(docv) jobs are \
+                queued across all tenants.")
+  in
+  let prometheus =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "prometheus" ] ~docv:"PORT"
+          ~doc:"Also serve live Prometheus scrapes on 127.0.0.1:$(docv).")
+  in
+  let socket =
+    Cli_args.socket_flag
+      ~doc:"Listen on Unix-domain socket $(docv) (default er-serve.sock)."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the multi-tenant reconstruction daemon (JSONL over a \
+             Unix-domain socket; submit/status/cancel/result frames)")
+    Term.(const run $ socket $ workers $ queue_limit $ prometheus)
+
+(* Load generation against a running daemon: the 13-bug corpus replayed
+   as N concurrent clients, measuring reconstructions/sec and latency
+   percentiles — the numbers the BENCH serve section records. *)
+let loadgen_cmd =
+  let run socket clients rounds json =
+    let bugs =
+      List.map
+        (fun (s : Er_corpus.Bug.spec) -> s.Er_corpus.Bug.name)
+        Er_corpus.Registry.table1
+    in
+    let r = Er_core.Loadgen.run ~socket ~clients ~rounds ~bugs () in
+    if json then
+      print_endline (Er_core.Json.to_string (Er_core.Loadgen.to_json_value r))
+    else begin
+      Printf.printf
+        "loadgen: %d client(s) x %d bug(s) x %d round(s): %d result(s) in \
+         %.3fs (%.2f rec/s)\n"
+        r.Er_core.Loadgen.lg_clients (List.length bugs) rounds
+        r.Er_core.Loadgen.lg_jobs r.Er_core.Loadgen.lg_wall
+        (Er_core.Loadgen.throughput r);
+      Printf.printf "latency: p50 %.1fms, p99 %.1fms\n"
+        (1000. *. Er_core.Loadgen.percentile 50. r.Er_core.Loadgen.lg_latencies)
+        (1000. *. Er_core.Loadgen.percentile 99. r.Er_core.Loadgen.lg_latencies);
+      if r.Er_core.Loadgen.lg_rejected > 0 then
+        Printf.printf "backpressure: %d reject(s), all retried\n"
+          r.Er_core.Loadgen.lg_rejected;
+      if r.Er_core.Loadgen.lg_failed > 0 || r.Er_core.Loadgen.lg_errors > 0
+      then
+        Printf.printf "FAILURES: %d failed job(s), %d protocol error(s)\n"
+          r.Er_core.Loadgen.lg_failed r.Er_core.Loadgen.lg_errors;
+      Printf.printf "determinism: %s\n"
+        (if Er_core.Loadgen.deterministic r then
+           "all clients received byte-identical per-bug results"
+         else "VIOLATED — results differ between clients")
+    end;
+    if
+      r.Er_core.Loadgen.lg_failed > 0
+      || r.Er_core.Loadgen.lg_errors > 0
+      || not (Er_core.Loadgen.deterministic r)
+    then exit 1
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "n"; "clients" ] ~docv:"N"
+          ~doc:"Run $(docv) concurrent client connections (default 4), one \
+                tenant each.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 1
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:"Each client submits the corpus $(docv) times (default 1).")
+  in
+  let socket =
+    Cli_args.socket_flag ~doc:"Connect to the daemon at $(docv)."
+  in
+  let json =
+    Cli_args.json_flag
+      ~doc:"Emit throughput, latency percentiles and the determinism \
+            verdict as machine-readable JSON."
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Replay the bug corpus as N concurrent clients against a \
+             running daemon; report reconstructions/sec and p50/p99 \
+             latency")
+    Term.(const run $ socket $ clients $ rounds $ json)
+
 let () =
   let info =
     Cmd.info "er_cli" ~version:"1.0"
@@ -1115,4 +1054,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; reproduce_cmd; fleet_cmd; report_cmd; inspect_cmd;
-            show_cmd; parse_cmd; run_cmd ]))
+            show_cmd; parse_cmd; run_cmd; serve_cmd; loadgen_cmd ]))

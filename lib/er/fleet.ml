@@ -1,26 +1,28 @@
 (* Domain-parallel fleet execution.
 
    ER's iterate-until-reproduced loop is embarrassingly parallel across
-   failures: each corpus bug reconstructs independently.  This module
-   distributes a list of jobs over [n] OCaml 5 domains via per-worker
-   work-stealing deques, with per-job crash isolation (an exception in
-   one bug's reconstruction becomes a structured [Worker_crashed] row,
-   not a fleet abort) and a wall-clock speedup report.
+   failures: each corpus bug reconstructs independently.  This module is
+   the batch face of the job API: it wraps each corpus bug in a
+   {!Job.Thunk}, submits the lot to a {!Scheduler} pool under one
+   anonymous tenant, awaits the handles in submission order and renders
+   the familiar speedup report.  Per-job crash isolation (an exception
+   in one bug's reconstruction becomes a structured [Worker_crashed]
+   row, not a fleet abort) now lives in {!Job.execute}.
 
    Determinism contract: [run ~jobs:8] produces the same per-bug
    iteration counts, solver costs and recorded-value sets as
    [run ~jobs:1].  Three mechanisms carry it:
 
-     - every job body runs inside {!Er_smt.Expr.in_fresh_space}, so the
-       interning order each bug observes — and the id-order-dependent
-       solver trajectory downstream — is independent of what other
-       domains intern concurrently;
+     - every job body runs inside {!Er_smt.Expr.in_fresh_space} (see
+       {!Job.execute}), so the interning order each bug observes — and
+       the id-order-dependent solver trajectory downstream — is
+       independent of what other domains intern concurrently;
      - the solver result cache is sharded by interning space
        ({!Er_smt.Solver}), so a bug's cache hits depend only on its own
        query sequence, never on which bugs happened to run before it;
-     - results land in per-job slots of one array, published to the
-       caller by [Domain.join] (a happens-before edge), and rows are
-       reported in submission order regardless of completion order.
+     - handle completion is published by the job's own mutex/condvar
+       (a happens-before edge on [await]), and rows are reported in
+       submission order regardless of completion order.
 
    Only wall-clock fields ([row_wall], [wall], [cpu]) and the executing
    worker index vary between runs; [report_to_json_value ~normalize:true]
@@ -53,125 +55,57 @@ type report = {
 let speedup r = if r.wall > 0. then r.cpu /. r.wall else 1.
 
 (* ---------------------------------------------------------------- *)
-(* Work-stealing deque                                               *)
+(* Batch execution over the scheduler                                 *)
 (* ---------------------------------------------------------------- *)
-
-(* A mutex per deque is plenty here: tasks are whole-bug reconstructions
-   (milliseconds to seconds), so deque traffic is a rounding error.  The
-   owner pops newest-first from the bottom; thieves steal oldest-first
-   from the top, which tends to move the biggest remaining chunk of the
-   round-robin seeding in one steal. *)
-module Deque = struct
-  type 'a t = { m : Mutex.t; mutable bottom : 'a list (* newest first *) }
-
-  let create () = { m = Mutex.create (); bottom = [] }
-
-  let locked d f =
-    Mutex.lock d.m;
-    Fun.protect ~finally:(fun () -> Mutex.unlock d.m) f
-
-  let seed d items = locked d (fun () -> d.bottom <- items)
-
-  let pop d =
-    locked d (fun () ->
-        match d.bottom with
-        | [] -> None
-        | x :: rest ->
-            d.bottom <- rest;
-            Some x)
-
-  let steal d =
-    locked d (fun () ->
-        match List.rev d.bottom with
-        | [] -> None
-        | x :: rest ->
-            d.bottom <- List.rev rest;
-            Some x)
-end
-
-(* ---------------------------------------------------------------- *)
-(* The pool                                                          *)
-(* ---------------------------------------------------------------- *)
-
-(* Run one job with crash isolation: any exception (except the
-   non-maskable runtime ones) becomes a [Worker_crashed] row.  The body
-   runs under a per-bug span so a flight-recorder timeline shows one
-   "bug:<name>" slice per job on its worker's track (free when the
-   metrics registry is off). *)
-let execute ~worker (idx, j) slots =
-  let t0 = Unix.gettimeofday () in
-  let run () =
-    Er_metrics.with_span ("bug:" ^ j.job_name) (fun () ->
-        Er_smt.Expr.in_fresh_space j.job_run)
-  in
-  let outcome =
-    match run () with
-    | r -> Finished r
-    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
-    | exception e ->
-        let backtrace = Printexc.get_backtrace () in
-        Worker_crashed { exn = Printexc.to_string e; backtrace }
-  in
-  slots.(idx) <-
-    Some
-      {
-        row_name = j.job_name;
-        row_outcome = outcome;
-        row_worker = worker;
-        row_wall = Unix.gettimeofday () -. t0;
-      }
-
-(* Tasks are only ever removed from the deques after seeding — a worker
-   that finds every deque empty can terminate: nothing is in flight that
-   could be re-queued. *)
-let worker_loop ~worker deques slots =
-  let n = Array.length deques in
-  let rec next i =
-    if i = n then None
-    else
-      let v = (worker + i) mod n in
-      let take = if i = 0 then Deque.pop else Deque.steal in
-      match take deques.(v) with Some t -> Some t | None -> next (i + 1)
-  in
-  let rec go () =
-    match next 0 with
-    | Some task ->
-        execute ~worker task slots;
-        go ()
-    | None -> ()
-  in
-  go ()
 
 let run ?jobs (js : job list) : report =
   let requested =
     match jobs with Some n -> n | None -> Domain.recommended_domain_count ()
   in
   let nworkers = max 1 (min requested (List.length js)) in
-  let deques = Array.init nworkers (fun _ -> Deque.create ()) in
-  (* round-robin seeding: worker w starts with jobs w, w+n, w+2n, ... *)
-  let tasks = List.mapi (fun i j -> (i, j)) js in
-  Array.iteri
-    (fun w d ->
-       Deque.seed d
-         (List.filter (fun (i, _) -> i mod nworkers = w) tasks))
-    deques;
-  let slots = Array.make (List.length js) None in
   let t0 = Unix.gettimeofday () in
-  (* worker 0 is the calling domain; only n-1 domains are spawned, so
-     [run ~jobs:1] never pays a domain spawn at all *)
-  let spawned =
-    List.init (nworkers - 1) (fun k ->
-        Domain.spawn (fun () -> worker_loop ~worker:(k + 1) deques slots))
+  let sched = Scheduler.create ~workers:nworkers () in
+  let handles =
+    List.map
+      (fun j ->
+         let h =
+           Job.create
+             {
+               Job.tenant = "fleet";
+               work = Job.Thunk { name = j.job_name; run = j.job_run };
+               config = Job.Config.default;
+             }
+         in
+         (* the queue bound is a service concern; a batch run submits a
+            known, finite corpus, so a refusal here is a programming
+            error, not backpressure *)
+         (match Scheduler.submit sched h with
+         | Ok () -> ()
+         | Error _ -> invalid_arg "Fleet.run: scheduler refused a job");
+         h)
+      js
   in
-  worker_loop ~worker:0 deques slots;
-  List.iter Domain.join spawned;
-  let wall = Unix.gettimeofday () -. t0 in
   let rows =
-    Array.to_list slots
-    |> List.map (function
-         | Some row -> row
-         | None -> assert false (* every seeded task is executed exactly once *))
+    List.map
+      (fun h ->
+         let outcome =
+           match Job.await h with
+           | Job.Finished r -> Finished r
+           | Job.Crashed { exn; backtrace } -> Worker_crashed { exn; backtrace }
+           | Job.Cancelled _ ->
+               (* nothing cancels batch jobs; keep the row total *)
+               assert false
+         in
+         {
+           row_name = Job.name h;
+           row_outcome = outcome;
+           row_worker = (match Job.worker h with Some w -> w | None -> 0);
+           row_wall = Job.wall h;
+         })
+      handles
   in
+  Scheduler.shutdown sched;
+  let wall = Unix.gettimeofday () -. t0 in
   let cpu = List.fold_left (fun a r -> a +. r.row_wall) 0. rows in
   { rows; jobs = nworkers; wall; cpu }
 

@@ -25,6 +25,7 @@ type step =
 type give_up =
   | Decode_error of string      (* the shipped trace snapshot was corrupt *)
   | Max_occurrences of int      (* occurrence budget exhausted *)
+  | Cancelled                   (* the owning job was cancelled mid-flight *)
 
 let step_tag = function
   | Completed -> `Complete
@@ -45,6 +46,7 @@ let step_to_compat :
 let give_up_to_string = function
   | Decode_error e -> "trace decode failed: " ^ e
   | Max_occurrences _ -> "max occurrences exhausted"
+  | Cancelled -> "cancelled"
 
 let pp_step ppf = function
   | Completed -> Fmt.string ppf "complete"

@@ -63,13 +63,6 @@ let default_config =
    occurrence of the failure in production. *)
 type workload = occurrence:int -> Er_vm.Inputs.t * int
 
-let map_failure (mapper : Er_select.Instrument.mapper) (f : Er_vm.Failure.t) :
-  Er_vm.Failure.t =
-  let map_pt p = Option.value ~default:p (mapper p) in
-  { f with
-    Er_vm.Failure.point = map_pt f.Er_vm.Failure.point;
-    stack = List.map map_pt f.Er_vm.Failure.stack }
-
 (* The forward direction: the plan-driven tracer reports failures in
    base-program coordinates; the analysis stages think in instrumented
    ones. *)
@@ -112,9 +105,6 @@ type ckpt_stats = {
   ck_saved_instrs : int;       (* shared-prefix instructions not re-executed *)
   ck_executed_instrs : int;    (* instructions the tracer actually executed *)
 }
-
-let no_ckpt_stats =
-  { ck_taken = 0; ck_resumes = 0; ck_saved_instrs = 0; ck_executed_instrs = 0 }
 
 module type TRACER = sig
   (* A tracer session persists across the occurrences of one
@@ -574,7 +564,8 @@ type state = {
 module Make (T : TRACER) (Sh : SHEPHERD) (Sel : SELECTOR) (V : VERIFIER) =
 struct
   let run ?(config = default_config) ?(events = Events.null)
-      ~(base_prog : program) ~(workload : workload) () : result =
+      ?(should_stop = fun () -> false) ~(base_prog : program)
+      ~(workload : workload) () : result =
     let base_indexed = Er_ir.Prog.of_program base_prog in
     let session = T.start ~config ~base_prog:base_indexed in
     let buffer, buffered = Events.buffer () in
@@ -759,6 +750,11 @@ struct
       match st.st_final with
       | Some _ -> st
       | None when st.st_run >= config.max_occurrences -> st
+      (* cooperative cancellation: a cancelled job finishes at the next
+         occurrence boundary with whatever it has — the partial state is
+         still a well-formed result (status [Gave_up Cancelled]) *)
+      | None when should_stop () ->
+          { st with st_final = Some (Gave_up Outcome.Cancelled) }
       | None -> fold (occurrence_step st)
     in
     let st =

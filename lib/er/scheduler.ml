@@ -1,0 +1,186 @@
+(* Multi-tenant job scheduler.
+
+   A persistent pool of worker domains multiplexing {!Job} handles from
+   many tenants — the execution engine behind both the batch {!Fleet}
+   runner (one anonymous tenant, submit-all-then-await) and the
+   [er_cli serve] daemon (many tenants, jobs arriving continuously).
+
+   Scheduling is per-tenant fair round-robin over central FIFO queues,
+   not work stealing: jobs are whole-bug reconstructions, coarse enough
+   that dispatch cost is irrelevant, and the service contract is that a
+   tenant's throughput degrades gracefully as others arrive — a greedy
+   queue (or steal-from-the-busiest) would let one chatty tenant starve
+   the rest.  The old work-stealing deque pool solved a different
+   problem (many tiny tasks, one tenant) and is subsumed by this one.
+
+   Backpressure is a bounded total queue: beyond [queue_limit] pending
+   jobs, {!submit} refuses with [`Queue_full] and the daemon turns that
+   into a 429-style reject frame.  Refusing at submit keeps the bound
+   honest — there is no hidden retry buffer that grows instead.
+
+   Crash isolation lives in {!Job.execute}: a job that raises becomes a
+   [Crashed] outcome on its own handle; the worker domain survives and
+   picks the next job. *)
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;            (* signalled on submit and shutdown *)
+  queues : (string, Job.t Queue.t) Hashtbl.t;  (* per-tenant FIFO *)
+  mutable ring : string list;        (* tenant round-robin order *)
+  mutable pending : int;             (* total queued jobs, all tenants *)
+  queue_limit : int;
+  mutable stopping : bool;           (* drain remaining queue, then exit *)
+  on_done : (Job.t -> unit) option;  (* completion callback, worker domain *)
+  mutable domains : unit Domain.t array;
+}
+
+(* -- metrics ------------------------------------------------------- *)
+
+let m_submitted =
+  Er_metrics.counter ~help:"Jobs accepted by the scheduler."
+    "er_sched_jobs_submitted_total"
+
+let m_completed =
+  Er_metrics.counter ~help:"Jobs executed to completion (any outcome)."
+    "er_sched_jobs_completed_total"
+
+let m_rejected =
+  Er_metrics.counter ~help:"Submits refused (queue full or stopping)."
+    "er_sched_jobs_rejected_total"
+
+let m_cancelled =
+  Er_metrics.counter ~help:"Jobs that finished cancelled."
+    "er_sched_jobs_cancelled_total"
+
+let m_crashed =
+  Er_metrics.counter ~help:"Jobs that raised (isolated to the job)."
+    "er_sched_jobs_crashed_total"
+
+let m_depth =
+  Er_metrics.gauge ~help:"Queued jobs across all tenants."
+    "er_sched_queue_depth"
+
+let m_wall =
+  Er_metrics.histogram ~help:"Per-job execution wall time."
+    ~buckets:[ 1e-3; 1e-2; 0.1; 1.; 10.; 60.; 600. ]
+    "er_sched_job_wall_seconds"
+
+(* -- dispatch ------------------------------------------------------ *)
+
+(* Pick the next job under the lock: rotate the tenant ring until a
+   non-empty queue is found.  Moving the chosen tenant to the back of
+   the ring is the entire fairness mechanism — each tenant gets one job
+   per revolution regardless of queue depth. *)
+let take_locked t : Job.t option =
+  let rec go seen = function
+    | [] -> None
+    | tenant :: rest -> (
+        match Hashtbl.find_opt t.queues tenant with
+        | Some q when not (Queue.is_empty q) ->
+            let job = Queue.pop q in
+            t.pending <- t.pending - 1;
+            t.ring <- rest @ List.rev (tenant :: seen);
+            Some job
+        | _ -> go (tenant :: seen) rest)
+  in
+  go [] t.ring
+
+let worker_loop t index =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec next () =
+      match take_locked t with
+      | Some job ->
+          Er_metrics.set m_depth (float_of_int t.pending);
+          Some job
+      | None ->
+          if t.stopping then None
+          else begin
+            Condition.wait t.nonempty t.mutex;
+            next ()
+          end
+    in
+    let job = next () in
+    Mutex.unlock t.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+        Job.execute ~worker:index job;
+        Er_metrics.inc m_completed;
+        Er_metrics.observe m_wall (Job.wall job);
+        (match Job.poll job with
+        | Some (Job.Crashed _) -> Er_metrics.inc m_crashed
+        | Some (Job.Cancelled _) -> Er_metrics.inc m_cancelled
+        | _ -> ());
+        (match t.on_done with Some f -> f job | None -> ());
+        loop ()
+  in
+  loop ()
+
+(* -- public API ---------------------------------------------------- *)
+
+let create ?(queue_limit = 256) ?on_done ~workers () : t =
+  let workers = max 1 workers in
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queues = Hashtbl.create 16;
+      ring = [];
+      pending = 0;
+      queue_limit;
+      stopping = false;
+      on_done;
+      domains = [||];
+    }
+  in
+  t.domains <-
+    Array.init workers (fun i -> Domain.spawn (fun () -> worker_loop t i));
+  t
+
+let workers t = Array.length t.domains
+
+let submit t (job : Job.t) : (unit, [ `Queue_full | `Stopping ]) result =
+  Mutex.lock t.mutex;
+  let r =
+    if t.stopping then Error `Stopping
+    else if t.pending >= t.queue_limit then Error `Queue_full
+    else begin
+      let tenant = Job.tenant job in
+      let q =
+        match Hashtbl.find_opt t.queues tenant with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.add t.queues tenant q;
+            t.ring <- t.ring @ [ tenant ];
+            q
+      in
+      Queue.push job q;
+      t.pending <- t.pending + 1;
+      Er_metrics.set m_depth (float_of_int t.pending);
+      Condition.broadcast t.nonempty;
+      Ok ()
+    end
+  in
+  Mutex.unlock t.mutex;
+  (match r with
+  | Ok () -> Er_metrics.inc m_submitted
+  | Error _ -> Er_metrics.inc m_rejected);
+  r
+
+let pending t =
+  Mutex.lock t.mutex;
+  let p = t.pending in
+  Mutex.unlock t.mutex;
+  p
+
+(* Stop accepting work, let the workers drain what is already queued,
+   and join them.  Jobs still queued at shutdown run to completion —
+   a daemon that accepted a submit owes its client a result. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.domains

@@ -1,0 +1,30 @@
+(** Multi-tenant job scheduler.
+
+    A persistent pool of worker domains executing {!Job} handles with
+    per-tenant fair round-robin dispatch and bounded-queue backpressure.
+    Both the batch {!Fleet} runner and the [er_cli serve] daemon are
+    clients.  Crash isolation is per job (see {!Job.execute}): a raising
+    job never takes its worker down. *)
+
+type t
+
+val create :
+  ?queue_limit:int -> ?on_done:(Job.t -> unit) -> workers:int -> unit -> t
+(** Spawn [max 1 workers] worker domains.  [queue_limit] (default 256)
+    bounds the total number of queued jobs across all tenants.
+    [on_done] is invoked on the worker domain right after each job
+    completes — it must be fast and must not block on the scheduler. *)
+
+val workers : t -> int
+
+val submit : t -> Job.t -> (unit, [ `Queue_full | `Stopping ]) result
+(** Enqueue a job under its tenant's FIFO.  Refuses when the total
+    queue is at [queue_limit] ([`Queue_full] — the daemon's 429) or
+    after {!shutdown} ([`Stopping]). *)
+
+val pending : t -> int
+(** Jobs queued but not yet picked up, across all tenants. *)
+
+val shutdown : t -> unit
+(** Stop accepting submits, drain already-queued jobs, join all worker
+    domains.  Blocks until the pool has exited. *)

@@ -1,0 +1,200 @@
+(* The er-serve wire protocol: JSONL frames over a stream socket.
+
+   One JSON object per line in each direction.  Every frame carries a
+   ["type"] tag; [Submit] carries a client-chosen correlation id that
+   all responses about that job echo back, so a client can pipeline
+   submits and match results as they stream in out of order.
+
+   Decoding is strict the same way {!Job.Config} decoding is strict: an
+   unknown type, a missing field or a mistyped value rejects the whole
+   frame ([of_json → None]) and the server answers with an [Error]
+   frame instead of guessing.  Unknown *extra* fields are rejected too —
+   the protocol is versioned by its strictness; loosening it later is
+   backward compatible, tightening it is not. *)
+
+(* -- frames -------------------------------------------------------- *)
+
+type client_frame =
+  | Submit of {
+      id : string;               (* client-chosen correlation id *)
+      tenant : string;
+      bug : string;              (* resolver key, e.g. a corpus bug name *)
+      config : Json.t option;    (* partial Job.Config override *)
+    }
+  | Status of { id : string }
+  | Cancel of { id : string }
+  | Metrics                      (* ask for a Prometheus exposition dump *)
+  | Shutdown                     (* drain and stop the daemon *)
+
+type server_frame =
+  | Accepted of { id : string }
+  | Rejected of { id : string; code : int; reason : string }
+      (* backpressure: the scheduler queue is full (code 429) or the
+         daemon is draining (code 503); resubmit later *)
+  | Job_status of { id : string; state : string }
+  | Job_result of {
+      id : string;
+      bug : string;
+      tenant : string;
+      result : Json.t;           (* normalized pipeline result *)
+      wall : float;
+    }
+  | Job_failed of { id : string; exn : string }
+  | Job_cancelled of { id : string; partial : Json.t option }
+  | Metrics_dump of { prometheus : string }
+  | Error of { id : string option; reason : string }
+      (* protocol-level failure: malformed frame, unknown bug,
+         unknown id, bad config override *)
+  | Shutting_down
+
+(* -- encoding ------------------------------------------------------ *)
+
+let client_to_json (f : client_frame) : Json.t =
+  let open Json in
+  match f with
+  | Submit { id; tenant; bug; config } ->
+      Obj
+        ([ ("type", Str "submit"); ("id", Str id); ("tenant", Str tenant);
+           ("bug", Str bug) ]
+         @ match config with Some c -> [ ("config", c) ] | None -> [])
+  | Status { id } -> Obj [ ("type", Str "status"); ("id", Str id) ]
+  | Cancel { id } -> Obj [ ("type", Str "cancel"); ("id", Str id) ]
+  | Metrics -> Obj [ ("type", Str "metrics") ]
+  | Shutdown -> Obj [ ("type", Str "shutdown") ]
+
+let server_to_json (f : server_frame) : Json.t =
+  let open Json in
+  match f with
+  | Accepted { id } -> Obj [ ("type", Str "accepted"); ("id", Str id) ]
+  | Rejected { id; code; reason } ->
+      Obj
+        [ ("type", Str "rejected"); ("id", Str id); ("code", Int code);
+          ("reason", Str reason) ]
+  | Job_status { id; state } ->
+      Obj [ ("type", Str "job_status"); ("id", Str id); ("state", Str state) ]
+  | Job_result { id; bug; tenant; result; wall } ->
+      Obj
+        [ ("type", Str "job_result"); ("id", Str id); ("bug", Str bug);
+          ("tenant", Str tenant); ("result", result); ("wall", Float wall) ]
+  | Job_failed { id; exn } ->
+      Obj [ ("type", Str "job_failed"); ("id", Str id); ("exn", Str exn) ]
+  | Job_cancelled { id; partial } ->
+      Obj
+        ([ ("type", Str "job_cancelled"); ("id", Str id) ]
+         @ match partial with Some p -> [ ("partial", p) ] | None -> [])
+  | Metrics_dump { prometheus } ->
+      Obj [ ("type", Str "metrics_dump"); ("prometheus", Str prometheus) ]
+  | Error { id; reason } ->
+      Obj
+        ([ ("type", Str "error") ]
+         @ (match id with Some id -> [ ("id", Str id) ] | None -> [])
+         @ [ ("reason", Str reason) ])
+  | Shutting_down -> Obj [ ("type", Str "shutting_down") ]
+
+(* -- decoding ------------------------------------------------------ *)
+
+(* A tiny strict-object reader: each [take] consumes a field; [finish]
+   fails if any field was left unconsumed, which is what rejects frames
+   with extra keys. *)
+module Reader = struct
+  type t = (string * Json.t) list ref
+
+  let of_json = function Json.Obj kvs -> Some (ref kvs) | _ -> None
+
+  let take (r : t) k =
+    match List.assoc_opt k !r with
+    | Some v ->
+        r := List.remove_assoc k !r;
+        Some v
+    | None -> None
+
+  let str r k = match take r k with Some (Json.Str s) -> Some s | _ -> None
+  let int r k = match take r k with Some (Json.Int i) -> Some i | _ -> None
+
+  let float r k =
+    match take r k with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+
+  let finish r v = if !r = [] then Some v else None
+end
+
+let ( let* ) = Option.bind
+
+let client_of_json (j : Json.t) : client_frame option =
+  let* r = Reader.of_json j in
+  let* ty = Reader.str r "type" in
+  match ty with
+  | "submit" ->
+      let* id = Reader.str r "id" in
+      let* tenant = Reader.str r "tenant" in
+      let* bug = Reader.str r "bug" in
+      let config = Reader.take r "config" in
+      Reader.finish r (Submit { id; tenant; bug; config })
+  | "status" ->
+      let* id = Reader.str r "id" in
+      Reader.finish r (Status { id })
+  | "cancel" ->
+      let* id = Reader.str r "id" in
+      Reader.finish r (Cancel { id })
+  | "metrics" -> Reader.finish r Metrics
+  | "shutdown" -> Reader.finish r Shutdown
+  | _ -> None
+
+let server_of_json (j : Json.t) : server_frame option =
+  let* r = Reader.of_json j in
+  let* ty = Reader.str r "type" in
+  match ty with
+  | "accepted" ->
+      let* id = Reader.str r "id" in
+      Reader.finish r (Accepted { id })
+  | "rejected" ->
+      let* id = Reader.str r "id" in
+      let* code = Reader.int r "code" in
+      let* reason = Reader.str r "reason" in
+      Reader.finish r (Rejected { id; code; reason })
+  | "job_status" ->
+      let* id = Reader.str r "id" in
+      let* state = Reader.str r "state" in
+      Reader.finish r (Job_status { id; state })
+  | "job_result" ->
+      let* id = Reader.str r "id" in
+      let* bug = Reader.str r "bug" in
+      let* tenant = Reader.str r "tenant" in
+      let* result = Reader.take r "result" in
+      let* wall = Reader.float r "wall" in
+      Reader.finish r (Job_result { id; bug; tenant; result; wall })
+  | "job_failed" ->
+      let* id = Reader.str r "id" in
+      let* exn = Reader.str r "exn" in
+      Reader.finish r (Job_failed { id; exn })
+  | "job_cancelled" ->
+      let* id = Reader.str r "id" in
+      let partial = Reader.take r "partial" in
+      Reader.finish r (Job_cancelled { id; partial })
+  | "metrics_dump" ->
+      let* prometheus = Reader.str r "prometheus" in
+      Reader.finish r (Metrics_dump { prometheus })
+  | "error" ->
+      let id = Reader.str r "id" in
+      let* reason = Reader.str r "reason" in
+      Reader.finish r (Error { id; reason })
+  | "shutting_down" -> Reader.finish r Shutting_down
+  | _ -> None
+
+(* -- line framing -------------------------------------------------- *)
+
+let client_to_line f = Json.to_string (client_to_json f) ^ "\n"
+let server_to_line f = Json.to_string (server_to_json f) ^ "\n"
+
+let client_of_line s = Option.bind (Json.parse s) client_of_json
+let server_of_line s = Option.bind (Json.parse s) server_of_json
+
+(* Split a receive buffer into complete lines plus the unterminated
+   tail.  The daemon keeps one such buffer per connection. *)
+let split_lines (buf : string) : string list * string =
+  let parts = String.split_on_char '\n' buf in
+  match List.rev parts with
+  | tail :: complete -> (List.rev complete, tail)
+  | [] -> ([], buf)
