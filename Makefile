@@ -4,7 +4,11 @@
 # persisted-trajectory validation.
 
 .PHONY: all build test fmt ci fleet fleet-determinism bench-smoke bench-vm \
-	bench-fleet bench-long-trace bench-serve bench-diff
+	bench-fleet bench-long-trace bench-serve bench-warm bench-diff
+
+# Where the warm-start trial persists its solver stores; CI points this
+# at a workspace path so the journals upload as artifacts.
+ER_BENCH_CACHE_DIR ?= /tmp/er_bench_cache
 
 all: build
 
@@ -35,8 +39,9 @@ ci:
 	$(MAKE) bench-vm
 	$(MAKE) bench-long-trace
 	$(MAKE) bench-serve
+	$(MAKE) bench-warm
 	$(MAKE) fleet-determinism
-	dune exec bench/main.exe -- --validate BENCH_8.json --baseline BENCH_6.json --baseline-exact
+	dune exec bench/main.exe -- --validate BENCH_9.json --baseline BENCH_8.json --baseline-exact
 	$(MAKE) bench-diff
 
 # Run the whole bug corpus through the staged pipeline on a domain pool.
@@ -62,7 +67,7 @@ bench-smoke:
 # it holds across machines: below 2x, or >10% under the committed
 # trajectory's recorded speedup, fails.
 bench-vm:
-	dune exec bench/main.exe -- vm -o /tmp/er_bench_vm.json --vm-baseline BENCH_8.json
+	dune exec bench/main.exe -- vm -o /tmp/er_bench_vm.json --vm-baseline BENCH_9.json
 
 # The long-trace workload family: the incremental tracer must beat
 # from-scratch tracing end-to-end by at least 1.5x (the job self-gates),
@@ -77,15 +82,26 @@ bench-long-trace:
 bench-serve:
 	dune exec bench/main.exe -- serve -o /tmp/er_bench_serve.json
 
+# The warm-start gate: a cold fleet pass records every solver answer
+# into per-job journals under ER_BENCH_CACHE_DIR, a warm pass replays
+# them.  The job self-gates: warm total solver_cost strictly below
+# cold, per-bug trajectories byte-identical between the passes, and
+# the stall-time portfolio must resolve stalls on the throttled bug.
+bench-warm:
+	ER_BENCH_CACHE_DIR=$(ER_BENCH_CACHE_DIR) \
+		dune exec bench/main.exe -- warm -o /tmp/er_bench_warm.json
+
 # Trajectory delta between the two newest committed bench files: solver
 # cost must be exactly identical (the counters are deterministic), vm
 # speedup must not drop more than 10%; wall clocks render as
-# informational deltas only.
+# informational deltas only.  A regression names its section before the
+# nonzero exit.
 bench-diff:
-	dune exec bench/main.exe -- diff BENCH_6.json BENCH_8.json --exact
+	dune exec bench/main.exe -- diff BENCH_8.json BENCH_9.json --exact
 
 # Regenerate the committed trajectory: full corpus + overheads + the
 # sequential-vs-parallel fleet trials + the vm engine comparison + the
-# long-trace incremental-tracing family + the serve loadgen smoke.
+# long-trace incremental-tracing family + the serve loadgen smoke + the
+# cold-vs-warm persistent-store trial.
 bench-fleet:
-	dune exec bench/main.exe -- table1 fig6 fleet vm longtrace serve -o BENCH_8.json
+	dune exec bench/main.exe -- table1 fig6 fleet vm longtrace serve warm -o BENCH_9.json

@@ -18,14 +18,20 @@
      longtrace  long-trace family: checkpoint/resume vs from-scratch
      serve      in-process er-serve daemon under a 4-client loadgen;
                 gates zero failed jobs and cross-client determinism
+     warm       cold fleet pass, then a warm pass replaying the persisted
+                solver store; gates warm total solver_cost strictly below
+                cold with byte-identical per-bug trajectories, plus the
+                stall-time portfolio trial (K configs racing a throttled
+                solver)
      diff       OLD.json NEW.json [--exact] — render trajectory deltas
-                (solver cost, vm speedup, fleet walls, resumes) and exit
-                non-zero on a regression
+                (solver cost, vm speedup, fleet walls, resumes, warm
+                replay) and exit non-zero on a regression, naming the
+                section that regressed
 
    With no argument, everything runs in order.  [-o FILE] persists the
    collected per-bug trajectory (overhead %, trace bytes, solver cost,
-   cache traffic, iterations) as JSON — the committed BENCH_8.json is
-   produced by `table1 fig6 fleet vm longtrace serve -o BENCH_8.json`.
+   cache traffic, iterations) as JSON — the committed BENCH_9.json is
+   produced by `table1 fig6 fleet vm longtrace serve warm -o BENCH_9.json`.
    [--validate FILE]
    re-parses such a file with Er_core.Json and checks its shape, exiting
    non-zero on any mismatch.  [--baseline FILE] additionally gates the
@@ -502,6 +508,21 @@ let longtrace_stats :
    daemon. *)
 let serve_stats : Er_core.Loadgen.result option ref = ref None
 
+(* Filled by [run_warm]: the cold-vs-warm fleet passes over one
+   persistent solver store, and the stall-time portfolio trial. *)
+type warm_trial = {
+  wt_cold : int;       (* total solver_cost of the cold pass *)
+  wt_warm : int;       (* total solver_cost of the warm pass *)
+  wt_identical : bool; (* per-bug trajectories byte-identical *)
+  wt_pf_bug : string;
+  wt_pf_budget : int;
+  wt_pf_k : int;
+  wt_pf_solo : int * int * int;      (* stalls, occurrences, cost at K=0 *)
+  wt_pf_portfolio : int * int * int; (* same at K *)
+}
+
+let warm_stats : warm_trial option ref = ref None
+
 (* One row per bug from whatever jobs ran: pipeline work from [table1]
    (or [smoke]), recording overheads from [fig6] when available. *)
 let bench_json () =
@@ -632,9 +653,34 @@ let bench_json () =
                 ( "executed_instrs",
                   J.Int ck.Er_core.Pipeline.ck_executed_instrs ) ] ) ]
   in
+  let warm_section =
+    match !warm_stats with
+    | None -> []
+    | Some w ->
+        let st0, occ0, c0 = w.wt_pf_solo in
+        let stk, occk, ck = w.wt_pf_portfolio in
+        [ ( "warm",
+            J.Obj
+              [ ("solver_cost_cold", J.Int w.wt_cold);
+                ("solver_cost_warm", J.Int w.wt_warm);
+                ("saved_cost", J.Int (w.wt_cold - w.wt_warm));
+                ("trajectories_identical", J.Bool w.wt_identical);
+                ( "portfolio",
+                  J.Obj
+                    [ ("bug", J.Str w.wt_pf_bug);
+                      ("solver_budget", J.Int w.wt_pf_budget);
+                      ("k", J.Int w.wt_pf_k);
+                      ("stalls_solo", J.Int st0);
+                      ("stalls_portfolio", J.Int stk);
+                      ("stalls_resolved", J.Int (st0 - stk));
+                      ("occurrences_solo", J.Int occ0);
+                      ("occurrences_portfolio", J.Int occk);
+                      ("cost_solo", J.Int c0);
+                      ("cost_portfolio", J.Int ck) ] ) ] ) ]
+  in
   J.Obj
     ([
-      ("bench", J.Int 8);
+      ("bench", J.Int 9);
       ("bugs", J.List (List.map bug_obj results));
       ( "totals",
         J.Obj
@@ -650,9 +696,20 @@ let bench_json () =
             ("mean_rr_overhead_pct", mean (fun (_, _, r) -> r.mean));
           ] );
     ]
-     @ vm_section @ fleet_section @ serve_section @ longtrace_section)
+     @ vm_section @ fleet_section @ serve_section @ longtrace_section
+     @ warm_section)
 
+(* Every gate reads committed BENCH_*.json trajectories; a missing file
+   is an environment problem (wrong checkout, wrong cwd), so fail fast
+   with a message naming the file instead of a Sys_error backtrace. *)
 let read_file path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf
+      "bench: %s does not exist — run from the repository root, or \
+       regenerate it (see the bench-fleet target in the Makefile)\n"
+      path;
+    exit 1
+  end;
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -668,7 +725,7 @@ let validate_bench path =
   | Some doc ->
       let ok_version =
         match Option.bind (J.member "bench" doc) J.to_int with
-        | Some (2 | 3 | 4 | 5 | 6 | 8) -> true
+        | Some (2 | 3 | 4 | 5 | 6 | 8 | 9) -> true
         | _ ->
             Printf.eprintf "%s: missing or wrong \"bench\" version\n" path;
             false
@@ -678,11 +735,13 @@ let validate_bench path =
       in
       let ok_bugs =
         (* a single-job trajectory (CI's `vm -o FILE`, `longtrace -o
-           FILE` or `serve -o FILE`) has no pipeline rows *)
+           FILE`, `serve -o FILE` or `warm -o FILE`) has no pipeline
+           rows *)
         (bugs <> []
          || Option.is_some (J.member "vm" doc)
          || Option.is_some (J.member "long_trace" doc)
-         || Option.is_some (J.member "serve" doc))
+         || Option.is_some (J.member "serve" doc)
+         || Option.is_some (J.member "warm" doc))
         && List.for_all
              (fun b ->
                 let has k conv = Option.is_some (Option.bind (J.member k b) conv) in
@@ -798,9 +857,13 @@ let run_diff ~exact old_path new_path =
         exit 1
   in
   let old_doc = parse old_path and new_doc = parse new_path in
-  let regressions = ref [] in
-  let regress fmt =
-    Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt
+  (* every regression is tagged with the trajectory section it came
+     from, so the failure output says *what* regressed without a rerun *)
+  let regressions : (string * string) list ref = ref [] in
+  let regress section fmt =
+    Printf.ksprintf
+      (fun s -> regressions := (section, s) :: !regressions)
+      fmt
   in
   let pct o n = if o = 0. then 0. else 100. *. (n -. o) /. o in
   Printf.printf "bench diff: %s -> %s\n" old_path new_path;
@@ -812,13 +875,14 @@ let run_diff ~exact old_path new_path =
    | Some o, Some n ->
        Printf.printf "  totals.solver_cost : %d -> %d (%+d)\n" o n (n - o);
        if exact && n <> o then
-         regress
+         regress "totals"
            "totals.solver_cost %d differs from %d — identity required; the \
             counters are deterministic, so any drift is a real behavior \
             change"
            n o
        else if (not exact) && n > o + (o / 10) then
-         regress "totals.solver_cost regresses more than 10%% (%d -> %d)" o n
+         regress "totals" "totals.solver_cost regresses more than 10%% (%d -> %d)"
+           o n
    | _ ->
        Printf.printf
          "  totals.solver_cost : n/a (missing in one file), not compared\n");
@@ -831,7 +895,7 @@ let run_diff ~exact old_path new_path =
        Printf.printf "  vm.speedup         : %.2fx -> %.2fx (%+.1f%%)\n" o n
          (pct o n);
        if n < 0.9 *. o then
-         regress "vm speedup dropped more than 10%% (%.2fx -> %.2fx)" o n
+         regress "vm" "vm.speedup dropped more than 10%% (%.2fx -> %.2fx)" o n
    | _ -> Printf.printf "  vm.speedup         : n/a, not compared\n");
   let fleet_trials doc =
     Option.bind (J.member "fleet" doc) (fun f ->
@@ -869,7 +933,7 @@ let run_diff ~exact old_path new_path =
    | Some o, Some n ->
        Printf.printf "  long_trace.resumes : %d -> %d\n" o n;
        if o > 0 && n = 0 then
-         regress "incremental tracer stopped resuming (%d -> 0)" o
+         regress "long_trace" "incremental tracer stopped resuming (%d -> 0)" o
    | _ -> Printf.printf "  long_trace.resumes : n/a, not compared\n");
   (match (lt old_doc "speedup" J.to_float, lt new_doc "speedup" J.to_float) with
    | Some o, Some n ->
@@ -891,12 +955,39 @@ let run_diff ~exact old_path new_path =
    | _ -> Printf.printf "  serve.throughput   : n/a, not compared\n");
   (match serve new_doc "deterministic" J.to_bool with
    | Some false ->
-       regress "serve loadgen results are no longer deterministic"
+       regress "serve" "serve loadgen results are no longer deterministic"
    | Some true | None -> ());
+  let warm doc k =
+    Option.bind (J.member "warm" doc) (fun w ->
+        Option.bind (J.member k w) J.to_int)
+  in
+  (match (warm new_doc "solver_cost_cold", warm new_doc "solver_cost_warm") with
+   | Some c, Some w ->
+       Printf.printf "  warm.solver_cost   : cold %d -> warm %d (saved %d)\n"
+         c w (c - w);
+       if w >= c then
+         regress "warm"
+           "warm replay no longer saves solver work (warm %d >= cold %d)" w c;
+       (match
+          Option.bind (J.member "warm" new_doc) (fun s ->
+              Option.bind (J.member "trajectories_identical" s) J.to_bool)
+        with
+        | Some false ->
+            regress "warm" "warm trajectories diverged from the cold pass"
+        | Some true | None -> ())
+   | _ -> Printf.printf "  warm.solver_cost   : n/a, not compared\n");
   match List.rev !regressions with
   | [] -> Printf.printf "no regressions\n"
   | rs ->
-      List.iter (Printf.eprintf "REGRESSION: %s\n") rs;
+      let sections =
+        List.fold_left
+          (fun acc (sec, _) -> if List.mem sec acc then acc else acc @ [ sec ])
+          [] rs
+      in
+      List.iter (fun (sec, msg) -> Printf.eprintf "REGRESSION [%s]: %s\n" sec msg) rs;
+      Printf.eprintf "bench diff: %d regression(s) in section(s): %s\n"
+        (List.length rs)
+        (String.concat ", " sections);
       exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -940,6 +1031,7 @@ let run_fleet () =
                 Er_core.Pipeline.run ~config:s.Bug.config
                   ~base_prog:s.Bug.program
                   ~workload:s.Bug.failing_workload ());
+           job_config = Er_core.Job.Config.of_pipeline s.Bug.config;
          })
       Registry.table1
   in
@@ -1087,6 +1179,205 @@ let run_serve () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Warm: cold vs warm fleet over one persistent solver store           *)
+(* ------------------------------------------------------------------ *)
+
+(* Two sequential fleet passes of the Table 1 corpus share one
+   [--cache-dir]: the first (cold) pass records every solver answer into
+   the per-job journals, the second (warm) pass replays them.  Three
+   hard gates:
+
+     - the warm pass's total solver_cost is *strictly* below the cold
+       pass's (replayed answers cost zero);
+     - the per-bug trajectories are byte-identical between the passes
+       once the warm-sensitive accounting fields (solver_cost,
+       cache_hits, cache_misses — a replayed answer counts as a hit
+       where the cold run counted a miss) are masked on top of the
+       usual wall-clock normalization;
+     - the stall-time portfolio resolves stalls: one bug rerun under a
+       throttled propagation budget must reproduce with strictly fewer
+       stalled iterations at K>0 than at K=0.
+
+   The store lives in a temp directory by default; CI points
+   ER_BENCH_CACHE_DIR at a workspace path so the journals can be
+   uploaded as workflow artifacts. *)
+
+(* memcached under a 250-propagation budget stalls five times solo; the
+   racing configurations finish two of those queries within the same
+   budget, saving two production reruns.  Pinned because the portfolio
+   gate needs a workload where heuristic diversity provably pays. *)
+let portfolio_bug = "memcached-2019-11596"
+let portfolio_budget = 250
+let portfolio_k = 4
+
+let run_warm () =
+  section "bench warm: cold vs warm fleet over one persistent solver store";
+  let dir =
+    match Sys.getenv_opt "ER_BENCH_CACHE_DIR" with
+    | Some d -> d
+    | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "er-bench-cache-%d" (Unix.getpid ()))
+  in
+  (* the first pass must be genuinely cold: drop any stores a previous
+     run left in the directory *)
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  let fleet_jobs () =
+    List.map
+      (fun (s : Bug.spec) ->
+         {
+           Er_core.Fleet.job_name = s.Bug.name;
+           job_run =
+             (fun () ->
+                Er_core.Pipeline.run ~config:s.Bug.config
+                  ~base_prog:s.Bug.program
+                  ~workload:s.Bug.failing_workload ());
+           job_config =
+             { (Er_core.Job.Config.of_pipeline s.Bug.config) with
+               Er_core.Job.Config.cache_dir = Some dir };
+         })
+      Registry.table1
+  in
+  let cost_of_result (r : Er_core.Pipeline.result) =
+    List.fold_left
+      (fun a it -> a + it.Er_core.Pipeline.solver_cost)
+      0 r.Er_core.Pipeline.iterations
+  in
+  let pass label =
+    let rep = Er_core.Fleet.run ~jobs:1 (fleet_jobs ()) in
+    let cost =
+      List.fold_left
+        (fun a r ->
+           match r.Er_core.Fleet.row_outcome with
+           | Er_core.Fleet.Finished res -> a + cost_of_result res
+           | Er_core.Fleet.Worker_crashed { exn; _ } ->
+               Printf.eprintf "warm: %s crashed during the %s pass: %s\n"
+                 r.Er_core.Fleet.row_name label exn;
+               exit 1)
+        0 rep.Er_core.Fleet.rows
+    in
+    Printf.printf "  %-4s pass: wall %.3fs  total solver_cost %d\n%!" label
+      rep.Er_core.Fleet.wall cost;
+    (rep, cost)
+  in
+  let cold_rep, cold_cost = pass "cold" in
+  let warm_rep, warm_cost = pass "warm" in
+  (* per-bug cost table: where the replay savings land *)
+  List.iter2
+    (fun c w ->
+       let cost row =
+         match row.Er_core.Fleet.row_outcome with
+         | Er_core.Fleet.Finished res -> cost_of_result res
+         | Er_core.Fleet.Worker_crashed _ -> 0
+       in
+       Printf.printf "    %-22s cold %8d  warm %8d\n" c.Er_core.Fleet.row_name
+         (cost c) (cost w))
+    cold_rep.Er_core.Fleet.rows warm_rep.Er_core.Fleet.rows;
+  (* trajectory identity: normalize wall clocks as the fleet gate does,
+     then mask the fields a warm start legitimately changes *)
+  let warm_fields = [ "solver_cost"; "cache_hits"; "cache_misses" ] in
+  let rec mask = function
+    | J.Obj fields ->
+        J.Obj
+          (List.map
+             (fun (k, v) ->
+                if List.mem k warm_fields then (k, J.Int 0) else (k, mask v))
+             fields)
+    | J.List l -> J.List (List.map mask l)
+    | j -> j
+  in
+  let view rep =
+    J.to_string (mask (Er_core.Fleet.report_to_json_value ~normalize:true rep))
+  in
+  let identical = String.equal (view cold_rep) (view warm_rep) in
+  Printf.printf
+    "  trajectories byte-identical cold vs warm (cost fields masked): %b\n"
+    identical;
+  Printf.printf "  warm saved solver_cost: %d (%d -> %d)\n%!"
+    (cold_cost - warm_cost) cold_cost warm_cost;
+  if not identical then begin
+    Printf.eprintf
+      "warm: per-bug trajectories differ between the cold and warm pass\n";
+    exit 1
+  end;
+  if warm_cost >= cold_cost then begin
+    Printf.eprintf
+      "warm: warm total solver_cost %d is not strictly below cold %d\n"
+      warm_cost cold_cost;
+    exit 1
+  end;
+  (* stall-time portfolio: throttle the propagation budget so the
+     default configuration stalls, then race K configurations *)
+  let s =
+    match Registry.find portfolio_bug with
+    | Some s -> s
+    | None ->
+        Printf.eprintf "warm: portfolio bug %s disappeared from the corpus\n"
+          portfolio_bug;
+        exit 1
+  in
+  let trial portfolio =
+    let config =
+      { s.Bug.config with
+        Er_core.Pipeline.exec_config =
+          { s.Bug.config.Er_core.Pipeline.exec_config with
+            Er_symex.Exec.solver_budget = portfolio_budget; portfolio } }
+    in
+    Er_smt.Solver.reset_cache ();
+    let r =
+      Er_core.Pipeline.run ~config ~base_prog:s.Bug.program
+        ~workload:s.Bug.failing_workload ()
+    in
+    let stalls =
+      List.length
+        (List.filter
+           (fun it ->
+              match it.Er_core.Pipeline.outcome with
+              | Er_core.Outcome.Stalled _ -> true
+              | Er_core.Outcome.Completed | Er_core.Outcome.Diverged _ ->
+                  false)
+           r.Er_core.Pipeline.iterations)
+    in
+    let ok =
+      match r.Er_core.Pipeline.status with
+      | Er_core.Pipeline.Reproduced _ -> true
+      | Er_core.Pipeline.Gave_up _ -> false
+    in
+    (ok, stalls, r.Er_core.Pipeline.occurrences, cost_of_result r)
+  in
+  let ok0, st0, occ0, c0 = trial 0 in
+  let okk, stk, occk, ck = trial portfolio_k in
+  Printf.printf
+    "  portfolio (%s, budget %d): K=0 stalls %d occ %d cost %d | K=%d \
+     stalls %d occ %d cost %d\n%!"
+    portfolio_bug portfolio_budget st0 occ0 c0 portfolio_k stk occk ck;
+  if not (ok0 && okk) then begin
+    Printf.eprintf "warm: the throttled portfolio bug failed to reproduce\n";
+    exit 1
+  end;
+  if stk >= st0 then begin
+    Printf.eprintf
+      "warm: portfolio K=%d resolved no stalls (%d vs %d solo)\n" portfolio_k
+      stk st0;
+    exit 1
+  end;
+  warm_stats :=
+    Some
+      {
+        wt_cold = cold_cost;
+        wt_warm = warm_cost;
+        wt_identical = identical;
+        wt_pf_bug = portfolio_bug;
+        wt_pf_budget = portfolio_budget;
+        wt_pf_k = portfolio_k;
+        wt_pf_solo = (st0, occ0, c0);
+        wt_pf_portfolio = (stk, occk, ck);
+      }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1189,6 +1480,7 @@ let () =
       ("fleet", run_fleet);
       ("longtrace", run_longtrace);
       ("serve", run_serve);
+      ("warm", run_warm);
     ]
   in
   (* `diff` has its own argv shape (two positional files), so it is

@@ -100,14 +100,58 @@ let tagged_jsonl_sink mutex oc job_name : Er_core.Events.sink =
 
 (* -- pipeline invocation ------------------------------------------- *)
 
-let run_pipeline ?(incremental = true) (spec : Er_corpus.Bug.spec) events =
+let run_pipeline ?(incremental = true) ?(portfolio = 0)
+    (spec : Er_corpus.Bug.spec) events =
   let config =
     if incremental then spec.Er_corpus.Bug.config
     else
       { spec.Er_corpus.Bug.config with Er_core.Pipeline.incremental = false }
   in
+  let config =
+    if portfolio = 0 then config
+    else
+      { config with
+        Er_core.Pipeline.exec_config =
+          { config.Er_core.Pipeline.exec_config with
+            Er_symex.Exec.portfolio } }
+  in
   Er_core.Pipeline.run ~config ~events ~base_prog:spec.Er_corpus.Bug.program
     ~workload:spec.Er_corpus.Bug.failing_workload ()
+
+(* Job-centric invocation: [reproduce] with --cache-dir/--portfolio
+   routes through {!Er_core.Job.execute}, which runs the body in a fresh
+   interning space and binds the persistent solver store to it. *)
+let run_job ?(incremental = true) ?(portfolio = 0) ?cache_dir
+    (spec : Er_corpus.Bug.spec) events =
+  let config =
+    let c = Er_core.Job.Config.of_pipeline spec.Er_corpus.Bug.config in
+    { c with
+      Er_core.Job.Config.incremental =
+        c.Er_core.Job.Config.incremental && incremental;
+      portfolio;
+      cache_dir }
+  in
+  let h =
+    Er_core.Job.create ~events
+      {
+        Er_core.Job.tenant = "cli";
+        work =
+          Er_core.Job.Reconstruct
+            {
+              Er_core.Job.src_name = spec.Er_corpus.Bug.name;
+              src_prog = spec.Er_corpus.Bug.program;
+              src_workload = spec.Er_corpus.Bug.failing_workload;
+            };
+        config;
+      }
+  in
+  Er_core.Job.execute h;
+  match Er_core.Job.poll h with
+  | Some (Er_core.Job.Finished r) | Some (Er_core.Job.Cancelled (Some r)) -> r
+  | Some (Er_core.Job.Crashed { exn; backtrace }) ->
+      Printf.eprintf "er_cli: reconstruction crashed: %s\n%s\n" exn backtrace;
+      exit 1
+  | Some (Er_core.Job.Cancelled None) | None -> assert false
 
 (* -- shared flags -------------------------------------------------- *)
 
@@ -142,6 +186,30 @@ let trace_out_flag =
               Chrome trace-event JSON (Perfetto-loadable) to $(docv) (use \
               - for stdout): one track per worker domain, pipeline stages \
               nested per track.")
+
+(* Persistent solver knowledge, shared by [reproduce], [fleet] and
+   [serve]: point repeated runs of the same job at one directory and
+   each run replays the previous run's solver answers instead of
+   re-searching.  Warm starts change cost only, never trajectories. *)
+let cache_dir_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Persist solver knowledge (result journal, learned-clause \
+              summaries) under $(docv) and warm-start from it on the next \
+              run of the same job.  Stores are versioned, fingerprinted \
+              against the job config and checksummed; any mismatch falls \
+              back to a cold start.")
+
+let portfolio_flag =
+  Arg.(
+    value & opt int 0
+    & info [ "portfolio" ] ~docv:"K"
+        ~doc:"When a solver query exhausts its budget, race $(docv) \
+              alternative CDCL configurations (restart schedule, phase \
+              policy, VSIDS decay) over the stalled query and adopt the \
+              deterministic winner.  0 (default) disables the portfolio.")
 
 let socket_flag ~doc =
   Arg.(
@@ -238,4 +306,5 @@ let baseline_sequential_wall () =
                         trials))))
   in
   List.find_map wall_of
-    [ "BENCH_8.json"; "BENCH_6.json"; "BENCH_5.json"; "BENCH_4.json" ]
+    [ "BENCH_9.json"; "BENCH_8.json"; "BENCH_6.json"; "BENCH_5.json";
+      "BENCH_4.json" ]

@@ -41,15 +41,23 @@ let list_cmd =
     Term.(const run $ const ())
 
 let reproduce_cmd =
-  let run spec verbose events_file json metrics trace_out no_incremental =
+  let run spec verbose events_file json metrics trace_out no_incremental
+      cache_dir portfolio =
     let recorder = Option.is_some trace_out in
+    let incremental = not no_incremental in
     let r =
       Cli_args.with_metrics ~recorder
         (Option.is_some metrics || recorder)
         (fun () ->
            let r =
-             Cli_args.with_events_sink events_file
-               (Cli_args.run_pipeline ~incremental:(not no_incremental) spec)
+             Cli_args.with_events_sink events_file (fun events ->
+                 (* the job path binds the persistent store inside a
+                    fresh interning space; the legacy direct path stays
+                    byte-compatible for plain runs *)
+                 if cache_dir <> None || portfolio > 0 then
+                   Cli_args.run_job ~incremental ~portfolio ?cache_dir spec
+                     events
+                 else Cli_args.run_pipeline ~incremental spec events)
            in
            Option.iter Cli_args.write_trace_out trace_out;
            r)
@@ -118,7 +126,8 @@ let reproduce_cmd =
   Cmd.v (Cmd.info "reproduce" ~doc:"Reconstruct one corpus failure")
     Term.(
       const run $ spec_arg $ verbose $ events_file $ json $ metrics
-      $ Cli_args.trace_out_flag $ Cli_args.no_incremental_flag)
+      $ Cli_args.trace_out_flag $ Cli_args.no_incremental_flag
+      $ Cli_args.cache_dir_flag $ Cli_args.portfolio_flag)
 
 (* Fleet mode: the whole Table 1 corpus through the staged pipeline on a
    Domain pool ([-j N], default = recommended domain count), with an
@@ -233,7 +242,7 @@ let fleet_cmd =
     | Some _ | None -> ()
   in
   let run jobs json normalize events_file metrics_out trace_out no_incremental
-    =
+      cache_dir portfolio =
     Cli_args.with_events_channel events_file (fun chan ->
         let sink_mutex = Mutex.create () in
         let sink_for name =
@@ -247,7 +256,15 @@ let fleet_cmd =
             (fun (s : Er_corpus.Bug.spec) ->
                let events = sink_for s.Er_corpus.Bug.name in
                { Er_core.Fleet.job_name = s.Er_corpus.Bug.name;
-                 job_run = (fun () -> Cli_args.run_pipeline ~incremental s events) })
+                 job_run =
+                   (fun () ->
+                      Cli_args.run_pipeline ~incremental ~portfolio s events);
+                 job_config =
+                   { (Er_core.Job.Config.of_pipeline s.Er_corpus.Bug.config)
+                     with
+                     Er_core.Job.Config.incremental;
+                     portfolio;
+                     cache_dir } })
             Er_corpus.Registry.table1
         in
         let report = Er_core.Fleet.run ?jobs fleet_jobs in
@@ -275,13 +292,13 @@ let fleet_cmd =
           (fun () -> Cli_args.render_metrics `Json oc)
   in
   let run jobs json normalize events_file metrics_out trace_out no_incremental
-    =
+      cache_dir portfolio =
     let recorder = Option.is_some trace_out in
     Cli_args.with_metrics ~recorder
       (Option.is_some metrics_out || recorder)
       (fun () ->
          run jobs json normalize events_file metrics_out trace_out
-           no_incremental)
+           no_incremental cache_dir portfolio)
   in
   let jobs =
     Arg.(
@@ -336,7 +353,8 @@ let fleet_cmd =
              domain pool")
     Term.(
       const run $ jobs $ json $ normalize $ events_file $ metrics_out
-      $ Cli_args.trace_out_flag $ Cli_args.no_incremental_flag)
+      $ Cli_args.trace_out_flag $ Cli_args.no_incremental_flag
+      $ Cli_args.cache_dir_flag $ Cli_args.portfolio_flag)
 
 (* Post-hoc explainability: join a persisted JSONL event log (from
    [reproduce --events] or [fleet --events]) with an optional metrics
@@ -924,7 +942,7 @@ let run_cmd =
    serving — queue depth, job outcomes and latency histograms are the
    daemon's operational surface, scrapable live via --prometheus. *)
 let serve_cmd =
-  let run socket workers queue_limit prometheus_port =
+  let run socket workers queue_limit prometheus_port cache_dir =
     let workers =
       match workers with
       | Some n -> n
@@ -936,13 +954,16 @@ let serve_cmd =
       Er_core.Server.start
         ~config:
           { Er_core.Server.socket_path = socket; workers; queue_limit;
-            prometheus_port }
+            prometheus_port; cache_dir }
         ~resolver:Cli_args.resolver ()
     in
-    Printf.printf "er-serve: listening on %s (%d worker(s), queue %d%s)\n%!"
+    Printf.printf "er-serve: listening on %s (%d worker(s), queue %d%s%s)\n%!"
       socket workers queue_limit
       (match prometheus_port with
        | Some p -> Printf.sprintf ", metrics on 127.0.0.1:%d" p
+       | None -> "")
+      (match cache_dir with
+       | Some d -> Printf.sprintf ", solver cache in %s" d
        | None -> "");
     Er_core.Server.wait server;
     Printf.printf "er-serve: drained, bye\n%!"
@@ -974,7 +995,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the multi-tenant reconstruction daemon (JSONL over a \
              Unix-domain socket; submit/status/cancel/result frames)")
-    Term.(const run $ socket $ workers $ queue_limit $ prometheus)
+    Term.(
+      const run $ socket $ workers $ queue_limit $ prometheus
+      $ Cli_args.cache_dir_flag)
 
 (* Load generation against a running daemon: the 13-bug corpus replayed
    as N concurrent clients, measuring reconstructions/sec and latency
@@ -1008,7 +1031,8 @@ let loadgen_cmd =
           r.Er_core.Loadgen.lg_failed r.Er_core.Loadgen.lg_errors;
       Printf.printf "determinism: %s\n"
         (if Er_core.Loadgen.deterministic r then
-           "all clients received byte-identical per-bug results"
+           "all clients received identical per-bug results (solver cost \
+            may drop on warm repeats)"
          else "VIOLATED — results differ between clients")
     end;
     if

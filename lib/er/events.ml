@@ -80,6 +80,12 @@ type event =
       occurrence : int;
       snapshot : Er_metrics.Snapshot.t;
     }
+  | Cache_status of {
+      label : string;   (* job name = store file stem *)
+      state : string;   (* "warm" | "cold" | "flushed" *)
+      entries : int;    (* journal entries loaded / written *)
+      detail : string;  (* cost replayable, rejection reason, ... *)
+    }
   | Pipeline_finished of { runs : int; occurrences : int; reproduced : bool }
 
 (* The stage that emitted an event; [None] for pipeline control events. *)
@@ -90,7 +96,9 @@ let stage_of = function
   | Symex_finished _ | Diverged _ -> Some Symex
   | Stall _ | Points_added _ | Budget_escalated _ -> Some Select
   | Verified _ -> Some Verify
-  | Reproduced _ | Gave_up _ | Metrics_snapshot _ | Pipeline_finished _ -> None
+  | Reproduced _ | Gave_up _ | Metrics_snapshot _ | Cache_status _
+  | Pipeline_finished _ ->
+      None
 
 let stage_name = function
   | Trace -> "trace"
@@ -169,6 +177,10 @@ let to_json_value (e : event) : Json.t =
       obj "metrics_snapshot"
         [ ("occurrence", Int occurrence);
           ("snapshot", Er_metrics.Snapshot.to_json_value snapshot) ]
+  | Cache_status { label; state; entries; detail } ->
+      obj "cache_status"
+        [ ("label", Str label); ("state", Str state);
+          ("entries", Int entries); ("detail", Str detail) ]
   | Pipeline_finished { runs; occurrences; reproduced } ->
       obj "pipeline_finished"
         [ ("runs", Int runs); ("occurrences", Int occurrences);
@@ -282,6 +294,12 @@ let of_json (line : string) : event option =
               Er_metrics.Snapshot.of_json_value
           in
           Some (Metrics_snapshot { occurrence; snapshot })
+      | Some "cache_status" ->
+          let* label = str "label" in
+          let* state = str "state" in
+          let* entries = int "entries" in
+          let* detail = str "detail" in
+          Some (Cache_status { label; state; entries; detail })
       | Some "pipeline_finished" ->
           let* runs = int "runs" in
           let* occurrences = int "occurrences" in
@@ -354,6 +372,9 @@ let pp ppf (e : event) =
         stage occurrence
         (List.length snapshot.Er_metrics.Snapshot.samples)
         (List.length snapshot.Er_metrics.Snapshot.spans)
+  | Cache_status { label; state; entries; detail } ->
+      Fmt.pf ppf "%-10s solver cache %s: %s (%d entries, %s)" stage label
+        state entries detail
   | Pipeline_finished { runs; occurrences; reproduced } ->
       Fmt.pf ppf "%-10s finished: %d runs, %d analyzed occurrences, reproduced=%b"
         stage runs occurrences reproduced

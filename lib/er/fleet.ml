@@ -32,6 +32,10 @@
 type job = {
   job_name : string;
   job_run : unit -> Pipeline.result;
+  (* request config of the job: {!Job.execute} reads cache_dir from it
+     to bind the persistent solver store; the budgets the thunk actually
+     uses are bound inside [job_run] *)
+  job_config : Job.Config.t;
 }
 
 type outcome =
@@ -73,7 +77,7 @@ let run ?jobs (js : job list) : report =
              {
                Job.tenant = "fleet";
                work = Job.Thunk { name = j.job_name; run = j.job_run };
-               config = Job.Config.default;
+               config = j.job_config;
              }
          in
          (* the queue bound is a service concern; a batch run submits a

@@ -11,6 +11,10 @@
 type job = {
   job_name : string;
   job_run : unit -> Pipeline.result;
+  job_config : Job.Config.t;
+      (** request config; {!Job.execute} binds the persistent solver
+          store from its [cache_dir] — the budgets the thunk actually
+          runs under are bound inside [job_run] *)
 }
 
 type outcome =

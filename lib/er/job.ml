@@ -48,6 +48,8 @@ module Config = struct
     verify : bool;               (* re-execute the generated test case *)
     incremental : bool;          (* resume runs from CoW checkpoints *)
     checkpoint_interval : int;   (* instructions between checkpoints *)
+    portfolio : int;             (* CDCL configs raced on a stall; 0 = off *)
+    cache_dir : string option;   (* persistent solver-knowledge store *)
   }
 
   let of_pipeline (c : Pipeline.config) : t =
@@ -65,6 +67,8 @@ module Config = struct
       verify = c.Pipeline.verify;
       incremental = c.Pipeline.incremental;
       checkpoint_interval = c.Pipeline.checkpoint_interval;
+      portfolio = c.Pipeline.exec_config.Er_symex.Exec.portfolio;
+      cache_dir = None;
     }
 
   let to_pipeline (t : t) : Pipeline.config =
@@ -76,6 +80,7 @@ module Config = struct
           gate_budget = t.gate_budget;
           max_steps = t.max_steps;
           progress_every = t.progress_every;
+          portfolio = t.portfolio;
         };
       vm_config =
         {
@@ -99,6 +104,7 @@ module Config = struct
   type field =
     | I of string * (t -> int) * (t -> int -> t)
     | B of string * (t -> bool) * (t -> bool -> t)
+    | S of string * (t -> string option) * (t -> string option -> t)
 
   let fields =
     [
@@ -126,6 +132,10 @@ module Config = struct
          fun t v -> { t with incremental = v });
       I ("checkpoint_interval", (fun t -> t.checkpoint_interval),
          fun t v -> { t with checkpoint_interval = v });
+      I ("portfolio", (fun t -> t.portfolio),
+         fun t v -> { t with portfolio = v });
+      S ("cache_dir", (fun t -> t.cache_dir),
+         fun t v -> { t with cache_dir = v });
     ]
 
   let to_json_value (t : t) : Json.t =
@@ -133,7 +143,9 @@ module Config = struct
       (List.map
          (function
            | I (k, get, _) -> (k, Json.Int (get t))
-           | B (k, get, _) -> (k, Json.Bool (get t)))
+           | B (k, get, _) -> (k, Json.Bool (get t))
+           | S (k, get, _) ->
+               (k, match get t with Some s -> Json.Str s | None -> Json.Null))
          fields)
 
   let to_json t = Json.to_string (to_json_value t)
@@ -149,7 +161,8 @@ module Config = struct
     | Json.Obj kvs ->
         let known k =
           List.exists
-            (function I (k', _, _) | B (k', _, _) -> String.equal k k')
+            (function
+              | I (k', _, _) | B (k', _, _) | S (k', _, _) -> String.equal k k')
             fields
         in
         if not (List.for_all (fun (k, _) -> known k) kvs) then None
@@ -158,18 +171,27 @@ module Config = struct
             (fun acc field ->
                Option.bind acc (fun t ->
                    let k =
-                     match field with I (k, _, _) | B (k, _, _) -> k
+                     match field with
+                     | I (k, _, _) | B (k, _, _) | S (k, _, _) -> k
                    in
                    match (List.assoc_opt k kvs, field) with
                    | None, _ -> Some t
                    | Some (Json.Int v), I (_, _, set) -> Some (set t v)
                    | Some (Json.Bool v), B (_, _, set) -> Some (set t v)
+                   | Some (Json.Str v), S (_, _, set) -> Some (set t (Some v))
+                   | Some Json.Null, S (_, _, set) -> Some (set t None)
                    | Some _, _ -> None))
             (Some base) fields
     | _ -> None
 
   let of_json ?base (s : string) : t option =
     Option.bind (Json.parse s) (of_json_value ?base)
+
+  (* Digest basis for the persistent solver store: every knob that could
+     alter the solver query sequence — the whole config minus the cache
+     location itself, so pointing the same job at a moved directory
+     still warm-starts. *)
+  let fingerprint (t : t) : string = to_json { t with cache_dir = None }
 end
 
 (* ---------------------------------------------------------------- *)
@@ -342,9 +364,50 @@ let execute ?(worker = 0) (t : t) : unit =
             ~base_prog:s.src_prog ~workload:s.src_workload ()
       | Thunk { run; _ } -> run ()
     in
+    (* Persistent solver knowledge: bind the job's store to its fresh
+       interning space before any solving, flush on the way out (also on
+       crash — everything recorded up to that point is valid knowledge).
+       Warm replay cannot change the trajectory, so this wrapper is
+       invisible to the determinism contract. *)
+    let body_with_store () =
+      match t.request.config.Config.cache_dir with
+      | None -> body ()
+      | Some dir ->
+          let label = name t in
+          let emit state entries detail =
+            t.events (Events.Cache_status { label; state; entries; detail })
+          in
+          (match
+             Er_smt.Persist.attach ~dir ~label
+               ~fingerprint:(Config.fingerprint t.request.config)
+           with
+          | Er_smt.Persist.Loaded { entries; replayable_cost } ->
+              emit "warm" entries
+                (Printf.sprintf "replayable cost %d" replayable_cost)
+          | Er_smt.Persist.Cold { reason = None } ->
+              emit "cold" 0 "no store yet"
+          | Er_smt.Persist.Cold { reason = Some r } -> emit "cold" 0 r);
+          Fun.protect body ~finally:(fun () ->
+              match Er_smt.Persist.detach_and_flush () with
+              | None -> ()
+              | Some fl ->
+                  List.iter (fun w -> emit "warning" 0 w)
+                    fl.Er_smt.Persist.fl_warnings;
+                  if fl.Er_smt.Persist.fl_wrote then
+                    emit "flushed" fl.Er_smt.Persist.fl_entries
+                      (Printf.sprintf "%d appended, %d replayed, saved cost %d"
+                         fl.Er_smt.Persist.fl_appended
+                         fl.Er_smt.Persist.fl_replayed
+                         fl.Er_smt.Persist.fl_saved_cost)
+                  else
+                    emit "replayed" fl.Er_smt.Persist.fl_entries
+                      (Printf.sprintf "%d replayed, saved cost %d"
+                         fl.Er_smt.Persist.fl_replayed
+                         fl.Er_smt.Persist.fl_saved_cost))
+    in
     let run () =
       Er_metrics.with_span ("bug:" ^ name t) (fun () ->
-          Er_smt.Expr.in_fresh_space body)
+          Er_smt.Expr.in_fresh_space body_with_store)
     in
     let outcome =
       match run () with

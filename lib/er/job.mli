@@ -26,6 +26,11 @@ module Config : sig
     verify : bool;               (** re-execute the generated test case *)
     incremental : bool;          (** resume runs from CoW checkpoints *)
     checkpoint_interval : int;   (** instructions between checkpoints *)
+    portfolio : int;
+        (** CDCL configurations raced on a solver stall; 0 = off *)
+    cache_dir : string option;
+        (** directory of the persistent solver-knowledge store; [None]
+            disables persistence *)
   }
 
   val default : t
@@ -47,6 +52,11 @@ module Config : sig
       {!to_json_value} image round-trips exactly. *)
 
   val of_json : ?base:t -> string -> t option
+
+  val fingerprint : t -> string
+  (** Digest basis for the persistent solver store: the config's JSON
+      with [cache_dir] blanked — every knob that could alter the solver
+      query sequence, and nothing else. *)
 end
 
 type source = {

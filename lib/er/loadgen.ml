@@ -146,17 +146,42 @@ let percentile p xs =
       in
       a.(max 0 (min (n - 1) rank))
 
-(* Every client must have received the byte-identical payload for the
-   same bug — the concurrency half of the determinism contract. *)
+(* Every client must have received the trajectory-identical payload for
+   the same bug — the concurrency half of the determinism contract.
+   When the daemon runs with a cache directory, a later submit of the
+   same bug legitimately replays the persistent answer journal and
+   reports lower solver cost, so the three fields persistence is
+   allowed to change are masked before comparing; everything else must
+   be byte-identical. *)
+let persistence_fields = [ "solver_cost"; "cache_hits"; "cache_misses" ]
+
+let trajectory_key payload =
+  match Json.parse payload with
+  | None -> payload
+  | Some doc ->
+      let rec mask = function
+        | Json.Obj kvs ->
+            Json.Obj
+              (List.map
+                 (fun (k, v) ->
+                    if List.mem k persistence_fields then (k, Json.Int 0)
+                    else (k, mask v))
+                 kvs)
+        | Json.List xs -> Json.List (List.map mask xs)
+        | j -> j
+      in
+      Json.to_string (mask doc)
+
 let deterministic r =
   let tbl = Hashtbl.create 16 in
   List.for_all
     (fun (bug, payload) ->
+       let key = trajectory_key payload in
        match Hashtbl.find_opt tbl bug with
        | None ->
-           Hashtbl.replace tbl bug payload;
+           Hashtbl.replace tbl bug key;
            true
-       | Some p -> String.equal p payload)
+       | Some p -> String.equal p key)
     r.lg_results
 
 let to_json_value (r : result) : Json.t =

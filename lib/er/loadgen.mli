@@ -35,7 +35,11 @@ val percentile : float -> float list -> float
 (** Nearest-rank percentile, e.g. [percentile 99. r.lg_latencies]. *)
 
 val deterministic : result -> bool
-(** Every client received the byte-identical payload per bug. *)
+(** Every client received the trajectory-identical payload per bug:
+    byte-identical after masking the three fields the persistent
+    solver store is allowed to change ([solver_cost], [cache_hits],
+    [cache_misses]) — a daemon running with [--cache-dir] serves warm
+    repeats of a bug at lower cost, never with a different result. *)
 
 val to_json_value : result -> Json.t
 (** The BENCH serve section / [loadgen --json] rendering: clients,

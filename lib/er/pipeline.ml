@@ -541,7 +541,7 @@ let iterations_of_events (evs : Events.event list) : iteration list =
          | Events.Run_skipped _ | Events.Checkpoint_resumed _
          | Events.Decode_failed _ | Events.Budget_escalated _
          | Events.Reproduced _ | Events.Gave_up _ | Events.Metrics_snapshot _
-         | Events.Pipeline_finished _ ->
+         | Events.Cache_status _ | Events.Pipeline_finished _ ->
              (acc, cur, total))
       ([], None, 0) evs
   in

@@ -32,11 +32,14 @@ type config = {
   workers : int;
   queue_limit : int;
   prometheus_port : int option;  (* TCP scrape endpoint on 127.0.0.1 *)
+  cache_dir : string option;
+      (* daemon-wide persistent solver store; a job keeps its own
+         cache_dir if its submit frame set one *)
 }
 
 let default_config =
   { socket_path = "er-serve.sock"; workers = 2; queue_limit = 64;
-    prometheus_port = None }
+    prometheus_port = None; cache_dir = None }
 
 (* -- per-connection state ------------------------------------------ *)
 
@@ -96,6 +99,13 @@ let handle_submit t conn ~by_job ~id ~tenant ~bug ~config_override =
             send conn
               (Wire.Error { id = Some id; reason = "bad config override" })
         | Some config ->
+            (* daemon-wide warm-start default, overridable per submit *)
+            let config =
+              match (config.Job.Config.cache_dir, t.cfg.cache_dir) with
+              | None, Some _ ->
+                  { config with Job.Config.cache_dir = t.cfg.cache_dir }
+              | _ -> config
+            in
             let job =
               Job.create
                 { Job.tenant; work = Job.Reconstruct source; config }

@@ -20,6 +20,11 @@ type config = {
   queue_limit : int;
   prometheus_port : int option;
       (** serve Prometheus scrapes on 127.0.0.1:port *)
+  cache_dir : string option;
+      (** daemon-wide persistent solver-knowledge store: applied to
+          every job whose submit frame did not set its own [cache_dir],
+          so repeat submissions of a bug warm-start across daemon
+          restarts *)
 }
 
 val default_config : config

@@ -124,6 +124,13 @@ type space = {
   sp_stamp : int;
   sp_mutex : Mutex.t;
   sp_table : t Table.t;
+  (* Absolute id -> per-space local id.  Local ids are dense (0, 1, 2,
+     ... in interning order of this space), so they are stable across
+     processes for any deterministic client — unlike absolute ids,
+     which depend on what every other space interned first.  They are
+     what the persistent solver-knowledge store keys its entries by. *)
+  sp_locals : (int, int) Hashtbl.t;
+  mutable sp_next_local : int;
 }
 
 let create_space () =
@@ -131,6 +138,8 @@ let create_space () =
     sp_stamp = Atomic.fetch_and_add next_stamp 1;
     sp_mutex = Mutex.create ();
     sp_table = Table.create 65_536;
+    sp_locals = Hashtbl.create 65_536;
+    sp_next_local = 0;
   }
 
 (* The space terms are interned into, per domain.  Every domain starts
@@ -160,8 +169,22 @@ let intern ty n =
   | None ->
       let e = { probe with id = Atomic.fetch_and_add next_id 1 } in
       Table.add sp.sp_table e e;
+      Hashtbl.add sp.sp_locals e.id sp.sp_next_local;
+      sp.sp_next_local <- sp.sp_next_local + 1;
       Mutex.unlock sp.sp_mutex;
       e
+
+(* The current space's local id of [e]; terms interned by *another*
+   space (the shared [tru]/[fls], say) map to a negative marker derived
+   from their absolute id.  Within one space, local ids are
+   order-isomorphic to absolute ids, so sorting by either gives the
+   same canonical order. *)
+let local_id e =
+  let sp = Domain.DLS.get current in
+  Mutex.lock sp.sp_mutex;
+  let l = Hashtbl.find_opt sp.sp_locals e.id in
+  Mutex.unlock sp.sp_mutex;
+  match l with Some l -> l | None -> -e.id - 1
 
 (* Number of distinct terms ever created (across all spaces); used by
    the offline-overhead experiment of section 5.3. *)

@@ -1,0 +1,132 @@
+(** Persistent solver knowledge: an on-disk, per-job answer journal.
+
+    The solver's in-memory result cache dies with the process, so every
+    fleet run, daemon restart and CI job re-pays the full solver cost
+    from zero.  This module persists the *ordered journal* of answers a
+    reconstruction's solver established — Sat models, Unsat verdicts,
+    and budget stalls alike — so the next run of the same job replays
+    them at zero search cost.
+
+    Replay is lock-step: at each in-memory cache miss the solver asks
+    for the next journal entry, and it is used only if its canonical key
+    (sorted per-space {!Expr.local_id}s) and budget match the live
+    query.  Replayed Sat/Unsat answers are stored into the in-memory
+    cache exactly where the cold run stored them, so subset/superset
+    lookups evolve identically; replayed stalls return their recorded
+    reason verbatim.  This makes a warm run's trajectory byte-identical
+    to the cold run's by construction — only the cost disappears.  Any
+    mismatch permanently stops replay for the space (the run continues
+    with real solving) and the flush rewrites the journal from the
+    divergence point: stale stores self-heal, never poison.
+
+    Stores are versioned, fingerprinted (a digest of every knob that
+    could change the query sequence) and checksummed; any mismatch or
+    corruption yields a clean cold start.  Flushes are tmp-file +
+    [Sys.rename], so concurrent writers to one cache directory are
+    last-writer-wins and readers never observe torn files.
+
+    One store file per job label lives under the cache directory; state
+    is sharded by the current interning space (same discipline as the
+    solver result cache), so concurrent fleet jobs never share a
+    journal. *)
+
+val format_version : int
+
+(** Learned-clause/VSIDS summary of one solved query (diagnostic
+    payload; learned clauses themselves are never re-injected — a warm
+    session's DIMACS numbering need not match the cold one's). *)
+type summary = {
+  sm_conflicts : int;
+  sm_decisions : int;
+  sm_restarts : int;
+  sm_clauses : int;
+  sm_top : (int * float) list;  (** (SAT var, VSIDS activity), hottest first *)
+}
+
+type answer =
+  | Solved_unsat
+  | Solved_sat of Model.t
+  | Stalled of string  (** the stall reason, replayed verbatim *)
+
+type entry = {
+  en_key : int array;  (** canonical sorted local ids of the active set *)
+  en_hash : string;
+      (** structural digest of the active formulas: local ids are
+          creation ordinals, so a changed run can mint different
+          formulas at the same ordinals — the digest makes a journal
+          match mean "same formulas", never just "same positions" *)
+  en_budget : int;     (** propagation budget of the check *)
+  en_cost : int;       (** gates + propagations the cold run paid *)
+  en_answer : answer;
+  en_summary : summary option;
+}
+
+(* --- attach / detach (job lifecycle) ---------------------------------- *)
+
+type status =
+  | Loaded of { entries : int; replayable_cost : int }
+  | Cold of { reason : string option }
+      (** [None]: no store file yet; [Some r]: a store existed but was
+          rejected (version/fingerprint/checksum/parse) — the run
+          proceeds cold and overwrites it at flush. *)
+
+(** Bind a store to the {e current} interning space.  Call inside the
+    job's fresh space, before any solving.  [label] names the store file
+    ([<dir>/<sanitized-label>.ercache]); [fingerprint] must digest every
+    configuration knob that could alter the query sequence. *)
+val attach : dir:string -> label:string -> fingerprint:string -> status
+
+type flush_result = {
+  fl_path : string;
+  fl_entries : int;   (** entries in the final store *)
+  fl_appended : int;  (** recorded fresh this run *)
+  fl_replayed : int;
+  fl_saved_cost : int;
+  fl_wrote : bool;    (** the file was (re)written — journal changed *)
+  fl_warnings : string list;
+}
+
+(** Unbind the current space's store and write the journal back if it
+    changed (divergence or fresh records); [None] if nothing was
+    attached.  A pure replay run leaves the file untouched — including
+    its unconsumed tail, so an interrupted warm run cannot erase
+    knowledge it did not get to use. *)
+val detach_and_flush : unit -> flush_result option
+
+(* --- solver-side hooks ------------------------------------------------- *)
+
+type handle
+
+(** The store bound to the current space, if any.  Captured once per
+    {!Solver.Session}. *)
+val current : unit -> handle option
+
+(** The next journal answer together with its recorded cold cost, iff
+    the run is still in lock-step with the journal (same key, same
+    structural digest, same budget, same position).  A mismatch
+    permanently disables replay for this space.  Keys with
+    foreign-space (negative) components never match. *)
+val replay :
+  handle -> key:int array -> hash:string -> budget:int ->
+  (answer * int) option
+
+(** Append a freshly established answer to the journal (written back at
+    {!detach_and_flush}).  Keys with foreign-space components are
+    skipped — symmetrically with {!replay}. *)
+val record :
+  handle -> key:int array -> hash:string -> budget:int -> cost:int ->
+  ?summary:summary -> answer -> unit
+
+(** Cold solver cost avoided by replay so far. *)
+val saved_cost : handle -> int
+
+(** Journal entries replayed so far. *)
+val replayed : handle -> int
+
+(* --- store internals, exposed for tests -------------------------------- *)
+
+val store_path : dir:string -> label:string -> string
+val render : fingerprint:string -> entry list -> string
+val parse : fingerprint:string -> string -> (entry array, string) result
+val entry_to_json : entry -> Er_json.t
+val entry_of_json : Er_json.t -> entry option

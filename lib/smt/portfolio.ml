@@ -1,0 +1,143 @@
+(* Stall-time portfolio solving: when the incremental session's CDCL
+   search exhausts its propagation budget, race K alternative solver
+   configurations over the same (already array-eliminated) assertion
+   set and adopt the best success.
+
+   Each attempt is hermetic: a fresh {!Sat.t} with its own heuristic
+   configuration and a fresh {!Bitblast.ctx}, fed the recorded
+   eliminated forms and congruence axioms of the active frames,
+   asserted unguarded in original (oldest-first) order with no
+   assumptions.  Nothing is shared with the session's solver, and
+   bit-blasting interns no expressions, so attempts run in parallel
+   domains without touching any interning space.
+
+   Determinism is non-negotiable (fleet [-j1] vs [-jN] must be
+   byte-identical): every attempt is a deterministic function of
+   (assertions, config, budgets), all attempts are joined, and the
+   winner is chosen by a scheduling-independent rule — the
+   lowest-cost success (cost = gates + propagations, the solver_cost
+   measure), ties broken by configuration index. *)
+
+type verdict = V_sat of Model.t | V_unsat | V_unknown
+
+type attempt = {
+  at_index : int;
+  at_verdict : verdict;
+  at_gates : int;
+  at_propagations : int;
+  at_cost : int;  (* at_gates + at_propagations: what this attempt paid *)
+  at_conflicts : int;
+  at_decisions : int;
+  at_restarts : int;
+  at_clauses : int;
+  at_top : (int * float) list;
+}
+
+(* The racing grid, index 0 first.  Index 0 is the stock configuration:
+   a fresh unguarded encoding alone sometimes beats the session's
+   selector-laden incremental one, so the baseline heuristics deserve a
+   lane too.  The rest vary one axis each: restart schedule, phase
+   polarity, VSIDS memory. *)
+let default_configs : Sat.config list =
+  let d = Sat.default_config in
+  [
+    d;
+    { d with restart = `Geometric (100, 1.5) };
+    { d with default_phase = true };
+    { d with var_decay = 0.85 };
+    { d with phase_saving = false; restart = `Luby 32 };
+    { d with var_decay = 0.99; restart = `Geometric (32, 2.0) };
+  ]
+
+let extract_model sat blast witnesses =
+  let m = Model.empty () in
+  List.iter
+    (fun (var, bits) ->
+      match Expr.node var with
+      | Expr.Var name -> Model.set m name (Bitblast.value_of_bits sat bits)
+      | _ -> assert false)
+    (Bitblast.blasted_vars blast);
+  List.iter
+    (fun { Arrays.array; index; value } ->
+      match Expr.node array with
+      | Expr.Var name ->
+          Model.add_array_point m name ~index:(Model.eval m index)
+            ~elt:(Model.eval m value)
+      | _ -> assert false)
+    witnesses;
+  m
+
+let one_attempt ~index ~config ~budget ~gate_budget ~assertions ~witnesses =
+  let sat = Sat.create ~config () in
+  let blast = Bitblast.create ~gate_budget sat in
+  let verdict =
+    match
+      List.iter
+        (fun (e, axioms) ->
+          List.iter (Bitblast.assert_true blast) axioms;
+          Bitblast.assert_true blast e)
+        assertions
+    with
+    | exception Bitblast.Too_large -> V_unknown
+    | () -> (
+        match Sat.solve ~budget sat with
+        | Sat.Sat -> V_sat (extract_model sat blast witnesses)
+        | Sat.Unsat -> V_unsat
+        | Sat.Unknown -> V_unknown)
+  in
+  let propagations, conflicts, clauses = Sat.stats sat in
+  let gates = Bitblast.gate_count blast in
+  {
+    at_index = index;
+    at_verdict = verdict;
+    at_gates = gates;
+    at_propagations = propagations;
+    at_cost = gates + propagations;
+    at_conflicts = conflicts;
+    at_decisions = Sat.decisions sat;
+    at_restarts = Sat.restarts sat;
+    at_clauses = clauses;
+    at_top = Sat.top_activity sat;
+  }
+
+let succeeded a =
+  match a.at_verdict with V_sat _ | V_unsat -> true | V_unknown -> false
+
+(* Lowest-cost success, ties by index — independent of which domain
+   finished first. *)
+let pick_winner attempts =
+  List.fold_left
+    (fun best a ->
+      if not (succeeded a) then best
+      else
+        match best with
+        | None -> Some a
+        | Some b ->
+            if a.at_cost < b.at_cost
+               || (a.at_cost = b.at_cost && a.at_index < b.at_index)
+            then Some a
+            else Some b)
+    None attempts
+
+(* Race the first [k] configurations; all attempts are joined before the
+   winner is chosen.  [assertions] are the active frames' eliminated
+   forms with their congruence axioms, oldest first. *)
+let run ?(configs = default_configs) ~k ~budget ~gate_budget ~assertions
+    ~witnesses () : attempt list * attempt option =
+  let configs = List.filteri (fun i _ -> i < k) configs in
+  let attempts =
+    match configs with
+    | [] -> []
+    | [ c ] ->
+        [ one_attempt ~index:0 ~config:c ~budget ~gate_budget ~assertions
+            ~witnesses ]
+    | _ ->
+        List.mapi
+          (fun index config ->
+            Domain.spawn (fun () ->
+                one_attempt ~index ~config ~budget ~gate_budget ~assertions
+                  ~witnesses))
+          configs
+        |> List.map Domain.join
+  in
+  (attempts, pick_winner attempts)

@@ -1,0 +1,47 @@
+(** Stall-time portfolio solving.
+
+    When a session's CDCL search exhausts its propagation budget, race
+    [k] alternative solver configurations (restart schedule, phase
+    policy, VSIDS decay) over the same already-eliminated assertion set
+    and adopt the best success.  Attempts are hermetic — fresh solver,
+    fresh bit-blast context, unguarded assertions, no interning — and
+    run in parallel domains; the winner is chosen by a
+    scheduling-independent rule (lowest cost, ties by configuration
+    index), so the portfolio can change what a stall costs but never
+    what a fleet run computes. *)
+
+type verdict = V_sat of Model.t | V_unsat | V_unknown
+
+type attempt = {
+  at_index : int;
+  at_verdict : verdict;
+  at_gates : int;
+  at_propagations : int;
+  at_cost : int;  (** [at_gates + at_propagations]: what this attempt paid *)
+  at_conflicts : int;
+  at_decisions : int;
+  at_restarts : int;
+  at_clauses : int;
+  at_top : (int * float) list;  (** VSIDS hot variables, hottest first *)
+}
+
+(** The racing grid, index 0 first (index 0 = {!Sat.default_config}:
+    a fresh unguarded encoding under stock heuristics is itself a
+    distinct lane from the session's incremental one). *)
+val default_configs : Sat.config list
+
+(** [run ~k ~budget ~gate_budget ~assertions ~witnesses ()] races the
+    first [k] configurations over [assertions] (eliminated form +
+    congruence axioms per active frame, oldest first); [witnesses] are
+    the session's array read witnesses, used to reconstruct array
+    points of a satisfying model.  Returns all attempts (by index) and
+    the deterministic winner, if any attempt succeeded. *)
+val run :
+  ?configs:Sat.config list ->
+  k:int ->
+  budget:int ->
+  gate_budget:int ->
+  assertions:(Expr.t * Expr.t list) list ->
+  witnesses:Arrays.read_witness list ->
+  unit ->
+  attempt list * attempt option

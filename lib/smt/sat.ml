@@ -123,7 +123,25 @@ end
 
 (* --- solver ---------------------------------------------------------- *)
 
+(* Search-heuristic knobs.  [default_config] reproduces the historical
+   hard-coded behavior bit for bit (VSIDS decay 0.95, Luby restarts with
+   base 64, phase saving on, initial phase false) — every default-config
+   trajectory in the committed bench baselines depends on that.  The
+   portfolio attack on stalls races variations of these knobs. *)
+type config = {
+  var_decay : float;      (* activity divisor per conflict, in (0,1] *)
+  restart : [ `Luby of int | `Geometric of int * float ];
+  phase_saving : bool;    (* remember last polarity per variable *)
+  default_phase : bool;   (* polarity before any save (or always, if
+                             phase saving is off) *)
+}
+
+let default_config =
+  { var_decay = 0.95; restart = `Luby 64; phase_saving = true;
+    default_phase = false }
+
 type t = {
+  config : config;
   mutable nvars : int;
   mutable clauses : int array array;      (* clause arena *)
   mutable nclauses : int;
@@ -147,9 +165,10 @@ type t = {
   mutable seen_flags : bool array;
 }
 
-let create () =
+let create ?(config = default_config) () =
   let activity = ref (Array.make 16 0.0) in
   {
+    config;
     nvars = 0;
     clauses = Array.make 64 [||];
     nclauses = 0;
@@ -157,7 +176,7 @@ let create () =
     assigns = Array.make 16 0;
     level = Array.make 16 0;
     reason = Array.make 16 (-1);
-    phase = Array.make 16 false;
+    phase = Array.make 16 config.default_phase;
     trail = Veci.create ();
     trail_lim = Veci.create ();
     qhead = 0;
@@ -186,7 +205,7 @@ let grow_arrays s n =
   s.assigns <- cap s.assigns 0;
   s.level <- cap s.level 0;
   s.reason <- cap s.reason (-1);
-  s.phase <- cap s.phase false;
+  s.phase <- cap s.phase s.config.default_phase;
   s.seen_flags <- cap s.seen_flags false;
   (if 2 * n > Array.length s.watches then begin
      let c = max (2 * n) (2 * Array.length s.watches) in
@@ -218,7 +237,7 @@ let enqueue s l reason =
   s.assigns.(v) <- (if l land 1 = 0 then 1 else -1);
   s.level.(v) <- Veci.len s.trail_lim;
   s.reason.(v) <- reason;
-  s.phase.(v) <- l land 1 = 0;
+  if s.config.phase_saving then s.phase.(v) <- l land 1 = 0;
   Veci.push s.trail l
 
 let add_clause_arena s lits =
@@ -342,7 +361,7 @@ let var_bump s v =
   end;
   Heap.decrease s.heap v
 
-let var_decay s = s.var_inc <- s.var_inc /. 0.95
+let var_decay s = s.var_inc <- s.var_inc /. s.config.var_decay
 
 (* First-UIP conflict analysis.  Returns (learned clause, backjump level);
    learned.(0) is the asserting literal. *)
@@ -506,7 +525,12 @@ let solve ?(budget = max_int) ?(assumptions = []) s =
         result := Some Unknown
       end
       else begin
-        let conflict_budget = 64 * luby !restart_n in
+        let conflict_budget =
+          match s.config.restart with
+          | `Luby base -> base * luby !restart_n
+          | `Geometric (base, mult) ->
+              int_of_float (float_of_int base *. (mult ** float_of_int !restart_n))
+        in
         incr restart_n;
         let conflicts_here = ref 0 in
         let break = ref false in
@@ -583,3 +607,18 @@ let stats s = (s.propagations, s.conflicts, s.nclauses)
 let decisions s = s.decisions
 let restarts s = s.restarts
 let num_vars s = s.nvars
+
+(* The k most active variables (external 1-based indices) with their
+   VSIDS activities, highest first, ties by variable index — the
+   deterministic "what the search cared about" summary the persistent
+   store keeps alongside each solved entry. *)
+let top_activity ?(k = 8) s =
+  let act = !(s.activity) in
+  let all = List.init s.nvars (fun v -> (v + 1, act.(v))) in
+  let sorted =
+    List.sort
+      (fun (va, aa) (vb, ab) ->
+        match Float.compare ab aa with 0 -> Int.compare va vb | c -> c)
+      all
+  in
+  List.filteri (fun i _ -> i < k) sorted

@@ -7,7 +7,20 @@ type result = Sat | Unsat | Unknown
 
 type t
 
-val create : unit -> t
+(** Search-heuristic knobs; {!default_config} reproduces the historical
+    hard-coded behavior exactly (VSIDS decay 0.95, Luby base-64
+    restarts, phase saving on, initial phase false).  The stall-time
+    portfolio races variations of these. *)
+type config = {
+  var_decay : float;
+  restart : [ `Luby of int | `Geometric of int * float ];
+  phase_saving : bool;
+  default_phase : bool;
+}
+
+val default_config : config
+
+val create : ?config:config -> unit -> t
 
 (** Allocate a variable; returns its external (1-based, DIMACS) index. *)
 val new_var : t -> int
@@ -47,6 +60,10 @@ val decisions : t -> int
 val restarts : t -> int
 
 val num_vars : t -> int
+
+(** The [k] most VSIDS-active variables (external indices, activity),
+    highest first, ties by index — deterministic. *)
+val top_activity : ?k:int -> t -> (int * float) list
 
 (** Test hook: observe each learned clause (internal literal encoding),
     used by the SAT fuzz harness to validate learning. *)

@@ -92,6 +92,23 @@ let m_checks_incremental =
   M.counter ~help:"Session checks reusing a previously built encoding."
     "er_smt_session_checks_incremental_total"
 
+let m_warm_replays =
+  M.counter ~help:"Persisted journal answers replayed in place of solving."
+    "er_smt_warm_replays_total"
+
+let m_warm_saved_cost =
+  M.counter
+    ~help:"Solver cost (gates + propagations) avoided by warm replay."
+    "er_smt_warm_saved_cost_total"
+
+let m_portfolio_races =
+  M.counter ~help:"Stall-time portfolio races run."
+    "er_smt_portfolio_races_total"
+
+let m_portfolio_wins =
+  M.counter ~help:"Stalls resolved by a portfolio configuration."
+    "er_smt_portfolio_wins_total"
+
 (* Hot-spot attribution: the most expensive queries seen so far, keyed
    by the canonical assertion-set id (cost = gates + propagations, the
    same work measure as solver_cost). *)
@@ -225,6 +242,10 @@ module Session = struct
     f_expr : Expr.t;
     f_sel : int; (* selector DIMACS var; 0 when the assertion is [true] *)
     mutable f_encoded : bool;
+    (* array-eliminated form + congruence axioms, recorded at encode
+       time so a stall-time portfolio can re-assert the frame into a
+       fresh context without re-running elimination *)
+    mutable f_elim : (Expr.t * Expr.t list) option;
   }
 
   type t = {
@@ -232,36 +253,46 @@ module Session = struct
     blast : Bitblast.ctx;
     elim : Arrays.state;
     cache : Cache.shard; (* the shard of the creating space *)
+    persist : Persist.handle option; (* journal bound to the space, if any *)
+    portfolio : int; (* configs to race on a propagation stall; 0 = off *)
     budget : int;
     gate_budget : int;
     mutable stack : frame list; (* newest first *)
     mutable solves : int; (* checks that reached the SAT core *)
     mutable hits : int;
     mutable misses : int;
+    mutable replays : int; (* of [hits]: answered from the journal *)
+    mutable portfolio_wins : int;
   }
 
   type cache_stats = { cache_hits : int; cache_misses : int }
 
   let create ?(budget = default_budget) ?(gate_budget = default_gate_budget)
-      () =
+      ?(portfolio = 0) () =
     let sat = Sat.create () in
     {
       sat;
       blast = Bitblast.create ~gate_budget sat;
       elim = Arrays.create_state ();
       cache = Cache.shard_for_current_space ();
+      persist = Persist.current ();
+      portfolio;
       budget;
       gate_budget;
       stack = [];
       solves = 0;
       hits = 0;
       misses = 0;
+      replays = 0;
+      portfolio_wins = 0;
     }
 
   let push t e =
     Sat.backtrack_root t.sat;
     let sel = if Expr.is_true e then 0 else Sat.new_var t.sat in
-    t.stack <- { f_expr = e; f_sel = sel; f_encoded = sel = 0 } :: t.stack
+    t.stack <-
+      { f_expr = e; f_sel = sel; f_encoded = sel = 0; f_elim = None }
+      :: t.stack
 
   let pop t =
     match t.stack with
@@ -278,6 +309,8 @@ module Session = struct
   let depth t = List.length t.stack
   let assertions t = List.rev_map (fun f -> f.f_expr) t.stack
   let cache_stats t = { cache_hits = t.hits; cache_misses = t.misses }
+  let replays t = t.replays
+  let portfolio_wins t = t.portfolio_wins
 
   let stats_since t ~g0 ~p0 ~c0 ~d0 ~r0 ~cl0 =
     let propagations, conflicts, clauses = Sat.stats t.sat in
@@ -311,6 +344,7 @@ module Session = struct
       (fun f ->
         if not f.f_encoded then begin
           let e', axioms = Arrays.eliminate_one t.elim f.f_expr in
+          f.f_elim <- Some (e', axioms);
           (* Congruence axioms are theory-valid, hence asserted
              unguarded: they may outlive the frame that introduced
              them. *)
@@ -380,47 +414,191 @@ module Session = struct
             ~labels:[ ("outcome", outcome_label o); ("cached", kind_label) ]
             0;
           (o, zero_stats t)
-      | None ->
-          t.misses <- t.misses + 1;
-          M.inc m_cache_miss;
-          if t.solves = 0 then M.inc m_checks_fresh
-          else M.inc m_checks_incremental;
-          t.solves <- t.solves + 1;
-          Sat.backtrack_root t.sat;
-          let g0 = Bitblast.gate_count t.blast in
-          let p0, c0, cl0 = Sat.stats t.sat in
-          let d0 = Sat.decisions t.sat and r0 = Sat.restarts t.sat in
-          let finish o =
-            let st = stats_since t ~g0 ~p0 ~c0 ~d0 ~r0 ~cl0 in
-            M.add m_gates st.gates;
-            M.add m_propagations st.propagations;
-            M.add m_conflicts st.conflicts;
-            M.add m_decisions st.decisions;
-            M.add m_restarts st.restarts;
-            M.add m_clauses st.clauses;
-            M.top_observe m_top_queries ~key:(query_key key)
-              ~labels:[ ("outcome", outcome_label o); ("cached", "no") ]
-              (st.gates + st.propagations);
-            (o, st)
+      | None -> (
+          (* Machine-stable form of [key] for the persistent journal:
+             per-space local ids, order-isomorphic to the absolute ids
+             within this space. *)
+          let local_key =
+            let ids = List.map (fun f -> Expr.local_id f.f_expr) active in
+            Array.of_list (List.sort_uniq compare ids)
           in
-          (match encode_pending t with
-          | exception Bitblast.Too_large ->
-              finish (Unknown "gate budget exhausted during bit-blasting")
-          | () ->
-              M.add m_vars (Sat.num_vars t.sat);
-              (* oldest frame first, matching assertion order *)
-              let assumptions = List.rev_map (fun f -> f.f_sel) active in
-              let res = Sat.solve ~budget ~assumptions t.sat in
-              (match res with
-              | Sat.Unsat ->
-                  Cache.store t.cache key set Unsat;
-                  finish Unsat
-              | Sat.Unknown ->
-                  finish (Unknown "propagation budget exhausted during search")
-              | Sat.Sat ->
-                  let m = extract_model t in
-                  Cache.store t.cache key set (Sat m);
-                  finish (Sat m)))
+          (* Structural digest alongside the id key: local ids are
+             creation ordinals, so a changed client can mint different
+             formulas at the same ordinals; the digest ensures a journal
+             match means "the same formulas were asserted", never just
+             "the same positions were asked".  Computed only on
+             in-memory-cache misses, and only with a store attached. *)
+          let local_hash () =
+            Digest.to_hex
+              (Digest.string
+                 (String.concat ";"
+                    (List.sort compare
+                       (List.map (fun f -> Expr.to_string f.f_expr) active))))
+          in
+          let local_hash =
+            match t.persist with Some _ -> local_hash () | None -> ""
+          in
+          let replayed =
+            match t.persist with
+            | Some h ->
+                Persist.replay h ~key:local_key ~hash:local_hash ~budget
+            | None -> None
+          in
+          match replayed with
+          | Some (answer, saved) ->
+              (* Warm replay: adopt the journaled answer at zero cost.
+                 Solved answers are stored into the in-memory cache
+                 exactly where the cold run stored them, so later
+                 subset/superset lookups evolve identically; stalls are
+                 returned verbatim and (as in a cold run) not cached. *)
+              t.hits <- t.hits + 1;
+              t.replays <- t.replays + 1;
+              M.inc m_warm_replays;
+              M.add m_warm_saved_cost saved;
+              let o =
+                match answer with
+                | Persist.Solved_unsat ->
+                    Cache.store t.cache key set Unsat;
+                    Unsat
+                | Persist.Solved_sat m ->
+                    Cache.store t.cache key set (Sat m);
+                    Sat m
+                | Persist.Stalled reason -> Unknown reason
+              in
+              M.top_observe m_top_queries ~key:(query_key key)
+                ~labels:[ ("outcome", outcome_label o); ("cached", "warm") ]
+                0;
+              (o, zero_stats t)
+          | None ->
+              t.misses <- t.misses + 1;
+              M.inc m_cache_miss;
+              if t.solves = 0 then M.inc m_checks_fresh
+              else M.inc m_checks_incremental;
+              t.solves <- t.solves + 1;
+              Sat.backtrack_root t.sat;
+              let g0 = Bitblast.gate_count t.blast in
+              let p0, c0, cl0 = Sat.stats t.sat in
+              let d0 = Sat.decisions t.sat and r0 = Sat.restarts t.sat in
+              let finish ?(extra_gates = 0) ?(extra_propagations = 0) o =
+                let st = stats_since t ~g0 ~p0 ~c0 ~d0 ~r0 ~cl0 in
+                (* a portfolio win charges the winning attempt's work on
+                   top of the stalled base search *)
+                let st =
+                  { st with
+                    gates = st.gates + extra_gates;
+                    propagations = st.propagations + extra_propagations }
+                in
+                M.add m_gates st.gates;
+                M.add m_propagations st.propagations;
+                M.add m_conflicts st.conflicts;
+                M.add m_decisions st.decisions;
+                M.add m_restarts st.restarts;
+                M.add m_clauses st.clauses;
+                M.top_observe m_top_queries ~key:(query_key key)
+                  ~labels:[ ("outcome", outcome_label o); ("cached", "no") ]
+                  (st.gates + st.propagations);
+                (o, st)
+              in
+              (* Conclude a real solve: report stats and append the
+                 verdict — including stalls, which warm runs must
+                 reproduce — to the journal. *)
+              let conclude ?extra_gates ?extra_propagations ?summary o =
+                let ((o, st) as out) =
+                  finish ?extra_gates ?extra_propagations o
+                in
+                (match t.persist with
+                | Some h ->
+                    let answer, summary =
+                      match o with
+                      | Unsat -> (Persist.Solved_unsat, summary)
+                      | Sat m -> (Persist.Solved_sat m, summary)
+                      | Unknown r -> (Persist.Stalled r, None)
+                    in
+                    let summary =
+                      match (answer, summary) with
+                      | Persist.Stalled _, _ | _, Some _ -> summary
+                      | _, None ->
+                          Some
+                            {
+                              Persist.sm_conflicts = st.conflicts;
+                              sm_decisions = st.decisions;
+                              sm_restarts = st.restarts;
+                              sm_clauses = st.clauses;
+                              sm_top = Sat.top_activity t.sat;
+                            }
+                    in
+                    Persist.record h ~key:local_key ~hash:local_hash ~budget
+                      ~cost:(st.gates + st.propagations) ?summary answer
+                | None -> ());
+                out
+              in
+              (match encode_pending t with
+              | exception Bitblast.Too_large ->
+                  conclude (Unknown "gate budget exhausted during bit-blasting")
+              | () ->
+                  M.add m_vars (Sat.num_vars t.sat);
+                  (* oldest frame first, matching assertion order *)
+                  let assumptions = List.rev_map (fun f -> f.f_sel) active in
+                  let res = Sat.solve ~budget ~assumptions t.sat in
+                  (match res with
+                  | Sat.Unsat ->
+                      Cache.store t.cache key set Unsat;
+                      conclude Unsat
+                  | Sat.Sat ->
+                      let m = extract_model t in
+                      Cache.store t.cache key set (Sat m);
+                      conclude (Sat m)
+                  | Sat.Unknown -> (
+                      let stall =
+                        "propagation budget exhausted during search"
+                      in
+                      if t.portfolio <= 0 then conclude (Unknown stall)
+                      else begin
+                        M.inc m_portfolio_races;
+                        let assertions =
+                          (* oldest first; every active frame was encoded
+                             just above, so its eliminated form is
+                             recorded *)
+                          List.rev_map
+                            (fun f ->
+                              match f.f_elim with
+                              | Some ea -> ea
+                              | None -> (f.f_expr, []))
+                            active
+                        in
+                        let _, winner =
+                          Portfolio.run ~k:t.portfolio ~budget
+                            ~gate_budget:t.gate_budget ~assertions
+                            ~witnesses:(Arrays.witnesses t.elim) ()
+                        in
+                        match winner with
+                        | None -> conclude (Unknown stall)
+                        | Some w ->
+                            t.portfolio_wins <- t.portfolio_wins + 1;
+                            M.inc m_portfolio_wins;
+                            let summary =
+                              {
+                                Persist.sm_conflicts = w.Portfolio.at_conflicts;
+                                sm_decisions = w.Portfolio.at_decisions;
+                                sm_restarts = w.Portfolio.at_restarts;
+                                sm_clauses = w.Portfolio.at_clauses;
+                                sm_top = w.Portfolio.at_top;
+                              }
+                            in
+                            let conclude_win o =
+                              conclude ~extra_gates:w.Portfolio.at_gates
+                                ~extra_propagations:w.Portfolio.at_propagations
+                                ~summary o
+                            in
+                            (match w.Portfolio.at_verdict with
+                            | Portfolio.V_sat m ->
+                                Cache.store t.cache key set (Sat m);
+                                conclude_win (Sat m)
+                            | Portfolio.V_unsat ->
+                                Cache.store t.cache key set Unsat;
+                                conclude_win Unsat
+                            | Portfolio.V_unknown -> assert false)
+                      end))))
     end
 
   let check ?budget ?gate_budget t : outcome * stats =

@@ -75,8 +75,24 @@ module Session : sig
 
   (** [create ~budget ~gate_budget ()] — budgets default to
       {!default_budget} / {!default_gate_budget} and apply to every
-      [check] unless overridden per call. *)
-  val create : ?budget:int -> ?gate_budget:int -> unit -> t
+      [check] unless overridden per call.
+
+      If a persistent answer journal is attached to the current
+      interning space ({!Persist.attach}), the session replays it: at
+      each in-memory-cache miss the next journaled answer — Sat model,
+      Unsat verdict, or stall — is adopted at zero cost, provided the
+      run is still in lock-step with the recorded one; every real solve
+      is appended for the next run.  This cannot change a trajectory,
+      only its cost.
+
+      [portfolio] (default 0 = off) races that many alternative CDCL
+      configurations ({!Portfolio.default_configs}) whenever a check
+      exhausts its propagation budget, adopting the deterministic
+      winner's verdict and charging its work on top of the stalled
+      search.  Unlike warm replay, a portfolio win *does* change the
+      outcome of a check (a stall becomes Sat/Unsat), so [portfolio] is
+      a configuration knob on par with the budgets. *)
+  val create : ?budget:int -> ?gate_budget:int -> ?portfolio:int -> unit -> t
 
   (** Push one width-1 assertion onto the stack. *)
   val push : t -> Expr.t -> unit
@@ -98,6 +114,13 @@ module Session : sig
   val check : ?budget:int -> ?gate_budget:int -> t -> outcome * stats
 
   val cache_stats : t -> cache_stats
+
+  (** Of this session's cache hits, how many were answered by replaying
+      the persistent journal. *)
+  val replays : t -> int
+
+  (** Stalled checks resolved by the portfolio. *)
+  val portfolio_wins : t -> int
 end
 
 (** [check ~budget ~gate_budget assertions] decides the conjunction of

@@ -4,6 +4,7 @@
    accounting when one shared cache is hammered from several domains. *)
 
 module Fleet = Er_core.Fleet
+module Job = Er_core.Job
 module Pipeline = Er_core.Pipeline
 module Events = Er_core.Events
 module Json = Er_core.Json
@@ -29,6 +30,7 @@ let job_of_spec ?(events = Events.null) (s : Bug.spec) =
       (fun () ->
          Pipeline.run ~config:s.Bug.config ~events ~base_prog:s.Bug.program
            ~workload:s.Bug.failing_workload ());
+    job_config = Job.Config.of_pipeline s.Bug.config;
   }
 
 (* --- determinism: -j 1 and -j 4 agree byte for byte ----------------- *)
@@ -88,6 +90,7 @@ let test_crash_isolation () =
              ~workload:(fun ~occurrence:_ ->
                failwith "synthetic mid-reconstruction fault")
              ());
+      job_config = Job.Config.of_pipeline sick.Bug.config;
     }
   in
   (* crasher in the middle, so healthy jobs surround it in every deque *)

@@ -144,7 +144,7 @@ let events_of_occurrence evs occ =
        | E.Reproduced { occurrence; _ }
        | E.Gave_up { occurrence; _ }
        | E.Metrics_snapshot { occurrence; _ } -> occurrence = occ
-       | E.Pipeline_finished _ -> false)
+       | E.Cache_status _ | E.Pipeline_finished _ -> false)
     evs
 
 let test_event_per_stage_per_iteration () =

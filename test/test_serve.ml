@@ -124,6 +124,9 @@ let config_gen : Job.Config.t QCheck.Gen.t =
   bool >>= fun verify ->
   bool >>= fun incremental ->
   knob >>= fun checkpoint_interval ->
+  int_range 0 8 >>= fun portfolio ->
+  opt (string_size ~gen:(char_range 'a' 'z') (int_range 1 12))
+  >>= fun cache_dir ->
   return
     {
       Job.Config.max_occurrences;
@@ -139,6 +142,8 @@ let config_gen : Job.Config.t QCheck.Gen.t =
       verify;
       incremental;
       checkpoint_interval;
+      portfolio;
+      cache_dir;
     }
 
 let config_arb =
