@@ -41,7 +41,7 @@ ci:
 	$(MAKE) bench-serve
 	$(MAKE) bench-warm
 	$(MAKE) fleet-determinism
-	dune exec bench/main.exe -- --validate BENCH_9.json --baseline BENCH_8.json --baseline-exact
+	dune exec bench/main.exe -- --validate BENCH_10.json --baseline BENCH_9.json --baseline-exact
 	$(MAKE) bench-diff
 
 # Run the whole bug corpus through the staged pipeline on a domain pool.
@@ -62,12 +62,12 @@ fleet-determinism:
 bench-smoke:
 	dune exec bench/main.exe -- smoke -o /tmp/er_bench_smoke.json
 
-# Pre-lowered engine vs reference interpreter on the Table 1 perf
-# workloads.  The gate compares speedup ratios, not raw instr/sec, so
-# it holds across machines: below 2x, or >10% under the committed
-# trajectory's recorded speedup, fails.
+# Block-fused threaded-dispatch engine vs reference interpreter on the
+# Table 1 perf workloads.  The gate compares speedup ratios, not raw
+# instr/sec, so it holds across machines: below 4x, or >10% under the
+# committed trajectory's recorded speedup, fails.
 bench-vm:
-	dune exec bench/main.exe -- vm -o /tmp/er_bench_vm.json --vm-baseline BENCH_9.json
+	dune exec bench/main.exe -- vm -o /tmp/er_bench_vm.json --vm-baseline BENCH_10.json
 
 # The long-trace workload family: the incremental tracer must beat
 # from-scratch tracing end-to-end by at least 1.5x (the job self-gates),
@@ -97,11 +97,11 @@ bench-warm:
 # informational deltas only.  A regression names its section before the
 # nonzero exit.
 bench-diff:
-	dune exec bench/main.exe -- diff BENCH_8.json BENCH_9.json --exact
+	dune exec bench/main.exe -- diff BENCH_9.json BENCH_10.json --exact
 
 # Regenerate the committed trajectory: full corpus + overheads + the
 # sequential-vs-parallel fleet trials + the vm engine comparison + the
 # long-trace incremental-tracing family + the serve loadgen smoke + the
 # cold-vs-warm persistent-store trial.
 bench-fleet:
-	dune exec bench/main.exe -- table1 fig6 fleet vm longtrace serve warm -o BENCH_9.json
+	dune exec bench/main.exe -- table1 fig6 fleet vm longtrace serve warm -o BENCH_10.json

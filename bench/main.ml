@@ -30,8 +30,8 @@
 
    With no argument, everything runs in order.  [-o FILE] persists the
    collected per-bug trajectory (overhead %, trace bytes, solver cost,
-   cache traffic, iterations) as JSON — the committed BENCH_9.json is
-   produced by `table1 fig6 fleet vm longtrace serve warm -o BENCH_9.json`.
+   cache traffic, iterations) as JSON — the committed BENCH_10.json is
+   produced by `table1 fig6 fleet vm longtrace serve warm -o BENCH_10.json`.
    [--validate FILE]
    re-parses such a file with Er_core.Json and checks its shape, exiting
    non-zero on any mismatch.  [--baseline FILE] additionally gates the
@@ -112,6 +112,24 @@ let measure_runs f ~runs =
   in
   (mean, sqrt var /. sqrt n)
 
+(* Best-of-N timing for throughput ratios (bench vm): machine-wide
+   interference only ever adds time, so the minimum sample is the least
+   noisy estimate of the true cost and keeps the speedup gate stable. *)
+let measure_best f ~runs =
+  ignore (f ());    (* warm-up *)
+  let reps = 5 in
+  Gc.full_major ();
+  let best = ref infinity in
+  for _ = 1 to runs do
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let t = (Sys.time () -. t0) /. float_of_int reps in
+    if t < !best then best := t
+  done;
+  !best
+
 let er_hooks enc =
   {
     Er_vm.Interp.no_hooks with
@@ -174,7 +192,50 @@ let run_fig6 () =
    compares directly. *)
 let vm_results : (string * int * float * float) list ref = ref []
 
-let run_vm () =
+(* `bench vm --opcode-mix`: instead of timing, report the hottest
+   adjacent opcode pairs (block-retirement weighted) per corpus program
+   plus the corpus aggregate — the mining pass behind the committed
+   superinstruction set in [Er_ir.Fuse.default_pairs].  The same counts
+   feed the [er_vm_top_opcode_pair] attribution table at run end. *)
+let opcode_mix = ref false
+
+let run_opcode_mix () =
+  section
+    "bench vm --opcode-mix: hottest adjacent opcode pairs, weighted by \
+     block retirements";
+  let reg = Er_metrics.default in
+  let was = Er_metrics.enabled reg in
+  Er_metrics.set_enabled reg true;
+  let agg : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Bug.spec) ->
+       let prog = Er_ir.Prog.of_program s.Bug.program in
+       let inputs = s.Bug.perf_inputs () in
+       let st = Er_vm.Vm_state.create prog inputs in
+       ignore (Er_vm.Vm_state.run_to_end st);
+       let prof = Er_vm.Vm_state.opcode_pair_profile st in
+       List.iter
+         (fun (k, n) ->
+            Hashtbl.replace agg k
+              ((match Hashtbl.find_opt agg k with Some c -> c | None -> 0) + n))
+         prof;
+       Printf.printf "%-22s %s\n%!" s.Bug.name
+         (String.concat "  "
+            (List.filteri (fun i _ -> i < 5) prof
+            |> List.map (fun (k, n) -> Printf.sprintf "%s:%d" k n))))
+    Registry.table1;
+  Er_metrics.set_enabled reg was;
+  let sorted =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg []
+    |> List.sort (fun (ka, ca) (kb, cb) ->
+           if ca <> cb then compare cb ca else String.compare ka kb)
+  in
+  Printf.printf "\n%-22s %12s\n" "aggregate pair" "weight";
+  List.iteri
+    (fun i (k, n) -> if i < 16 then Printf.printf "%-22s %12d\n" k n)
+    sorted
+
+let run_vm_timed () =
   section "bench vm: pre-lowered engine vs reference interpreter";
   Printf.printf "%-22s %10s %10s %11s %12s %12s %8s\n" "Application" "#Instr"
     "ref (s)" "lowered (s)" "ref ips" "lowered ips" "speedup";
@@ -187,11 +248,11 @@ let run_vm () =
        ignore (Er_ir.Prog.lowered prog);
        let inputs = s.Bug.perf_inputs () in
        let instrs = (Er_vm.Interp.run prog inputs).Er_vm.Interp.instr_count in
-       let lm, _ =
-         measure_runs (fun () -> ignore (Er_vm.Interp.run prog inputs)) ~runs
+       let lm =
+         measure_best (fun () -> ignore (Er_vm.Interp.run prog inputs)) ~runs
        in
-       let rm, _ =
-         measure_runs
+       let rm =
+         measure_best
            (fun () -> ignore (Er_vm.Interp.run_reference prog inputs))
            ~runs
        in
@@ -209,6 +270,8 @@ let run_vm () =
     (if tr > 0. then float_of_int ti /. tr else 0.)
     (if tl > 0. then float_of_int ti /. tl else 0.)
     (if tl > 0. then tr /. tl else 1.)
+
+let run_vm () = if !opcode_mix then run_opcode_mix () else run_vm_timed ()
 
 (* ------------------------------------------------------------------ *)
 (* Fig 5: benefits of data value recording on symex progress           *)
@@ -680,7 +743,7 @@ let bench_json () =
   in
   J.Obj
     ([
-      ("bench", J.Int 9);
+      ("bench", J.Int 10);
       ("bugs", J.List (List.map bug_obj results));
       ( "totals",
         J.Obj
@@ -725,7 +788,7 @@ let validate_bench path =
   | Some doc ->
       let ok_version =
         match Option.bind (J.member "bench" doc) J.to_int with
-        | Some (2 | 3 | 4 | 5 | 6 | 8 | 9) -> true
+        | Some (2 | 3 | 4 | 5 | 6 | 8 | 9 | 10) -> true
         | _ ->
             Printf.eprintf "%s: missing or wrong \"bench\" version\n" path;
             false
@@ -822,8 +885,8 @@ let check_vm_baseline ~current ~baseline =
   | Some cur ->
       let floor_speedup =
         match vm_speedup baseline with
-        | Some base -> Float.max 2.0 (0.9 *. base)
-        | None -> 2.0 (* pre-lowering trajectories carry no vm section *)
+        | Some base -> Float.max 4.0 (0.9 *. base)
+        | None -> 4.0 (* pre-lowering trajectories carry no vm section *)
       in
       if cur < floor_speedup then begin
         Printf.eprintf
@@ -897,6 +960,38 @@ let run_diff ~exact old_path new_path =
        if n < 0.9 *. o then
          regress "vm" "vm.speedup dropped more than 10%% (%.2fx -> %.2fx)" o n
    | _ -> Printf.printf "  vm.speedup         : n/a, not compared\n");
+  (* per-bug vm speedups: the aggregate can hide one workload falling off
+     a specialization (fused units, memory cache) while the rest improve,
+     so render every shared bug's delta; informational only — per-bug
+     wall times are noisier than the instruction-weighted aggregate *)
+  let vm_bugs doc =
+    Option.bind (J.member "vm" doc) (fun v ->
+        Option.bind (J.member "bugs" v) J.to_list)
+    |> Option.value ~default:[]
+    |> List.filter_map (fun b ->
+        match
+          ( Option.bind (J.member "name" b) J.to_str,
+            Option.bind (J.member "speedup" b) J.to_float )
+        with
+        | Some n, Some s -> Some (n, s)
+        | _ -> None)
+  in
+  let old_vm_bugs = vm_bugs old_doc in
+  let shared_vm_bugs =
+    List.filter_map
+      (fun (n, ns) ->
+         Option.map (fun os -> (n, os, ns)) (List.assoc_opt n old_vm_bugs))
+      (vm_bugs new_doc)
+  in
+  if shared_vm_bugs = [] then
+    Printf.printf "  vm per-bug         : n/a, not compared\n"
+  else
+    List.iter
+      (fun (n, os, ns) ->
+         Printf.printf
+           "  vm %-16s: %.2fx -> %.2fx (%+.1f%%, informational)\n" n os ns
+           (pct os ns))
+      shared_vm_bugs;
   let fleet_trials doc =
     Option.bind (J.member "fleet" doc) (fun f ->
         Option.bind (J.member "trials" f) J.to_list)
@@ -1508,6 +1603,9 @@ let () =
         parse (names, out, validate, baseline) rest
     | "--vm-baseline" :: f :: rest ->
         vm_base := Some f;
+        parse (names, out, validate, baseline) rest
+    | "--opcode-mix" :: rest ->
+        opcode_mix := true;
         parse (names, out, validate, baseline) rest
     | n :: rest -> parse (n :: names, out, validate, baseline) rest
   in

@@ -23,11 +23,26 @@ let page_bits = 8
 let page_cells = 1 lsl page_bits
 let page_mask = page_cells - 1
 
+(* Unchecked native-endian 64-bit bytes access: compiler primitives (the
+   same ones behind [Bytes.get_int64_ne]), compiled to a single unboxed
+   move.  Offsets are in cells; callers guarantee bounds via the ordered
+   checks of the access paths. *)
+external b64_get : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external b64_set : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let[@inline] pget (page : Bytes.t) off = b64_get page (off lsl 3)
+let[@inline] pset (page : Bytes.t) off v = b64_set page (off lsl 3) v
+
 type obj = {
   o_id : int;
   o_elt_ty : ty;
   o_size : int;
-  mutable o_pages : int64 array array;
+  (* int64 cells stored as raw bytes, cell [i] at byte offset [8*i]: a
+     store is one unboxed write with no box allocation and no
+     caml_modify barrier, a load feeds unboxed int64 arithmetic
+     directly, and neither pays a C call.  Access only through
+     [pget]/[pset]. *)
+  mutable o_pages : Bytes.t array;
   o_pgen : int array;              (* per-page generation of last copy *)
   o_heap : bool;
   mutable o_freed : bool;
@@ -46,6 +61,14 @@ type t = {
   mutable gen : int;               (* bumped at snapshot and revert *)
   mutable journal : journal_entry list;
   mutable journal_len : int;
+  (* direct-mapped lookup cache for the exn access path, indexed by
+     [id land cache_mask]: hot loops touch a handful of objects
+     (induction cell, a global table or two, the current heap record)
+     and a field compare beats a Hashtbl probe.  Cached records are the
+     live ones (free/un-free mutate them in place), so only [revert] —
+     which can remove ids from [objects] and then reuse them — must
+     invalidate. *)
+  cache : obj array;
 }
 
 type checkpoint = {
@@ -56,12 +79,24 @@ type checkpoint = {
   (* shallow page-pointer tables of every un-freed object at snapshot
      time; freed objects are immutable (stores fault) so theirs need no
      copy *)
-  ck_pages : (int * int64 array array) list;
+  ck_pages : (int * Bytes.t array) list;
 }
+
+(* Never stored in [objects] (ids start at 1), so a cache slot primed
+   with it can't produce a false hit: a null pointer (id 0) finds
+   [o_id = 0] but always fails the bounds check ([o_size = 0]) and
+   resolves through the slow path's precedence-ordered checks. *)
+let cache_empty =
+  { o_id = 0; o_elt_ty = I64; o_size = 0; o_pages = [||]; o_pgen = [||];
+    o_heap = false; o_freed = true }
+
+let cache_slots = 16
+let cache_mask = cache_slots - 1
 
 let create () =
   { objects = Hashtbl.create 64; next_id = 1; live_cells = 0; peak_cells = 0;
-    gen = 0; journal = []; journal_len = 0 }
+    gen = 0; journal = []; journal_len = 0;
+    cache = Array.make cache_slots cache_empty }
 
 (* --- pointer packing -------------------------------------------------- *)
 
@@ -105,7 +140,8 @@ let alloc t ~elt_ty ~size ~heap =
            pay for a full page *)
         o_pages =
           Array.init npages (fun pg ->
-              Array.make (min page_cells (cells - (pg lsl page_bits))) 0L);
+              Bytes.make ((min page_cells (cells - (pg lsl page_bits))) lsl 3)
+                '\000');
         o_pgen = Array.make npages t.gen;
         o_heap = heap; o_freed = false }
     in
@@ -170,7 +206,7 @@ let load t p ~ty : (int64, Failure.kind) result =
   | Ok (o, index) ->
       (* in bounds by check_access + exact page sizing *)
       Ok
-        (Array.unsafe_get
+        (pget
            (Array.unsafe_get o.o_pages (index lsr page_bits))
            (index land page_mask))
 
@@ -185,22 +221,102 @@ let store t p ~ty v : (int * int * int64, Failure.kind) result =
            copy, so checkpoints keep referencing the old page *)
         if Array.unsafe_get o.o_pgen pg = t.gen then page
         else begin
-          let fresh = Array.copy page in
+          let fresh = Bytes.copy page in
           Array.unsafe_set o.o_pages pg fresh;
           Array.unsafe_set o.o_pgen pg t.gen;
           fresh
         end
       in
-      let old = Array.unsafe_get page off in
-      Array.unsafe_set page off v;
+      let old = pget page off in
+      pset page off v;
       Ok (o.o_id, index, old)
+
+(* --- exception-based access --------------------------------------------- *)
+
+(* [load]/[store] allocate a result (and a tuple) per access, which
+   dominates the threaded dispatcher's memory-op cost.  The [_exn]
+   variants perform the identical checks in the identical order —
+   null, then invalid pointer, then use-after-free, then bounds, then
+   access type — but report faults by exception and return bare values,
+   so the hot path is allocation-free.  The hooked/reference paths keep
+   the [result] API ([store]'s old-value triple feeds [on_store]). *)
+
+exception Fault of Failure.kind
+
+(* All [ty] constructors are nullary, so physical equality is structural
+   equality without the caml_equal call. *)
+let[@inline] ty_eq (a : ty) (b : ty) = a == b
+
+(* Out-of-line path: cache miss, or a fast check failed.  Re-runs the
+   full precedence-ordered checks (so a sentinel hit on an empty slot,
+   a genuinely faulty access, and a mere miss all resolve correctly) and
+   refills the object's slot on success. *)
+let slow_checked t p ~ty : obj =
+  if is_null p then raise (Fault Failure.Null_deref);
+  let o =
+    match Hashtbl.find t.objects (ptr_obj p) with
+    | o -> o
+    | exception Not_found -> raise (Fault Failure.Invalid_pointer)
+  in
+  if o.o_freed then raise (Fault (Failure.Use_after_free { obj = o.o_id }));
+  let index = ptr_index p in
+  if index < 0 || index >= o.o_size then
+    raise (Fault (Failure.Out_of_bounds { obj = o.o_id; index; size = o.o_size }));
+  if not (ty_eq o.o_elt_ty ty) then
+    raise
+      (Fault
+         (Failure.Access_type_error
+            (Printf.sprintf "object of %s accessed as %s"
+               (ty_name o.o_elt_ty) (ty_name ty))));
+  Array.unsafe_set t.cache (o.o_id land cache_mask) o;
+  o
+
+(* Small enough to inline into the VM's access closures: on a cache hit
+   all checks are register compares; everything else falls out of
+   line. *)
+let[@inline] checked_obj t p ~ty : obj =
+  let id = ptr_obj p in
+  let o = Array.unsafe_get t.cache (id land cache_mask) in
+  if o.o_id = id then begin
+    let index = ptr_index p in
+    if
+      o.o_freed || index < 0 || index >= o.o_size
+      || not (ty_eq o.o_elt_ty ty)
+    then slow_checked t p ~ty
+    else o
+  end
+  else slow_checked t p ~ty
+
+let[@inline] load_exn t p ~ty : int64 =
+  let o = checked_obj t p ~ty in
+  let index = ptr_index p in
+  (* in bounds by checked_obj + exact page sizing *)
+  pget
+    (Array.unsafe_get o.o_pages (index lsr page_bits))
+    (index land page_mask)
+
+let[@inline] store_exn t p ~ty v : unit =
+  let o = checked_obj t p ~ty in
+  let index = ptr_index p in
+  let pg = index lsr page_bits and off = index land page_mask in
+  let page = Array.unsafe_get o.o_pages pg in
+  let page =
+    if Array.unsafe_get o.o_pgen pg = t.gen then page
+    else begin
+      let fresh = Bytes.copy page in
+      Array.unsafe_set o.o_pages pg fresh;
+      Array.unsafe_set o.o_pgen pg t.gen;
+      fresh
+    end
+  in
+  pset page off v
 
 (* Raw cell read for post-mortem inspection: no liveness or type checks,
    [None] only when the address is outside any object. *)
 let peek t ~obj ~index =
   match find t obj with
   | Some o when index >= 0 && index < o.o_size ->
-      Some o.o_pages.(index lsr page_bits).(index land page_mask)
+      Some (pget o.o_pages.(index lsr page_bits) (index land page_mask))
   | Some _ | None -> None
 
 let size_of t id = Option.map (fun o -> o.o_size) (find t id)
@@ -262,4 +378,6 @@ let revert t (ck : checkpoint) =
   t.peak_cells <- ck.ck_peak_cells;
   (* stale every page generation so the next store copies first: the
      restored pages are shared with the checkpoint *)
-  t.gen <- t.gen + 1
+  t.gen <- t.gen + 1;
+  (* ids removed above may be re-allocated to new records *)
+  Array.fill t.cache 0 cache_slots cache_empty

@@ -47,6 +47,18 @@ val load : t -> int64 -> ty:ty -> (int64, Failure.kind) result
     success. *)
 val store : t -> int64 -> ty:ty -> int64 -> (int * int * int64, Failure.kind) result
 
+(** {1 Exception-based access}
+
+    Identical checks in the identical order as {!load}/{!store} — null,
+    invalid pointer, use-after-free, out-of-bounds, access type — but
+    faults raise {!Fault} and successes return bare values, so the VM's
+    threaded fast path pays no per-access allocation. *)
+
+exception Fault of Failure.kind
+
+val load_exn : t -> int64 -> ty:ty -> int64
+val store_exn : t -> int64 -> ty:ty -> int64 -> unit
+
 (** {1 Inspection} *)
 
 (** Raw cell read for post-mortem inspection: no liveness or type

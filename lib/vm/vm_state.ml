@@ -26,8 +26,10 @@
 
 open Er_ir.Types
 module Sem = Er_smt.Expr     (* shared concrete semantics *)
+module Ty = Er_smt.Ty
 module M = Er_metrics
 module L = Er_ir.Lower
+module Fuse = Er_ir.Fuse
 
 (* --- retirement metrics --------------------------------------------------- *)
 
@@ -65,6 +67,15 @@ let m_top_blocks =
   M.top ~k:8
     ~help:"Hottest lowered blocks by retirement count (func/label)."
     "er_vm_top_block_retired"
+
+(* Adjacent opcode pairs weighted by the retirement count of the block
+   they appear in: the mining input for the committed superinstruction
+   set (Er_ir.Fuse.default_pairs).  `bench vm --opcode-mix` reports the
+   same counts per corpus program. *)
+let m_top_pairs =
+  M.top ~k:12
+    ~help:"Hottest adjacent opcode pairs, weighted by block retirements."
+    "er_vm_top_opcode_pair"
 
 let vm_counters =
   [ m_i_alu; m_i_load; m_i_store; m_i_mem; m_i_call; m_i_io; m_i_sync;
@@ -326,7 +337,14 @@ type lframe = {
   lfr_func : L.lfunc;
   mutable lfr_block : L.lblock;
   mutable lfr_ip : int;
-  lfr_regs : int64 array;
+  (* the int64 register file as raw bytes, slot [s] at byte offset
+     [8*s]: the [%caml_bytes_get64u]/[set64u] primitives compile to
+     single unboxed moves, so a register access is one load/store with
+     no box allocation, no caml_modify barrier and no C call — where an
+     [int64 array] pays a box per write and [Int64.bits_of_float] on a
+     float array pays a C call per access.  Access only through
+     [rget]/[rset]. *)
+  lfr_regs : Bytes.t;
   lfr_defined : Bytes.t;   (* per-slot definedness; length 0 when untracked *)
   lfr_dst : int option;    (* caller slot for the return value *)
   mutable lfr_stack_objs : int list;
@@ -335,14 +353,49 @@ type lframe = {
   mutable lfr_pending : int option;
 }
 
-type lthread = {
+and lthread = {
   ltid : int;
   mutable lstack : lframe list;    (* innermost first *)
   mutable ldepth : int;            (* cached [List.length lstack] *)
   mutable lstatus : tstatus;
 }
 
-type t = {
+(* The threaded code of one basic block: pre-compiled execution units
+   the dispatcher runs one closure call at a time, indexed by
+   instruction ip with index [n] (the instruction count) standing for
+   the terminator.  [xb_one] holds singleton units; [xb_big] the fused
+   unit starting at each ip where Fuse committed a pair, and the
+   singleton elsewhere (pair tails keep their singleton entry so a
+   resume can land on any instruction boundary).  The [_h] variants
+   consult the configured hooks; the plain variants assume [lno_hooks]
+   and pay zero hook branching.  Every unit updates [lfr_ip] and
+   [lclock] itself, per retired sub-instruction, so a crash mid-unit
+   reports the exact instruction and the exact clock. *)
+and xunit = t -> lthread -> lframe -> step
+
+and xblock = {
+  xb_cost : int array;        (* clock ticks of xb_big.(ip): 0..3 *)
+  xb_one : xunit array;
+  xb_big : xunit array;
+  xb_one_h : xunit array;
+  xb_big_h : xunit array;
+  (* true where the unit may change the current frame or block
+     (terminator, call, or a fused unit ending in the terminator):
+     straight-line units skip the post-step transfer checks *)
+  xb_ctl : bool array;
+  (* whole-block chain: every fused/singleton unit of the block composed
+     into one closure, terminator included — the no-hooks dispatcher
+     runs it when the block starts at ip 0 and its full cost fits the
+     remaining quantum ([xb_wcost] <= budget left), so a hot self-loop
+     costs one indirect call per iteration.  [xb_wcost] is [max_int]
+     when the block is ineligible (any non-fusable instruction), which
+     makes eligibility and budget one integer compare. *)
+  xb_whole : xunit;
+  xb_wcost : int;
+  xb_pairs : string list;     (* adjacent pair keys, for the profiler *)
+}
+
+and t = {
   llow : L.t;
   lmem : Memory.t;
   linputs : Inputs.t;
@@ -371,7 +424,26 @@ type t = {
   mutable lresult : run_result option;
   mutable lturn : int;
   mutable lcur : lthread;
+  (* pre-compiled threaded code, indexed [lf_idx].(lb_index); physically
+     shared between states of the same lowered program via a bounded
+     compile cache *)
+  lxcode : xblock array array;
+  (* no hook is configured: dispatch may use the hook-free closure
+     arrays, decided once at [create] instead of once per instruction *)
+  lno_hooks : bool;
 }
+
+(* Slot indices come from the lowering's own numbering, always in
+   bounds, so the reads and writes are unchecked. *)
+(* Unchecked native-endian 64-bit bytes access: compiler primitives (the
+   same ones behind [Bytes.get_int64_ne]), compiled to a single unboxed
+   move.  Slot indices are always in bounds by lowering invariant
+   ([lf_nslots] sizes the file). *)
+external b64_get : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external b64_set : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let[@inline] rget (fr : lframe) s = b64_get fr.lfr_regs (s lsl 3)
+let[@inline] rset (fr : lframe) s v = b64_set fr.lfr_regs (s lsl 3) v
 
 let lpoint_of (fr : lframe) =
   { p_func = fr.lfr_func.L.lf_name; p_block = fr.lfr_block.L.lb_label;
@@ -381,12 +453,12 @@ let lstack_of (th : lthread) = List.map lpoint_of th.lstack
 
 let ev_operand st (fr : lframe) (o : L.operand) : int64 =
   match o with
-  | L.Oslot s -> Array.unsafe_get fr.lfr_regs s
+  | L.Oslot s -> rget fr s
   | L.Oimm { v; _ } -> v
   | L.Onull -> Memory.null
   | L.Oglobal i -> st.lglobal_ptrs.(i)
   | L.Ocheck { slot; reg } ->
-      if Bytes.get fr.lfr_defined slot = '\001' then fr.lfr_regs.(slot)
+      if Bytes.get fr.lfr_defined slot = '\001' then rget fr slot
       else
         invalid_arg
           (Printf.sprintf "Interp: read of undefined register %s in %s" reg
@@ -395,13 +467,13 @@ let ev_operand st (fr : lframe) (o : L.operand) : int64 =
 (* Slot write without the on_def hook: return values and parameter
    binding, mirroring the plain [set_reg] of the reference engine. *)
 let lset_slot (fr : lframe) slot v =
-  fr.lfr_regs.(slot) <- v;
+  rset fr slot v;
   if Bytes.length fr.lfr_defined <> 0 then Bytes.set fr.lfr_defined slot '\001'
 
 let empty_defined = Bytes.create 0
 
 let make_lframe (lf : L.lfunc) (args : int64 list) ~dst =
-  let regs = Array.make lf.L.lf_nslots 0L in
+  let regs = Bytes.make (lf.L.lf_nslots lsl 3) '\000' in
   let defined =
     if lf.L.lf_tracked then Bytes.make lf.L.lf_nslots '\000' else empty_defined
   in
@@ -423,7 +495,7 @@ let make_lframe (lf : L.lfunc) (args : int64 list) ~dst =
    clock tick (the jump/call/spawn that installs it is about to retire). *)
 let[@inline] record_entry st (lf : L.lfunc) bidx =
   if Array.length st.lfexec <> 0 then begin
-    let uid = st.lblock_base.(lf.L.lf_idx) + bidx in
+    let uid = Array.unsafe_get st.lblock_base lf.L.lf_idx + bidx in
     if Array.unsafe_get st.lfexec uid < 0 then
       Array.unsafe_set st.lfexec uid (st.lclock + 1)
   end
@@ -767,11 +839,1579 @@ let fire_pending st (th : lthread) : bool =
   | ({ lfr_pending = Some slot; _ } as fr) :: _ ->
       fr.lfr_pending <- None;
       (match st.lcfg.hooks.on_ptwrite with
-       | Some f -> f fr.lfr_regs.(slot)
+       | Some f -> f (rget fr slot)
        | None -> ());
       if M.enabled M.default then M.inc m_i_io;
       true
   | _ -> false
+
+(* --- threaded code: the block-fused closure compiler ----------------------- *)
+
+(* Each basic block compiles once (per lowered program, not per state)
+   into arrays of execution units — closures of type [xunit] — indexed
+   by ip, with index [n] standing for the terminator.  A unit performs
+   exactly the state transition the [lstep_instr]/[lstep_term] +
+   run-loop combination would, *including* the ip and clock updates:
+   operand getters, width masks, immediate truncations, block targets
+   and error strings are all resolved at compile time, so the fast path
+   executes no per-step decode, no hook option checks and no width
+   branches.  Fused units (committed opcode pairs from [Fuse.analyze])
+   retire two sub-instructions per dispatch; every sub-instruction still
+   updates ip and the clock itself, so a crash, a blocked sync op or a
+   metric flush in the tail observes exactly the state a singleton
+   schedule would have produced.
+
+   The symex engine deliberately keeps dispatching the unfused lowered
+   form: its per-instruction cost is dominated by term construction and
+   path bookkeeping, fusion would buy nothing, and single-stepping is
+   load-bearing for path splitting.  Only this concrete engine threads. *)
+
+(* Compile-time operand getter.  [Oglobal] stays an [st] access because
+   compiled code is shared across states; everything else resolves to a
+   constant or a slot read.  Slot indices come from the lowering's own
+   numbering, always in bounds, so the reads are unchecked. *)
+let xget (lf : L.lfunc) (o : L.operand) : t -> lframe -> int64 =
+  match o with
+  | L.Oslot s -> fun _ fr -> rget fr s
+  | L.Oimm { v; _ } -> fun _ _ -> v
+  | L.Onull -> fun _ _ -> Memory.null
+  | L.Oglobal i -> fun st _ -> Array.unsafe_get st.lglobal_ptrs i
+  | L.Ocheck { slot; reg } ->
+      let msg =
+        Printf.sprintf "Interp: read of undefined register %s in %s" reg
+          lf.L.lf_name
+      in
+      fun _ fr ->
+        if Bytes.unsafe_get fr.lfr_defined slot = '\001' then rget fr slot
+        else invalid_arg msg
+
+(* Slot write specialised on whether the function tracks definedness,
+   so untracked (fully-defined) functions skip the byte-set and both
+   skip the per-write length test of [lset_slot]. *)
+let xsetter (lf : L.lfunc) : lframe -> int -> int64 -> unit =
+  if lf.L.lf_tracked then fun fr dst v ->
+    rset fr dst v;
+    Bytes.unsafe_set fr.lfr_defined dst '\001'
+  else fun fr dst v -> rset fr dst v
+
+(* Definedness mark of the specialised arms: [tracked] is a captured
+   immediate, so untracked functions pay one predicted branch. *)
+let[@inline] xmark tracked (fr : lframe) dst =
+  if tracked then Bytes.unsafe_set fr.lfr_defined dst '\001'
+
+(* Definedness pre-guards.  An [Ocheck] operand compiled through a
+   getter closure boxes its int64 return on every read — the dominant
+   allocation of tracked functions on the fast path.  Instead, the
+   checks of one instruction run up front as a unit-returning guard
+   (nothing boxes), and the specialised arms below then treat the
+   operands as plain slot reads.  Guards run in the reference's operand
+   evaluation order for that opcode, so a multi-undefined instruction
+   reports the same register. *)
+let xcheck1 (lf : L.lfunc) (o : L.operand) : (lframe -> unit) option =
+  match o with
+  | L.Ocheck { slot; reg } ->
+      let msg =
+        Printf.sprintf "Interp: read of undefined register %s in %s" reg
+          lf.L.lf_name
+      in
+      Some
+        (fun fr ->
+          if Bytes.unsafe_get fr.lfr_defined slot <> '\001' then
+            invalid_arg msg)
+  | _ -> None
+
+let xguard (lf : L.lfunc) (os : L.operand list) : (lframe -> unit) option =
+  match List.filter_map (xcheck1 lf) os with
+  | [] -> None
+  | [ g ] -> Some g
+  | [ g1; g2 ] ->
+      Some
+        (fun fr ->
+          g1 fr;
+          g2 fr)
+  | gs -> Some (fun fr -> List.iter (fun g -> g fr) gs)
+
+let strip_check : L.operand -> L.operand = function
+  | L.Ocheck { slot; _ } -> L.Oslot slot
+  | o -> o
+
+let xguarded (g : (lframe -> unit) option) (core : xunit) : xunit =
+  match g with
+  | None -> core
+  | Some g ->
+      fun st th fr ->
+        g fr;
+        core st th fr
+
+(* Getter followed by truncation to [w], with the mask precomputed (and
+   immediates truncated outright at compile time). *)
+let xget_w (lf : L.lfunc) w (o : L.operand) : t -> lframe -> int64 =
+  match o with
+  | L.Oimm { v; _ } ->
+      let tv = Ty.truncate w v in
+      fun _ _ -> tv
+  | _ ->
+      let g = xget lf o in
+      let m = Ty.mask w in
+      fun st fr -> Int64.logand (g st fr) m
+
+(* Binop on pre-truncated inputs, specialised per (op, w).  Division by
+   zero is the caller's crash check, so Udiv/Urem here assume b <> 0.
+   The shifts keep their subtle width semantics in one place by
+   delegating to [Sem.eval_binop]. *)
+let xbinop (op : binop) w : int64 -> int64 -> int64 =
+  let m = Ty.mask w in
+  match op with
+  | Add -> fun a b -> Int64.logand (Int64.add a b) m
+  | Sub -> fun a b -> Int64.logand (Int64.sub a b) m
+  | Mul -> fun a b -> Int64.logand (Int64.mul a b) m
+  | And -> Int64.logand
+  | Or -> Int64.logor
+  | Xor -> Int64.logxor
+  | Udiv -> fun a b -> Int64.logand (Int64.unsigned_div a b) m
+  | Urem -> fun a b -> Int64.logand (Int64.unsigned_rem a b) m
+  | Shl | Lshr | Ashr ->
+      let sop = smt_binop op in
+      fun a b -> Sem.eval_binop sop w a b
+
+let xsext w = if w = 64 then fun v -> v else fun v -> Ty.sign_extend w v
+
+(* Comparison on pre-truncated inputs: [eval_cmp] with the negations
+   folded and the sign extension hoisted. *)
+let xcmpop (op : cmpop) w : int64 -> int64 -> bool =
+  let sx = xsext w in
+  match op with
+  | Eq -> Int64.equal
+  | Ne -> fun a b -> not (Int64.equal a b)
+  | Ult -> fun a b -> Int64.unsigned_compare a b < 0
+  | Ule -> fun a b -> Int64.unsigned_compare a b <= 0
+  | Ugt -> fun a b -> Int64.unsigned_compare a b > 0
+  | Uge -> fun a b -> Int64.unsigned_compare a b >= 0
+  | Slt -> fun a b -> Int64.compare (sx a) (sx b) < 0
+  | Sle -> fun a b -> Int64.compare (sx a) (sx b) <= 0
+  | Sgt -> fun a b -> Int64.compare (sx a) (sx b) > 0
+  | Sge -> fun a b -> Int64.compare (sx a) (sx b) >= 0
+
+(* Compare condition with the operand reads inlined, one closure body
+   per (operand shape, op): without flambda a getter closure boxes its
+   int64 return, so the getter chain costs two allocations per compare.
+   Here slot reads, masks, sign extensions and the comparison live in a
+   single body, where ocamlopt keeps every intermediate unboxed.  The
+   comparisons compile to unboxed [Pbintcomp]; unsigned order uses the
+   [sub min_int] bias (the definition of [Int64.unsigned_compare]) and
+   signed order sign-extends by shift pairs, both on raw reads — the
+   input masks fold into the shifts/bias algebraically.  Operand shapes
+   outside slot/imm (global, null, undefined-checked) fall back to the
+   getter chain. *)
+let xcond (lf : L.lfunc) ~(op : cmpop) ~w (a : L.operand) (b : L.operand) :
+    t -> lframe -> bool =
+  let m = Ty.mask w in
+  let sh = 64 - w in
+  let mn = Int64.min_int in
+  match (a, b) with
+  | L.Oslot sa, L.Oslot sb -> (
+      match op with
+      | Eq -> fun _ fr -> Int64.logand (rget fr sa) m = Int64.logand (rget fr sb) m
+      | Ne -> fun _ fr -> Int64.logand (rget fr sa) m <> Int64.logand (rget fr sb) m
+      | Ult ->
+          fun _ fr ->
+            Int64.sub (Int64.logand (rget fr sa) m) mn
+            < Int64.sub (Int64.logand (rget fr sb) m) mn
+      | Ule ->
+          fun _ fr ->
+            Int64.sub (Int64.logand (rget fr sa) m) mn
+            <= Int64.sub (Int64.logand (rget fr sb) m) mn
+      | Ugt ->
+          fun _ fr ->
+            Int64.sub (Int64.logand (rget fr sa) m) mn
+            > Int64.sub (Int64.logand (rget fr sb) m) mn
+      | Uge ->
+          fun _ fr ->
+            Int64.sub (Int64.logand (rget fr sa) m) mn
+            >= Int64.sub (Int64.logand (rget fr sb) m) mn
+      | Slt ->
+          fun _ fr ->
+            Int64.shift_right (Int64.shift_left (rget fr sa) sh) sh
+            < Int64.shift_right (Int64.shift_left (rget fr sb) sh) sh
+      | Sle ->
+          fun _ fr ->
+            Int64.shift_right (Int64.shift_left (rget fr sa) sh) sh
+            <= Int64.shift_right (Int64.shift_left (rget fr sb) sh) sh
+      | Sgt ->
+          fun _ fr ->
+            Int64.shift_right (Int64.shift_left (rget fr sa) sh) sh
+            > Int64.shift_right (Int64.shift_left (rget fr sb) sh) sh
+      | Sge ->
+          fun _ fr ->
+            Int64.shift_right (Int64.shift_left (rget fr sa) sh) sh
+            >= Int64.shift_right (Int64.shift_left (rget fr sb) sh) sh)
+  | L.Oslot sa, L.Oimm { v; _ } -> (
+      let k = Ty.truncate w v in
+      let uk = Int64.sub k mn in
+      let sk = Int64.shift_right (Int64.shift_left k sh) sh in
+      match op with
+      | Eq -> fun _ fr -> Int64.logand (rget fr sa) m = k
+      | Ne -> fun _ fr -> Int64.logand (rget fr sa) m <> k
+      | Ult -> fun _ fr -> Int64.sub (Int64.logand (rget fr sa) m) mn < uk
+      | Ule -> fun _ fr -> Int64.sub (Int64.logand (rget fr sa) m) mn <= uk
+      | Ugt -> fun _ fr -> Int64.sub (Int64.logand (rget fr sa) m) mn > uk
+      | Uge -> fun _ fr -> Int64.sub (Int64.logand (rget fr sa) m) mn >= uk
+      | Slt ->
+          fun _ fr -> Int64.shift_right (Int64.shift_left (rget fr sa) sh) sh < sk
+      | Sle ->
+          fun _ fr ->
+            Int64.shift_right (Int64.shift_left (rget fr sa) sh) sh <= sk
+      | Sgt ->
+          fun _ fr -> Int64.shift_right (Int64.shift_left (rget fr sa) sh) sh > sk
+      | Sge ->
+          fun _ fr ->
+            Int64.shift_right (Int64.shift_left (rget fr sa) sh) sh >= sk)
+  | L.Oimm { v; _ }, L.Oslot sb -> (
+      let k = Ty.truncate w v in
+      let uk = Int64.sub k mn in
+      let sk = Int64.shift_right (Int64.shift_left k sh) sh in
+      match op with
+      | Eq -> fun _ fr -> k = Int64.logand (rget fr sb) m
+      | Ne -> fun _ fr -> k <> Int64.logand (rget fr sb) m
+      | Ult -> fun _ fr -> uk < Int64.sub (Int64.logand (rget fr sb) m) mn
+      | Ule -> fun _ fr -> uk <= Int64.sub (Int64.logand (rget fr sb) m) mn
+      | Ugt -> fun _ fr -> uk > Int64.sub (Int64.logand (rget fr sb) m) mn
+      | Uge -> fun _ fr -> uk >= Int64.sub (Int64.logand (rget fr sb) m) mn
+      | Slt ->
+          fun _ fr -> sk < Int64.shift_right (Int64.shift_left (rget fr sb) sh) sh
+      | Sle ->
+          fun _ fr ->
+            sk <= Int64.shift_right (Int64.shift_left (rget fr sb) sh) sh
+      | Sgt ->
+          fun _ fr -> sk > Int64.shift_right (Int64.shift_left (rget fr sb) sh) sh
+      | Sge ->
+          fun _ fr ->
+            sk >= Int64.shift_right (Int64.shift_left (rget fr sb) sh) sh)
+  | _ ->
+      let ga = xget_w lf w a and gb = xget_w lf w b in
+      let ev = xcmpop op w in
+      fun st fr -> ev (ga st fr) (gb st fr)
+
+(* Hand-specialised LBin unit for slot/imm operand shapes, the same
+   unboxing argument as [xcond].  For add/sub/mul and the bitwise ops
+   the input masks are algebraically redundant —
+   [(a land m) op (b land m) land m = (a op b) land m] for any low-bit
+   mask — so raw reads feed the op and only the result is masked,
+   exactly the reference's value.  Udiv/Urem keep the input masks (high
+   bits change quotients) and the masked-divisor zero check; the shifts
+   keep their width subtleties in [Sem.eval_binop], now a direct call. *)
+let xbin_unit (lf : L.lfunc) ~ip1 ~dst ~(op : binop) ~w (a : L.operand)
+    (b : L.operand) : xunit =
+  let tracked = lf.L.lf_tracked in
+  let m = Ty.mask w in
+  let generic () =
+    let xset = xsetter lf in
+    let ga = xget_w lf w a and gb = xget_w lf w b in
+    match op with
+    | Udiv | Urem ->
+        let ev = xbinop op w in
+        fun st _ fr ->
+          let va = ga st fr and vb = gb st fr in
+          if Int64.equal vb 0L then raise (Crash Failure.Div_by_zero);
+          xset fr dst (ev va vb);
+          fr.lfr_ip <- ip1;
+          st.lclock <- st.lclock + 1;
+          Stepped
+    | _ ->
+        let ev = xbinop op w in
+        fun st _ fr ->
+          let va = ga st fr and vb = gb st fr in
+          xset fr dst (ev va vb);
+          fr.lfr_ip <- ip1;
+          st.lclock <- st.lclock + 1;
+          Stepped
+  in
+  match (a, b) with
+  | L.Oslot sa, L.Oslot sb -> (
+      match op with
+      | Add ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.add (rget fr sa) (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Sub ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.sub (rget fr sa) (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Mul ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.mul (rget fr sa) (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | And ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.logand (rget fr sa) (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Or ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.logor (rget fr sa) (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Xor ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.logxor (rget fr sa) (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Udiv ->
+          fun st _ fr ->
+            let vb = Int64.logand (rget fr sb) m in
+            if vb = 0L then raise (Crash Failure.Div_by_zero);
+            rset fr dst
+              (Int64.logand
+                 (Int64.unsigned_div (Int64.logand (rget fr sa) m) vb)
+                 m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Urem ->
+          fun st _ fr ->
+            let vb = Int64.logand (rget fr sb) m in
+            if vb = 0L then raise (Crash Failure.Div_by_zero);
+            rset fr dst
+              (Int64.logand
+                 (Int64.unsigned_rem (Int64.logand (rget fr sa) m) vb)
+                 m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      (* [Sem.eval_binop]'s shift semantics inlined: amount = the masked
+         b as an int; overshifts yield 0 (Shl/Lshr) or the sign fill
+         (Ashr, clamped at 63).  Shl's input mask folds into the result
+         mask; Lshr/Ashr read masked/sign-extended values since high
+         bits would shift into range. *)
+      | Shl ->
+          fun st _ fr ->
+            let s = Int64.to_int (Int64.logand (rget fr sb) m) in
+            rset fr dst
+              (if s >= w then 0L
+               else Int64.logand (Int64.shift_left (rget fr sa) s) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Lshr ->
+          fun st _ fr ->
+            let s = Int64.to_int (Int64.logand (rget fr sb) m) in
+            rset fr dst
+              (if s >= w then 0L
+               else
+                 Int64.shift_right_logical (Int64.logand (rget fr sa) m) s);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Ashr ->
+          let sh = 64 - w in
+          fun st _ fr ->
+            let s = Int64.to_int (Int64.logand (rget fr sb) m) in
+            let sa_ =
+              Int64.shift_right (Int64.shift_left (rget fr sa) sh) sh
+            in
+            rset fr dst
+              (Int64.logand
+                 (Int64.shift_right sa_ (if s >= 63 then 63 else s))
+                 m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.Oslot sa, L.Oimm { v; _ } -> (
+      let k = Ty.truncate w v in
+      match op with
+      | Add ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.add (rget fr sa) k) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Sub ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.sub (rget fr sa) k) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Mul ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.mul (rget fr sa) k) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | And ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.logand (rget fr sa) k) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Or ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.logor (rget fr sa) k) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Xor ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.logxor (rget fr sa) k) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Udiv ->
+          if k = 0L then fun _ _ _ -> raise (Crash Failure.Div_by_zero)
+          else
+            fun st _ fr ->
+              rset fr dst
+                (Int64.logand
+                   (Int64.unsigned_div (Int64.logand (rget fr sa) m) k)
+                   m);
+              xmark tracked fr dst;
+              fr.lfr_ip <- ip1;
+              st.lclock <- st.lclock + 1;
+              Stepped
+      | Urem ->
+          if k = 0L then fun _ _ _ -> raise (Crash Failure.Div_by_zero)
+          else
+            fun st _ fr ->
+              rset fr dst
+                (Int64.logand
+                   (Int64.unsigned_rem (Int64.logand (rget fr sa) m) k)
+                   m);
+              xmark tracked fr dst;
+              fr.lfr_ip <- ip1;
+              st.lclock <- st.lclock + 1;
+              Stepped
+      (* constant shift amount: the overshift test resolves at compile
+         time *)
+      | Shl ->
+          let s = Int64.to_int k in
+          if s >= w then fun st _ fr ->
+            rset fr dst 0L;
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+          else
+            fun st _ fr ->
+              rset fr dst (Int64.logand (Int64.shift_left (rget fr sa) s) m);
+              xmark tracked fr dst;
+              fr.lfr_ip <- ip1;
+              st.lclock <- st.lclock + 1;
+              Stepped
+      | Lshr ->
+          let s = Int64.to_int k in
+          if s >= w then fun st _ fr ->
+            rset fr dst 0L;
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+          else
+            fun st _ fr ->
+              rset fr dst
+                (Int64.shift_right_logical (Int64.logand (rget fr sa) m) s);
+              xmark tracked fr dst;
+              fr.lfr_ip <- ip1;
+              st.lclock <- st.lclock + 1;
+              Stepped
+      | Ashr ->
+          let s = Int64.to_int k in
+          let s = if s >= 63 then 63 else s in
+          let sh = 64 - w in
+          fun st _ fr ->
+            rset fr dst
+              (Int64.logand
+                 (Int64.shift_right
+                    (Int64.shift_right (Int64.shift_left (rget fr sa) sh) sh)
+                    s)
+                 m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.Oimm { v; _ }, L.Oslot sb -> (
+      let k = Ty.truncate w v in
+      match op with
+      | Add ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.add k (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Sub ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.sub k (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Mul ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.mul k (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | And ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.logand k (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Or ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.logor k (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Xor ->
+          fun st _ fr ->
+            rset fr dst (Int64.logand (Int64.logxor k (rget fr sb)) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Udiv ->
+          fun st _ fr ->
+            let vb = Int64.logand (rget fr sb) m in
+            if vb = 0L then raise (Crash Failure.Div_by_zero);
+            rset fr dst (Int64.logand (Int64.unsigned_div k vb) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Urem ->
+          fun st _ fr ->
+            let vb = Int64.logand (rget fr sb) m in
+            if vb = 0L then raise (Crash Failure.Div_by_zero);
+            rset fr dst (Int64.logand (Int64.unsigned_rem k vb) m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Shl | Lshr | Ashr ->
+          let sop = smt_binop op in
+          fun st _ fr ->
+            rset fr dst
+              (Sem.eval_binop sop w k (Int64.logand (rget fr sb) m));
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | _ -> generic ()
+
+(* [ldo_return] without the on_ret hook check, for the fast path. *)
+let ldo_return_fast st (th : lthread) v : step =
+  match th.lstack with
+  | [] -> assert false
+  | fr :: rest ->
+      List.iter (Memory.release_stack st.lmem) fr.lfr_stack_objs;
+      th.lstack <- rest;
+      th.ldepth <- th.ldepth - 1;
+      (match rest with
+       | [] ->
+           th.lstatus <- Done_t;
+           if th.ltid = 0 then Program_done v else Thread_done
+       | caller :: _ ->
+           (match fr.lfr_dst, v with
+            | Some dst, Some value ->
+                lset_slot caller dst
+                  (Ty.truncate fr.lfr_func.L.lf_ret_w value)
+            | Some dst, None -> lset_slot caller dst 0L
+            | None, _ -> ());
+           Stepped)
+
+(* Return with the value as a raw slot read: the option box moves to the
+   Program_done edge (once per run), so ordinary returns allocate
+   nothing beyond what the frame pop itself frees. *)
+let ldo_return_slot st (th : lthread) (value : int64) : step =
+  match th.lstack with
+  | [] -> assert false
+  | fr :: rest ->
+      List.iter (Memory.release_stack st.lmem) fr.lfr_stack_objs;
+      th.lstack <- rest;
+      th.ldepth <- th.ldepth - 1;
+      (match rest with
+       | [] ->
+           th.lstatus <- Done_t;
+           if th.ltid = 0 then Program_done (Some value) else Thread_done
+       | caller :: _ ->
+           (match fr.lfr_dst with
+            | Some dst ->
+                lset_slot caller dst
+                  (Ty.truncate fr.lfr_func.L.lf_ret_w value)
+            | None -> ());
+           Stepped)
+
+(* Hand-specialised call: one writer closure per argument copies
+   caller-frame slots into the callee frame as raw 64-bit moves — no
+   boxed getter returns, no argument list, no List.iteri binding.
+   Writers run last-argument-first, the reference's fold_right
+   evaluation order (observable only through Ocheck raises).  The
+   callee frame is allocated before the arguments evaluate; that
+   reordering is unobservable (a frame allocation journals nothing).
+   Arity mismatches fall back to the generic path so the invalid_arg
+   fires after operand evaluation, exactly like [make_lframe]. *)
+let xcall_unit (low : L.t) (lf : L.lfunc) ~ip1 ~dst ~fidx
+    (args : L.operand array) : xunit option =
+  let callee = low.L.l_funcs.(fidx) in
+  let params = callee.L.lf_params in
+  if Array.length args <> Array.length params then None
+  else begin
+    let tracked = callee.L.lf_tracked in
+    let writer i : t -> lframe -> lframe -> unit =
+      let slot, ty = params.(i) in
+      let m = Ty.mask (width_of_ty ty) in
+      let[@inline] put (nfr : lframe) v =
+        rset nfr slot v;
+        if tracked then Bytes.unsafe_set nfr.lfr_defined slot '\001'
+      in
+      match args.(i) with
+      | L.Oslot s -> fun _ fr nfr -> put nfr (Int64.logand (rget fr s) m)
+      | L.Oimm { v; _ } ->
+          let k = Int64.logand v m in
+          fun _ _ nfr -> put nfr k
+      | L.Onull -> fun _ _ nfr -> put nfr 0L
+      | L.Oglobal gi ->
+          fun st _ nfr ->
+            put nfr (Int64.logand (Array.unsafe_get st.lglobal_ptrs gi) m)
+      | L.Ocheck { slot = s; reg } ->
+          let msg =
+            Printf.sprintf "Interp: read of undefined register %s in %s" reg
+              lf.L.lf_name
+          in
+          fun _ fr nfr ->
+            if Bytes.unsafe_get fr.lfr_defined s <> '\001' then
+              invalid_arg msg;
+            put nfr (Int64.logand (rget fr s) m)
+    in
+    let writers = Array.init (Array.length params) writer in
+    let nparams = Array.length params in
+    let nbytes = callee.L.lf_nslots lsl 3 in
+    let ndef = callee.L.lf_nslots in
+    let entry = callee.L.lf_blocks.(0) in
+    Some
+      (fun st th fr ->
+        if th.ldepth >= st.lcfg.max_call_depth then
+          raise (Crash Failure.Stack_overflow);
+        let nfr =
+          { lfr_func = callee; lfr_block = entry; lfr_ip = 0;
+            lfr_regs = Bytes.make nbytes '\000';
+            lfr_defined =
+              (if tracked then Bytes.make ndef '\000' else empty_defined);
+            lfr_dst = dst; lfr_stack_objs = []; lfr_pending = None }
+        in
+        for i = nparams - 1 downto 0 do
+          (Array.unsafe_get writers i) st fr nfr
+        done;
+        fr.lfr_ip <- ip1;
+        record_entry st callee 0;
+        th.lstack <- nfr :: th.lstack;
+        th.ldepth <- th.ldepth + 1;
+        st.lclock <- st.lclock + 1;
+        Stepped)
+  end
+
+(* The pre-terminator accounting of [lstep_thread]: one batched add per
+   counter class plus the per-block retirement count, before the
+   terminator executes (also before abort/unreachable raise). *)
+let[@inline] xflush st uid (b : L.lblock) =
+  if M.enabled M.default then begin
+    flush_delta b.L.lb_delta;
+    (* uid < length by construction: it's the block's own table slot *)
+    Array.unsafe_set st.lblk_counts uid
+      (Array.unsafe_get st.lblk_counts uid + 1)
+  end
+
+(* Hand-specialised hook-free singleton for the instruction at [ip].
+   Mirrors [lstep_instr] case by case — same evaluation order, same
+   crash points, same writes — minus every hook option check, plus the
+   ip/clock update the run loop used to perform. *)
+let xinstr_fast (low : L.t) (lf : L.lfunc) (b : L.lblock) ip : xunit =
+  let ip1 = ip + 1 in
+  let xset = xsetter lf in
+  let tracked = lf.L.lf_tracked in
+  match b.L.lb_instrs.(ip) with
+  | L.LBin { dst; op; w; a; b; _ } ->
+      (* reference order: a then b (let-and binds left to right) *)
+      xguarded
+        (xguard lf [ a; b ])
+        (xbin_unit lf ~ip1 ~dst ~op ~w (strip_check a) (strip_check b))
+  | L.LCmp { dst; op; w; a; b; _ } ->
+      (* reference order: b then a (application arguments evaluate
+         right to left) *)
+      let g = xguard lf [ b; a ] in
+      let cond = xcond lf ~op ~w (strip_check a) (strip_check b) in
+      xguarded g (fun st _ fr ->
+          rset fr dst (if cond st fr then 1L else 0L);
+          xmark tracked fr dst;
+          fr.lfr_ip <- ip1;
+          st.lclock <- st.lclock + 1;
+          Stepped)
+  | L.LSelect { dst; w; cond; if_true; if_false; _ } ->
+      let gc = xget lf cond
+      and gt = xget lf if_true
+      and gf = xget lf if_false in
+      let m = Ty.mask w in
+      fun st _ fr ->
+        let c = gc st fr in
+        let v =
+          if Int64.equal (Int64.logand c 1L) 1L then gt st fr else gf st fr
+        in
+        xset fr dst (Int64.logand v m);
+        fr.lfr_ip <- ip1;
+        st.lclock <- st.lclock + 1;
+        Stepped
+  | L.LCast { dst; kind; to_w; from_w; v = v0; _ } -> (
+      let gv = xguard lf [ v0 ] in
+      let v = strip_check v0 in
+      xguarded gv
+      @@
+      match (kind, v) with
+      (* single mask: (x & m_from) & m_to, folded at compile time *)
+      | (Zext | Ptrtoint | Inttoptr | Trunc), L.Oslot s ->
+          let mm = Int64.logand (Ty.mask from_w) (Ty.mask to_w) in
+          fun st _ fr ->
+            rset fr dst (Int64.logand (rget fr s) mm);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      (* the from-mask folds into the shift pair, as in [xcond] *)
+      | Sext, L.Oslot s ->
+          let sh = 64 - from_w and m = Ty.mask to_w in
+          fun st _ fr ->
+            rset fr dst
+              (Int64.logand
+                 (Int64.shift_right (Int64.shift_left (rget fr s) sh) sh)
+                 m);
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | (Zext | Ptrtoint | Inttoptr | Trunc), _ ->
+          let g = xget_w lf from_w v in
+          let m = Ty.mask to_w in
+          fun st _ fr ->
+            xset fr dst (Int64.logand (g st fr) m);
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | Sext, _ ->
+          let g = xget_w lf from_w v in
+          let sx = xsext from_w and m = Ty.mask to_w in
+          fun st _ fr ->
+            xset fr dst (Int64.logand (sx (g st fr)) m);
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LLoad { dst; ty; addr = addr0 } -> (
+      let ga = xguard lf [ addr0 ] in
+      let addr = strip_check addr0 in
+      xguarded ga
+      @@
+      match addr with
+      | L.Oslot sa ->
+          fun st _ fr ->
+            let v =
+              match Memory.load_exn st.lmem (rget fr sa) ~ty with
+              | v -> v
+              | exception Memory.Fault k -> raise (Crash k)
+            in
+            rset fr dst v;
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | L.Oglobal gi ->
+          fun st _ fr ->
+            let v =
+              match
+                Memory.load_exn st.lmem
+                  (Array.unsafe_get st.lglobal_ptrs gi)
+                  ~ty
+              with
+              | v -> v
+              | exception Memory.Fault k -> raise (Crash k)
+            in
+            rset fr dst v;
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | _ ->
+          let ga = xget lf addr in
+          fun st _ fr ->
+            let v =
+              match Memory.load_exn st.lmem (ga st fr) ~ty with
+              | v -> v
+              | exception Memory.Fault k -> raise (Crash k)
+            in
+            xset fr dst v;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LStore { ty; w; v = v0; addr = addr0 } -> (
+      (* reference order: value then address *)
+      let gs = xguard lf [ v0; addr0 ] in
+      let v = strip_check v0 and addr = strip_check addr0 in
+      let m = Ty.mask w in
+      xguarded gs
+      @@
+      match (v, addr) with
+      | L.Oslot sv, L.Oslot sa ->
+          fun st _ fr ->
+            let value = Int64.logand (rget fr sv) m in
+            (match Memory.store_exn st.lmem (rget fr sa) ~ty value with
+             | () -> ()
+             | exception Memory.Fault k -> raise (Crash k));
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | L.Oslot sv, L.Oglobal gi ->
+          fun st _ fr ->
+            let value = Int64.logand (rget fr sv) m in
+            (match
+               Memory.store_exn st.lmem
+                 (Array.unsafe_get st.lglobal_ptrs gi)
+                 ~ty value
+             with
+             | () -> ()
+             | exception Memory.Fault k -> raise (Crash k));
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | L.Oimm { v = iv; _ }, L.Oslot sa ->
+          let k = Ty.truncate w iv in
+          fun st _ fr ->
+            (match Memory.store_exn st.lmem (rget fr sa) ~ty k with
+             | () -> ()
+             | exception Memory.Fault k -> raise (Crash k));
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | L.Oimm { v = iv; _ }, L.Oglobal gi ->
+          let k = Ty.truncate w iv in
+          fun st _ fr ->
+            (match
+               Memory.store_exn st.lmem
+                 (Array.unsafe_get st.lglobal_ptrs gi)
+                 ~ty k
+             with
+             | () -> ()
+             | exception Memory.Fault k -> raise (Crash k));
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | _ ->
+          let gv = xget_w lf w v and ga = xget lf addr in
+          fun st _ fr ->
+            let value = gv st fr in
+            (match Memory.store_exn st.lmem (ga st fr) ~ty value with
+             | () -> ()
+             | exception Memory.Fault k -> raise (Crash k));
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LAlloc { dst; elt_ty; count; heap } -> (
+      let gc = xget lf count in
+      fun st _ fr ->
+        let n = Int64.to_int (gc st fr) in
+        match Memory.alloc st.lmem ~elt_ty ~size:n ~heap with
+        | None ->
+            raise (Crash (Failure.Access_type_error "allocation too large"))
+        | Some p ->
+            if not heap then
+              fr.lfr_stack_objs <- Memory.ptr_obj p :: fr.lfr_stack_objs;
+            xset fr dst p;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LFree { addr } -> (
+      let ga = xget lf addr in
+      fun st _ fr ->
+        match Memory.free st.lmem (ga st fr) with
+        | Error k -> raise (Crash k)
+        | Ok () ->
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LGep { dst; base = base0; idx = idx0 } -> (
+      (* reference order: base then index *)
+      let gg = xguard lf [ base0; idx0 ] in
+      let base = strip_check base0 and idx = strip_check idx0 in
+      (* sign_extend 64 is the identity, so the index read is plain *)
+      xguarded gg
+      @@
+      match (base, idx) with
+      | L.Oslot sb_, L.Oslot si ->
+          fun st _ fr ->
+            let p = rget fr sb_ in
+            let i = Int64.to_int (rget fr si) in
+            rset fr dst
+              (Memory.ptr ~obj:(Memory.ptr_obj p)
+                 ~index:(Memory.ptr_index p + i));
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | L.Oslot sb_, L.Oimm { v; _ } ->
+          let ki = Int64.to_int v in
+          fun st _ fr ->
+            let p = rget fr sb_ in
+            rset fr dst
+              (Memory.ptr ~obj:(Memory.ptr_obj p)
+                 ~index:(Memory.ptr_index p + ki));
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | L.Oglobal gi_, L.Oslot si ->
+          fun st _ fr ->
+            let p = Array.unsafe_get st.lglobal_ptrs gi_ in
+            let i = Int64.to_int (rget fr si) in
+            rset fr dst
+              (Memory.ptr ~obj:(Memory.ptr_obj p)
+                 ~index:(Memory.ptr_index p + i));
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | L.Oglobal gi_, L.Oimm { v; _ } ->
+          let ki = Int64.to_int v in
+          fun st _ fr ->
+            let p = Array.unsafe_get st.lglobal_ptrs gi_ in
+            rset fr dst
+              (Memory.ptr ~obj:(Memory.ptr_obj p)
+                 ~index:(Memory.ptr_index p + ki));
+            xmark tracked fr dst;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | _ ->
+          let gb = xget lf base and gi = xget lf idx in
+          fun st _ fr ->
+            let p = gb st fr in
+            let i = Int64.to_int (gi st fr) in
+            xset fr dst
+              (Memory.ptr ~obj:(Memory.ptr_obj p)
+                 ~index:(Memory.ptr_index p + i));
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LCall { dst; fidx; args } -> (
+      match xcall_unit low lf ~ip1 ~dst ~fidx args with
+      | Some x -> x
+      | None ->
+          (* arity mismatch: keep the generic path so the invalid_arg
+             fires after operand evaluation, like the reference *)
+          let gargs = Array.map (xget lf) args in
+          fun st th fr ->
+            if th.ldepth >= st.lcfg.max_call_depth then
+              raise (Crash Failure.Stack_overflow);
+            let callee = st.llow.L.l_funcs.(fidx) in
+            let vargs =
+              Array.fold_right (fun g acc -> g st fr :: acc) gargs []
+            in
+            fr.lfr_ip <- ip1;
+            record_entry st callee 0;
+            th.lstack <- make_lframe callee vargs ~dst :: th.lstack;
+            th.ldepth <- th.ldepth + 1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LInput { dst; ty; stream } -> (
+      let m = Ty.mask (width_of_ty ty) in
+      fun st _ fr ->
+        match Inputs.read st.linputs stream with
+        | None -> raise (Crash (Failure.Input_exhausted stream))
+        | Some v ->
+            xset fr dst (Int64.logand v m);
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LOutput { v = v0 } -> (
+      let gv = xguard lf [ v0 ] in
+      let v = strip_check v0 in
+      xguarded gv
+      @@
+      match v with
+      | L.Oslot s ->
+          fun st _ fr ->
+            st.loutputs <- rget fr s :: st.loutputs;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | _ ->
+          let gv = xget lf v in
+          fun st _ fr ->
+            st.loutputs <- gv st fr :: st.loutputs;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LPtwrite _ ->
+      (* with no hook the traced operand is not even evaluated, exactly
+         like the [None] arm of the reference; clock-free *)
+      fun _ _ fr ->
+        fr.lfr_ip <- ip1;
+        Stepped_free
+  | L.LAssert { cond = cond0; msg } -> (
+      let gc = xguard lf [ cond0 ] in
+      let cond = strip_check cond0 in
+      xguarded gc
+      @@
+      match cond with
+      | L.Oslot s ->
+          fun st _ fr ->
+            if Int64.logand (rget fr s) 1L = 0L then
+              raise (Crash (Failure.Assert_failed msg));
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | _ ->
+          let gc = xget lf cond in
+          fun st _ fr ->
+            if Int64.equal (Int64.logand (gc st fr) 1L) 0L then
+              raise (Crash (Failure.Assert_failed msg));
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LSpawn { fidx; args } ->
+      let gargs = Array.map (xget lf) args in
+      fun st _ fr ->
+        let callee = st.llow.L.l_funcs.(fidx) in
+        let vargs = Array.fold_right (fun g acc -> g st fr :: acc) gargs [] in
+        record_entry st callee 0;
+        let nt =
+          { ltid = st.lnext_tid; lstack = [ make_lframe callee vargs ~dst:None ];
+            ldepth = 1; lstatus = Runnable }
+        in
+        st.lnext_tid <- st.lnext_tid + 1;
+        st.lthreads <- st.lthreads @ [ nt ];
+        fr.lfr_ip <- ip1;
+        st.lclock <- st.lclock + 1;
+        Stepped
+  | L.LJoin ->
+      let src_i = b.L.lb_src.instrs.(ip) in
+      fun st th fr ->
+        let others_done =
+          List.for_all
+            (fun t -> t.ltid = th.ltid || t.lstatus = Done_t)
+            st.lthreads
+        in
+        if others_done then begin
+          fr.lfr_ip <- ip1;
+          st.lclock <- st.lclock + 1;
+          Stepped
+        end
+        else begin
+          th.lstatus <- Waiting_join;
+          (* blocked ops count once per attempt, like the reference *)
+          if M.enabled M.default then count_instr src_i;
+          Blocked
+        end
+  | L.LLock { addr } -> (
+      let ga = xget lf addr and src_i = b.L.lb_src.instrs.(ip) in
+      fun st th fr ->
+        let a = ga st fr in
+        match Hashtbl.find_opt st.lmutexes a with
+        | Some owner when owner = th.ltid ->
+            raise (Crash (Failure.Lock_error "recursive lock"))
+        | Some _ ->
+            th.lstatus <- Blocked_lock a;
+            if M.enabled M.default then count_instr src_i;
+            Blocked
+        | None ->
+            Hashtbl.replace st.lmutexes a th.ltid;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LUnlock { addr } -> (
+      let ga = xget lf addr in
+      fun st th fr ->
+        let a = ga st fr in
+        match Hashtbl.find_opt st.lmutexes a with
+        | Some owner when owner = th.ltid ->
+            Hashtbl.remove st.lmutexes a;
+            List.iter
+              (fun t ->
+                 match t.lstatus with
+                 | Blocked_lock a' when Int64.equal a a' ->
+                     t.lstatus <- Runnable
+                 | Blocked_lock _ | Runnable | Waiting_join | Done_t -> ())
+              st.lthreads;
+            fr.lfr_ip <- ip1;
+            st.lclock <- st.lclock + 1;
+            Stepped
+        | Some _ | None ->
+            raise (Crash (Failure.Lock_error "unlock of mutex not held")))
+
+(* Hook-free terminator singleton: metric flush, then the jump/return,
+   then the clock tick — the order of [lstep_thread] + the run loop. *)
+let xterm_fast (lf : L.lfunc) (b : L.lblock) ~uid : xunit =
+  match b.L.lb_term with
+  | L.LBr i ->
+      let target = lf.L.lf_blocks.(i) in
+      fun st _ fr ->
+        xflush st uid b;
+        record_entry st lf i;
+        fr.lfr_block <- target;
+        fr.lfr_ip <- 0;
+        st.lclock <- st.lclock + 1;
+        Stepped
+  | L.LCond_br { cond; if_true; if_false } -> (
+      let bt = lf.L.lf_blocks.(if_true) and bf = lf.L.lf_blocks.(if_false) in
+      match cond with
+      | L.Oslot s ->
+          fun st _ fr ->
+            xflush st uid b;
+            let c = Int64.logand (rget fr s) 1L = 1L in
+            st.lbranches <- st.lbranches + 1;
+            record_entry st lf (if c then if_true else if_false);
+            fr.lfr_block <- (if c then bt else bf);
+            fr.lfr_ip <- 0;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | L.Ocheck { slot = s; reg } ->
+          (* inline definedness check after the flush, exactly where the
+             generic getter would run — no boxed getter return *)
+          let msg =
+            Printf.sprintf "Interp: read of undefined register %s in %s" reg
+              lf.L.lf_name
+          in
+          fun st _ fr ->
+            xflush st uid b;
+            if Bytes.unsafe_get fr.lfr_defined s <> '\001' then
+              invalid_arg msg;
+            let c = Int64.logand (rget fr s) 1L = 1L in
+            st.lbranches <- st.lbranches + 1;
+            record_entry st lf (if c then if_true else if_false);
+            fr.lfr_block <- (if c then bt else bf);
+            fr.lfr_ip <- 0;
+            st.lclock <- st.lclock + 1;
+            Stepped
+      | _ ->
+          let gc = xget lf cond in
+          fun st _ fr ->
+            xflush st uid b;
+            let c = Int64.equal (Int64.logand (gc st fr) 1L) 1L in
+            st.lbranches <- st.lbranches + 1;
+            record_entry st lf (if c then if_true else if_false);
+            fr.lfr_block <- (if c then bt else bf);
+            fr.lfr_ip <- 0;
+            st.lclock <- st.lclock + 1;
+            Stepped)
+  | L.LRet v -> (
+      match v with
+      | None ->
+          fun st th _ -> (
+            xflush st uid b;
+            match ldo_return_fast st th None with
+            | Stepped ->
+                st.lclock <- st.lclock + 1;
+                Stepped
+            | Program_done r ->
+                st.lclock <- st.lclock + 1;
+                Program_done r
+            | s -> s)
+      | Some (L.Oslot s) ->
+          fun st th fr -> (
+            xflush st uid b;
+            match ldo_return_slot st th (rget fr s) with
+            | Stepped ->
+                st.lclock <- st.lclock + 1;
+                Stepped
+            | Program_done r ->
+                st.lclock <- st.lclock + 1;
+                Program_done r
+            | s -> s)
+      | Some (L.Ocheck { slot = s; reg }) ->
+          (* check after the metric flush, matching the generic arm's
+             operand-evaluation point *)
+          let msg =
+            Printf.sprintf "Interp: read of undefined register %s in %s" reg
+              lf.L.lf_name
+          in
+          fun st th fr -> (
+            xflush st uid b;
+            if Bytes.unsafe_get fr.lfr_defined s <> '\001' then
+              invalid_arg msg;
+            match ldo_return_slot st th (rget fr s) with
+            | Stepped ->
+                st.lclock <- st.lclock + 1;
+                Stepped
+            | Program_done r ->
+                st.lclock <- st.lclock + 1;
+                Program_done r
+            | s -> s)
+      | Some o ->
+          let g = xget lf o in
+          fun st th fr -> (
+            xflush st uid b;
+            match ldo_return_slot st th (g st fr) with
+            | Stepped ->
+                st.lclock <- st.lclock + 1;
+                Stepped
+            | Program_done r ->
+                st.lclock <- st.lclock + 1;
+                Program_done r
+            | s -> s))
+  | L.LAbort msg ->
+      fun st _ _ ->
+        xflush st uid b;
+        raise (Crash (Failure.Abort_called msg))
+  | L.LUnreachable ->
+      fun st _ _ ->
+        xflush st uid b;
+        raise (Crash Failure.Unreachable_reached)
+
+(* Hooked singletons: thin wrappers over the reference step functions —
+   bit-identical hook behaviour by construction — plus the ip/clock and
+   blocked-attempt accounting the run loop / [lstep_thread] used to do. *)
+let xinstr_hooked (b : L.lblock) ip : xunit =
+  let i = b.L.lb_instrs.(ip) in
+  let src_i = b.L.lb_src.instrs.(ip) in
+  fun st th fr ->
+    match lstep_instr st th fr i with
+    | Stepped ->
+        st.lclock <- st.lclock + 1;
+        Stepped
+    | Blocked ->
+        if M.enabled M.default then count_instr src_i;
+        Blocked
+    | s -> s
+
+let xterm_hooked (b : L.lblock) ~uid : xunit =
+  let term = b.L.lb_term in
+  fun st th fr ->
+    xflush st uid b;
+    match lstep_term st th fr term with
+    | Stepped ->
+        st.lclock <- st.lclock + 1;
+        Stepped
+    | Program_done r ->
+        st.lclock <- st.lclock + 1;
+        Program_done r
+    | s -> s
+
+(* Superinstruction composition: the tail runs iff the head retired.
+   Each side updates ip and clock itself, so the pair is observationally
+   the two singleton dispatches back to back. *)
+let xpair (head : xunit) (tail : xunit) : xunit =
+ fun st th fr -> match head st th fr with Stepped -> tail st th fr | s -> s
+
+(* The hottest committed pair gets a hand-fused unit: cmp feeding the
+   block's own cond_br on the compared flag, sparing the flag re-read
+   and re-test.  The flag register is still written (it stays
+   observable), and both sub-steps keep their own clock tick. *)
+let xcmp_br_fused (lf : L.lfunc) (b : L.lblock) ~uid ~ip : xunit option =
+  match b.L.lb_instrs.(ip), b.L.lb_term with
+  | ( L.LCmp { dst; op; w; a; b = ob; _ },
+      L.LCond_br { cond = L.Oslot cs | L.Ocheck { slot = cs; _ }; if_true; if_false } )
+    when cs = dst ->
+      let g = xguard lf [ ob; a ] in
+      let cond = xcond lf ~op ~w (strip_check a) (strip_check ob) in
+      let tracked = lf.L.lf_tracked in
+      let n = Array.length b.L.lb_instrs in
+      let bt = lf.L.lf_blocks.(if_true) and bf = lf.L.lf_blocks.(if_false) in
+      Some
+        (xguarded g (fun st _ fr ->
+          let c = cond st fr in
+          rset fr dst (if c then 1L else 0L);
+          xmark tracked fr dst;
+          fr.lfr_ip <- n;
+          st.lclock <- st.lclock + 1;
+          xflush st uid b;
+          st.lbranches <- st.lbranches + 1;
+          record_entry st lf (if c then if_true else if_false);
+          fr.lfr_block <- (if c then bt else bf);
+          fr.lfr_ip <- 0;
+          st.lclock <- st.lclock + 1;
+          Stepped))
+  | _ -> None
+
+(* The hot half of one block's threaded code: the hook-free singleton
+   and fused-unit arrays the no-hooks dispatcher actually touches. *)
+let xcompile_block_hot (low : L.t) (lf : L.lfunc) (b : L.lblock) ~uid
+    (fp : Fuse.block_plan) : xunit array * xunit array =
+  let n = Array.length b.L.lb_instrs in
+  let one =
+    Array.init (n + 1) (fun ip ->
+        if ip < n then xinstr_fast low lf b ip else xterm_fast lf b ~uid)
+  in
+  (* tail of a fused unit whose last position is [ip + 1] ([= n] is the
+     terminator, where the hand-fused cmp+cond_br is tried first) *)
+  let pair_at ip =
+    if ip + 1 < n then xpair one.(ip) one.(ip + 1)
+    else
+      match xcmp_br_fused lf b ~uid ~ip with
+      | Some u -> u
+      | None -> xpair one.(ip) one.(n)
+  in
+  let big =
+    Array.init (n + 1) (fun ip ->
+        match fp.Fuse.fp_len.(ip) with
+        | 3 -> xpair one.(ip) (pair_at (ip + 1))
+        | 2 -> pair_at ip
+        | _ -> one.(ip))
+  in
+  (one, big)
+
+(* The cold half: hook-consulting units, plus assembly of the final
+   record.  Built in a separate pass over the whole program so the hot
+   closures of [xcompile_block_hot] stay contiguous in the heap instead
+   of interleaving with hooked closures the no-hooks fast path never
+   touches — dispatch is pointer-chasing, so cache density of the hot
+   half is part of the speedup. *)
+let xcompile_block_hooked (b : L.lblock) ~uid
+    (fp : Fuse.block_plan) ((one, big) : xunit array * xunit array) : xblock =
+  let n = Array.length b.L.lb_instrs in
+  let one_h =
+    Array.init (n + 1) (fun ip ->
+        if ip < n then xinstr_hooked b ip else xterm_hooked b ~uid)
+  in
+  let pair_at_h ip =
+    if ip + 1 < n then xpair one_h.(ip) one_h.(ip + 1)
+    else xpair one_h.(ip) one_h.(n)
+  in
+  let big_h =
+    Array.init (n + 1) (fun ip ->
+        match fp.Fuse.fp_len.(ip) with
+        | 3 -> xpair one_h.(ip) (pair_at_h (ip + 1))
+        | 2 -> pair_at_h ip
+        | _ -> one_h.(ip))
+  in
+  (* a unit may transfer control iff it is the terminator, a call (frame
+     push; spawn only adds a thread, the current frame continues), or a
+     fused unit ending in the terminator *)
+  let ctl =
+    Array.init (n + 1) (fun ip ->
+        ip = n
+        || (match b.L.lb_instrs.(ip) with L.LCall _ -> true | _ -> false)
+        || (fp.Fuse.fp_len.(ip) > 1 && ip + fp.Fuse.fp_len.(ip) - 1 = n))
+  in
+  (* Whole-block chain over the hot units.  Only blocks whose every
+     instruction is fusable qualify: calls push frames, inputs touch the
+     stream cursor, ptwrite retires clock-free ([Stepped_free] would cut
+     the chain), the sync ops may block — all of those keep per-unit
+     dispatch.  Each sub-unit still updates ip and the clock itself, so
+     crashes, failure reports and Ocheck traps inside the chain keep
+     exact instruction granularity; the budget gate in the dispatcher
+     guarantees the chain never starts unless the whole block fits the
+     remaining quantum.  Cost is [n + 1]: one tick per instruction plus
+     the terminator (no ptwrite here by construction). *)
+  let wcost, whole =
+    if Array.for_all Fuse.fusable_head b.L.lb_instrs then begin
+      let rec chain ip =
+        let l = fp.Fuse.fp_len.(ip) in
+        if ip + l > n then big.(ip)
+        else xpair big.(ip) (chain (ip + l))
+      in
+      (n + 1, chain 0)
+    end
+    else (max_int, big.(n))
+  in
+  {
+    xb_cost = fp.Fuse.fp_cost;
+    xb_one = one;
+    xb_big = big;
+    xb_one_h = one_h;
+    xb_big_h = big_h;
+    xb_ctl = ctl;
+    xb_whole = whole;
+    xb_wcost = wcost;
+    xb_pairs = Fuse.block_pair_keys b;
+  }
+
+let xcompile (low : L.t) : xblock array array =
+  let fuse = Fuse.analyze low in
+  let nfuncs = Array.length low.L.l_funcs in
+  let base = Array.make (nfuncs + 1) 0 in
+  for i = 0 to nfuncs - 1 do
+    base.(i + 1) <- base.(i) + Array.length low.L.l_funcs.(i).L.lf_blocks
+  done;
+  let hot =
+    Array.mapi
+      (fun fi (lf : L.lfunc) ->
+         Array.mapi
+           (fun bi b ->
+              xcompile_block_hot low lf b ~uid:(base.(fi) + bi)
+                fuse.Fuse.f_blocks.(fi).(bi))
+           lf.L.lf_blocks)
+      low.L.l_funcs
+  in
+  Array.mapi
+    (fun fi (lf : L.lfunc) ->
+       Array.mapi
+         (fun bi b ->
+            xcompile_block_hooked b ~uid:(base.(fi) + bi)
+              fuse.Fuse.f_blocks.(fi).(bi)
+              hot.(fi).(bi))
+         lf.L.lf_blocks)
+    low.L.l_funcs
+
+(* Bounded compile cache keyed by the *physical* identity of the lowered
+   program ([Prog.lowered] memoizes, so every state of one program sees
+   the same [L.t]).  Compiled code is immutable, so sharing it across
+   states — and across fleet domains — is safe; the mutex only guards
+   the cache list itself. *)
+let xcache : (L.t * xblock array array) list ref = ref []
+let xcache_mutex = Mutex.create ()
+let xcache_cap = 32
+
+let xcode_of (low : L.t) : xblock array array =
+  Mutex.lock xcache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock xcache_mutex)
+    (fun () ->
+      match List.find_opt (fun (k, _) -> k == low) !xcache with
+      | Some (_, code) ->
+          if not (match !xcache with (k, _) :: _ -> k == low | [] -> false)
+          then
+            xcache :=
+              (low, code) :: List.filter (fun (k, _) -> not (k == low)) !xcache;
+          code
+      | None ->
+          let code = xcompile low in
+          let kept =
+            if List.length !xcache >= xcache_cap then
+              List.filteri (fun i _ -> i < xcache_cap - 1) !xcache
+            else !xcache
+          in
+          xcache := (low, code) :: kept;
+          code)
+
+(* --- the threaded dispatcher ----------------------------------------------- *)
+
+(* Run [th] by threaded dispatch for at most [budget] clock ticks
+   (callers guarantee [budget >= 1] and measure consumed ticks as the
+   clock delta).  Returns on budget exhaustion ([Stepped] with the
+   thread still runnable), on a scheduling event (Blocked /
+   Thread_done / Program_done), or — under a plan — whenever the top
+   frame needs the single-step path: a pending virtual ptwrite to fire,
+   or a plan-marked block, whose fused units must split at the marked
+   instructions.  Fused units never start unless their full cost fits
+   the remaining budget, so quantum boundaries and the hang check land
+   on exactly the instruction they would in singleton dispatch. *)
+let exec_threaded (st : t) (th : lthread) ~budget : step =
+  let deadline = st.lclock + budget in
+  let result = ref Stepped in
+  let running = ref true in
+  while !running do
+    match th.lstack with
+    | [] ->
+        th.lstatus <- Done_t;
+        result := Thread_done;
+        running := false
+    | fr :: _ ->
+        (* [lf_idx]/[lb_index] index the per-program tables by
+           construction, so the block-transfer re-resolution — run once
+           per block, the second-hottest path after dispatch itself —
+           can skip the bounds checks *)
+        if
+          st.lplan_on
+          && ((match fr.lfr_pending with Some _ -> true | None -> false)
+             || Array.length
+                  (Array.unsafe_get
+                     (Array.unsafe_get st.lmarks fr.lfr_func.L.lf_idx)
+                     fr.lfr_block.L.lb_index)
+                <> 0)
+        then running := false
+        else begin
+          let b0 = fr.lfr_block in
+          let xb =
+            Array.unsafe_get
+              (Array.unsafe_get st.lxcode fr.lfr_func.L.lf_idx)
+              b0.L.lb_index
+          in
+          let one, big =
+            if st.lno_hooks then xb.xb_one, xb.xb_big
+            else xb.xb_one_h, xb.xb_big_h
+          in
+          let cost = xb.xb_cost and ctl = xb.xb_ctl in
+          (* hooks want per-unit dispatch; max_int disables the chain *)
+          let wcost = if st.lno_hooks then xb.xb_wcost else max_int in
+          let whole = xb.xb_whole in
+          (* tight loop: stay while this frame keeps running this block
+             (self-loops included); any frame or block change falls out
+             to re-resolve the closure arrays and the plan checks *)
+          let inblock = ref true in
+          while !inblock do
+            if st.lclock >= deadline then begin
+              inblock := false;
+              running := false
+            end
+            else begin
+              let ip = fr.lfr_ip in
+              if ip = 0 && wcost <= deadline - st.lclock then
+                (* whole-block chain: ends in the terminator, so only a
+                   self-loop back to this block stays in the tight loop *)
+                match whole st th fr with
+                | Stepped ->
+                    if
+                      not
+                        (fr.lfr_block == b0
+                        && (match th.lstack with
+                           | top :: _ -> top == fr
+                           | [] -> false))
+                    then inblock := false
+                | Stepped_free -> ()
+                | (Blocked | Thread_done | Program_done _) as s ->
+                    result := s;
+                    inblock := false;
+                    running := false
+              else
+                let f =
+                  if Array.unsafe_get cost ip <= deadline - st.lclock then
+                    Array.unsafe_get big ip
+                  else Array.unsafe_get one ip
+                in
+                match f st th fr with
+                | Stepped ->
+                    if
+                      Array.unsafe_get ctl ip
+                      && not
+                           (fr.lfr_block == b0
+                           && (match th.lstack with
+                              | top :: _ -> top == fr
+                              | [] -> false))
+                    then inblock := false
+                | Stepped_free -> ()
+                | (Blocked | Thread_done | Program_done _) as s ->
+                    result := s;
+                    inblock := false;
+                    running := false
+            end
+          done
+        end
+  done;
+  !result
 
 (* --- construction and the scheduler loop ----------------------------------- *)
 
@@ -816,6 +2456,14 @@ let create ?(config = default_config) ?plan (prog : Er_ir.Prog.t)
       lresult = None;
       lturn = 0;
       lcur = main_thread;
+      lxcode = xcode_of low;
+      lno_hooks =
+        (match config.hooks with
+         | { on_branch = None; on_switch = None; on_ptwrite = None;
+             on_input = None; on_store = None; on_alloc = None;
+             on_def = None; on_enter = None; on_ret = None } ->
+             true
+         | _ -> false);
     }
   in
   (* main's entry block is current from clock 0 *)
@@ -830,11 +2478,44 @@ let set_plan (t : t) (p : plan) =
     invalid_arg "Vm_state.set_plan: state was created without a plan";
   t.lmarks <- p.pl_marks
 
+(* This state's adjacent-pair retirement counts: every pair of a block
+   (terminator included) weighted by the block's retirement count.  The
+   mining input for the committed superinstruction set; only as fresh as
+   [lblk_counts], which is metrics-gated. *)
+let pair_counts t : (string, int) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (lf : L.lfunc) ->
+       let base = t.lblock_base.(lf.L.lf_idx) in
+       Array.iteri
+         (fun bidx _ ->
+            let n = t.lblk_counts.(base + bidx) in
+            if n > 0 then
+              List.iter
+                (fun key ->
+                   Hashtbl.replace tbl key
+                     ((match Hashtbl.find_opt tbl key with
+                       | Some c -> c
+                       | None -> 0)
+                     + n))
+                t.lxcode.(lf.L.lf_idx).(bidx).xb_pairs)
+         lf.L.lf_blocks)
+    t.llow.L.l_funcs;
+  tbl
+
+(* Pair counts sorted hottest first (count desc, then key asc for
+   deterministic output); what `bench vm --opcode-mix` prints. *)
+let opcode_pair_profile t : (string * int) list =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) (pair_counts t) []
+  |> List.sort (fun (ka, ca) (kb, cb) ->
+         if ca <> cb then compare cb ca else String.compare ka kb)
+
 (* Publish this state's per-block retirement counts into the bounded
-   hottest-blocks table (max per key, so repeated runs of one state just
-   refresh their rows). *)
+   hottest-blocks table, and the derived pair counts into the pair
+   table (max per key, so repeated runs of one state just refresh their
+   rows). *)
 let publish_block_profile t =
-  if M.enabled M.default then
+  if M.enabled M.default then begin
     Array.iter
       (fun (lf : L.lfunc) ->
          let base = t.lblock_base.(lf.L.lf_idx) in
@@ -846,7 +2527,11 @@ let publish_block_profile t =
                   ~key:(lf.L.lf_name ^ "/" ^ blk.L.lb_label)
                   n)
            lf.L.lf_blocks)
-      t.llow.L.l_funcs
+      t.llow.L.l_funcs;
+    Hashtbl.iter
+      (fun key n -> M.top_observe m_top_pairs ~key n)
+      (pair_counts t)
+  end
 
 let finish t ?crashed outcome =
   flush_partial t ~crashed;
@@ -911,22 +2596,56 @@ let run ?pause_at (t : t) : run_result option =
       end
       else if t.lplan_on && fire_pending t th then ()
       else begin
-        match lstep_thread t th with
-        | exception Crash kind ->
-            let fr = List.hd th.lstack in
-            finish t ~crashed:th
-              (Failed
-                 { Failure.kind; point = lpoint_of fr;
-                   stack = lstack_of th; thread = th.ltid })
-        | Stepped ->
-            t.lclock <- t.lclock + 1;
-            incr steps
-        | Stepped_free -> ()
-        | Blocked -> stop := true
-        | Thread_done -> stop := true
-        | Program_done v ->
-            t.lclock <- t.lclock + 1;
-            finish t (Finished v)
+        (* a plan-marked block splits every fused unit: single-step it
+           through [lstep_thread] so marks are applied per instruction *)
+        let marked =
+          t.lplan_on
+          && (match th.lstack with
+             | fr :: _ ->
+                 Array.length
+                   t.lmarks.(fr.lfr_func.L.lf_idx).(fr.lfr_block.L.lb_index)
+                 <> 0
+             | [] -> false)
+        in
+        if marked then begin
+          match lstep_thread t th with
+          | exception Crash kind ->
+              let fr = List.hd th.lstack in
+              finish t ~crashed:th
+                (Failed
+                   { Failure.kind; point = lpoint_of fr;
+                     stack = lstack_of th; thread = th.ltid })
+          | Stepped ->
+              t.lclock <- t.lclock + 1;
+              incr steps
+          | Stepped_free -> ()
+          | Blocked -> stop := true
+          | Thread_done -> stop := true
+          | Program_done v ->
+              t.lclock <- t.lclock + 1;
+              finish t (Finished v)
+        end
+        else begin
+          (* threaded dispatch for as much of the quantum as remains;
+             the hang bound caps the budget so the check above fires at
+             exactly the reference instruction *)
+          let budget = min (quantum - !steps) (config.max_instrs - t.lclock) in
+          let c0 = t.lclock in
+          match exec_threaded t th ~budget with
+          | exception Crash kind ->
+              let fr = List.hd th.lstack in
+              finish t ~crashed:th
+                (Failed
+                   { Failure.kind; point = lpoint_of fr;
+                     stack = lstack_of th; thread = th.ltid })
+          | Stepped | Stepped_free -> steps := !steps + (t.lclock - c0)
+          | Blocked | Thread_done ->
+              steps := !steps + (t.lclock - c0);
+              stop := true
+          | Program_done v ->
+              steps := !steps + (t.lclock - c0);
+              finish t (Finished v)
+        end
       end
     done;
     (match t.lresult with
@@ -981,7 +2700,7 @@ type saved_frame = {
   sf_func : L.lfunc;
   sf_block : L.lblock;
   sf_ip : int;
-  sf_regs : int64 array;
+  sf_regs : Bytes.t;               (* raw 64-bit cells like [lfr_regs] *)
   sf_defined : Bytes.t;
   sf_dst : int option;
   sf_stack_objs : int list;
@@ -1018,7 +2737,7 @@ let save_frame (fr : lframe) : saved_frame =
     sf_func = fr.lfr_func;
     sf_block = fr.lfr_block;
     sf_ip = fr.lfr_ip;
-    sf_regs = Array.copy fr.lfr_regs;
+    sf_regs = Bytes.copy fr.lfr_regs;
     sf_defined =
       (if Bytes.length fr.lfr_defined = 0 then empty_defined
        else Bytes.copy fr.lfr_defined);
@@ -1032,7 +2751,7 @@ let restore_frame (sf : saved_frame) : lframe =
     lfr_func = sf.sf_func;
     lfr_block = sf.sf_block;
     lfr_ip = sf.sf_ip;
-    lfr_regs = Array.copy sf.sf_regs;
+    lfr_regs = Bytes.copy sf.sf_regs;
     lfr_defined =
       (if Bytes.length sf.sf_defined = 0 then empty_defined
        else Bytes.copy sf.sf_defined);
@@ -1167,9 +2886,9 @@ let view_frame (fr : lframe) : frame_view =
   let names = fr.lfr_func.L.lf_reg_of_slot in
   let tracked = Bytes.length fr.lfr_defined <> 0 in
   let regs = ref [] in
-  for s = Array.length fr.lfr_regs - 1 downto 0 do
+  for s = (Bytes.length fr.lfr_regs lsr 3) - 1 downto 0 do
     let defined = (not tracked) || Bytes.get fr.lfr_defined s = '\001' in
-    if defined then regs := (names.(s), fr.lfr_regs.(s)) :: !regs
+    if defined then regs := (names.(s), rget fr s) :: !regs
   done;
   {
     fv_func = fr.lfr_func.L.lf_name;

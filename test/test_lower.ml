@@ -566,6 +566,326 @@ let test_mt_lock_parity () =
   in
   check_same_obs "mt lock" a b
 
+(* --- no-hooks fast-path differentials ------------------------------------ *)
+
+(* Everything above installs trace hooks, which routes execution through
+   the hooked singleton units.  The fused threaded dispatcher — committed
+   superinstruction pairs and triples, whole-block chains, pre-validated
+   Ocheck guards, the specialised call/return path — only runs hook-free,
+   so these differentials compare the engines under [no_hooks], exactly
+   as `bench vm` and plan-less replay execute. *)
+
+module Vs = Er_vm.Vm_state
+
+let fast_obs (r : Interp.run_result) =
+  ( (outcome_str r.Interp.outcome, r.Interp.instr_count),
+    (r.Interp.branch_count, r.Interp.outputs) )
+
+let fast_obs_t = Alcotest.(pair (pair string int) (pair int (list int64)))
+
+let check_fast_pair name prog inputs_of seed =
+  let run
+      (run :
+         ?config:Interp.config -> Prog.t -> Er_vm.Inputs.t -> Interp.run_result)
+      =
+    fast_obs
+      (run ~config:{ Interp.default_config with Interp.sched_seed = seed } prog
+         (inputs_of ()))
+  in
+  Alcotest.check fast_obs_t name (run Interp.run_reference) (run Interp.run)
+
+let test_corpus_vm_fast_differential () =
+  List.iter
+    (fun (s : Bug.spec) ->
+       let prog = Prog.of_program s.Bug.program in
+       for occ = 1 to 2 do
+         let _, seed = s.Bug.failing_workload ~occurrence:occ in
+         check_fast_pair
+           (Printf.sprintf "%s occ %d (no hooks)" s.Bug.name occ)
+           prog
+           (fun () -> fst (s.Bug.failing_workload ~occurrence:occ))
+           seed
+       done)
+    Er_corpus.Registry.table1
+
+let qcheck_vm_fast_differential =
+  QCheck2.Test.make
+    ~name:"fused no-hooks VM matches reference on random programs" ~count:150
+    gen_prog_and_inputs
+    (fun (program, input_vals, seed) ->
+       let prog = Prog.of_program program in
+       let run
+           (run :
+              ?config:Interp.config -> Prog.t -> Er_vm.Inputs.t ->
+              Interp.run_result)
+           =
+         fast_obs
+           (run
+              ~config:{ Interp.default_config with Interp.sched_seed = seed }
+              prog
+              (Er_vm.Inputs.make [ ("s", input_vals) ]))
+       in
+       run Interp.run_reference = run Interp.run)
+
+(* A self-looping block whose static shape exercises every unit kind at
+   once: a committed load+bin pair, a store singleton, the hand-fused
+   cmp+cond_br terminator pair — and, every instruction being fusable,
+   the whole-block chain. *)
+let fused_loop_prog ?(bound = 50L) () =
+  mk_prog
+    ~globals:[ { gname = "cell"; g_elt_ty = I64; g_size = 1; g_init = None } ]
+    [
+      mk_func "main" [] (Some I64)
+        [
+          mk_block "entry" [] (Br "loop");
+          mk_block "loop"
+            [
+              Load { dst = "%i"; ty = I64; addr = Global "cell" };
+              Bin { dst = "%j"; op = Add; ty = I64; a = Reg "%i"; b = Imm (1L, I64) };
+              Store { ty = I64; v = Reg "%j"; addr = Global "cell" };
+              Cmp { dst = "%c"; op = Ult; ty = I64; a = Reg "%j"; b = Imm (bound, I64) };
+            ]
+            (Cond_br { cond = Reg "%c"; if_true = "loop"; if_false = "done" });
+          mk_block "done" [ Output { v = Reg "%j" } ] (Ret (Some (Reg "%j")));
+        ];
+    ]
+    "main"
+
+let resume_obs (r : Vs.run_result) =
+  ( (match r.Vs.outcome with
+     | Vs.Finished None -> "finished"
+     | Vs.Finished (Some v) -> Printf.sprintf "finished %Ld" v
+     | Vs.Failed f -> "failed: " ^ Er_vm.Failure.to_string f),
+    r.Vs.instr_count,
+    r.Vs.outputs )
+
+let resume_obs_t = Alcotest.(triple string int (list int64))
+
+(* Pause/snapshot/revert/resume with no hooks: the quantum boundary can
+   land anywhere relative to the fused units — the budget guard must
+   split them back to singletons so the checkpoint sits at exact
+   instruction granularity, and the resumed suffix must be bit-identical
+   whether the pause fell on a fused-block boundary or inside one. *)
+let test_fast_checkpoint_resume () =
+  let check_prog name program mk_inputs ks =
+    let straight =
+      resume_obs
+        (Vs.run_program ~config:Interp.default_config (Prog.of_program program)
+           (mk_inputs ()))
+    in
+    List.iter
+      (fun k ->
+         let prog = Prog.of_program program in
+         let vm =
+           Vs.create ~config:Interp.default_config
+             ~plan:(Vs.empty_plan (Prog.lowered prog))
+             prog (mk_inputs ())
+         in
+         match Vs.run ~pause_at:k vm with
+         | Some _ -> () (* finished before ever pausing *)
+         | None ->
+             let ck = Vs.snapshot vm in
+             let first = resume_obs (Vs.run_to_end vm) in
+             Vs.revert vm ck;
+             let second = resume_obs (Vs.run_to_end vm) in
+             Alcotest.check resume_obs_t
+               (Printf.sprintf "%s k=%d: replay" name k)
+               first second;
+             Alcotest.check resume_obs_t
+               (Printf.sprintf "%s k=%d: vs straight" name k)
+               straight first)
+      ks
+  in
+  (* k = 1..30 sweeps every boundary and interior position of the fused
+     loop's units across several iterations *)
+  check_prog "fused loop"
+    (fused_loop_prog ())
+    (fun () -> Er_vm.Inputs.make [])
+    (List.init 30 (fun i -> i + 1));
+  let spec = Er_corpus.Registry.running_example in
+  check_prog "running example" spec.Bug.program
+    (fun () -> fst (spec.Bug.failing_workload ~occurrence:1))
+    [ 1; 3; 7; 12; 19; 27; 40 ]
+
+(* A recording-plan mark landing on the interior instruction of a
+   would-be-fused pair forces the dispatcher back to singleton units for
+   that block; the run must stay bit-identical to the unmarked one. *)
+let test_plan_split_fused_pair () =
+  let program = fused_loop_prog () in
+  let prog = Prog.of_program program in
+  let low = Prog.lowered prog in
+  let run plan =
+    let vm =
+      Vs.create ~config:Interp.default_config ~plan prog (Er_vm.Inputs.make [])
+    in
+    resume_obs (Vs.run_to_end vm)
+  in
+  let unmarked = run (Vs.empty_plan low) in
+  (* p_index 1 is the Bin: the tail of the committed load+bin pair *)
+  let marked =
+    run
+      (Vs.plan_of_points low
+         [ { p_func = "main"; p_block = "loop"; p_index = 1 } ])
+  in
+  Alcotest.check resume_obs_t "plan mark inside a fused pair" unmarked marked;
+  let reference =
+    fast_obs
+      (Interp.run_reference ~config:Interp.default_config prog
+         (Er_vm.Inputs.make []))
+  in
+  let (o, i), (_, outs) = reference in
+  Alcotest.check resume_obs_t "marked run vs reference" (o, i, outs) marked
+
+(* Crashes inside fused units: the failure must name the exact
+   sub-instruction, with the preceding elements of the unit retired. *)
+let test_fused_unit_crash_parity () =
+  (* head faults: udiv-by-zero heading a committed bin+store pair *)
+  let div_prog =
+    mk_prog
+      ~globals:[ { gname = "cell"; g_elt_ty = I64; g_size = 1; g_init = None } ]
+      [
+        mk_func "main" [] None
+          [
+            mk_block "entry" [] (Br "go");
+            mk_block "go"
+              [
+                Bin { dst = "%d"; op = Udiv; ty = I64; a = Imm (1L, I64); b = Imm (0L, I64) };
+                Store { ty = I64; v = Reg "%d"; addr = Global "cell" };
+              ]
+              (Ret None);
+          ];
+      ]
+      "main"
+  in
+  check_fast_pair "udiv-by-zero at fused-pair head"
+    (Prog.of_program div_prog)
+    (fun () -> Er_vm.Inputs.make [])
+    0;
+  (* tail faults: out-of-bounds store ending a bin+gep+store triple,
+     after the two head elements retired *)
+  let oob_prog =
+    mk_prog
+      ~globals:[ { gname = "cell"; g_elt_ty = I64; g_size = 1; g_init = None } ]
+      [
+        mk_func "main" [] None
+          [
+            mk_block "entry" [] (Br "go");
+            mk_block "go"
+              [
+                Bin { dst = "%v"; op = Add; ty = I64; a = Imm (40L, I64); b = Imm (59L, I64) };
+                Gep { dst = "%p"; base = Global "cell"; idx = Reg "%v" };
+                Store { ty = I64; v = Reg "%v"; addr = Reg "%p" };
+              ]
+              (Ret None);
+          ];
+      ]
+      "main"
+  in
+  check_fast_pair "out-of-bounds store at fused-triple tail"
+    (Prog.of_program oob_prog)
+    (fun () -> Er_vm.Inputs.make [])
+    0
+
+(* Undefined-register reads inside a fused unit go through the
+   pre-validated Ocheck guards of the fast path; the trap and its
+   message must match the reference exactly. *)
+let undef_in_fused_prog take_def_path =
+  mk_prog
+    ~globals:[ { gname = "cell"; g_elt_ty = I64; g_size = 1; g_init = None } ]
+    [
+      mk_func "main" [] None
+        [
+          mk_block "entry"
+            [
+              Cmp
+                {
+                  dst = "%c";
+                  op = Eq;
+                  ty = I64;
+                  a = Imm (0L, I64);
+                  b = Imm ((if take_def_path then 0L else 1L), I64);
+                };
+            ]
+            (Cond_br { cond = Reg "%c"; if_true = "def"; if_false = "skip" });
+          mk_block "def"
+            [ Bin { dst = "%x"; op = Add; ty = I64; a = Imm (1L, I64); b = Imm (2L, I64) } ]
+            (Br "use");
+          mk_block "skip" [] (Br "use");
+          (* the checked %x read heads a committed bin+store pair *)
+          mk_block "use"
+            [
+              Bin { dst = "%y"; op = Add; ty = I64; a = Reg "%x"; b = Imm (1L, I64) };
+              Store { ty = I64; v = Reg "%y"; addr = Global "cell" };
+            ]
+            (Ret None);
+        ];
+    ]
+    "main"
+
+let test_fast_undefined_read_in_fused_unit () =
+  (* defined path: observationally identical *)
+  check_fast_pair "Ocheck in fused unit, defined path"
+    (Prog.of_program (undef_in_fused_prog true))
+    (fun () -> Er_vm.Inputs.make [])
+    0;
+  (* undefined path: both engines raise the identical Invalid_argument *)
+  let p = Prog.of_program (undef_in_fused_prog false) in
+  let catch
+      (run :
+         ?config:Interp.config -> Prog.t -> Er_vm.Inputs.t -> Interp.run_result)
+      =
+    try
+      ignore (run ~config:Interp.default_config p (Er_vm.Inputs.make []));
+      "no exception"
+    with Invalid_argument m -> m
+  in
+  let ma = catch Interp.run_reference and mb = catch Interp.run in
+  Alcotest.(check string) "Ocheck trap message inside fused unit" ma mb;
+  Alcotest.(check bool) "reference raised" true (ma <> "no exception")
+
+(* Width and signedness edges through the specialised ALU units: shift
+   counts at and beyond the word width, and signed/unsigned compares
+   across the sign boundary. *)
+let test_fast_shift_cmp_edges () =
+  let out v = Output { v = Reg v } in
+  let shifts =
+    List.concat_map
+      (fun (op, nm) ->
+         List.mapi
+           (fun i count ->
+              let dst = Printf.sprintf "%%%s%d" nm i in
+              [
+                Bin { dst; op; ty = I64; a = Imm (-7L, I64); b = Imm (count, I64) };
+                out dst;
+              ])
+           [ 0L; 1L; 63L; 64L; 65L; -1L ])
+      [ (Shl, "shl"); (Lshr, "lshr"); (Ashr, "ashr") ]
+    |> List.concat
+  in
+  let cmps =
+    List.concat_map
+      (fun (op, nm) ->
+         List.mapi
+           (fun i (a, b) ->
+              let dst = Printf.sprintf "%%%s%d" nm i in
+              [
+                Cmp { dst; op; ty = I64; a = Imm (a, I64); b = Imm (b, I64) };
+                out dst;
+              ])
+           [ (-1L, 1L); (1L, -1L); (Int64.min_int, Int64.max_int); (0L, 0L) ])
+      [ (Ult, "ult"); (Ule, "ule"); (Slt, "slt"); (Sle, "sle");
+        (Sgt, "sgt"); (Sge, "sge") ]
+    |> List.concat
+  in
+  let p =
+    mk_prog
+      [ mk_func "main" [] None [ mk_block "entry" (shifts @ cmps) (Ret None) ] ]
+      "main"
+  in
+  check_fast_pair "shift and compare edges (no hooks)" (Prog.of_program p)
+    (fun () -> Er_vm.Inputs.make [])
+    0
+
 (* --- metrics parity ------------------------------------------------------ *)
 
 let vm_counters =
@@ -683,6 +1003,22 @@ let suites =
           test_mt_lock_parity;
         Alcotest.test_case "metrics parity" `Quick test_metrics_parity;
         QCheck_alcotest.to_alcotest qcheck_vm_differential;
+      ] );
+    ( "lower fused fast path",
+      [
+        Alcotest.test_case "checkpoint/resume at fused boundaries" `Quick
+          test_fast_checkpoint_resume;
+        Alcotest.test_case "plan mark splits a fused pair" `Quick
+          test_plan_split_fused_pair;
+        Alcotest.test_case "crashes inside fused units" `Quick
+          test_fused_unit_crash_parity;
+        Alcotest.test_case "undefined read inside a fused unit" `Quick
+          test_fast_undefined_read_in_fused_unit;
+        Alcotest.test_case "shift and compare edges" `Quick
+          test_fast_shift_cmp_edges;
+        Alcotest.test_case "no-hooks corpus differential" `Slow
+          test_corpus_vm_fast_differential;
+        QCheck_alcotest.to_alcotest qcheck_vm_fast_differential;
       ] );
     ( "lower corpus differential",
       [
